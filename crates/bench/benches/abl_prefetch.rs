@@ -1,0 +1,46 @@
+//! Ablation: the stream prefetcher.
+//!
+//! DESIGN.md calls out the prefetcher as the mechanism that makes column
+//! scans LLC-insensitive (Figure 4 depends on it). This ablation sweeps the
+//! prefetch depth: with depth 0 the scan becomes latency-bound and loses
+//! most of its bandwidth; from depth ≈ 64 on it saturates the channel.
+
+use ccp_bench::{banner, experiment_from_env, save_json, ResultRow};
+use ccp_workloads::experiment::OpBuilder;
+use ccp_workloads::paper;
+use ccp_workloads::Experiment;
+
+fn main() {
+    let base = experiment_from_env();
+    banner("Ablation", "stream prefetch depth vs. scan throughput", &base);
+
+    let build: OpBuilder = Box::new(paper::q1_scan);
+    println!("{:>7} {:>16} {:>12}", "depth", "rows/kcycle", "vs depth=64");
+    let mut rows = Vec::new();
+    let mut results = Vec::new();
+    for depth in [0u32, 4, 16, 64, 128] {
+        let mut cfg = base.cfg;
+        cfg.prefetch_depth = depth;
+        let e = Experiment { cfg, ..base };
+        let thr = e.run_isolated("scan", &build).throughput;
+        results.push((depth, thr));
+    }
+    let reference = results
+        .iter()
+        .find(|(d, _)| *d == 64)
+        .map(|(_, t)| *t)
+        .expect("depth 64 is in the sweep");
+    for (depth, thr) in &results {
+        println!("{:>7} {:>16.1} {:>11.1}%", depth, thr, thr / reference * 100.0);
+        rows.push(ResultRow {
+            config: "prefetch".into(),
+            series: "scan".into(),
+            x: f64::from(*depth),
+            normalized: thr / reference,
+            llc_hit_ratio: None,
+            llc_mpi: None,
+        });
+    }
+    save_json("abl_prefetch", &rows);
+    println!("\nexpected: monotone rise; saturation (DRAM-bandwidth-bound) from depth ~64");
+}

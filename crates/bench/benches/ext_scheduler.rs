@@ -1,0 +1,99 @@
+//! Extension experiment: the cache-aware co-run scheduler the paper's
+//! conclusion proposes ("co-run polluters; let cache-sensitive queries run
+//! alone"), evaluated on the simulator.
+//!
+//! A queue of four queries — two LLC-sensitive aggregations and two
+//! polluting scans — is executed in waves of two, comparing:
+//!
+//! * **FIFO pairing**: (agg, agg), (scan, scan) — what an oblivious
+//!   scheduler does;
+//! * **cache-aware pairing**: (agg, scan), (agg, scan) — what
+//!   `CacheAwareScheduler` plans — with the partitioning masks applied.
+//!
+//! Metric: mean normalized throughput per wave (1.0 = every query ran as
+//! fast as in isolation).
+
+use ccp_bench::{banner, experiment_from_env, pct, save_json, ResultRow};
+use ccp_cachesim::AddrSpace;
+use ccp_engine::job::CacheUsageClass;
+use ccp_engine::sim::{run_concurrent, SimWorkload};
+use ccp_engine::CacheAwareScheduler;
+use ccp_workloads::experiment::OpBuilder;
+use ccp_workloads::paper::{self, DICT_40MIB};
+
+fn main() {
+    let e = experiment_from_env();
+    banner("Extension", "cache-aware co-run scheduling (paper conclusion)", &e);
+
+    let agg_build: OpBuilder = Box::new(|s| paper::q2_aggregation(s, DICT_40MIB, 10_000));
+    let scan_build: OpBuilder = Box::new(paper::q1_scan);
+    let agg_iso = e.run_isolated("agg", &agg_build).throughput;
+    let scan_iso = e.run_isolated("scan", &scan_build).throughput;
+    let policy = e.policy();
+
+    // The queue: agg, agg, scan, scan.
+    let cuids = [
+        CacheUsageClass::Sensitive,
+        CacheUsageClass::Sensitive,
+        CacheUsageClass::Polluting,
+        CacheUsageClass::Polluting,
+    ];
+    let is_agg = |i: usize| i < 2;
+
+    let run_wave = |members: &[usize], masked: bool| -> f64 {
+        let mut space = AddrSpace::new();
+        let workloads: Vec<SimWorkload> = members
+            .iter()
+            .map(|&i| {
+                let op = if is_agg(i) { agg_build(&mut space) } else { scan_build(&mut space) };
+                let mask = if masked { Some(policy.mask_for(cuids[i])) } else { None };
+                SimWorkload { name: format!("q{i}"), op, mask }
+            })
+            .collect();
+        let out = run_concurrent(&e.cfg, workloads, e.warm_cycles, e.measure_cycles);
+        out.streams
+            .iter()
+            .zip(members)
+            .map(|(s, &i)| s.throughput / if is_agg(i) { agg_iso } else { scan_iso })
+            .sum::<f64>()
+            / members.len() as f64
+    };
+
+    // FIFO: queue order pairs, no cache awareness, no partitioning.
+    let fifo_waves = [vec![0usize, 1], vec![2, 3]];
+    // Cache-aware: planner output, with partitioning masks.
+    let sched = CacheAwareScheduler::new(policy, 2);
+    let smart_waves = sched.plan_waves(&cuids);
+
+    println!("\n{:<24} {:>10} {:>10} {:>10}", "strategy", "wave 1", "wave 2", "mean");
+    let mut rows = Vec::new();
+    for (label, waves, masked) in [
+        ("FIFO, unpartitioned", fifo_waves.to_vec(), false),
+        ("FIFO + partitioning", fifo_waves.to_vec(), true),
+        ("cache-aware + partit.", smart_waves.clone(), true),
+    ] {
+        let scores: Vec<f64> = waves.iter().map(|w| run_wave(w, masked)).collect();
+        let mean = scores.iter().sum::<f64>() / scores.len() as f64;
+        println!(
+            "{:<24} {:>10} {:>10} {:>10}",
+            label,
+            pct(scores[0]),
+            pct(scores.get(1).copied().unwrap_or(f64::NAN)),
+            pct(mean)
+        );
+        rows.push(ResultRow {
+            config: label.into(),
+            series: "mean wave efficiency".into(),
+            x: 0.0,
+            normalized: mean,
+            llc_hit_ratio: None,
+            llc_mpi: None,
+        });
+    }
+    save_json("ext_scheduler", &rows);
+    println!(
+        "\nexpected ordering: cache-aware+partitioning > FIFO+partitioning > FIFO — the \
+         conclusion's scheduling idea compounds with the masks"
+    );
+    println!("planned waves: {smart_waves:?} (each aggregation paired with a confined scan)");
+}

@@ -1,0 +1,69 @@
+//! Figure 1 (the teaser): throughput of an OLTP query running (i) isolated,
+//! (ii) concurrently to an OLAP query, and (iii) concurrently to the OLAP
+//! query with cache partitioning applied.
+//!
+//! Paper result: the OLTP query's throughput degrades significantly when
+//! the OLAP scan co-runs, and restricting the scan's LLC share recovers a
+//! large part of the loss.
+
+use ccp_bench::{banner, experiment_from_env, pct, save_json, ResultRow};
+use ccp_cachesim::{AddrSpace, WayMask};
+use ccp_engine::sim::{run_concurrent, SimWorkload};
+use ccp_workloads::experiment::OpBuilder;
+use ccp_workloads::{paper, s4hana};
+
+fn main() {
+    let e = experiment_from_env();
+    banner("Figure 1", "OLTP throughput: isolated vs. concurrent vs. concurrent+partitioning", &e);
+
+    let oltp_build: OpBuilder = Box::new(s4hana::oltp_13col);
+    let scan_build: OpBuilder = Box::new(paper::q1_scan);
+    let oltp_iso = e.run_isolated("oltp", &oltp_build).throughput;
+
+    let run_pair = |mask: Option<WayMask>| {
+        let mut space = AddrSpace::new();
+        let w = vec![
+            SimWorkload::unpartitioned("oltp", oltp_build(&mut space)),
+            SimWorkload { name: "olap".into(), op: scan_build(&mut space), mask },
+        ];
+        let out = run_concurrent(&e.cfg, w, e.warm_cycles, e.measure_cycles);
+        out.streams[0].throughput / oltp_iso
+    };
+
+    let concurrent = run_pair(None);
+    let partitioned = run_pair(Some(WayMask::new(0x3).expect("valid mask")));
+
+    println!("{:>28} {:>12}", "configuration", "OLTP thr");
+    println!("{:>28} {:>12}", "isolated", pct(1.0));
+    println!("{:>28} {:>12}", "concurrent to OLAP", pct(concurrent));
+    println!("{:>28} {:>12}", "concurrent + partitioning", pct(partitioned));
+
+    let rows = vec![
+        ResultRow {
+            config: "fig1".into(),
+            series: "isolated".into(),
+            x: 0.0,
+            normalized: 1.0,
+            llc_hit_ratio: None,
+            llc_mpi: None,
+        },
+        ResultRow {
+            config: "fig1".into(),
+            series: "concurrent".into(),
+            x: 1.0,
+            normalized: concurrent,
+            llc_hit_ratio: None,
+            llc_mpi: None,
+        },
+        ResultRow {
+            config: "fig1".into(),
+            series: "partitioned".into(),
+            x: 2.0,
+            normalized: partitioned,
+            llc_hit_ratio: None,
+            llc_mpi: None,
+        },
+    ];
+    save_json("fig01_teaser", &rows);
+    println!("\npaper: concurrent run hurts the OLTP query; partitioning recovers most of it");
+}

@@ -1,0 +1,59 @@
+//! Figure 5 (a/b/c): normalized throughput of Query 2 (aggregation with
+//! grouping) at varying LLC sizes, for dictionary sizes 4/40/400 MiB and
+//! group counts 10²..10⁶.
+//!
+//! Paper result highlights:
+//! * 4 MiB dictionary — 10²..10⁴ groups degrade below ≈ 20 MiB (−46 % at
+//!   ≈ 5 MiB); 10⁵ groups break below 40 MiB (−67 %); 10⁶ groups degrade
+//!   less (−28..46 %).
+//! * 40 MiB dictionary — all group counts degrade steadily (up to −62 %;
+//!   −34 % for 10⁶ groups).
+//! * 400 MiB dictionary — smaller impact overall (−31 %); −54 % for 10⁵.
+
+use ccp_bench::{banner, experiment_from_env, pct, save_json, ResultRow};
+use ccp_workloads::experiment::OpBuilder;
+use ccp_workloads::paper::{self, DICT_400MIB, DICT_40MIB, DICT_4MIB, GROUP_SWEEP};
+
+fn main() {
+    let e = experiment_from_env();
+    banner("Figure 5", "Query 2 (aggregation) vs. LLC size", &e);
+
+    let way = e.cfg.llc.way_bytes();
+    let sizes: Vec<u64> = [2u64, 4, 8, 12, 16, 20].iter().map(|w| w * way).collect();
+    let mut rows = Vec::new();
+
+    for (sub, dict_bytes) in
+        [("5a", DICT_4MIB), ("5b", DICT_40MIB), ("5c", DICT_400MIB)]
+    {
+        println!("\n--- Figure {sub}: dictionary {} MiB ---", dict_bytes >> 20);
+        print!("{:>10}", "LLC MiB");
+        for g in GROUP_SWEEP {
+            print!(" {:>9}", format!("1e{} G", (g as f64).log10() as u32));
+        }
+        println!();
+        // One sweep per group count, transposed for printing.
+        let mut sweeps = Vec::new();
+        for groups in GROUP_SWEEP {
+            let build: OpBuilder =
+                Box::new(move |s| paper::q2_aggregation(s, dict_bytes, groups));
+            sweeps.push(e.llc_sweep(&build, &sizes));
+        }
+        for (i, &bytes) in sizes.iter().enumerate() {
+            print!("{:>10.2}", bytes as f64 / (1024.0 * 1024.0));
+            for (sweep, groups) in sweeps.iter().zip(GROUP_SWEEP) {
+                print!(" {:>9}", pct(sweep[i].normalized));
+                rows.push(ResultRow {
+                    config: format!("dict={}MiB", dict_bytes >> 20),
+                    series: format!("groups=1e{}", (groups as f64).log10() as u32),
+                    x: bytes as f64 / (1024.0 * 1024.0),
+                    normalized: sweep[i].normalized,
+                    llc_hit_ratio: Some(sweep[i].llc_hit_ratio),
+                    llc_mpi: Some(sweep[i].llc_mpi),
+                });
+            }
+            println!();
+        }
+    }
+    save_json("fig05_agg_llc", &rows);
+    println!("\npaper: strongest break for 1e5 groups (hash table ≈ LLC); see header comment");
+}

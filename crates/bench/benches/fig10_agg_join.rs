@@ -1,0 +1,89 @@
+//! Figure 10 (a/b): normalized throughput of Query 2 (aggregation) and
+//! Query 3 (FK join) when executed concurrently, comparing two partitioning
+//! schemes: join confined to 10 % (`0x3`) vs. 60 % (`0xfff`). The
+//! aggregation uses the 40 MiB dictionary.
+//!
+//! Paper result highlights:
+//! * 10⁶ primary keys (125 KB bit vector): the join acts like a scan;
+//!   `0x3` lifts the aggregation by up to +38 % and even the join by +7 %.
+//! * 10⁸ primary keys (12.5 MB bit vector): `0x3` helps the aggregation
+//!   (+19 %) but costs the join −15..31 % — net negative; the 60 % scheme
+//!   (`0xfff`) is the right one (+9 % aggregation, join ±2 %).
+
+use ccp_bench::{banner, experiment_from_env, pct, save_json, ResultRow};
+use ccp_cachesim::{AddrSpace, WayMask};
+use ccp_engine::sim::{run_concurrent, SimWorkload};
+use ccp_workloads::experiment::OpBuilder;
+use ccp_workloads::paper::{self, DICT_40MIB, GROUP_SWEEP};
+
+fn main() {
+    let e = experiment_from_env();
+    banner("Figure 10", "Q2 (aggregation) ∥ Q3 (FK join), two partitioning schemes", &e);
+
+    let mask_10 = WayMask::new(0x3).expect("valid mask");
+    let mask_60 = WayMask::new(0xfff).expect("valid mask");
+    let mut rows = Vec::new();
+
+    for (sub, pk_count) in [("10a", 1_000_000u64), ("10b", 100_000_000u64)] {
+        println!(
+            "\n--- Figure {sub}: 1e{} primary keys (bit vector {} KB) ---",
+            (pk_count as f64).log10() as u32,
+            pk_count / 8 / 1000
+        );
+        let join_build: OpBuilder = Box::new(move |s| paper::q3_join(s, pk_count));
+        let join_iso = e.run_isolated("q3", &join_build).throughput;
+
+        println!(
+            "{:>8} {:>9} {:>9} | {:>9} {:>9} | {:>9} {:>9}",
+            "groups", "Q2 base", "Q3 base", "Q2 @0x3", "Q3 @0x3", "Q2 @0xfff", "Q3 @0xfff"
+        );
+        for groups in GROUP_SWEEP {
+            let agg_build: OpBuilder =
+                Box::new(move |s| paper::q2_aggregation(s, DICT_40MIB, groups));
+            let agg_iso = e.run_isolated("q2", &agg_build).throughput;
+
+            let run_pair = |mask: Option<WayMask>| {
+                let mut space = AddrSpace::new();
+                let w = vec![
+                    SimWorkload::unpartitioned("q2", agg_build(&mut space)),
+                    SimWorkload { name: "q3".into(), op: join_build(&mut space), mask },
+                ];
+                let out = run_concurrent(&e.cfg, w, e.warm_cycles, e.measure_cycles);
+                (out.streams[0].throughput / agg_iso, out.streams[1].throughput / join_iso)
+            };
+
+            let (a_base, j_base) = run_pair(None);
+            let (a_10, j_10) = run_pair(Some(mask_10));
+            let (a_60, j_60) = run_pair(Some(mask_60));
+            println!(
+                "{:>8} {:>9} {:>9} | {:>9} {:>9} | {:>9} {:>9}",
+                format!("1e{}", (groups as f64).log10() as u32),
+                pct(a_base),
+                pct(j_base),
+                pct(a_10),
+                pct(j_10),
+                pct(a_60),
+                pct(j_60),
+            );
+            for (series, v) in [
+                ("q2 baseline", a_base),
+                ("q3 baseline", j_base),
+                ("q2 join@0x3", a_10),
+                ("q3 join@0x3", j_10),
+                ("q2 join@0xfff", a_60),
+                ("q3 join@0xfff", j_60),
+            ] {
+                rows.push(ResultRow {
+                    config: format!("pk=1e{}", (pk_count as f64).log10() as u32),
+                    series: series.into(),
+                    x: groups as f64,
+                    normalized: v,
+                    llc_hit_ratio: None,
+                    llc_mpi: None,
+                });
+            }
+        }
+    }
+    save_json("fig10_agg_join", &rows);
+    println!("\npaper: 1e6 keys -> 0x3 is right (+38% Q2); 1e8 keys -> 0x3 hurts the join, 0xfff is right");
+}

@@ -1,0 +1,76 @@
+//! Criterion microbenchmarks for the cache simulator itself: access
+//! throughput of the hot `access` path under hit-heavy, miss-heavy and
+//! prefetch-friendly workloads. These guard the simulator's own performance
+//! (the figure harness replays tens of millions of accesses).
+
+use ccp_cachesim::{AccessKind, HierarchyConfig, MemoryHierarchy, WayMask};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+
+fn bench_hit_path(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cachesim/hits");
+    g.throughput(Throughput::Elements(1024));
+    g.bench_function("l2_hit_loop", |b| {
+        b.iter_batched_ref(
+            || {
+                let mut m = MemoryHierarchy::new(HierarchyConfig::tiny_for_tests(), 1);
+                // Warm 16 lines so every measured access hits L2.
+                for i in 0..16u64 {
+                    m.access(0, i * 64, AccessKind::Read);
+                }
+                m
+            },
+            |m| {
+                for _ in 0..64 {
+                    for i in 0..16u64 {
+                        m.access(0, i * 64, AccessKind::Read);
+                    }
+                }
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    g.finish();
+}
+
+fn bench_miss_path(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cachesim/misses");
+    g.throughput(Throughput::Elements(1024));
+    g.bench_function("streaming_misses", |b| {
+        b.iter_batched_ref(
+            || (MemoryHierarchy::new(HierarchyConfig::broadwell_e5_2699_v4(), 1), 0u64),
+            |(m, pos)| {
+                for _ in 0..1024 {
+                    m.access(0, *pos, AccessKind::Read);
+                    *pos += 64;
+                }
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    g.finish();
+}
+
+fn bench_masked_access(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cachesim/masked");
+    g.throughput(Throughput::Elements(1024));
+    g.bench_function("two_way_mask_stream", |b| {
+        b.iter_batched_ref(
+            || {
+                let mut m = MemoryHierarchy::new(HierarchyConfig::broadwell_e5_2699_v4(), 1);
+                m.set_mask(0, WayMask::new(0x3).unwrap());
+                (m, 0u64)
+            },
+            |(m, pos)| {
+                for _ in 0..1024 {
+                    m.access(0, *pos, AccessKind::Read);
+                    *pos += 64;
+                }
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_hit_path, bench_miss_path, bench_masked_access);
+criterion_main!(benches);

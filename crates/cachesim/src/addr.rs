@@ -1,0 +1,130 @@
+//! Simulated address space.
+//!
+//! Simulated operators do not move real bytes; they generate *addresses*.
+//! [`AddrSpace`] is a bump allocator handing out non-overlapping,
+//! line-aligned [`Region`]s for each modeled data structure (a column, a
+//! dictionary, a hash table, a bit vector, ...), so that distinct structures
+//! never alias in the cache model.
+
+use crate::LINE_BYTES;
+use serde::{Deserialize, Serialize};
+
+/// A contiguous, line-aligned range of simulated memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Region {
+    /// First byte address.
+    pub base: u64,
+    /// Length in bytes.
+    pub len: u64,
+}
+
+impl Region {
+    /// Byte address of offset `off` into the region.
+    ///
+    /// # Panics
+    /// Panics in debug builds when `off` is out of bounds — an out-of-range
+    /// offset is a bug in an operator model, not a runtime condition.
+    #[inline]
+    pub fn addr(&self, off: u64) -> u64 {
+        debug_assert!(off < self.len, "offset {off} out of region of {} bytes", self.len);
+        self.base + off
+    }
+
+    /// Number of cache lines the region spans.
+    pub fn lines(&self) -> u64 {
+        self.len.div_ceil(LINE_BYTES)
+    }
+
+    /// Iterator over the byte address of the start of each line.
+    pub fn line_starts(&self) -> impl Iterator<Item = u64> + '_ {
+        (0..self.lines()).map(move |i| self.base + i * LINE_BYTES)
+    }
+
+    /// Whether `addr` falls inside the region.
+    pub fn contains(&self, addr: u64) -> bool {
+        addr >= self.base && addr < self.base + self.len
+    }
+}
+
+/// Bump allocator for simulated regions.
+///
+/// Regions are padded to whole cache lines plus one guard line, so two
+/// structures never share a line (which would create false sharing in the
+/// model that the real system avoids by `malloc` alignment).
+#[derive(Debug, Clone, Default)]
+pub struct AddrSpace {
+    next: u64,
+}
+
+impl AddrSpace {
+    /// A fresh address space starting at address 0.
+    pub fn new() -> Self {
+        AddrSpace::default()
+    }
+
+    /// Allocates `len` bytes, line-aligned, with a guard line after.
+    ///
+    /// # Panics
+    /// Panics when `len` is zero — every modeled structure occupies memory.
+    pub fn alloc(&mut self, len: u64) -> Region {
+        assert!(len > 0, "cannot allocate an empty region");
+        let base = self.next;
+        let padded = len.div_ceil(LINE_BYTES) * LINE_BYTES + LINE_BYTES;
+        self.next += padded;
+        Region { base, len }
+    }
+
+    /// Total simulated bytes handed out (including padding).
+    pub fn allocated(&self) -> u64 {
+        self.next
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regions_are_disjoint_and_aligned() {
+        let mut a = AddrSpace::new();
+        let r1 = a.alloc(100);
+        let r2 = a.alloc(64);
+        assert_eq!(r1.base % LINE_BYTES, 0);
+        assert_eq!(r2.base % LINE_BYTES, 0);
+        // r2 starts beyond r1's padded end (guard line included).
+        assert!(r2.base >= r1.base + 128 + LINE_BYTES);
+        assert!(!r1.contains(r2.base));
+    }
+
+    #[test]
+    fn line_count_rounds_up() {
+        let mut a = AddrSpace::new();
+        assert_eq!(a.alloc(1).lines(), 1);
+        assert_eq!(a.alloc(64).lines(), 1);
+        assert_eq!(a.alloc(65).lines(), 2);
+    }
+
+    #[test]
+    fn line_starts_enumerates_lines() {
+        let mut a = AddrSpace::new();
+        let r = a.alloc(200);
+        let starts: Vec<u64> = r.line_starts().collect();
+        assert_eq!(starts.len(), 4);
+        assert_eq!(starts[0], r.base);
+        assert_eq!(starts[3], r.base + 192);
+    }
+
+    #[test]
+    fn addr_offsets() {
+        let mut a = AddrSpace::new();
+        let r = a.alloc(128);
+        assert_eq!(r.addr(0), r.base);
+        assert_eq!(r.addr(127), r.base + 127);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty region")]
+    fn rejects_empty_alloc() {
+        AddrSpace::new().alloc(0);
+    }
+}

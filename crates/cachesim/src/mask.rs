@@ -1,0 +1,236 @@
+//! CAT capacity bitmasks (CBMs).
+//!
+//! Intel CAT expresses an LLC partition as a bitmask over the cache's ways:
+//! bit *i* set means the class of service may fill into way *i*. Hardware
+//! requires masks to be non-empty and to consist of **contiguous** set bits
+//! (`Intel SDM vol. 3, 17.19.4`); the Linux resctrl interface enforces the
+//! same, so we validate identically.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Maximum number of ways any modeled cache may have. 32 comfortably covers
+/// real hardware (CAT CBMs are at most 20 bits on the paper's Broadwell).
+pub const MAX_WAYS: u32 = 32;
+
+/// Errors arising from invalid capacity bitmasks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MaskError {
+    /// The mask has no bits set; a class of service must own at least one way.
+    Empty,
+    /// The set bits are not contiguous, which CAT hardware rejects.
+    NotContiguous(u32),
+    /// The mask has bits set above the cache's way count.
+    TooWide { mask: u32, ways: u32 },
+    /// Requested more ways than the cache has.
+    TooManyWays { requested: u32, available: u32 },
+}
+
+impl fmt::Display for MaskError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MaskError::Empty => write!(f, "capacity bitmask must have at least one bit set"),
+            MaskError::NotContiguous(m) => {
+                write!(f, "capacity bitmask {m:#x} is not contiguous")
+            }
+            MaskError::TooWide { mask, ways } => {
+                write!(f, "capacity bitmask {mask:#x} exceeds the cache's {ways} ways")
+            }
+            MaskError::TooManyWays { requested, available } => {
+                write!(f, "requested {requested} ways but the cache has only {available}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MaskError {}
+
+/// A validated CAT capacity bitmask: non-empty, contiguous set bits.
+///
+/// The paper's three schemes map to:
+/// * `0x3`     — 2/20 ways = 10 % of the LLC (polluting operators),
+/// * `0xfff`   — 12/20 ways = 60 % (the FK join when cache-sensitive),
+/// * `0xfffff` — all 20 ways = 100 % (cache-sensitive operators, default).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct WayMask(u32);
+
+impl WayMask {
+    /// Validates and wraps a raw bitmask.
+    ///
+    /// # Errors
+    /// Returns [`MaskError::Empty`] for a zero mask and
+    /// [`MaskError::NotContiguous`] when the set bits have gaps.
+    pub fn new(bits: u32) -> Result<Self, MaskError> {
+        if bits == 0 {
+            return Err(MaskError::Empty);
+        }
+        // A contiguous run of ones, shifted right by its trailing zeros,
+        // becomes 2^k - 1, i.e. (run + 1) is a power of two.
+        let shifted = bits >> bits.trailing_zeros();
+        if (shifted & shifted.wrapping_add(1)) != 0 {
+            return Err(MaskError::NotContiguous(bits));
+        }
+        Ok(WayMask(bits))
+    }
+
+    /// The lowest `n` ways (`0b1`, `0b11`, `0b111`, ...).
+    ///
+    /// # Errors
+    /// `n` must be between 1 and [`MAX_WAYS`].
+    pub fn from_ways(n: u32) -> Result<Self, MaskError> {
+        if n == 0 {
+            return Err(MaskError::Empty);
+        }
+        if n > MAX_WAYS {
+            return Err(MaskError::TooManyWays { requested: n, available: MAX_WAYS });
+        }
+        let bits = if n == 32 { u32::MAX } else { (1u32 << n) - 1 };
+        Ok(WayMask(bits))
+    }
+
+    /// A mask covering all `ways` ways of a cache.
+    ///
+    /// # Errors
+    /// `ways` must be between 1 and [`MAX_WAYS`].
+    pub fn full(ways: u32) -> Result<Self, MaskError> {
+        Self::from_ways(ways)
+    }
+
+    /// The smallest contiguous low-order mask covering at least `percent` %
+    /// of a `ways`-way cache, but never fewer than one way.
+    ///
+    /// `percent(10, 20)` yields `0x3` — the paper's pollution-confinement
+    /// mask on the 20-way Broadwell LLC.
+    ///
+    /// # Errors
+    /// Propagates [`MaskError`] when `ways` is out of range.
+    pub fn percent(percent: u32, ways: u32) -> Result<Self, MaskError> {
+        let n = ((u64::from(ways) * u64::from(percent)).div_ceil(100)).max(1) as u32;
+        Self::from_ways(n.min(ways))
+    }
+
+    /// The raw bitmask.
+    #[inline]
+    pub fn bits(self) -> u32 {
+        self.0
+    }
+
+    /// Number of ways this mask grants.
+    #[inline]
+    pub fn way_count(self) -> u32 {
+        self.0.count_ones()
+    }
+
+    /// Whether way `w` may be used as a fill victim under this mask.
+    #[inline]
+    pub fn allows(self, w: u32) -> bool {
+        (self.0 >> w) & 1 == 1
+    }
+
+    /// Cache capacity, in bytes, this mask grants on a cache of
+    /// `total_bytes` with `ways` ways.
+    pub fn capacity_bytes(self, total_bytes: u64, ways: u32) -> u64 {
+        total_bytes / u64::from(ways) * u64::from(self.way_count())
+    }
+
+    /// Checks this mask fits a cache with `ways` ways.
+    ///
+    /// # Errors
+    /// Returns [`MaskError::TooWide`] otherwise.
+    pub fn check_fits(self, ways: u32) -> Result<(), MaskError> {
+        if ways >= 32 || self.0 < (1u32 << ways) {
+            Ok(())
+        } else {
+            Err(MaskError::TooWide { mask: self.0, ways })
+        }
+    }
+}
+
+/// Renders as the hex CBM string used by resctrl schemata files.
+impl fmt::Display for WayMask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_empty_mask() {
+        assert_eq!(WayMask::new(0), Err(MaskError::Empty));
+    }
+
+    #[test]
+    fn accepts_contiguous_masks() {
+        for bits in [0x1, 0x3, 0x6, 0xf0, 0xfff, 0xfffff, u32::MAX] {
+            assert!(WayMask::new(bits).is_ok(), "mask {bits:#x} should be valid");
+        }
+    }
+
+    #[test]
+    fn rejects_gapped_masks() {
+        for bits in [0x5, 0x9, 0x101, 0b1011, 0xf0f] {
+            assert_eq!(WayMask::new(bits), Err(MaskError::NotContiguous(bits)));
+        }
+    }
+
+    #[test]
+    fn from_ways_builds_low_order_runs() {
+        assert_eq!(WayMask::from_ways(1).unwrap().bits(), 0x1);
+        assert_eq!(WayMask::from_ways(2).unwrap().bits(), 0x3);
+        assert_eq!(WayMask::from_ways(12).unwrap().bits(), 0xfff);
+        assert_eq!(WayMask::from_ways(20).unwrap().bits(), 0xfffff);
+        assert_eq!(WayMask::from_ways(32).unwrap().bits(), u32::MAX);
+    }
+
+    #[test]
+    fn from_ways_rejects_out_of_range() {
+        assert_eq!(WayMask::from_ways(0), Err(MaskError::Empty));
+        assert!(matches!(WayMask::from_ways(33), Err(MaskError::TooManyWays { .. })));
+    }
+
+    #[test]
+    fn percent_matches_paper_schemes() {
+        // 10% of 20 ways -> 2 ways -> 0x3 (paper section V-B).
+        assert_eq!(WayMask::percent(10, 20).unwrap().bits(), 0x3);
+        // 60% of 20 ways -> 12 ways -> 0xfff.
+        assert_eq!(WayMask::percent(60, 20).unwrap().bits(), 0xfff);
+        // 100% -> 0xfffff.
+        assert_eq!(WayMask::percent(100, 20).unwrap().bits(), 0xfffff);
+        // Tiny percentages still grant one way.
+        assert_eq!(WayMask::percent(1, 20).unwrap().bits(), 0x1);
+    }
+
+    #[test]
+    fn capacity_scales_with_way_count() {
+        let llc = 55 * 1024 * 1024;
+        let m = WayMask::new(0x3).unwrap();
+        // 2 of 20 ways of 55 MiB = 5.5 MiB, the paper's "10% of the cache".
+        assert_eq!(m.capacity_bytes(llc, 20), llc / 10);
+    }
+
+    #[test]
+    fn allows_checks_individual_ways() {
+        let m = WayMask::new(0b1100).unwrap();
+        assert!(!m.allows(0));
+        assert!(!m.allows(1));
+        assert!(m.allows(2));
+        assert!(m.allows(3));
+        assert!(!m.allows(4));
+    }
+
+    #[test]
+    fn check_fits_respects_way_count() {
+        let m = WayMask::new(0xfffff).unwrap();
+        assert!(m.check_fits(20).is_ok());
+        assert!(m.check_fits(12).is_err());
+        assert!(WayMask::new(0x3).unwrap().check_fits(2).is_ok());
+    }
+
+    #[test]
+    fn display_is_resctrl_hex() {
+        assert_eq!(WayMask::new(0xfff).unwrap().to_string(), "0xfff");
+    }
+}

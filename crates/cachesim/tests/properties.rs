@@ -1,0 +1,142 @@
+//! Property-based tests for the cache simulator's core invariants.
+
+use ccp_cachesim::{
+    AccessKind, AccessOutcome, HierarchyConfig, MemoryHierarchy, SetAssociativeCache, WayMask,
+};
+use proptest::prelude::*;
+
+proptest! {
+    /// Any contiguous mask accepted by `new` round-trips through bits().
+    #[test]
+    fn mask_roundtrip(start in 0u32..28, len in 1u32..5) {
+        let bits = (((1u64 << len) - 1) as u32) << start;
+        let m = WayMask::new(bits).unwrap();
+        prop_assert_eq!(m.bits(), bits);
+        prop_assert_eq!(m.way_count(), len);
+    }
+
+    /// from_ways(n) always yields n ways and is contiguous from bit 0.
+    #[test]
+    fn from_ways_consistent(n in 1u32..=32) {
+        let m = WayMask::from_ways(n).unwrap();
+        prop_assert_eq!(m.way_count(), n);
+        prop_assert!(m.allows(0));
+        prop_assert!(m.allows(n - 1));
+        if n < 32 { prop_assert!(!m.allows(n)); }
+    }
+
+    /// A line just accessed is always present immediately after.
+    #[test]
+    fn access_installs_line(lines in proptest::collection::vec(0u64..10_000, 1..200)) {
+        let mut c = SetAssociativeCache::new(16 * 1024, 8);
+        let mask = WayMask::from_ways(8).unwrap();
+        for &l in &lines {
+            c.access(l, mask);
+            prop_assert!(c.probe(l), "line {} must be present right after access", l);
+        }
+    }
+
+    /// Occupancy never exceeds capacity, regardless of the access pattern.
+    #[test]
+    fn occupancy_bounded(lines in proptest::collection::vec(0u64..100_000, 1..500)) {
+        let mut c = SetAssociativeCache::new(4 * 1024, 4);
+        let mask = WayMask::from_ways(4).unwrap();
+        for &l in &lines {
+            c.access(l, mask);
+        }
+        prop_assert!(c.occupancy() <= 64); // 4 KiB / 64 B lines
+    }
+
+    /// With a mask of k ways, a stream can never occupy more than k ways of
+    /// any set it did not already own lines in.
+    #[test]
+    fn masked_footprint_bounded(k in 1u32..4, n in 1u64..500) {
+        let mut c = SetAssociativeCache::new(4 * 1024, 8); // 8 sets
+        let mask = WayMask::from_ways(k).unwrap();
+        // Stream n distinct lines all mapping to set 0 (multiples of 8).
+        for i in 0..n {
+            c.access(i * 8, mask);
+        }
+        // At most k of them can be resident.
+        let resident = (0..n).filter(|i| c.probe(i * 8)).count() as u64;
+        prop_assert!(resident <= u64::from(k));
+    }
+
+    /// Determinism: replaying the same access sequence on a fresh hierarchy
+    /// yields identical statistics and clocks.
+    #[test]
+    fn hierarchy_deterministic(addrs in proptest::collection::vec(0u64..1_000_000, 1..300)) {
+        let run = |addrs: &[u64]| {
+            let mut m = MemoryHierarchy::new(HierarchyConfig::tiny_for_tests(), 1);
+            for &a in addrs {
+                m.access(0, a, AccessKind::Read);
+            }
+            (m.clock_centi(0), *m.stats(0))
+        };
+        prop_assert_eq!(run(&addrs), run(&addrs));
+    }
+
+    /// The clock is monotonically non-decreasing and every access costs
+    /// something.
+    #[test]
+    fn clock_monotone(addrs in proptest::collection::vec(0u64..100_000, 1..300)) {
+        let mut m = MemoryHierarchy::new(HierarchyConfig::tiny_for_tests(), 1);
+        let mut last = 0;
+        for &a in &addrs {
+            m.access(0, a, AccessKind::Read);
+            let now = m.clock_centi(0);
+            prop_assert!(now > last);
+            last = now;
+        }
+    }
+
+    /// L2 stats partition: every demand access is exactly one of
+    /// {l2 hit, llc hit, llc miss}.
+    #[test]
+    fn stats_partition(addrs in proptest::collection::vec(0u64..500_000, 1..400)) {
+        let mut m = MemoryHierarchy::new(HierarchyConfig::tiny_for_tests(), 1);
+        for &a in &addrs {
+            m.access(0, a, AccessKind::Read);
+        }
+        let s = m.stats(0);
+        prop_assert_eq!(s.l2.accesses(), addrs.len() as u64);
+        prop_assert_eq!(s.l2.misses, s.llc.accesses());
+    }
+
+    /// A narrower mask never yields a *better* hit count than a wider one
+    /// for the same single-stream trace (LRU inclusion property analogue).
+    #[test]
+    fn wider_mask_never_worse(seed in 0u64..1000) {
+        // Pseudo-random but deterministic trace over a working set larger
+        // than the narrow partition and smaller than the wide one.
+        let mut x = seed.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+        let mut trace = Vec::with_capacity(400);
+        for _ in 0..400 {
+            x = x.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+            trace.push((x >> 16) % (32 * 1024)); // 32 KiB working set
+        }
+        let hits_with = |ways: u32| {
+            let mut m = MemoryHierarchy::new(HierarchyConfig::tiny_for_tests(), 1);
+            m.set_mask(0, WayMask::from_ways(ways).unwrap());
+            for &a in &trace {
+                m.access(0, a, AccessKind::Read);
+            }
+            m.stats(0).llc.hits + m.stats(0).l2.hits
+        };
+        prop_assert!(hits_with(8) >= hits_with(2));
+    }
+}
+
+#[test]
+fn miss_outcome_reports_eviction() {
+    let mut c = SetAssociativeCache::new(4 * 1024, 4);
+    let mask = WayMask::from_ways(4).unwrap();
+    // 16 sets; fill set 0's four ways then overflow it.
+    for i in 0..4 {
+        assert!(matches!(c.access(i * 16, mask), AccessOutcome::Miss { evicted: None }));
+    }
+    match c.access(4 * 16, mask) {
+        AccessOutcome::Miss { evicted: Some(old) } => assert_eq!(old, 0),
+        other => panic!("expected eviction of LRU line, got {other:?}"),
+    }
+}

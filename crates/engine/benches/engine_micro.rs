@@ -1,0 +1,67 @@
+//! Criterion microbenchmarks for the execution engine: job dispatch
+//! overhead (with and without mask switching) and the partition policy's
+//! mask derivation. Dispatch latency matters because the paper's
+//! integration point is per-job: a slow path here would tax short OLTP
+//! statements.
+
+use ccp_cachesim::HierarchyConfig;
+use ccp_engine::alloc::NoopAllocator;
+use ccp_engine::job::{CacheUsageClass, Job};
+use ccp_engine::partition::PartitionPolicy;
+use ccp_engine::JobExecutor;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::sync::Arc;
+
+fn policy() -> PartitionPolicy {
+    let cfg = HierarchyConfig::broadwell_e5_2699_v4();
+    PartitionPolicy::paper_default(cfg.llc, cfg.l2.size_bytes)
+}
+
+fn bench_dispatch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine/dispatch");
+    g.throughput(Throughput::Elements(256));
+    g.bench_function("same_class_jobs", |b| {
+        let ex = JobExecutor::new(4, policy(), Arc::new(NoopAllocator));
+        b.iter(|| {
+            let jobs: Vec<Job> = (0..256)
+                .map(|i| Job::new(format!("j{i}"), CacheUsageClass::Polluting, || {}))
+                .collect();
+            ex.run_jobs(jobs);
+        });
+    });
+    g.bench_function("alternating_class_jobs", |b| {
+        let ex = JobExecutor::new(4, policy(), Arc::new(NoopAllocator));
+        b.iter(|| {
+            let jobs: Vec<Job> = (0..256)
+                .map(|i| {
+                    let cuid = if i % 2 == 0 {
+                        CacheUsageClass::Polluting
+                    } else {
+                        CacheUsageClass::Sensitive
+                    };
+                    Job::new(format!("j{i}"), cuid, || {})
+                })
+                .collect();
+            ex.run_jobs(jobs);
+        });
+    });
+    g.finish();
+}
+
+fn bench_policy(c: &mut Criterion) {
+    let p = policy();
+    let mut g = c.benchmark_group("engine/policy");
+    g.throughput(Throughput::Elements(3));
+    g.bench_function("mask_for_all_classes", |b| {
+        b.iter(|| {
+            let a = p.mask_for(CacheUsageClass::Polluting);
+            let s = p.mask_for(CacheUsageClass::Sensitive);
+            let m = p.mask_for(CacheUsageClass::Mixed { hot_bytes: 12_500_000 });
+            (a.bits(), s.bits(), m.bits())
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_dispatch, bench_policy);
+criterion_main!(benches);

@@ -1,0 +1,264 @@
+//! Cache-allocator backends.
+//!
+//! The executor talks to cache hardware through the [`CacheAllocator`]
+//! trait: "bind thread `tid` to way mask `mask`". Three backends:
+//!
+//! * [`ResctrlAllocator`] — the production path on CAT hardware: one
+//!   resctrl group per distinct mask, threads moved between groups.
+//! * [`NoopAllocator`] — partitioning disabled (the paper's baseline).
+//! * [`RecordingAllocator`] — test double recording every call.
+
+use ccp_cachesim::WayMask;
+use ccp_resctrl::{CacheController, GroupHandle, ResctrlError};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Errors surfaced by allocator backends.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AllocError {
+    /// The resctrl layer failed.
+    Resctrl(String),
+}
+
+impl fmt::Display for AllocError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AllocError::Resctrl(e) => write!(f, "cache allocation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AllocError {}
+
+impl From<ResctrlError> for AllocError {
+    fn from(e: ResctrlError) -> Self {
+        AllocError::Resctrl(e.to_string())
+    }
+}
+
+/// Binds threads to LLC way masks.
+pub trait CacheAllocator: Send + Sync {
+    /// Ensures thread `tid` runs under `mask` from now on.
+    ///
+    /// # Errors
+    /// Backend-specific failures; the executor treats them as fatal for the
+    /// job but not the engine.
+    fn bind(&self, tid: u64, mask: WayMask) -> Result<(), AllocError>;
+
+    /// Human-readable backend name for diagnostics.
+    fn backend_name(&self) -> &'static str;
+}
+
+/// Partitioning disabled: every bind succeeds and does nothing.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoopAllocator;
+
+impl CacheAllocator for NoopAllocator {
+    fn bind(&self, _tid: u64, _mask: WayMask) -> Result<(), AllocError> {
+        Ok(())
+    }
+
+    fn backend_name(&self) -> &'static str {
+        "noop"
+    }
+}
+
+/// Test double recording `(tid, mask)` pairs in call order.
+#[derive(Debug, Default)]
+pub struct RecordingAllocator {
+    calls: Mutex<Vec<(u64, WayMask)>>,
+}
+
+impl RecordingAllocator {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Snapshot of all recorded binds.
+    pub fn calls(&self) -> Vec<(u64, WayMask)> {
+        self.calls.lock().clone()
+    }
+}
+
+impl CacheAllocator for RecordingAllocator {
+    fn bind(&self, tid: u64, mask: WayMask) -> Result<(), AllocError> {
+        self.calls.lock().push((tid, mask));
+        Ok(())
+    }
+
+    fn backend_name(&self) -> &'static str {
+        "recording"
+    }
+}
+
+/// Production backend: drives a [`CacheController`] (resctrl).
+///
+/// Lazily creates one control group per distinct mask, named
+/// `ccp-<mask-hex>`, and moves threads between groups. The controller's own
+/// old-vs-new caching (paper Section V-C) makes repeated identical binds
+/// free.
+pub struct ResctrlAllocator {
+    inner: Mutex<ResctrlInner>,
+    /// L3 cache domains to program (usually one per socket).
+    domains: Vec<u32>,
+}
+
+struct ResctrlInner {
+    ctl: CacheController,
+    groups: HashMap<u32, GroupHandle>,
+}
+
+impl ResctrlAllocator {
+    /// Wraps an opened controller, programming the given L3 `domains`.
+    pub fn new(ctl: CacheController, domains: Vec<u32>) -> Self {
+        ResctrlAllocator { inner: Mutex::new(ResctrlInner { ctl, groups: HashMap::new() }), domains }
+    }
+
+    /// Opens the host's resctrl mount and wraps it (single-socket: domain 0).
+    ///
+    /// # Errors
+    /// Propagates [`ResctrlError`] when resctrl is unavailable.
+    pub fn open_host() -> Result<Self, ResctrlError> {
+        Ok(Self::new(CacheController::open()?, vec![0]))
+    }
+
+    /// Number of kernel writes skipped by the fast path so far.
+    pub fn skipped_writes(&self) -> u64 {
+        self.inner.lock().ctl.skipped_writes()
+    }
+}
+
+impl CacheAllocator for ResctrlAllocator {
+    fn bind(&self, tid: u64, mask: WayMask) -> Result<(), AllocError> {
+        let mut inner = self.inner.lock();
+        let inner = &mut *inner;
+        let group = match inner.groups.get(&mask.bits()) {
+            Some(g) => g.clone(),
+            None => {
+                let name = format!("ccp-{:x}", mask.bits());
+                let g = match inner.ctl.existing_group(&name) {
+                    Ok(g) => g,
+                    Err(_) => inner.ctl.create_group(&name)?,
+                };
+                for &d in &self.domains {
+                    inner.ctl.set_l3_mask(&g, d, mask)?;
+                }
+                inner.groups.insert(mask.bits(), g.clone());
+                g
+            }
+        };
+        inner.ctl.assign_task(&group, tid)?;
+        Ok(())
+    }
+
+    fn backend_name(&self) -> &'static str {
+        "resctrl"
+    }
+}
+
+/// Best-effort current-thread kernel tid.
+///
+/// Reads `/proc/thread-self/stat` on Linux; falls back to a hash of the
+/// Rust `ThreadId` elsewhere (sufficient for the non-resctrl backends,
+/// which only need a stable per-thread key).
+pub fn current_tid() -> u64 {
+    #[cfg(target_os = "linux")]
+    {
+        if let Ok(stat) = std::fs::read_to_string("/proc/thread-self/stat") {
+            if let Some(tid) = stat.split_whitespace().next().and_then(|s| s.parse().ok()) {
+                return tid;
+            }
+        }
+    }
+    // Stable fallback: hash the opaque ThreadId.
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    std::thread::current().id().hash(&mut h);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccp_resctrl::fs::FakeFs;
+
+    fn fake_allocator() -> (FakeFs, ResctrlAllocator) {
+        let fs = FakeFs::broadwell();
+        let ctl =
+            CacheController::open_with(Box::new(fs.clone()), "/sys/fs/resctrl").unwrap();
+        (fs, ResctrlAllocator::new(ctl, vec![0]))
+    }
+
+    #[test]
+    fn noop_always_succeeds() {
+        let a = NoopAllocator;
+        assert!(a.bind(1, WayMask::new(0x3).unwrap()).is_ok());
+        assert_eq!(a.backend_name(), "noop");
+    }
+
+    #[test]
+    fn recording_captures_order() {
+        let a = RecordingAllocator::new();
+        a.bind(1, WayMask::new(0x3).unwrap()).unwrap();
+        a.bind(2, WayMask::new(0xfff).unwrap()).unwrap();
+        let calls = a.calls();
+        assert_eq!(calls.len(), 2);
+        assert_eq!(calls[0], (1, WayMask::new(0x3).unwrap()));
+        assert_eq!(calls[1], (2, WayMask::new(0xfff).unwrap()));
+    }
+
+    #[test]
+    fn resctrl_allocator_creates_group_per_mask() {
+        let (fs, a) = fake_allocator();
+        a.bind(100, WayMask::new(0x3).unwrap()).unwrap();
+        a.bind(200, WayMask::new(0x3).unwrap()).unwrap();
+        a.bind(300, WayMask::new(0xfffff).unwrap()).unwrap();
+        assert_eq!(fs.group_count(), 2); // one per distinct mask
+        assert_eq!(
+            fs.tasks_of(std::path::Path::new("/sys/fs/resctrl/ccp-3")),
+            vec![100, 200]
+        );
+        assert_eq!(
+            fs.tasks_of(std::path::Path::new("/sys/fs/resctrl/ccp-fffff")),
+            vec![300]
+        );
+    }
+
+    #[test]
+    fn rebinding_same_mask_is_skipped() {
+        let (_, a) = fake_allocator();
+        let m = WayMask::new(0x3).unwrap();
+        a.bind(1, m).unwrap();
+        let before = a.skipped_writes();
+        for _ in 0..10 {
+            a.bind(1, m).unwrap();
+        }
+        assert_eq!(a.skipped_writes() - before, 10);
+    }
+
+    #[test]
+    fn schemata_content_matches_mask() {
+        let (fs, a) = fake_allocator();
+        a.bind(1, WayMask::new(0xfff).unwrap()).unwrap();
+        use ccp_resctrl::fs::ResctrlFs;
+        let s = fs.read(std::path::Path::new("/sys/fs/resctrl/ccp-fff/schemata")).unwrap();
+        assert_eq!(s, "L3:0=fff\n");
+    }
+
+    #[test]
+    fn current_tid_is_stable_within_thread() {
+        let a = current_tid();
+        let b = current_tid();
+        assert_eq!(a, b);
+        assert_ne!(a, 0);
+    }
+
+    #[test]
+    fn current_tid_differs_across_threads() {
+        let main = current_tid();
+        let other = std::thread::spawn(current_tid).join().unwrap();
+        assert_ne!(main, other);
+    }
+}

@@ -1,0 +1,168 @@
+//! Dual thread-pool engine front end (paper Section V-C).
+//!
+//! SAP HANA handles short-running OLTP statements in a **dedicated thread
+//! pool** that always keeps the full cache — so the per-job mask binding
+//! (with its potential kernel round-trip) only ever happens on the OLAP
+//! side, and OLTP latency never pays for partitioning:
+//!
+//! > "If at all, only short-running OLTP queries might see a small
+//! > performance penalty due to the interaction with the kernel. However,
+//! > SAP HANA handles such queries in a dedicated thread pool anyway. That
+//! > thread pool always has access to the entire cache."
+//!
+//! [`DualPoolExecutor`] packages that arrangement: an OLAP pool with
+//! partitioning enabled and an OLTP pool that pins every worker to the
+//! full mask once at startup and never re-binds.
+
+use crate::alloc::CacheAllocator;
+use crate::executor::JobExecutor;
+use crate::job::Job;
+use crate::partition::PartitionPolicy;
+use std::sync::Arc;
+
+/// Two-pool engine front end: partitioned OLAP workers, full-cache OLTP
+/// workers.
+pub struct DualPoolExecutor {
+    olap: JobExecutor,
+    oltp: JobExecutor,
+}
+
+impl DualPoolExecutor {
+    /// Builds both pools against the same allocator.
+    ///
+    /// # Panics
+    /// Panics when either worker count is zero.
+    pub fn new(
+        olap_workers: usize,
+        oltp_workers: usize,
+        policy: PartitionPolicy,
+        allocator: Arc<dyn CacheAllocator>,
+    ) -> Self {
+        let olap = JobExecutor::new(olap_workers, policy, allocator.clone());
+        let oltp = JobExecutor::new(oltp_workers, policy, allocator);
+        // The OLTP pool never partitions: with partitioning disabled, every
+        // job binds the full mask, and the per-worker fast path makes that
+        // a one-time cost per worker thread.
+        oltp.set_partitioning(false);
+        DualPoolExecutor { olap, oltp }
+    }
+
+    /// The OLAP pool (CUID-partitioned).
+    pub fn olap(&self) -> &JobExecutor {
+        &self.olap
+    }
+
+    /// The OLTP pool (always full cache).
+    pub fn oltp(&self) -> &JobExecutor {
+        &self.oltp
+    }
+
+    /// Submits an analytical job: its CUID decides its mask.
+    pub fn submit_olap(&self, job: Job) {
+        self.olap.submit(job);
+    }
+
+    /// Submits a transactional job: runs with the full cache, regardless
+    /// of its CUID.
+    pub fn submit_oltp(&self, job: Job) {
+        self.oltp.submit(job);
+    }
+
+    /// Enables/disables partitioning on the OLAP side only (the paper's
+    /// evaluation toggle); the OLTP pool is unaffected by design.
+    pub fn set_partitioning(&self, on: bool) {
+        self.olap.set_partitioning(on);
+    }
+
+    /// Waits until both pools are idle.
+    pub fn wait_idle(&self) {
+        self.olap.wait_idle();
+        self.oltp.wait_idle();
+    }
+
+    /// Total mask switches across both pools — the OLTP pool's share stays
+    /// at one per worker (its startup bind), which is the §V-C guarantee.
+    pub fn mask_switches(&self) -> (u64, u64) {
+        (self.olap.mask_switches(), self.oltp.mask_switches())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alloc::RecordingAllocator;
+    use crate::job::CacheUsageClass;
+    use ccp_cachesim::HierarchyConfig;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn dual(olap: usize, oltp: usize) -> (Arc<RecordingAllocator>, DualPoolExecutor) {
+        let cfg = HierarchyConfig::broadwell_e5_2699_v4();
+        let rec = Arc::new(RecordingAllocator::new());
+        let ex = DualPoolExecutor::new(
+            olap,
+            oltp,
+            PartitionPolicy::paper_default(cfg.llc, cfg.l2.size_bytes),
+            rec.clone(),
+        );
+        (rec, ex)
+    }
+
+    #[test]
+    fn oltp_jobs_always_get_the_full_cache() {
+        let (rec, ex) = dual(1, 1);
+        // Even a job annotated as polluting runs unconfined on the OLTP
+        // side (the CUID is advisory; the pool guarantees full cache).
+        for i in 0..5 {
+            ex.submit_oltp(Job::new(format!("t{i}"), CacheUsageClass::Polluting, || {}));
+        }
+        ex.wait_idle();
+        assert!(rec.calls().iter().all(|(_, m)| m.bits() == 0xfffff));
+    }
+
+    #[test]
+    fn oltp_pool_binds_once_per_worker() {
+        let (_, ex) = dual(1, 2);
+        for i in 0..20 {
+            ex.submit_oltp(Job::unannotated(format!("t{i}"), || {}));
+        }
+        ex.wait_idle();
+        let (_, oltp_switches) = ex.mask_switches();
+        assert!(oltp_switches <= 2, "OLTP pool must bind at most once per worker");
+    }
+
+    #[test]
+    fn olap_jobs_are_partitioned_oltp_untouched_by_toggle() {
+        let (rec, ex) = dual(1, 1);
+        ex.submit_olap(Job::new("scan", CacheUsageClass::Polluting, || {}));
+        ex.wait_idle();
+        assert_eq!(rec.calls().last().map(|(_, m)| m.bits()), Some(0x3));
+
+        ex.set_partitioning(false);
+        ex.submit_olap(Job::new("scan2", CacheUsageClass::Polluting, || {}));
+        ex.submit_oltp(Job::unannotated("t", || {}));
+        ex.wait_idle();
+        // After the toggle the OLAP scan binds the full mask too.
+        assert!(rec.calls().iter().rev().take(2).all(|(_, m)| m.bits() == 0xfffff));
+    }
+
+    #[test]
+    fn pools_run_concurrently() {
+        let (_, ex) = dual(2, 2);
+        let done = Arc::new(AtomicU64::new(0));
+        for i in 0..8 {
+            let d = done.clone();
+            let job = Job::unannotated(format!("j{i}"), move || {
+                d.fetch_add(1, Ordering::Relaxed);
+            });
+            if i % 2 == 0 {
+                ex.submit_olap(job);
+            } else {
+                ex.submit_oltp(job);
+            }
+        }
+        ex.wait_idle();
+        assert_eq!(done.load(Ordering::Relaxed), 8);
+        assert_eq!(ex.olap().jobs_executed(), 4);
+        assert_eq!(ex.oltp().jobs_executed(), 4);
+    }
+}

@@ -1,0 +1,375 @@
+//! The job executor: a pool of worker threads with per-job cache
+//! partitioning.
+//!
+//! Mirrors the integration sketched in the paper's Figure 8: the engine
+//! annotates each job with a CUID; when a worker picks a job up, the
+//! executor maps the CUID to a way mask through the [`PartitionPolicy`]
+//! and — only if it differs from the mask the worker currently has — binds
+//! the worker thread via the configured [`CacheAllocator`]. Short-running
+//! jobs therefore pay nothing when consecutive jobs share a class, which is
+//! the paper's measured-sub-100 µs fast path.
+
+use crate::alloc::{current_tid, CacheAllocator};
+use crate::job::Job;
+use crate::partition::PartitionPolicy;
+use ccp_cachesim::WayMask;
+use crossbeam::channel::{unbounded, Sender};
+use parking_lot::{Condvar, Mutex};
+use std::ops::Range;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Counters shared between the pool and its handle.
+#[derive(Debug, Default)]
+struct ExecutorStats {
+    jobs_executed: AtomicU64,
+    mask_switches: AtomicU64,
+    bind_failures: AtomicU64,
+    jobs_panicked: AtomicU64,
+}
+
+struct Shared {
+    policy: PartitionPolicy,
+    allocator: Arc<dyn CacheAllocator>,
+    partitioning: AtomicBool,
+    stats: ExecutorStats,
+    pending: Mutex<usize>,
+    all_done: Condvar,
+}
+
+/// A pool of job workers with integrated cache partitioning.
+pub struct JobExecutor {
+    tx: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+    shared: Arc<Shared>,
+}
+
+impl JobExecutor {
+    /// Spawns `n_workers` job workers.
+    ///
+    /// # Panics
+    /// Panics when `n_workers` is zero.
+    pub fn new(
+        n_workers: usize,
+        policy: PartitionPolicy,
+        allocator: Arc<dyn CacheAllocator>,
+    ) -> Self {
+        assert!(n_workers > 0, "executor needs at least one worker");
+        let (tx, rx) = unbounded::<Job>();
+        let shared = Arc::new(Shared {
+            policy,
+            allocator,
+            partitioning: AtomicBool::new(true),
+            stats: ExecutorStats::default(),
+            pending: Mutex::new(0),
+            all_done: Condvar::new(),
+        });
+        let workers = (0..n_workers)
+            .map(|i| {
+                let rx = rx.clone();
+                let shared = shared.clone();
+                std::thread::Builder::new()
+                    .name(format!("job-worker-{i}"))
+                    .spawn(move || {
+                        let tid = current_tid();
+                        let full = WayMask::full(shared.policy.llc.ways)
+                            .expect("validated LLC way count");
+                        let mut current: Option<WayMask> = None;
+                        while let Ok(job) = rx.recv() {
+                            let want = if shared.partitioning.load(Ordering::Relaxed) {
+                                shared.policy.mask_for(job.cuid)
+                            } else {
+                                full
+                            };
+                            // Fast path: skip the allocator when the worker
+                            // already carries the right mask.
+                            if current != Some(want) {
+                                match shared.allocator.bind(tid, want) {
+                                    Ok(()) => {
+                                        shared.stats.mask_switches.fetch_add(1, Ordering::Relaxed);
+                                        current = Some(want);
+                                    }
+                                    Err(_) => {
+                                        shared.stats.bind_failures.fetch_add(1, Ordering::Relaxed);
+                                        // Run the job anyway: partitioning is
+                                        // an optimization, never a gate.
+                                    }
+                                }
+                            }
+                            // A panicking job must not kill the worker or
+                            // leak the pending count (wait_idle would hang
+                            // forever); unwind safety is fine because the
+                            // closure is consumed either way.
+                            let outcome = std::panic::catch_unwind(
+                                std::panic::AssertUnwindSafe(job.run),
+                            );
+                            if outcome.is_err() {
+                                shared.stats.jobs_panicked.fetch_add(1, Ordering::Relaxed);
+                            }
+                            shared.stats.jobs_executed.fetch_add(1, Ordering::Relaxed);
+                            let mut pending = shared.pending.lock();
+                            *pending -= 1;
+                            if *pending == 0 {
+                                shared.all_done.notify_all();
+                            }
+                        }
+                    })
+                    .expect("spawning a worker thread")
+            })
+            .collect();
+        JobExecutor { tx: Some(tx), workers, shared }
+    }
+
+    /// Enables or disables partitioning at runtime (the paper's evaluation
+    /// toggles exactly this). Already-bound workers are rebound lazily on
+    /// their next job.
+    pub fn set_partitioning(&self, on: bool) {
+        self.shared.partitioning.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether partitioning is currently enabled.
+    pub fn partitioning(&self) -> bool {
+        self.shared.partitioning.load(Ordering::Relaxed)
+    }
+
+    /// Submits a job without waiting for it.
+    pub fn submit(&self, job: Job) {
+        {
+            let mut pending = self.shared.pending.lock();
+            *pending += 1;
+        }
+        self.tx.as_ref().expect("executor not shut down").send(job).expect("workers alive");
+    }
+
+    /// Submits all jobs and blocks until every submitted job (including
+    /// earlier ones) has finished.
+    pub fn run_jobs(&self, jobs: Vec<Job>) {
+        for j in jobs {
+            self.submit(j);
+        }
+        self.wait_idle();
+    }
+
+    /// Blocks until no submitted job is outstanding.
+    pub fn wait_idle(&self) {
+        let mut pending = self.shared.pending.lock();
+        while *pending > 0 {
+            self.shared.all_done.wait(&mut pending);
+        }
+    }
+
+    /// Data-parallel sum: splits `0..n` into `chunks` ranges, runs `f` on
+    /// each as a job of class `cuid`, and returns the sum of the results.
+    pub fn parallel_sum<F>(
+        &self,
+        name: &str,
+        cuid: crate::job::CacheUsageClass,
+        n: usize,
+        chunks: usize,
+        f: F,
+    ) -> u64
+    where
+        F: Fn(Range<usize>) -> u64 + Send + Sync + 'static,
+    {
+        let chunks = chunks.max(1);
+        let f = Arc::new(f);
+        let acc = Arc::new(AtomicU64::new(0));
+        let step = n.div_ceil(chunks);
+        let mut jobs = Vec::with_capacity(chunks);
+        for c in 0..chunks {
+            let lo = c * step;
+            let hi = ((c + 1) * step).min(n);
+            if lo >= hi {
+                break;
+            }
+            let f = f.clone();
+            let acc = acc.clone();
+            jobs.push(Job::new(format!("{name}[{c}]"), cuid, move || {
+                acc.fetch_add(f(lo..hi), Ordering::Relaxed);
+            }));
+        }
+        self.run_jobs(jobs);
+        acc.load(Ordering::Relaxed)
+    }
+
+    /// Jobs executed so far.
+    pub fn jobs_executed(&self) -> u64 {
+        self.shared.stats.jobs_executed.load(Ordering::Relaxed)
+    }
+
+    /// Mask switches performed (allocator binds that were not skipped by
+    /// the per-worker fast path).
+    pub fn mask_switches(&self) -> u64 {
+        self.shared.stats.mask_switches.load(Ordering::Relaxed)
+    }
+
+    /// Allocator bind failures (jobs still ran, unpartitioned).
+    pub fn bind_failures(&self) -> u64 {
+        self.shared.stats.bind_failures.load(Ordering::Relaxed)
+    }
+
+    /// Jobs whose closure panicked (caught; the worker survived).
+    pub fn jobs_panicked(&self) -> u64 {
+        self.shared.stats.jobs_panicked.load(Ordering::Relaxed)
+    }
+
+    /// Number of worker threads.
+    pub fn worker_count(&self) -> usize {
+        self.workers.len()
+    }
+}
+
+impl Drop for JobExecutor {
+    fn drop(&mut self) {
+        drop(self.tx.take());
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alloc::{NoopAllocator, RecordingAllocator};
+    use crate::job::CacheUsageClass;
+    use ccp_cachesim::HierarchyConfig;
+
+    fn policy() -> PartitionPolicy {
+        let cfg = HierarchyConfig::broadwell_e5_2699_v4();
+        PartitionPolicy::paper_default(cfg.llc, cfg.l2.size_bytes)
+    }
+
+    #[test]
+    fn executes_all_jobs() {
+        let ex = JobExecutor::new(4, policy(), Arc::new(NoopAllocator));
+        let counter = Arc::new(AtomicU64::new(0));
+        let jobs: Vec<Job> = (0..100)
+            .map(|i| {
+                let c = counter.clone();
+                Job::unannotated(format!("j{i}"), move || {
+                    c.fetch_add(1, Ordering::Relaxed);
+                })
+            })
+            .collect();
+        ex.run_jobs(jobs);
+        assert_eq!(counter.load(Ordering::Relaxed), 100);
+        assert_eq!(ex.jobs_executed(), 100);
+    }
+
+    #[test]
+    fn parallel_sum_covers_every_index() {
+        let ex = JobExecutor::new(4, policy(), Arc::new(NoopAllocator));
+        // Sum 0..1000 across 7 chunks.
+        let total = ex.parallel_sum("sum", CacheUsageClass::Polluting, 1000, 7, |r| {
+            r.map(|i| i as u64).sum()
+        });
+        assert_eq!(total, 499_500);
+    }
+
+    #[test]
+    fn polluting_jobs_get_the_paper_mask() {
+        let rec = Arc::new(RecordingAllocator::new());
+        let ex = JobExecutor::new(1, policy(), rec.clone());
+        ex.run_jobs(vec![Job::new("scan", CacheUsageClass::Polluting, || {})]);
+        let calls = rec.calls();
+        assert_eq!(calls.len(), 1);
+        assert_eq!(calls[0].1.bits(), 0x3);
+    }
+
+    #[test]
+    fn fast_path_skips_repeat_masks() {
+        let rec = Arc::new(RecordingAllocator::new());
+        let ex = JobExecutor::new(1, policy(), rec.clone());
+        // 10 consecutive polluting jobs on one worker: a single bind.
+        let jobs: Vec<Job> =
+            (0..10).map(|i| Job::new(format!("s{i}"), CacheUsageClass::Polluting, || {})).collect();
+        ex.run_jobs(jobs);
+        assert_eq!(rec.calls().len(), 1);
+        assert_eq!(ex.mask_switches(), 1);
+    }
+
+    #[test]
+    fn alternating_classes_switch_masks() {
+        let rec = Arc::new(RecordingAllocator::new());
+        let ex = JobExecutor::new(1, policy(), rec.clone());
+        let mut jobs = Vec::new();
+        for i in 0..4 {
+            let cuid = if i % 2 == 0 {
+                CacheUsageClass::Polluting
+            } else {
+                CacheUsageClass::Sensitive
+            };
+            jobs.push(Job::new(format!("j{i}"), cuid, || {}));
+        }
+        ex.run_jobs(jobs);
+        assert_eq!(rec.calls().len(), 4);
+        let masks: Vec<u32> = rec.calls().iter().map(|(_, m)| m.bits()).collect();
+        assert_eq!(masks, vec![0x3, 0xfffff, 0x3, 0xfffff]);
+    }
+
+    #[test]
+    fn disabling_partitioning_binds_full_mask() {
+        let rec = Arc::new(RecordingAllocator::new());
+        let ex = JobExecutor::new(1, policy(), rec.clone());
+        ex.set_partitioning(false);
+        assert!(!ex.partitioning());
+        ex.run_jobs(vec![Job::new("scan", CacheUsageClass::Polluting, || {})]);
+        assert_eq!(rec.calls()[0].1.bits(), 0xfffff);
+    }
+
+    #[test]
+    fn mixed_class_resolved_through_policy() {
+        let rec = Arc::new(RecordingAllocator::new());
+        let ex = JobExecutor::new(1, policy(), rec.clone());
+        ex.run_jobs(vec![
+            Job::new("join-small", CacheUsageClass::Mixed { hot_bytes: 125_000 }, || {}),
+            Job::new("join-big", CacheUsageClass::Mixed { hot_bytes: 12_500_000 }, || {}),
+        ]);
+        let masks: Vec<u32> = rec.calls().iter().map(|(_, m)| m.bits()).collect();
+        assert_eq!(masks, vec![0x3, 0xfff]);
+    }
+
+    #[test]
+    fn workers_run_concurrently() {
+        use std::time::{Duration, Instant};
+        let ex = JobExecutor::new(4, policy(), Arc::new(NoopAllocator));
+        let start = Instant::now();
+        let jobs: Vec<Job> = (0..4)
+            .map(|i| {
+                Job::unannotated(format!("sleep{i}"), || {
+                    std::thread::sleep(Duration::from_millis(100));
+                })
+            })
+            .collect();
+        ex.run_jobs(jobs);
+        // Serial execution would take >= 400 ms.
+        assert!(start.elapsed() < Duration::from_millis(350), "jobs did not run in parallel");
+    }
+
+    #[test]
+    fn panicking_job_does_not_hang_or_kill_the_worker() {
+        let ex = JobExecutor::new(1, policy(), Arc::new(NoopAllocator));
+        let done = Arc::new(AtomicU64::new(0));
+        let d = done.clone();
+        ex.run_jobs(vec![
+            Job::unannotated("boom", || panic!("deliberate test panic")),
+            Job::unannotated("after", move || {
+                d.fetch_add(1, Ordering::Relaxed);
+            }),
+        ]);
+        // wait_idle returned (no hang), the next job still ran on the same
+        // single worker, and the panic was counted.
+        assert_eq!(done.load(Ordering::Relaxed), 1);
+        assert_eq!(ex.jobs_panicked(), 1);
+        assert_eq!(ex.jobs_executed(), 2);
+    }
+
+    #[test]
+    fn drop_joins_workers_cleanly() {
+        let ex = JobExecutor::new(2, policy(), Arc::new(NoopAllocator));
+        ex.run_jobs(vec![Job::unannotated("x", || {})]);
+        drop(ex); // must not hang or panic
+    }
+}

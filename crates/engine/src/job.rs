@@ -1,0 +1,101 @@
+//! Jobs and cache usage identifiers.
+//!
+//! A job is the engine's unit of scheduling: one operator, or one slice of
+//! a parallelized operator. The **cache usage identifier** (CUID) is the
+//! paper's taxonomy of operators by cache behaviour (Section V-C); the
+//! executor turns it into a CAT way mask before the job runs.
+
+use serde::{Deserialize, Serialize};
+
+/// The paper's three cache-usage classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CacheUsageClass {
+    /// Class (*i*): not cache-sensitive, pollutes the cache by streaming —
+    /// e.g. the column scan. Restricted to a small LLC slice.
+    Polluting,
+    /// Class (*ii*): cache-sensitive, profits from the entire cache — e.g.
+    /// grouped aggregation. **The default**, so unknown operators are never
+    /// penalized (the paper's no-regression guarantee).
+    Sensitive,
+    /// Class (*iii*): either polluting or sensitive depending on data —
+    /// e.g. the FK join, decided by its bit-vector size at runtime.
+    Mixed {
+        /// Bytes of the operator's frequently re-used structure (the join's
+        /// bit vector); the partition policy compares this against cache
+        /// geometry to pick a mask.
+        hot_bytes: u64,
+    },
+}
+
+impl Default for CacheUsageClass {
+    fn default() -> Self {
+        CacheUsageClass::Sensitive
+    }
+}
+
+/// A unit of work for the executor: a closure tagged with its CUID.
+pub struct Job {
+    /// Human-readable label for diagnostics.
+    pub name: String,
+    /// Cache usage identifier.
+    pub cuid: CacheUsageClass,
+    /// The work itself.
+    pub run: Box<dyn FnOnce() + Send + 'static>,
+}
+
+impl Job {
+    /// Creates a job with an explicit CUID.
+    pub fn new(
+        name: impl Into<String>,
+        cuid: CacheUsageClass,
+        run: impl FnOnce() + Send + 'static,
+    ) -> Self {
+        Job { name: name.into(), cuid, run: Box::new(run) }
+    }
+
+    /// Creates a job with the default (sensitive) CUID — what operators
+    /// without annotations get, guaranteeing they keep the whole cache.
+    pub fn unannotated(name: impl Into<String>, run: impl FnOnce() + Send + 'static) -> Self {
+        Job::new(name, CacheUsageClass::default(), run)
+    }
+}
+
+impl std::fmt::Debug for Job {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Job").field("name", &self.name).field("cuid", &self.cuid).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_cuid_is_sensitive() {
+        assert_eq!(CacheUsageClass::default(), CacheUsageClass::Sensitive);
+        let j = Job::unannotated("q", || {});
+        assert_eq!(j.cuid, CacheUsageClass::Sensitive);
+    }
+
+    #[test]
+    fn job_runs_its_closure() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+        let flag = Arc::new(AtomicBool::new(false));
+        let f2 = flag.clone();
+        let j = Job::new("set-flag", CacheUsageClass::Polluting, move || {
+            f2.store(true, Ordering::SeqCst);
+        });
+        (j.run)();
+        assert!(flag.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn mixed_carries_hot_bytes() {
+        let c = CacheUsageClass::Mixed { hot_bytes: 12_500_000 };
+        match c {
+            CacheUsageClass::Mixed { hot_bytes } => assert_eq!(hot_bytes, 12_500_000),
+            _ => unreachable!(),
+        }
+    }
+}

@@ -1,0 +1,19 @@
+//! Native database operators.
+//!
+//! These actually process `ccp-storage` data through the job executor, so
+//! their worker threads carry real CAT masks when the engine runs with the
+//! resctrl allocator on CAT hardware. Each operator mirrors one of the
+//! paper's three micro-benchmark queries plus the S/4HANA-style OLTP point
+//! select:
+//!
+//! * [`scan::column_scan`] — Query 1, `SELECT COUNT(*) FROM A WHERE A.X > ?`
+//! * [`aggregate::grouped_aggregate`] — Query 2,
+//!   `SELECT MAX(B.V), B.G FROM B GROUP BY B.G`
+//! * [`join::fk_join_count`] — Query 3,
+//!   `SELECT COUNT(*) FROM R, S WHERE R.P = S.F`
+//! * [`oltp::PointSelect`] — the ACDOCA-style indexed point query
+
+pub mod aggregate;
+pub mod join;
+pub mod oltp;
+pub mod scan;

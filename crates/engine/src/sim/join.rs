@@ -1,0 +1,244 @@
+//! Simulated foreign-key join (paper Query 3).
+//!
+//! Two cyclic phases (Section III-A):
+//!
+//! * **Build**: stream the primary-key column and set one bit per key in
+//!   the bit vector (random writes — the keys are stored unordered).
+//! * **Probe**: stream the foreign-key column and test one bit per key
+//!   (random reads into the bit vector), counting matches.
+//!
+//! The bit vector is kept at paper scale (`pk_count / 8` bytes); row counts
+//! are scaled, preserving the paper's build:probe ratio (`pk_count : 10⁹`).
+//! Figure 6's shape comes entirely from the bit-vector size: L2-resident
+//! (10⁶ keys) and beyond-LLC (10⁹) are insensitive, LLC-comparable (10⁸) is
+//! sensitive.
+
+use super::{SimOperator, SimRng};
+use crate::job::CacheUsageClass;
+use ccp_cachesim::{AccessKind, AddrSpace, MemoryHierarchy, Region, StreamId};
+
+/// Rows per scheduling batch.
+const BATCH_ROWS: u64 = 32;
+
+/// The paper's foreign-key row count, which anchors the build:probe ratio.
+const PAPER_FK_ROWS: u64 = 1_000_000_000;
+
+/// Aggregate per-probe CPU cost in centi-cycles, as a function of the
+/// bit-vector size.
+///
+/// The base term (0.3 cy) is the vectorized decode + bit test + count
+/// across 44 threads. The additional terms model TLB behaviour of randomly
+/// probing the bit vector: a structure beyond a few MB spills the STLB and
+/// every probe pays a (partially overlapped) page walk, and beyond ~32 MB
+/// even the page-table levels stop caching well. This config-independent
+/// cost floor is what keeps the beyond-LLC (10⁹-key) join flat in
+/// Figure 6, exactly as the paper measures, while an L2-resident bit
+/// vector probes at streaming speed and pollutes like a scan (Figure 10a).
+fn probe_cost_centi(bitvec_bytes: u64) -> u64 {
+    if bitvec_bytes > 32 << 20 {
+        180
+    } else if bitvec_bytes > 8 << 20 {
+        90
+    } else {
+        30
+    }
+}
+
+/// Simulated Query 3.
+#[derive(Debug)]
+pub struct FkJoinSim {
+    pk_codes: Region,
+    fk_codes: Region,
+    bitvec: Region,
+    pk_count: u64,
+    /// Scaled rows per build phase.
+    build_rows: u64,
+    /// Scaled rows per probe phase.
+    probe_rows: u64,
+    /// Bits per packed key code.
+    key_bits: u64,
+    cpu_centi_per_row: u64,
+    /// Position within the current phase.
+    phase_row: u64,
+    in_build: bool,
+    next_byte: u64,
+    rng: SimRng,
+}
+
+impl FkJoinSim {
+    /// Creates the join for `pk_count` primary keys probed by
+    /// `probe_rows` (scaled) foreign keys per pass.
+    ///
+    /// # Panics
+    /// Panics when either count is zero.
+    pub fn new(space: &mut AddrSpace, pk_count: u64, probe_rows: u64) -> Self {
+        assert!(pk_count > 0 && probe_rows > 0, "counts must be positive");
+        let key_bits = 64 - (pk_count - 1).max(1).leading_zeros() as u64;
+        // Preserve the paper's build:probe work ratio (u128: the operands
+        // can each exceed 2^30).
+        let build_rows =
+            ((u128::from(probe_rows) * u128::from(pk_count) / u128::from(PAPER_FK_ROWS)) as u64)
+                .max(1);
+        FkJoinSim {
+            pk_codes: space.alloc((build_rows * key_bits).div_ceil(8).max(8)),
+            fk_codes: space.alloc((probe_rows * key_bits).div_ceil(8).max(8)),
+            bitvec: space.alloc(pk_count.div_ceil(8)),
+            pk_count,
+            build_rows,
+            probe_rows,
+            key_bits,
+            cpu_centi_per_row: probe_cost_centi(pk_count.div_ceil(8)),
+            phase_row: 0,
+            in_build: true,
+            next_byte: 0,
+            rng: SimRng::new(0x10).clone(),
+        }
+    }
+
+    /// Bit-vector footprint in bytes — the join's hot structure.
+    pub fn bitvec_bytes(&self) -> u64 {
+        self.bitvec.len
+    }
+
+    /// Rows per full build+probe cycle (the work one execution of the
+    /// join contributes — used by composite-query quotas).
+    pub fn cycle_rows(&self) -> u64 {
+        self.build_rows + self.probe_rows
+    }
+}
+
+impl SimOperator for FkJoinSim {
+    fn name(&self) -> String {
+        format!("fk_join({} pks, bitvec {} KB)", self.pk_count, self.bitvec.len >> 10)
+    }
+
+    fn cuid(&self) -> CacheUsageClass {
+        CacheUsageClass::Mixed { hot_bytes: self.bitvec.len }
+    }
+
+    fn parallelism(&self) -> u32 {
+        // 44 worker threads with several independent, vectorizable probes
+        // in flight each: the probe stream pushes close to channel
+        // bandwidth when it misses.
+        96
+    }
+
+    fn batch(&mut self, mem: &mut MemoryHierarchy, stream: StreamId) -> u64 {
+        let (codes, phase_rows, kind) = if self.in_build {
+            (self.pk_codes, self.build_rows, AccessKind::Write)
+        } else {
+            (self.fk_codes, self.probe_rows, AccessKind::Read)
+        };
+        let todo = BATCH_ROWS.min(phase_rows - self.phase_row);
+        // Stream the key column sequentially.
+        let end_byte = ((self.phase_row + todo) * self.key_bits).div_ceil(8).min(codes.len);
+        // First *untouched* line: a batch boundary inside a line means that
+        // line was already accessed by the previous batch.
+        let mut line_byte = self.next_byte.div_ceil(ccp_cachesim::LINE_BYTES)
+            * ccp_cachesim::LINE_BYTES;
+        while line_byte < end_byte {
+            mem.access(stream, codes.addr(line_byte), AccessKind::Read);
+            line_byte += ccp_cachesim::LINE_BYTES;
+        }
+        self.next_byte = end_byte;
+        // One random bit-vector access per key.
+        for _ in 0..todo {
+            let key = self.rng.below(self.pk_count);
+            mem.access(stream, self.bitvec.addr(key / 8), kind);
+        }
+        mem.advance(stream, todo * self.cpu_centi_per_row);
+        mem.retire(stream, todo * 6);
+        self.phase_row += todo;
+        if self.phase_row >= phase_rows {
+            self.phase_row = 0;
+            self.next_byte = 0;
+            self.in_build = !self.in_build;
+        }
+        todo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccp_cachesim::{HierarchyConfig, WayMask};
+
+    fn run(ways: u32, pk_count: u64, rows: u64) -> u64 {
+        let cfg = HierarchyConfig::broadwell_e5_2699_v4();
+        let mut mem = MemoryHierarchy::new(cfg, 1);
+        mem.set_mask(0, WayMask::from_ways(ways).unwrap());
+        let mut space = AddrSpace::new();
+        let mut join = FkJoinSim::new(&mut space, pk_count, 1 << 40);
+        mem.set_parallelism(0, join.parallelism());
+        let mut done = 0;
+        while done < rows / 2 {
+            done += join.batch(&mut mem, 0);
+        }
+        mem.reset_clocks();
+        mem.reset_stats();
+        let mut done = 0;
+        while done < rows {
+            done += join.batch(&mut mem, 0);
+        }
+        mem.clock(0)
+    }
+
+    #[test]
+    fn bitvec_sizes_match_paper() {
+        let mut space = AddrSpace::new();
+        assert_eq!(FkJoinSim::new(&mut space, 1_000_000, 1000).bitvec_bytes(), 125_000);
+        assert_eq!(FkJoinSim::new(&mut space, 100_000_000, 1000).bitvec_bytes(), 12_500_000);
+    }
+
+    #[test]
+    fn cuid_carries_bitvec_size() {
+        let mut space = AddrSpace::new();
+        let j = FkJoinSim::new(&mut space, 100_000_000, 1000);
+        assert_eq!(j.cuid(), CacheUsageClass::Mixed { hot_bytes: 12_500_000 });
+    }
+
+    #[test]
+    fn small_bitvec_join_is_insensitive() {
+        // 10^6 keys -> 125 KB bit vector, L2-resident: Figure 6 shows
+        // at most a few percent degradation.
+        let rows = 300_000;
+        let ratio = run(2, 1_000_000, rows) as f64 / run(20, 1_000_000, rows) as f64;
+        assert!(ratio < 1.18, "L2-resident join must barely degrade: {ratio}");
+    }
+
+    #[test]
+    fn llc_sized_bitvec_join_is_sensitive() {
+        // 10^8 keys -> 12.5 MB bit vector: shrinking to 2 ways (5.5 MiB)
+        // must hurt clearly (paper: up to -33%).
+        let rows = 300_000;
+        let ratio = run(2, 100_000_000, rows) as f64 / run(20, 100_000_000, rows) as f64;
+        assert!(ratio > 1.2, "LLC-sized join must be cache-sensitive: {ratio}");
+    }
+
+    #[test]
+    fn oversized_bitvec_join_is_insensitive_again() {
+        // 10^9 keys -> 125 MB: misses dominate regardless of allocation.
+        let rows = 200_000;
+        let sized = run(2, 100_000_000, rows) as f64 / run(20, 100_000_000, rows) as f64;
+        let over = run(2, 1_000_000_000, rows) as f64 / run(20, 1_000_000_000, rows) as f64;
+        assert!(over < sized, "beyond-LLC join should flatten: {over} vs {sized}");
+    }
+
+    #[test]
+    fn phases_alternate() {
+        let cfg = HierarchyConfig::tiny_for_tests();
+        let mut mem = MemoryHierarchy::new(cfg, 1);
+        let mut space = AddrSpace::new();
+        // Tiny join: build 1 row (ratio floor), probe 100 rows.
+        let mut join = FkJoinSim::new(&mut space, 1000, 100);
+        assert!(join.in_build);
+        join.batch(&mut mem, 0); // build phase completes (1 row < batch)
+        assert!(!join.in_build);
+        let mut probed = 0;
+        while !join.in_build {
+            probed += join.batch(&mut mem, 0);
+        }
+        assert_eq!(probed, 100, "probe phase must process exactly its rows");
+        assert!(join.in_build);
+    }
+}

@@ -1,0 +1,200 @@
+//! Simulated column scan (paper Query 1).
+//!
+//! Access pattern (Section III-A/IV-A): a pure sequential read of the
+//! bit-packed column, one pass, no re-use, no dictionary access. The
+//! hardware prefetcher hides the DRAM latency, so the scan runs at memory
+//! bandwidth and is insensitive to its LLC allocation — but every line it
+//! pulls evicts somebody else's line, which is the pollution the paper
+//! confines with mask `0x3`.
+
+use super::{SimOperator, SimRng};
+use crate::job::CacheUsageClass;
+use ccp_cachesim::{AccessKind, AddrSpace, MemoryHierarchy, Region, StreamId};
+
+/// Rows processed per scheduling batch.
+const BATCH_ROWS: u64 = 256;
+
+/// Simulated Query 1.
+#[derive(Debug)]
+pub struct ColumnScanSim {
+    column: Region,
+    /// Code width in bits (paper: 20 bits for 10⁶ distinct values).
+    bits: u64,
+    /// Aggregate CPU cost per row in centi-cycles. The 22-core SIMD scan
+    /// retires ~25 rows per aggregate cycle, so ~4 centi-cycles/row.
+    cpu_centi_per_row: u64,
+    /// Cursor in rows.
+    row: u64,
+    rows: u64,
+    /// Last column line already accessed (for sequential line stepping).
+    next_byte: u64,
+    _rng: SimRng,
+}
+
+impl ColumnScanSim {
+    /// Creates the scan over a column of `rows` rows packed at `bits` per
+    /// code, allocating its region from `space`.
+    ///
+    /// The region must comfortably exceed the LLC so that wrap-around never
+    /// turns the stream cache-resident; the paper's column is 2.5 GB.
+    ///
+    /// # Panics
+    /// Panics when rows or bits are zero.
+    pub fn new(space: &mut AddrSpace, rows: u64, bits: u64) -> Self {
+        assert!(rows > 0 && bits > 0, "scan needs rows and a code width");
+        let bytes = (rows * bits).div_ceil(8);
+        ColumnScanSim {
+            column: space.alloc(bytes),
+            bits,
+            cpu_centi_per_row: 4,
+            row: 0,
+            rows,
+            next_byte: 0,
+            _rng: SimRng::new(0x5ca9),
+        }
+    }
+
+    /// The paper's exact Query 1 configuration, scaled in row count only:
+    /// 20-bit codes (10⁶ distinct values).
+    pub fn paper_q1(space: &mut AddrSpace, rows: u64) -> Self {
+        Self::new(space, rows, 20)
+    }
+
+    /// Bytes the full column occupies.
+    pub fn column_bytes(&self) -> u64 {
+        self.column.len
+    }
+}
+
+impl SimOperator for ColumnScanSim {
+    fn name(&self) -> String {
+        format!("column_scan({} rows @{}bit)", self.rows, self.bits)
+    }
+
+    fn cuid(&self) -> CacheUsageClass {
+        CacheUsageClass::Polluting
+    }
+
+    fn parallelism(&self) -> u32 {
+        // 44 hardware threads, each with deep prefetch streams: hundreds of
+        // lines in flight. 96 puts the latency-limited rate above the
+        // channel rate (176 cy / 96 < 2.2 cy per line), so the scan is
+        // genuinely bandwidth-bound, as measured in the paper.
+        96
+    }
+
+    fn batch(&mut self, mem: &mut MemoryHierarchy, stream: StreamId) -> u64 {
+        let todo = BATCH_ROWS.min(self.rows - self.row);
+        let end_bit = (self.row + todo) * self.bits;
+        let end_byte = end_bit.div_ceil(8).min(self.column.len);
+        // Touch each new cache line the batch's rows occupy, in order.
+        // First *untouched* line: a batch boundary inside a line means that
+        // line was already accessed by the previous batch.
+        let mut line_byte = self.next_byte.div_ceil(ccp_cachesim::LINE_BYTES)
+            * ccp_cachesim::LINE_BYTES;
+        while line_byte < end_byte {
+            mem.access(stream, self.column.addr(line_byte), AccessKind::Read);
+            line_byte += ccp_cachesim::LINE_BYTES;
+        }
+        self.next_byte = end_byte;
+        mem.advance(stream, todo * self.cpu_centi_per_row);
+        mem.retire(stream, todo * 2);
+        self.row += todo;
+        if self.row >= self.rows {
+            // Wrap: the paper re-executes the query back to back.
+            self.row = 0;
+            self.next_byte = 0;
+        }
+        todo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccp_cachesim::{HierarchyConfig, WayMask};
+
+    fn run_rows(mask_ways: u32, rows: u64) -> (u64, ccp_cachesim::StreamStats) {
+        let cfg = HierarchyConfig::broadwell_e5_2699_v4();
+        let mut mem = MemoryHierarchy::new(cfg, 1);
+        mem.set_mask(0, WayMask::from_ways(mask_ways).unwrap());
+        let mut space = AddrSpace::new();
+        let mut scan = ColumnScanSim::paper_q1(&mut space, 100_000_000);
+        mem.set_parallelism(0, scan.parallelism());
+        let mut done = 0;
+        while done < rows {
+            done += scan.batch(&mut mem, 0);
+        }
+        (mem.clock(0), *mem.stats(0))
+    }
+
+    #[test]
+    fn scan_touches_each_line_once() {
+        let cfg = HierarchyConfig::broadwell_e5_2699_v4();
+        let mut mem = MemoryHierarchy::new(cfg, 1);
+        let mut space = AddrSpace::new();
+        let mut scan = ColumnScanSim::new(&mut space, 1 << 16, 20);
+        let mut rows = 0;
+        while rows < (1 << 16) {
+            rows += scan.batch(&mut mem, 0);
+        }
+        // 65536 rows * 20 bits / 8 = 163,840 bytes = 2,560 lines; with
+        // prefetch every line still crosses DRAM exactly once, plus at most
+        // `prefetch_depth` lines of over-prefetch past the end.
+        let depth = u64::from(mem.config().prefetch_depth);
+        let lines = mem.dram().lines_transferred();
+        assert!(
+            (2560..=2560 + depth).contains(&lines),
+            "unexpected DRAM traffic: {lines}"
+        );
+    }
+
+    #[test]
+    fn scan_throughput_insensitive_to_mask() {
+        // The heart of Figure 4: cycles at 2 ways within a few percent of
+        // cycles at 20 ways.
+        let (t_full, _) = run_rows(20, 2_000_000);
+        let (t_small, _) = run_rows(2, 2_000_000);
+        let ratio = t_small as f64 / t_full as f64;
+        assert!(
+            (0.97..=1.06).contains(&ratio),
+            "scan must be LLC-size-insensitive, cycle ratio {ratio}"
+        );
+    }
+
+    #[test]
+    fn scan_llc_hit_ratio_is_low() {
+        // Paper: LLC hit ratio below 0.08 for Query 1. Demand accesses that
+        // hit only do so on prefetched lines.
+        let (_, stats) = run_rows(20, 2_000_000);
+        // Practically all demanded lines came from DRAM (demand or
+        // prefetch), never re-used.
+        let per_line_hits = stats.llc.hits.saturating_sub(stats.prefetch_covered);
+        let ratio = per_line_hits as f64 / stats.llc.accesses().max(1) as f64;
+        assert!(ratio < 0.08, "unexpected LLC re-use in a scan: {ratio}");
+    }
+
+    #[test]
+    fn scan_is_bandwidth_bound() {
+        // Throughput ≈ DRAM bandwidth: 2M rows * 2.5 B = 5 MB; at 64 GB/s
+        // and 2.2 GHz that is ≈ 172k cycles minimum. Allow 2x slack.
+        let (cycles, _) = run_rows(20, 2_000_000);
+        // 2M rows * 2.5 B / 64 B = 78,125 lines at 2.2 cycles each.
+        let min_cycles = 171_000;
+        assert!(cycles >= min_cycles, "faster than DRAM allows: {cycles}");
+        assert!(cycles < min_cycles * 2, "scan far below bandwidth: {cycles}");
+    }
+
+    #[test]
+    fn wraparound_restarts_column() {
+        let cfg = HierarchyConfig::tiny_for_tests();
+        let mut mem = MemoryHierarchy::new(cfg, 1);
+        let mut space = AddrSpace::new();
+        let mut scan = ColumnScanSim::new(&mut space, 1000, 20);
+        let mut total = 0;
+        for _ in 0..10 {
+            total += scan.batch(&mut mem, 0);
+        }
+        assert!(total >= 1000, "scan must wrap and keep producing work");
+    }
+}

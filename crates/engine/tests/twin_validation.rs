@@ -1,0 +1,111 @@
+//! Validation of the simulated operator twins against their native
+//! counterparts: the twins must issue exactly the memory traffic the real
+//! algorithms incur, scaled only in row count.
+
+use ccp_cachesim::{AccessKind, AddrSpace, HierarchyConfig, MemoryHierarchy};
+use ccp_engine::sim::{AggregationSim, ColumnScanSim, FkJoinSim, OltpSim, SimOperator};
+
+/// Drives `op` for exactly `rows` work units on a fresh tiny hierarchy and
+/// returns (L2 accesses, DRAM lines transferred).
+fn drive(op: &mut dyn SimOperator, rows: u64) -> (u64, u64) {
+    let mut mem = MemoryHierarchy::new(HierarchyConfig::tiny_for_tests(), 1);
+    let mut done = 0;
+    while done < rows {
+        done += op.batch(&mut mem, 0);
+    }
+    (mem.stats(0).l2.accesses(), mem.dram().lines_transferred())
+}
+
+#[test]
+fn scan_twin_touches_exactly_the_packed_bytes() {
+    // A 20-bit packed column of 2^16 rows is 163,840 bytes = 2,560 lines;
+    // the scan twin must read each line exactly once per pass.
+    let mut space = AddrSpace::new();
+    let mut scan = ColumnScanSim::new(&mut space, 1 << 16, 20);
+    assert_eq!(scan.column_bytes(), (1u64 << 16) * 20 / 8);
+    let (accesses, dram_lines) = drive(&mut scan, 1 << 16);
+    assert_eq!(accesses, 2560, "one demand access per line");
+    assert_eq!(dram_lines, 2560, "each line crosses DRAM once (no prefetch in tiny cfg)");
+}
+
+#[test]
+fn aggregation_twin_issues_two_random_accesses_per_row() {
+    // Per row: one dictionary access + one hash-table access, plus the
+    // sequential code stream (0..N extra line accesses).
+    let mut space = AddrSpace::new();
+    let rows = 8_192u64;
+    let mut agg = AggregationSim::new(&mut space, 1 << 30, 1 << 20, 1 << 10);
+    let (accesses, _) = drive(&mut agg, rows);
+    let random = rows * 2;
+    // Codes: (20 + 10) bits/row = 30 bits -> 3.75 B/row -> 480 lines, each
+    // touched exactly once (batch boundaries never re-touch a line).
+    let code_lines = (rows * 30).div_ceil(8).div_ceil(64);
+    assert_eq!(accesses, random + code_lines);
+}
+
+#[test]
+fn join_twin_preserves_the_papers_build_probe_ratio() {
+    // 10^8 primary keys : 10^9 probes = 1 : 10. With 10,000 scaled probes
+    // the build phase must be 1,000 rows.
+    let mut space = AddrSpace::new();
+    let join = FkJoinSim::new(&mut space, 100_000_000, 10_000);
+    assert_eq!(join.cycle_rows(), 11_000);
+    // And the bit vector is the paper's 12.5 MB regardless of scaling.
+    assert_eq!(join.bitvec_bytes(), 12_500_000);
+}
+
+#[test]
+fn join_twin_access_count_matches_model() {
+    let mut space = AddrSpace::new();
+    // 1,000 keys : tiny build (1 row, ratio floor); probe 2,048 rows.
+    let mut join = FkJoinSim::new(&mut space, 1_000, 2_048);
+    let cycle = join.cycle_rows();
+    let (accesses, _) = drive(&mut join, cycle);
+    // Each row: one bit-vector access; plus the key-column streams: probe
+    // 2048 rows * 10 bits = 40 lines, build 1 row = 1 line. Every line is
+    // touched exactly once.
+    let probe_code_lines = (2_048u64 * 10).div_ceil(8).div_ceil(64);
+    let build_code_lines = 1;
+    assert_eq!(accesses, cycle + probe_code_lines + build_code_lines);
+}
+
+#[test]
+fn oltp_twin_access_count_matches_projection_width() {
+    let mut space = AddrSpace::new();
+    // 5 indexes (2 accesses each) + k columns (2 accesses each).
+    for k in [2usize, 6, 13] {
+        let dicts = vec![1 << 20; k];
+        let mut q = OltpSim::new(&mut space, &[1 << 20; 5], &dicts, 1 << 24);
+        let queries = 64u64;
+        let (accesses, _) = drive(&mut q, queries);
+        assert_eq!(accesses, queries * (10 + 2 * k as u64), "k={k}");
+    }
+}
+
+#[test]
+fn twins_report_the_papers_cuid_taxonomy() {
+    use ccp_engine::job::CacheUsageClass;
+    let mut space = AddrSpace::new();
+    assert_eq!(
+        ColumnScanSim::new(&mut space, 1000, 20).cuid(),
+        CacheUsageClass::Polluting
+    );
+    assert_eq!(
+        AggregationSim::new(&mut space, 1000, 1000, 10).cuid(),
+        CacheUsageClass::Sensitive
+    );
+    match FkJoinSim::new(&mut space, 1_000_000, 1000).cuid() {
+        CacheUsageClass::Mixed { hot_bytes } => assert_eq!(hot_bytes, 125_000),
+        other => panic!("join must be Mixed, got {other:?}"),
+    }
+}
+
+#[test]
+fn write_accesses_behave_like_reads_for_caching() {
+    // The model is write-allocate: a written line is subsequently present.
+    let mut mem = MemoryHierarchy::new(HierarchyConfig::tiny_for_tests(), 1);
+    mem.access(0, 0x4000, AccessKind::Write);
+    mem.reset_stats();
+    mem.access(0, 0x4000, AccessKind::Read);
+    assert_eq!(mem.stats(0).l2.hits, 1);
+}

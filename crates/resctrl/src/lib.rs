@@ -1,0 +1,48 @@
+//! # ccp-resctrl
+//!
+//! A typed driver for the Linux **resctrl** filesystem — the kernel
+//! interface to Intel Cache Allocation Technology (CAT) that the paper uses
+//! to partition the last-level cache (Sections V-A and V-C).
+//!
+//! resctrl is a pseudo filesystem (usually mounted at `/sys/fs/resctrl`):
+//! each directory under the root is a *class of service* (CLOS); its
+//! `schemata` file holds the L3 capacity bitmask per cache domain, and
+//! writing a thread id into its `tasks` file binds that thread to the
+//! class. On a context switch the kernel programs the core's CLOS register,
+//! so masks follow threads across cores — exactly the property the paper's
+//! engine integration relies on (it tags *job worker* threads, not cores).
+//!
+//! The driver is built over a small filesystem abstraction ([`fs::ResctrlFs`])
+//! with two implementations:
+//!
+//! * [`fs::RealFs`] — the actual `/sys/fs/resctrl` tree, for CAT hardware;
+//! * [`fs::FakeFs`] — an in-memory emulation of the kernel's behaviour
+//!   (schemata normalization, CLOS limits, task files), used by the test
+//!   suite and by any host without CAT, such as a container on an old
+//!   kernel.
+//!
+//! ```
+//! use ccp_resctrl::{fs::FakeFs, CacheController};
+//! use ccp_cachesim::WayMask;
+//!
+//! let fs = FakeFs::broadwell();
+//! let mut ctl = CacheController::open_with(Box::new(fs), "/sys/fs/resctrl").unwrap();
+//! let group = ctl.create_group("scan_polluters").unwrap();
+//! // The paper's 10% mask for cache-polluting scans.
+//! ctl.set_l3_mask(&group, 0, WayMask::new(0x3).unwrap()).unwrap();
+//! ctl.assign_task(&group, 4242).unwrap();
+//! ```
+
+pub mod controller;
+pub mod detect;
+pub mod error;
+pub mod fs;
+pub mod schemata;
+
+pub use controller::{CacheController, CatInfo, GroupHandle, MonitoringData};
+pub use detect::{detect, CatSupport};
+pub use error::ResctrlError;
+pub use schemata::Schemata;
+
+/// Conventional mount point of the resctrl filesystem.
+pub const DEFAULT_MOUNT: &str = "/sys/fs/resctrl";

@@ -1,0 +1,189 @@
+//! Property-based tests for the column-store substrate.
+
+use ccp_storage::{
+    AggHashTable, Aggregate, BitVec, DictColumn, Dictionary, InvertedIndex, PackedCodeVector,
+    RleVector,
+};
+use proptest::prelude::*;
+use std::collections::{BTreeMap, BTreeSet};
+use std::ops::Bound;
+
+proptest! {
+    /// Dictionary encode/decode is a bijection over the distinct inputs.
+    #[test]
+    fn dict_bijection(values in proptest::collection::vec(-1000i64..1000, 1..300)) {
+        let d = Dictionary::build(values.clone());
+        for v in &values {
+            let code = d.encode(v).expect("input value must be encodable");
+            prop_assert_eq!(d.decode(code), v);
+        }
+        // Codes are dense 0..len.
+        let codes: BTreeSet<u32> = values.iter().map(|v| d.encode(v).unwrap()).collect();
+        prop_assert!(codes.iter().all(|&c| (c as usize) < d.len()));
+    }
+
+    /// Order preservation: v1 < v2 ⟹ code(v1) < code(v2).
+    #[test]
+    fn dict_order_preserving(values in proptest::collection::btree_set(-5000i64..5000, 2..200)) {
+        let vals: Vec<i64> = values.into_iter().collect();
+        let d = Dictionary::build(vals.clone());
+        for w in vals.windows(2) {
+            prop_assert!(d.encode(&w[0]).unwrap() < d.encode(&w[1]).unwrap());
+        }
+    }
+
+    /// count_range on compressed data agrees with a naive scan of raw data.
+    #[test]
+    fn scan_matches_naive(
+        values in proptest::collection::vec(0i64..500, 1..400),
+        threshold in -10i64..510,
+    ) {
+        let col = DictColumn::build(&values);
+        let naive = values.iter().filter(|&&v| v > threshold).count() as u64;
+        let fast = col.count_range(Bound::Excluded(&threshold), Bound::Unbounded);
+        prop_assert_eq!(fast, naive);
+    }
+
+    /// Bit-packing round-trips any width/values combination.
+    #[test]
+    fn bitpack_roundtrip(bits in 1u32..=32, n in 1usize..500, seed in 0u64..1000) {
+        let max = if bits == 32 { u32::MAX } else { (1u32 << bits) - 1 };
+        let mut x = seed;
+        let codes: Vec<u32> = (0..n).map(|_| {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((x >> 32) as u32) & max
+        }).collect();
+        let v = PackedCodeVector::from_codes(bits, &codes);
+        prop_assert_eq!(v.iter().collect::<Vec<u32>>(), codes);
+    }
+
+    /// Hash-table aggregation agrees with a BTreeMap reference.
+    #[test]
+    fn hashtable_matches_reference(pairs in proptest::collection::vec((0u32..200, -100i64..100), 1..500)) {
+        let mut t = AggHashTable::new(Aggregate::Max, 16);
+        let mut reference: BTreeMap<u32, i64> = BTreeMap::new();
+        for &(k, v) in &pairs {
+            t.update(k, v);
+            reference.entry(k).and_modify(|a| *a = (*a).max(v)).or_insert(v);
+        }
+        prop_assert_eq!(t.len(), reference.len());
+        for (&k, &v) in &reference {
+            prop_assert_eq!(t.get(k), Some(v));
+        }
+    }
+
+    /// Split-merge equivalence: aggregating a split input through local
+    /// tables then merging equals aggregating everything in one table —
+    /// the correctness property of the paper's two-phase aggregation.
+    #[test]
+    fn hashtable_merge_equivalence(
+        pairs in proptest::collection::vec((0u32..100, -50i64..50), 1..300),
+        split in 0usize..300,
+    ) {
+        let split = split.min(pairs.len());
+        let mut single = AggHashTable::new(Aggregate::Sum, 16);
+        for &(k, v) in &pairs {
+            single.update(k, v);
+        }
+        let mut a = AggHashTable::new(Aggregate::Sum, 16);
+        let mut b = AggHashTable::new(Aggregate::Sum, 16);
+        for &(k, v) in &pairs[..split] {
+            a.update(k, v);
+        }
+        for &(k, v) in &pairs[split..] {
+            b.update(k, v);
+        }
+        a.merge(&b);
+        prop_assert_eq!(a.len(), single.len());
+        for (k, acc, count) in single.iter() {
+            let (_, acc2, count2) = a.iter().find(|(k2, _, _)| *k2 == k).expect("group present");
+            prop_assert_eq!(acc, acc2);
+            prop_assert_eq!(count, count2);
+        }
+    }
+
+    /// BitVec set/get agrees with a BTreeSet reference.
+    #[test]
+    fn bitvec_matches_reference(bits in proptest::collection::btree_set(0u64..2000, 0..200)) {
+        let mut bv = BitVec::zeros(2000);
+        for &b in &bits {
+            bv.set(b);
+        }
+        for i in 0..2000 {
+            prop_assert_eq!(bv.get(i), bits.contains(&i));
+        }
+        prop_assert_eq!(bv.count_ones(), bits.len() as u64);
+    }
+
+    /// Inverted index partitions the row ids: every row appears in exactly
+    /// one posting list, the one of its code.
+    #[test]
+    fn invindex_partitions_rows(codes in proptest::collection::vec(0u32..50, 1..400)) {
+        let idx = InvertedIndex::build(codes.iter().copied(), 50);
+        let mut seen = vec![false; codes.len()];
+        for c in 0..50u32 {
+            for &row in idx.lookup(c) {
+                prop_assert_eq!(codes[row as usize], c);
+                prop_assert!(!seen[row as usize], "row listed twice");
+                seen[row as usize] = true;
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+    }
+
+    /// RLE round-trips any code sequence, and its range count matches the
+    /// packed vector's on the same data.
+    #[test]
+    fn rle_equivalent_to_packed(
+        codes in proptest::collection::vec(0u32..64, 0..400),
+        lo in 0u32..64,
+        span in 0u32..64,
+    ) {
+        let rle = RleVector::from_codes(codes.iter().copied());
+        prop_assert_eq!(rle.iter().collect::<Vec<u32>>(), codes.clone());
+        prop_assert!(rle.run_count() <= codes.len().max(1));
+        if !codes.is_empty() {
+            let packed = PackedCodeVector::from_codes(6, &codes);
+            let range = lo..(lo + span).min(64);
+            prop_assert_eq!(
+                rle.count_in_range(range.clone()),
+                packed.count_in_range(range)
+            );
+        }
+    }
+
+    /// matching_rows returns exactly the rows a naive filter selects.
+    #[test]
+    fn matching_rows_matches_naive(
+        codes in proptest::collection::vec(0u32..100, 1..500),
+        lo in 0u32..100,
+        span in 1u32..100,
+    ) {
+        let v = PackedCodeVector::from_codes(7, &codes);
+        let range = lo..(lo + span).min(100);
+        let got = v.matching_rows(range.clone());
+        let expected: Vec<u32> = codes
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| range.contains(c))
+            .map(|(i, _)| i as u32)
+            .collect();
+        prop_assert_eq!(got, expected);
+    }
+
+    /// A foreign-key join via bit vector equals a naive nested validation:
+    /// every probe of a key in the PK set hits, others miss.
+    #[test]
+    fn bitvec_join_semantics(
+        pks in proptest::collection::btree_set(1u64..1000, 1..100),
+        probes in proptest::collection::vec(1u64..1000, 1..200),
+    ) {
+        let mut bv = BitVec::zeros(1001);
+        for &p in &pks {
+            bv.set(p);
+        }
+        let matches = probes.iter().filter(|p| bv.get(**p)).count();
+        let naive = probes.iter().filter(|p| pks.contains(p)).count();
+        prop_assert_eq!(matches, naive);
+    }
+}

@@ -1,0 +1,85 @@
+//! Builders for the paper's exact micro-benchmark queries (Section III-B).
+//!
+//! All data-structure sizes are at paper scale; row counts are virtual
+//! (large enough never to wrap within an experiment window, see
+//! `ccp_engine::sim` for the scaling argument).
+
+use ccp_cachesim::AddrSpace;
+use ccp_engine::sim::{AggregationSim, ColumnScanSim, FkJoinSim, SimOperator};
+
+/// 4 MiB — the paper's small Query 2 dictionary (10⁶ distinct values).
+pub const DICT_4MIB: u64 = 4 << 20;
+/// 40 MiB — the paper's medium dictionary (10⁷ distinct values).
+pub const DICT_40MIB: u64 = 40 << 20;
+/// 400 MiB — the paper's large dictionary (10⁸ distinct values).
+pub const DICT_400MIB: u64 = 400 << 20;
+
+/// The group counts swept in Figures 5, 9 and 10: 10² .. 10⁶.
+pub const GROUP_SWEEP: [u64; 5] = [100, 1_000, 10_000, 100_000, 1_000_000];
+
+/// The primary-key counts swept in Figure 6: 10⁶ .. 10⁹.
+pub const PK_SWEEP: [u64; 4] = [1_000_000, 10_000_000, 100_000_000, 1_000_000_000];
+
+/// Virtual row count for the scan column: large enough that a measurement
+/// window never wraps (the paper's table has 10⁹ rows ≈ 2.5 GB; we size the
+/// region identically in spirit — far beyond the LLC).
+const SCAN_ROWS: u64 = 1 << 33;
+
+/// Virtual row count for aggregation/join probe inputs.
+const BIG_ROWS: u64 = 1 << 40;
+
+/// Query 1: `SELECT COUNT(*) FROM A WHERE A.X > ?` — the 20-bit-packed
+/// column scan.
+pub fn q1_scan(space: &mut AddrSpace) -> Box<dyn SimOperator> {
+    Box::new(ColumnScanSim::paper_q1(space, SCAN_ROWS))
+}
+
+/// Query 2: `SELECT MAX(B.V), B.G FROM B GROUP BY B.G` with a dictionary of
+/// `dict_bytes` on `B.V` and `groups` distinct values in `B.G`.
+pub fn q2_aggregation(space: &mut AddrSpace, dict_bytes: u64, groups: u64) -> Box<dyn SimOperator> {
+    Box::new(AggregationSim::paper_q2(space, BIG_ROWS, dict_bytes, groups))
+}
+
+/// Query 3: `SELECT COUNT(*) FROM R, S WHERE R.P = S.F` with `pk_count`
+/// primary keys (bit vector of `pk_count / 8` bytes).
+pub fn q3_join(space: &mut AddrSpace, pk_count: u64) -> Box<dyn SimOperator> {
+    Box::new(FkJoinSim::new(space, pk_count, BIG_ROWS))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccp_engine::job::CacheUsageClass;
+
+    #[test]
+    fn q1_is_polluting() {
+        let mut space = AddrSpace::new();
+        let q = q1_scan(&mut space);
+        assert_eq!(q.cuid(), CacheUsageClass::Polluting);
+    }
+
+    #[test]
+    fn q2_is_sensitive() {
+        let mut space = AddrSpace::new();
+        let q = q2_aggregation(&mut space, DICT_4MIB, 1000);
+        assert_eq!(q.cuid(), CacheUsageClass::Sensitive);
+    }
+
+    #[test]
+    fn q3_cuid_tracks_pk_count() {
+        let mut space = AddrSpace::new();
+        for (pks, expected_bytes) in [(1_000_000u64, 125_000u64), (100_000_000, 12_500_000)] {
+            let q = q3_join(&mut space, pks);
+            assert_eq!(q.cuid(), CacheUsageClass::Mixed { hot_bytes: expected_bytes });
+        }
+    }
+
+    #[test]
+    fn sweeps_match_paper_ranges() {
+        assert_eq!(GROUP_SWEEP.len(), 5);
+        assert_eq!(PK_SWEEP.len(), 4);
+        assert_eq!(GROUP_SWEEP[0], 100);
+        assert_eq!(GROUP_SWEEP[4], 1_000_000);
+        assert_eq!(PK_SWEEP[3], 1_000_000_000);
+    }
+}

@@ -1,0 +1,77 @@
+//! Cache advisor: profile an operator's cache-sensitivity curve and
+//! recommend a CAT mask for it.
+//!
+//! This is the paper's Section IV methodology packaged as a tool: sweep the
+//! operator's LLC allocation, find where its throughput curve "breaks", and
+//! derive the smallest mask that keeps it within a tolerance of full-cache
+//! throughput — for polluters that is the minimum slice (they don't need
+//! cache), for cache-sensitive operators it is their working-set knee.
+//!
+//! ```text
+//! cargo run --release --example cache_advisor
+//! ```
+
+use cache_partitioning::prelude::*;
+use ccp_workloads::experiment::OpBuilder;
+use ccp_workloads::{paper, s4hana};
+
+/// Throughput loss we are willing to accept when shrinking the mask.
+const TOLERANCE: f64 = 0.05;
+
+fn advise(e: &Experiment, name: &str, build: OpBuilder<'_>) {
+    let way = e.cfg.llc.way_bytes();
+    let sizes: Vec<u64> = (1..=e.cfg.llc.ways as u64).map(|w| w * way).collect();
+    let points = e.llc_sweep(&build, &sizes);
+
+    // Smallest allocation within TOLERANCE of the best throughput.
+    let chosen = points
+        .iter()
+        .filter(|p| p.normalized >= 1.0 - TOLERANCE)
+        .min_by_key(|p| p.ways)
+        .expect("the full-cache point always qualifies");
+    let mask = WayMask::from_ways(chosen.ways).expect("ways within the LLC");
+
+    println!("\n{name}:");
+    print!("  sensitivity curve (ways -> normalized):");
+    for p in points.iter().step_by(3) {
+        print!("  {}w={:.0}%", p.ways, p.normalized * 100.0);
+    }
+    println!();
+    println!(
+        "  recommendation: mask {:#07x} ({} ways = {:.2} MiB) keeps ≥ {:.0}% of peak throughput",
+        mask.bits(),
+        chosen.ways,
+        chosen.llc_bytes as f64 / (1024.0 * 1024.0),
+        (1.0 - TOLERANCE) * 100.0
+    );
+    if chosen.ways <= 2 {
+        println!("  class: cache POLLUTER — confine it; the cache helps co-runners more");
+    } else if chosen.ways >= e.cfg.llc.ways - 2 {
+        println!("  class: cache SENSITIVE — give it the full cache");
+    } else {
+        println!("  class: MIXED — a partial allocation is the sweet spot");
+    }
+}
+
+fn main() {
+    println!("cache advisor — derive CAT masks from measured sensitivity curves");
+    let e = Experiment { warm_cycles: 4_000_000, measure_cycles: 8_000_000, ..Default::default() };
+
+    advise(&e, "column scan (paper Q1)", Box::new(paper::q1_scan));
+    advise(
+        &e,
+        "aggregation, 4 MiB dict, 1e5 groups (paper Q2)",
+        Box::new(|s| paper::q2_aggregation(s, paper::DICT_4MIB, 100_000)),
+    );
+    advise(
+        &e,
+        "FK join, 1e8 primary keys (paper Q3)",
+        Box::new(|s| paper::q3_join(s, 100_000_000)),
+    );
+    advise(&e, "S/4HANA OLTP point select, 13 columns", Box::new(s4hana::oltp_13col));
+
+    println!(
+        "\nthe paper's scheme falls out of the curves: scans -> 0x3, LLC-sized aggregations \
+         -> full mask,\njoins -> depends on the bit vector (its Section V-B heuristic)."
+    );
+}

@@ -1,0 +1,179 @@
+//! `ccp` — command-line front end for the cache-partitioning library.
+//!
+//! ```text
+//! ccp probe                     # CAT/resctrl support of this host
+//! ccp demo                      # the paper's Figure 1 effect, simulated
+//! ccp classify                  # online CUID classification of the paper's operators
+//! ccp schedule scan agg join:125000 agg
+//!                               # plan co-run waves for a query queue
+//! ccp help
+//! ```
+//!
+//! Argument parsing is hand-rolled (the workspace deliberately keeps its
+//! dependency set to the offline-audited list).
+
+use cache_partitioning::prelude::*;
+use ccp_engine::sim::{classify_operator, AggregationSim, ColumnScanSim, FkJoinSim};
+use ccp_engine::CacheAwareScheduler;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("probe") => probe(),
+        Some("demo") => demo(),
+        Some("classify") => classify(),
+        Some("schedule") => schedule(&args[1..]),
+        Some("help") | None => {
+            print_help();
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("unknown command {other:?}\n");
+            print_help();
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn print_help() {
+    println!(
+        "ccp — CPU cache partitioning for concurrent database workloads (ICDE 2018 reproduction)\n\n\
+         USAGE:\n  ccp <command>\n\n\
+         COMMANDS:\n  \
+         probe      detect Intel CAT / resctrl support on this host\n  \
+         demo       reproduce the paper's headline effect on the simulator\n  \
+         classify   probe the paper's operators and derive their CUIDs online\n  \
+         schedule   plan cache-aware co-run waves, e.g. `ccp schedule scan agg join:125000`\n  \
+         help       this text\n\n\
+         The full experiment suite lives in `cargo bench -p ccp-bench`."
+    );
+}
+
+fn probe() -> ExitCode {
+    match detect() {
+        CatSupport::Available { mount } => {
+            println!("CAT available, resctrl mounted at {mount}");
+            match CacheController::open() {
+                Ok(ctl) => {
+                    let info = ctl.info();
+                    println!(
+                        "cbm_mask={:#x} ({} ways), min_cbm_bits={}, num_closids={}",
+                        info.cbm_mask,
+                        info.ways(),
+                        info.min_cbm_bits,
+                        info.num_closids
+                    );
+                    println!("groups: {:?}", ctl.groups().unwrap_or_default());
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("resctrl mounted but unusable: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        CatSupport::NotMounted => {
+            println!("CPU+kernel support CAT; mount it with:");
+            println!("  sudo mount -t resctrl resctrl /sys/fs/resctrl");
+            ExitCode::SUCCESS
+        }
+        other => {
+            println!("no usable CAT on this host: {other:?}");
+            println!("(the simulator-based experiments work everywhere: cargo bench -p ccp-bench)");
+            ExitCode::SUCCESS
+        }
+    }
+}
+
+fn demo() -> ExitCode {
+    println!("simulating the paper's Figure 1 on the Broadwell model (one minute)…\n");
+    let e = Experiment::default();
+    let mk = |mask| {
+        vec![
+            QuerySpec::new("aggregation (Q2)", MaskChoice::Full, |s| {
+                paper::q2_aggregation(s, paper::DICT_4MIB, 100_000)
+            }),
+            QuerySpec::new("column scan (Q1)", mask, paper::q1_scan),
+        ]
+    };
+    let base = e.run_concurrent_normalized(&mk(MaskChoice::Full));
+    let part = e.run_concurrent_normalized(&mk(MaskChoice::Policy));
+    println!("{:>20} {:>14} {:>14}", "query", "unpartitioned", "partitioned");
+    for (b, p) in base.iter().zip(&part) {
+        println!("{:>20} {:>13.1}% {:>13.1}%", b.name, b.normalized * 100.0, p.normalized * 100.0);
+    }
+    ExitCode::SUCCESS
+}
+
+fn classify() -> ExitCode {
+    let cfg = HierarchyConfig::broadwell_e5_2699_v4();
+    let policy = PartitionPolicy::paper_default(cfg.llc, cfg.l2.size_bytes);
+    let ops: Vec<(&str, Box<dyn Fn(&mut AddrSpace) -> Box<dyn ccp_engine::sim::SimOperator>>)> = vec![
+        ("column scan", Box::new(|s: &mut AddrSpace| {
+            Box::new(ColumnScanSim::paper_q1(s, 1 << 33)) as _
+        })),
+        ("aggregation 40MiB/1e5G", Box::new(|s: &mut AddrSpace| {
+            Box::new(AggregationSim::paper_q2(s, 1 << 40, 40 << 20, 100_000)) as _
+        })),
+        ("fk join 1e6 keys", Box::new(|s: &mut AddrSpace| {
+            Box::new(FkJoinSim::new(s, 1_000_000, 1 << 40)) as _
+        })),
+        ("fk join 1e8 keys", Box::new(|s: &mut AddrSpace| {
+            Box::new(FkJoinSim::new(s, 100_000_000, 1 << 40)) as _
+        })),
+    ];
+    println!("{:>24} {:>12} {:>8} {:>12} {:>20}", "operator", "sensitivity", "re-use", "hot MiB", "CUID -> mask");
+    for (name, build) in &ops {
+        let r = classify_operator(&cfg, &policy, build.as_ref(), 3_000_000, 6_000_000);
+        println!(
+            "{:>24} {:>12.2} {:>8.2} {:>12.2} {:>13?} {:#x}",
+            name,
+            r.sensitivity_ratio,
+            r.reuse_hit_ratio,
+            r.hot_bytes as f64 / (1024.0 * 1024.0),
+            r.cuid,
+            policy.mask_for(r.cuid).bits()
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn schedule(specs: &[String]) -> ExitCode {
+    if specs.is_empty() {
+        eprintln!("usage: ccp schedule <scan|agg|join:<bitvec-bytes>> …");
+        return ExitCode::FAILURE;
+    }
+    let mut queue = Vec::new();
+    for s in specs {
+        let cuid = if s == "scan" {
+            CacheUsageClass::Polluting
+        } else if s == "agg" {
+            CacheUsageClass::Sensitive
+        } else if let Some(bytes) = s.strip_prefix("join:") {
+            match bytes.parse::<u64>() {
+                Ok(b) => CacheUsageClass::Mixed { hot_bytes: b },
+                Err(_) => {
+                    eprintln!("bad join spec {s:?}: expected join:<bytes>");
+                    return ExitCode::FAILURE;
+                }
+            }
+        } else {
+            eprintln!("unknown query kind {s:?}: expected scan, agg or join:<bytes>");
+            return ExitCode::FAILURE;
+        };
+        queue.push(cuid);
+    }
+    let cfg = HierarchyConfig::broadwell_e5_2699_v4();
+    let policy = PartitionPolicy::paper_default(cfg.llc, cfg.l2.size_bytes);
+    let sched = CacheAwareScheduler::new(policy, 2);
+    println!("queue: {queue:?}");
+    for (i, wave) in sched.plan_waves(&queue).iter().enumerate() {
+        let members: Vec<String> = wave
+            .iter()
+            .map(|&j| format!("{} (mask {:#x})", specs[j], policy.mask_for(queue[j]).bits()))
+            .collect();
+        println!("wave {}: {}", i + 1, members.join("  +  "));
+    }
+    ExitCode::SUCCESS
+}

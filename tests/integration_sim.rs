@@ -1,0 +1,135 @@
+//! Cross-crate integration: fast "shape" checks of the paper's key claims
+//! on the simulated machine. These are smoke-sized versions of the bench
+//! targets (the full figures live in `crates/bench/benches/`).
+
+use cache_partitioning::prelude::*;
+use ccp_workloads::experiment::OpBuilder;
+use ccp_workloads::{paper, s4hana};
+
+fn quick() -> Experiment {
+    Experiment { warm_cycles: 1_500_000, measure_cycles: 3_000_000, ..Default::default() }
+}
+
+#[test]
+fn scan_is_llc_insensitive_but_aggregation_is_not() {
+    let e = quick();
+    let way = e.cfg.llc.way_bytes();
+    let sizes = [2 * way, 20 * way];
+
+    let scan: OpBuilder = Box::new(paper::q1_scan);
+    let scan_points = e.llc_sweep(&scan, &sizes);
+    assert!(
+        scan_points[0].normalized > 0.95,
+        "scan at 10% cache must keep its throughput, got {}",
+        scan_points[0].normalized
+    );
+
+    let agg: OpBuilder = Box::new(|s| paper::q2_aggregation(s, paper::DICT_40MIB, 100_000));
+    let agg_points = e.llc_sweep(&agg, &sizes);
+    assert!(
+        agg_points[0].normalized < 0.85,
+        "LLC-sized aggregation must degrade at 10% cache, got {}",
+        agg_points[0].normalized
+    );
+}
+
+#[test]
+fn join_sensitivity_depends_on_bitvec_size() {
+    let e = quick();
+    let way = e.cfg.llc.way_bytes();
+    let sizes = [2 * way, 20 * way];
+
+    let small: OpBuilder = Box::new(|s| paper::q3_join(s, 1_000_000));
+    let big: OpBuilder = Box::new(|s| paper::q3_join(s, 100_000_000));
+    let small_drop = e.llc_sweep(&small, &sizes)[0].normalized;
+    let big_drop = e.llc_sweep(&big, &sizes)[0].normalized;
+    assert!(small_drop > 0.9, "125 KB bit vector join must be insensitive: {small_drop}");
+    assert!(big_drop < 0.85, "12.5 MB bit vector join must be sensitive: {big_drop}");
+}
+
+#[test]
+fn partitioning_policy_beats_unpartitioned_for_the_mixed_workload() {
+    let e = quick();
+    let mk = |mask| {
+        vec![
+            QuerySpec::new("q2", MaskChoice::Full, |s| {
+                paper::q2_aggregation(s, paper::DICT_40MIB, 10_000)
+            }),
+            QuerySpec::new("q1", mask, paper::q1_scan),
+        ]
+    };
+    let base = e.run_concurrent_normalized(&mk(MaskChoice::Full));
+    let part = e.run_concurrent_normalized(&mk(MaskChoice::Policy));
+    assert!(
+        part[0].normalized > base[0].normalized,
+        "aggregation must improve: {} -> {}",
+        base[0].normalized,
+        part[0].normalized
+    );
+    // The paper's no-regression guarantee: the confined scan loses (almost)
+    // nothing.
+    assert!(
+        part[1].normalized > base[1].normalized - 0.02,
+        "scan must not regress: {} -> {}",
+        base[1].normalized,
+        part[1].normalized
+    );
+}
+
+#[test]
+fn oltp_gains_from_confining_the_olap_scan() {
+    // The OLTP working set is ~50 MiB; it needs a longer warm-up than the
+    // other smoke tests to reach steady state.
+    let e = Experiment { warm_cycles: 5_000_000, measure_cycles: 8_000_000, ..Default::default() };
+    let mk = |mask| {
+        vec![
+            QuerySpec::new("oltp", MaskChoice::Full, s4hana::oltp_13col),
+            QuerySpec::new("olap", mask, paper::q1_scan),
+        ]
+    };
+    let base = e.run_concurrent_normalized(&mk(MaskChoice::Full));
+    let part = e.run_concurrent_normalized(&mk(MaskChoice::Policy));
+    assert!(base[0].normalized < 0.95, "OLAP must hurt OLTP: {}", base[0].normalized);
+    assert!(
+        part[0].normalized > base[0].normalized,
+        "partitioning must lift OLTP: {} -> {}",
+        base[0].normalized,
+        part[0].normalized
+    );
+}
+
+#[test]
+fn tpch_q1_is_more_cache_sensitive_than_q13() {
+    // Q1 aggregates 590M rows through the 29 MiB price dictionary; Q13
+    // streams through tiny dictionaries and an L2-scale customer bit
+    // vector.
+    let e = quick();
+    let way = e.cfg.llc.way_bytes();
+    let sizes = [2 * way, 20 * way];
+    let q1: OpBuilder = Box::new(|s| ccp_tpch::build_query(s, 1));
+    let q13: OpBuilder = Box::new(|s| ccp_tpch::build_query(s, 13));
+    let q1_drop = e.llc_sweep(&q1, &sizes)[0].normalized;
+    let q13_drop = e.llc_sweep(&q13, &sizes)[0].normalized;
+    assert!(
+        q1_drop < q13_drop - 0.1,
+        "TPC-H Q1 ({q1_drop}) must be clearly more LLC-sensitive than Q13 ({q13_drop})"
+    );
+}
+
+#[test]
+fn experiments_are_reproducible_end_to_end() {
+    let e = quick();
+    let run = || {
+        let specs = vec![
+            QuerySpec::new("q2", MaskChoice::Full, |s| {
+                paper::q2_aggregation(s, paper::DICT_4MIB, 1_000)
+            }),
+            QuerySpec::new("q1", MaskChoice::Policy, paper::q1_scan),
+        ];
+        e.run_concurrent_normalized(&specs)
+            .into_iter()
+            .map(|o| (o.normalized * 1e12) as i64)
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(run(), run(), "identical runs must produce identical results");
+}
