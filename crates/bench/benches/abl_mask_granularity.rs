@@ -35,8 +35,10 @@ fn main() {
             ),
         ];
         let out = run_concurrent(&e.cfg, w, e.warm_cycles, e.measure_cycles);
-        let (aggn, scann) =
-            (out.streams[0].throughput / agg_iso, out.streams[1].throughput / scan_iso);
+        let (aggn, scann) = (
+            out.streams[0].throughput / agg_iso,
+            out.streams[1].throughput / scan_iso,
+        );
         println!("{:>10} {:>10} {:>10}", ways, pct(aggn), pct(scann));
         for (series, v) in [("q2", aggn), ("q1", scann)] {
             rows.push(ResultRow {

@@ -14,7 +14,13 @@ use ccp_workloads::paper::DICT_4MIB;
 
 /// Runs one agg ∥ scan pair with the aggregation's parallelism forced to
 /// `par`; returns (aggregation normalized, scan normalized).
-fn pair_with_par(cfg: &HierarchyConfig, par: u32, mask: Option<WayMask>, warm: u64, measure: u64) -> f64 {
+fn pair_with_par(
+    cfg: &HierarchyConfig,
+    par: u32,
+    mask: Option<WayMask>,
+    warm: u64,
+    measure: u64,
+) -> f64 {
     // Hand-rolled driver so we can override parallelism after setup.
     let run = |concurrent: bool, mask: Option<WayMask>| -> f64 {
         let n = if concurrent { 2 } else { 1 };
@@ -31,7 +37,11 @@ fn pair_with_par(cfg: &HierarchyConfig, par: u32, mask: Option<WayMask>, warm: u
         }
         let mut phase = |mem: &mut MemoryHierarchy, until: u64, work: &mut u64| loop {
             let a = mem.clock_centi(0);
-            let s = if concurrent { mem.clock_centi(1) } else { u64::MAX };
+            let s = if concurrent {
+                mem.clock_centi(1)
+            } else {
+                u64::MAX
+            };
             if a >= until * 100 && (!concurrent || s >= until * 100) {
                 break;
             }
@@ -54,9 +64,16 @@ fn pair_with_par(cfg: &HierarchyConfig, par: u32, mask: Option<WayMask>, warm: u
 
 fn main() {
     let e = experiment_from_env();
-    banner("Ablation", "aggregation MLP constant vs. the Figure 9 effect", &e);
+    banner(
+        "Ablation",
+        "aggregation MLP constant vs. the Figure 9 effect",
+        &e,
+    );
 
-    println!("{:>6} {:>12} {:>12} {:>8}", "MLP", "Q2 base", "Q2 part.", "gain");
+    println!(
+        "{:>6} {:>12} {:>12} {:>8}",
+        "MLP", "Q2 base", "Q2 part.", "gain"
+    );
     let mut rows = Vec::new();
     for par in [8u32, 16, 24, 48] {
         let base = pair_with_par(&e.cfg, par, None, e.warm_cycles, e.measure_cycles);

@@ -12,7 +12,11 @@ use ccp_workloads::Experiment;
 
 fn main() {
     let base = experiment_from_env();
-    banner("Ablation", "stream prefetch depth vs. scan throughput", &base);
+    banner(
+        "Ablation",
+        "stream prefetch depth vs. scan throughput",
+        &base,
+    );
 
     let build: OpBuilder = Box::new(paper::q1_scan);
     println!("{:>7} {:>16} {:>12}", "depth", "rows/kcycle", "vs depth=64");
@@ -31,7 +35,12 @@ fn main() {
         .map(|(_, t)| *t)
         .expect("depth 64 is in the sweep");
     for (depth, thr) in &results {
-        println!("{:>7} {:>16.1} {:>11.1}%", depth, thr, thr / reference * 100.0);
+        println!(
+            "{:>7} {:>16.1} {:>11.1}%",
+            depth,
+            thr,
+            thr / reference * 100.0
+        );
         rows.push(ResultRow {
             config: "prefetch".into(),
             series: "scan".into(),

@@ -17,7 +17,11 @@ use ccp_workloads::Experiment;
 
 fn main() {
     let base = experiment_from_env();
-    banner("Ablation", "LLC replacement policy vs. the Figure 9 effect", &base);
+    banner(
+        "Ablation",
+        "LLC replacement policy vs. the Figure 9 effect",
+        &base,
+    );
 
     let groups = 10_000;
     println!(
@@ -25,7 +29,11 @@ fn main() {
         "policy", "Q2 base", "Q1 base", "Q2 part.", "Q1 part."
     );
     let mut rows = Vec::new();
-    for policy in [ReplacementPolicy::Lru, ReplacementPolicy::Srrip, ReplacementPolicy::Random] {
+    for policy in [
+        ReplacementPolicy::Lru,
+        ReplacementPolicy::Srrip,
+        ReplacementPolicy::Random,
+    ] {
         let mut cfg = base.cfg;
         cfg.llc_policy = policy;
         let e = Experiment { cfg, ..base };
@@ -40,18 +48,33 @@ fn main() {
         )
         .throughput;
         let mut space = AddrSpace::new();
-        let scan_iso =
-            run_isolated(&e.cfg, "q1", paper::q1_scan(&mut space), e.warm_cycles, e.measure_cycles)
-                .throughput;
+        let scan_iso = run_isolated(
+            &e.cfg,
+            "q1",
+            paper::q1_scan(&mut space),
+            e.warm_cycles,
+            e.measure_cycles,
+        )
+        .throughput;
 
         let run_pair = |mask: Option<WayMask>| {
             let mut space = AddrSpace::new();
             let w = vec![
-                SimWorkload::unpartitioned("q2", paper::q2_aggregation(&mut space, DICT_40MIB, groups)),
-                SimWorkload { name: "q1".into(), op: paper::q1_scan(&mut space), mask },
+                SimWorkload::unpartitioned(
+                    "q2",
+                    paper::q2_aggregation(&mut space, DICT_40MIB, groups),
+                ),
+                SimWorkload {
+                    name: "q1".into(),
+                    op: paper::q1_scan(&mut space),
+                    mask,
+                },
             ];
             let out = run_concurrent(&e.cfg, w, e.warm_cycles, e.measure_cycles);
-            (out.streams[0].throughput / agg_iso, out.streams[1].throughput / scan_iso)
+            (
+                out.streams[0].throughput / agg_iso,
+                out.streams[1].throughput / scan_iso,
+            )
         };
         let (a_base, s_base) = run_pair(None);
         let (a_part, s_part) = run_pair(Some(WayMask::new(0x3).expect("valid mask")));

@@ -14,7 +14,11 @@ use ccp_workloads::paper::{self, DICT_4MIB};
 
 fn main() {
     let e = experiment_from_env();
-    banner("Ablation", "group-column skew vs. the Figure 9 effect (1e6 groups)", &e);
+    banner(
+        "Ablation",
+        "group-column skew vs. the Figure 9 effect (1e6 groups)",
+        &e,
+    );
 
     let build_agg = |space: &mut AddrSpace, skew: Option<f64>| -> Box<dyn SimOperator> {
         let agg = AggregationSim::paper_q2(space, 1 << 40, DICT_4MIB, 1_000_000);
@@ -25,9 +29,14 @@ fn main() {
     };
 
     let mut space = AddrSpace::new();
-    let scan_iso =
-        run_isolated(&e.cfg, "q1", paper::q1_scan(&mut space), e.warm_cycles, e.measure_cycles)
-            .throughput;
+    let scan_iso = run_isolated(
+        &e.cfg,
+        "q1",
+        paper::q1_scan(&mut space),
+        e.warm_cycles,
+        e.measure_cycles,
+    )
+    .throughput;
 
     println!(
         "{:>9} {:>10} {:>10} {:>12} {:>8}",
@@ -49,14 +58,23 @@ fn main() {
             let mut space = AddrSpace::new();
             let w = vec![
                 SimWorkload::unpartitioned("q2", build_agg(&mut space, skew)),
-                SimWorkload { name: "q1".into(), op: paper::q1_scan(&mut space), mask },
+                SimWorkload {
+                    name: "q1".into(),
+                    op: paper::q1_scan(&mut space),
+                    mask,
+                },
             ];
             let out = run_concurrent(&e.cfg, w, e.warm_cycles, e.measure_cycles);
-            (out.streams[0].throughput / agg_iso, out.streams[1].throughput / scan_iso)
+            (
+                out.streams[0].throughput / agg_iso,
+                out.streams[1].throughput / scan_iso,
+            )
         };
         let (a_base, s_base) = run_pair(None);
         let (a_part, _) = run_pair(Some(WayMask::new(0x3).expect("valid mask")));
-        let label = skew.map(|s| format!("{s:.2}")).unwrap_or_else(|| "unif".into());
+        let label = skew
+            .map(|s| format!("{s:.2}"))
+            .unwrap_or_else(|| "unif".into());
         println!(
             "{:>9} {:>10} {:>10} {:>12} {:>7.1}%",
             label,

@@ -23,7 +23,11 @@ use ccp_workloads::paper::{self, DICT_40MIB};
 
 fn main() {
     let e = experiment_from_env();
-    banner("Extension", "cache-aware co-run scheduling (paper conclusion)", &e);
+    banner(
+        "Extension",
+        "cache-aware co-run scheduling (paper conclusion)",
+        &e,
+    );
 
     let agg_build: OpBuilder = Box::new(|s| paper::q2_aggregation(s, DICT_40MIB, 10_000));
     let scan_build: OpBuilder = Box::new(paper::q1_scan);
@@ -45,9 +49,21 @@ fn main() {
         let workloads: Vec<SimWorkload> = members
             .iter()
             .map(|&i| {
-                let op = if is_agg(i) { agg_build(&mut space) } else { scan_build(&mut space) };
-                let mask = if masked { Some(policy.mask_for(cuids[i])) } else { None };
-                SimWorkload { name: format!("q{i}"), op, mask }
+                let op = if is_agg(i) {
+                    agg_build(&mut space)
+                } else {
+                    scan_build(&mut space)
+                };
+                let mask = if masked {
+                    Some(policy.mask_for(cuids[i]))
+                } else {
+                    None
+                };
+                SimWorkload {
+                    name: format!("q{i}"),
+                    op,
+                    mask,
+                }
             })
             .collect();
         let out = run_concurrent(&e.cfg, workloads, e.warm_cycles, e.measure_cycles);
@@ -65,7 +81,10 @@ fn main() {
     let sched = CacheAwareScheduler::new(policy, 2);
     let smart_waves = sched.plan_waves(&cuids);
 
-    println!("\n{:<24} {:>10} {:>10} {:>10}", "strategy", "wave 1", "wave 2", "mean");
+    println!(
+        "\n{:<24} {:>10} {:>10} {:>10}",
+        "strategy", "wave 1", "wave 2", "mean"
+    );
     let mut rows = Vec::new();
     for (label, waves, masked) in [
         ("FIFO, unpartitioned", fifo_waves.to_vec(), false),

@@ -14,7 +14,11 @@ use ccp_workloads::{paper, s4hana};
 
 fn main() {
     let e = experiment_from_env();
-    banner("Figure 1", "OLTP throughput: isolated vs. concurrent vs. concurrent+partitioning", &e);
+    banner(
+        "Figure 1",
+        "OLTP throughput: isolated vs. concurrent vs. concurrent+partitioning",
+        &e,
+    );
 
     let oltp_build: OpBuilder = Box::new(s4hana::oltp_13col);
     let scan_build: OpBuilder = Box::new(paper::q1_scan);
@@ -24,7 +28,11 @@ fn main() {
         let mut space = AddrSpace::new();
         let w = vec![
             SimWorkload::unpartitioned("oltp", oltp_build(&mut space)),
-            SimWorkload { name: "olap".into(), op: scan_build(&mut space), mask },
+            SimWorkload {
+                name: "olap".into(),
+                op: scan_build(&mut space),
+                mask,
+            },
         ];
         let out = run_concurrent(&e.cfg, w, e.warm_cycles, e.measure_cycles);
         out.streams[0].throughput / oltp_iso
@@ -36,7 +44,11 @@ fn main() {
     println!("{:>28} {:>12}", "configuration", "OLTP thr");
     println!("{:>28} {:>12}", "isolated", pct(1.0));
     println!("{:>28} {:>12}", "concurrent to OLAP", pct(concurrent));
-    println!("{:>28} {:>12}", "concurrent + partitioning", pct(partitioned));
+    println!(
+        "{:>28} {:>12}",
+        "concurrent + partitioning",
+        pct(partitioned)
+    );
 
     let rows = vec![
         ResultRow {

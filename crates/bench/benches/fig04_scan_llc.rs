@@ -17,7 +17,10 @@ fn main() {
     let build: OpBuilder = Box::new(paper::q1_scan);
     let points = e.llc_sweep(&build, &sizes);
 
-    println!("{:>10} {:>6} {:>10} {:>10} {:>12}", "LLC MiB", "ways", "norm thr", "hit ratio", "MPI");
+    println!(
+        "{:>10} {:>6} {:>10} {:>10} {:>12}",
+        "LLC MiB", "ways", "norm thr", "hit ratio", "MPI"
+    );
     let mut rows = Vec::new();
     for p in &points {
         println!(

@@ -22,10 +22,11 @@ fn main() {
     let sizes: Vec<u64> = [2u64, 4, 8, 12, 16, 20].iter().map(|w| w * way).collect();
     let mut rows = Vec::new();
 
-    for (sub, dict_bytes) in
-        [("5a", DICT_4MIB), ("5b", DICT_40MIB), ("5c", DICT_400MIB)]
-    {
-        println!("\n--- Figure {sub}: dictionary {} MiB ---", dict_bytes >> 20);
+    for (sub, dict_bytes) in [("5a", DICT_4MIB), ("5b", DICT_40MIB), ("5c", DICT_400MIB)] {
+        println!(
+            "\n--- Figure {sub}: dictionary {} MiB ---",
+            dict_bytes >> 20
+        );
         print!("{:>10}", "LLC MiB");
         for g in GROUP_SWEEP {
             print!(" {:>9}", format!("1e{} G", (g as f64).log10() as u32));
@@ -34,8 +35,7 @@ fn main() {
         // One sweep per group count, transposed for printing.
         let mut sweeps = Vec::new();
         for groups in GROUP_SWEEP {
-            let build: OpBuilder =
-                Box::new(move |s| paper::q2_aggregation(s, dict_bytes, groups));
+            let build: OpBuilder = Box::new(move |s| paper::q2_aggregation(s, dict_bytes, groups));
             sweeps.push(e.llc_sweep(&build, &sizes));
         }
         for (i, &bytes) in sizes.iter().enumerate() {

@@ -44,5 +44,7 @@ fn main() {
         println!();
     }
     save_json("fig06_join_llc", &rows);
-    println!("\npaper: only 1e8 keys (12.5 MB bit vector ≈ LLC) is sensitive (-33%); others -5..-14%");
+    println!(
+        "\npaper: only 1e8 keys (12.5 MB bit vector ≈ LLC) is sensitive (-33%); others -5..-14%"
+    );
 }

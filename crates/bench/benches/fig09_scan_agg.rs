@@ -18,7 +18,11 @@ use ccp_workloads::paper::{self, DICT_400MIB, DICT_40MIB, DICT_4MIB, GROUP_SWEEP
 
 fn main() {
     let e = experiment_from_env();
-    banner("Figure 9", "Q1 (scan) ∥ Q2 (aggregation), ±partitioning", &e);
+    banner(
+        "Figure 9",
+        "Q1 (scan) ∥ Q2 (aggregation), ±partitioning",
+        &e,
+    );
 
     // The scan's isolated baseline is independent of the aggregation's
     // configuration: measure it once.
@@ -27,10 +31,11 @@ fn main() {
     let polluter_mask = WayMask::new(0x3).expect("0x3 is a valid CAT mask");
 
     let mut rows = Vec::new();
-    for (sub, dict_bytes) in
-        [("9a", DICT_4MIB), ("9b", DICT_40MIB), ("9c", DICT_400MIB)]
-    {
-        println!("\n--- Figure {sub}: dictionary {} MiB ---", dict_bytes >> 20);
+    for (sub, dict_bytes) in [("9a", DICT_4MIB), ("9b", DICT_40MIB), ("9c", DICT_400MIB)] {
+        println!(
+            "\n--- Figure {sub}: dictionary {} MiB ---",
+            dict_bytes >> 20
+        );
         println!(
             "{:>8} {:>10} {:>10} {:>12} {:>12} {:>9} {:>9}",
             "groups", "Q2 base", "Q1 base", "Q2 part.", "Q1 part.", "ΔQ2", "ΔQ1"
@@ -44,10 +49,17 @@ fn main() {
                 let mut space = AddrSpace::new();
                 let w = vec![
                     SimWorkload::unpartitioned("q2", agg_build(&mut space)),
-                    SimWorkload { name: "q1".into(), op: scan_build(&mut space), mask },
+                    SimWorkload {
+                        name: "q1".into(),
+                        op: scan_build(&mut space),
+                        mask,
+                    },
                 ];
                 let out = run_concurrent(&e.cfg, w, e.warm_cycles, e.measure_cycles);
-                (out.streams[0].throughput / agg_iso, out.streams[1].throughput / scan_iso)
+                (
+                    out.streams[0].throughput / agg_iso,
+                    out.streams[1].throughput / scan_iso,
+                )
             };
 
             let (agg_base, scan_base) = run_pair(None);

@@ -18,7 +18,11 @@ use ccp_workloads::paper::{self, DICT_40MIB, GROUP_SWEEP};
 
 fn main() {
     let e = experiment_from_env();
-    banner("Figure 10", "Q2 (aggregation) ∥ Q3 (FK join), two partitioning schemes", &e);
+    banner(
+        "Figure 10",
+        "Q2 (aggregation) ∥ Q3 (FK join), two partitioning schemes",
+        &e,
+    );
 
     let mask_10 = WayMask::new(0x3).expect("valid mask");
     let mask_60 = WayMask::new(0xfff).expect("valid mask");
@@ -46,10 +50,17 @@ fn main() {
                 let mut space = AddrSpace::new();
                 let w = vec![
                     SimWorkload::unpartitioned("q2", agg_build(&mut space)),
-                    SimWorkload { name: "q3".into(), op: join_build(&mut space), mask },
+                    SimWorkload {
+                        name: "q3".into(),
+                        op: join_build(&mut space),
+                        mask,
+                    },
                 ];
                 let out = run_concurrent(&e.cfg, w, e.warm_cycles, e.measure_cycles);
-                (out.streams[0].throughput / agg_iso, out.streams[1].throughput / join_iso)
+                (
+                    out.streams[0].throughput / agg_iso,
+                    out.streams[1].throughput / join_iso,
+                )
             };
 
             let (a_base, j_base) = run_pair(None);

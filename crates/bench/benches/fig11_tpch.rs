@@ -35,10 +35,17 @@ fn main() {
             let mut space = AddrSpace::new();
             let w = vec![
                 SimWorkload::unpartitioned("tpch", q_build(&mut space)),
-                SimWorkload { name: "q1".into(), op: scan_build(&mut space), mask: m },
+                SimWorkload {
+                    name: "q1".into(),
+                    op: scan_build(&mut space),
+                    mask: m,
+                },
             ];
             let out = run_concurrent(&e.cfg, w, e.warm_cycles, e.measure_cycles);
-            (out.streams[0].throughput / q_iso, out.streams[1].throughput / scan_iso)
+            (
+                out.streams[0].throughput / q_iso,
+                out.streams[1].throughput / scan_iso,
+            )
         };
 
         let (t_base, s_base) = run_pair(None);

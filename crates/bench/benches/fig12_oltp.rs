@@ -16,7 +16,11 @@ use ccp_workloads::{paper, s4hana};
 
 fn main() {
     let e = experiment_from_env();
-    banner("Figure 12", "Q1 (scan) ∥ S/4HANA OLTP point query, ±partitioning", &e);
+    banner(
+        "Figure 12",
+        "Q1 (scan) ∥ S/4HANA OLTP point query, ±partitioning",
+        &e,
+    );
 
     let scan_build: OpBuilder = Box::new(paper::q1_scan);
     let scan_iso = e.run_isolated("q1", &scan_build).throughput;
@@ -29,10 +33,17 @@ fn main() {
             let mut space = AddrSpace::new();
             let w = vec![
                 SimWorkload::unpartitioned("oltp", oltp_build(&mut space)),
-                SimWorkload { name: "q1".into(), op: scan_build(&mut space), mask: m },
+                SimWorkload {
+                    name: "q1".into(),
+                    op: scan_build(&mut space),
+                    mask: m,
+                },
             ];
             let out = run_concurrent(&e.cfg, w, e.warm_cycles, e.measure_cycles);
-            (out.streams[0].throughput / oltp_iso, out.streams[1].throughput / scan_iso)
+            (
+                out.streams[0].throughput / oltp_iso,
+                out.streams[1].throughput / scan_iso,
+            )
         };
         let (o_base, s_base) = run_pair(None);
         let (o_part, s_part) = run_pair(Some(mask));
@@ -75,11 +86,20 @@ fn main() {
     }
 
     println!("\n--- Section VI-E sweep: k projected columns (biggest dictionaries) ---");
-    println!("{:>4} {:>10} {:>10} {:>7}", "k", "OLTP base", "OLTP part", "ΔOLTP");
+    println!(
+        "{:>4} {:>10} {:>10} {:>7}",
+        "k", "OLTP base", "OLTP part", "ΔOLTP"
+    );
     for k in [2usize, 4, 6, 8, 10, 13] {
         let build: OpBuilder = Box::new(move |s| s4hana::oltp_k_cols(s, k));
         let (ob, _sb, op, _sp) = run_config(&format!("k={k}"), build);
-        println!("{:>4} {:>10} {:>10} {:>6.1}%", k, pct(ob), pct(op), (op / ob - 1.0) * 100.0);
+        println!(
+            "{:>4} {:>10} {:>10} {:>6.1}%",
+            k,
+            pct(ob),
+            pct(op),
+            (op / ob - 1.0) * 100.0
+        );
     }
     save_json("fig12_oltp", &rows);
     println!("\npaper: 13 cols -> 66% base, +13% partitioned; 6 cols -> 68% base, +9%; sweep gains +8..13%");

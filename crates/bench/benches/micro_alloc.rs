@@ -39,7 +39,8 @@ fn bench_bind_switch(c: &mut Criterion) {
             allocator,
             |a| {
                 a.bind(1, WayMask::new(0x3).expect("valid")).expect("bind");
-                a.bind(1, WayMask::new(0xfffff).expect("valid")).expect("bind");
+                a.bind(1, WayMask::new(0xfffff).expect("valid"))
+                    .expect("bind");
             },
             BatchSize::SmallInput,
         );
@@ -52,12 +53,20 @@ fn bench_group_creation(c: &mut Criterion) {
     g.bench_function("first_bind_creates_group", |b| {
         b.iter_batched_ref(
             allocator,
-            |a| a.bind(7, WayMask::new(0xfff).expect("valid")).expect("bind"),
+            |a| {
+                a.bind(7, WayMask::new(0xfff).expect("valid"))
+                    .expect("bind")
+            },
             BatchSize::SmallInput,
         );
     });
     g.finish();
 }
 
-criterion_group!(benches, bench_bind_fast_path, bench_bind_switch, bench_group_creation);
+criterion_group!(
+    benches,
+    bench_bind_fast_path,
+    bench_bind_switch,
+    bench_group_creation
+);
 criterion_main!(benches);

@@ -20,11 +20,23 @@ use std::path::PathBuf;
 /// `CCP_QUICK` < default < `CCP_FULL`.
 pub fn experiment_from_env() -> Experiment {
     if std::env::var_os("CCP_FULL").is_some() {
-        Experiment { warm_cycles: 16_000_000, measure_cycles: 32_000_000, ..Default::default() }
+        Experiment {
+            warm_cycles: 16_000_000,
+            measure_cycles: 32_000_000,
+            ..Default::default()
+        }
     } else if std::env::var_os("CCP_QUICK").is_some() {
-        Experiment { warm_cycles: 2_000_000, measure_cycles: 4_000_000, ..Default::default() }
+        Experiment {
+            warm_cycles: 2_000_000,
+            measure_cycles: 4_000_000,
+            ..Default::default()
+        }
     } else {
-        Experiment { warm_cycles: 6_000_000, measure_cycles: 10_000_000, ..Default::default() }
+        Experiment {
+            warm_cycles: 6_000_000,
+            measure_cycles: 10_000_000,
+            ..Default::default()
+        }
     }
 }
 
@@ -44,26 +56,74 @@ pub fn banner(figure: &str, title: &str, e: &Experiment) {
 
 /// Directory where experiment JSON results land.
 pub fn results_dir() -> PathBuf {
-    let dir = PathBuf::from(
-        std::env::var_os("CARGO_TARGET_DIR").unwrap_or_else(|| "target".into()),
-    )
-    .join("experiments");
+    let dir =
+        PathBuf::from(std::env::var_os("CARGO_TARGET_DIR").unwrap_or_else(|| "target".into()))
+            .join("experiments");
     std::fs::create_dir_all(&dir).ok();
     dir
 }
 
-/// Writes `value` as pretty JSON to `target/experiments/<name>.json`.
-pub fn save_json<T: Serialize>(name: &str, value: &T) {
+/// Writes the result rows as pretty JSON to
+/// `target/experiments/<name>.json`. (Rendered by hand: the build
+/// environment has no serde_json, and the row schema is fixed anyway.)
+pub fn save_json(name: &str, rows: &[ResultRow]) {
     let path = results_dir().join(format!("{name}.json"));
     match std::fs::File::create(&path) {
         Ok(mut f) => {
-            if let Ok(s) = serde_json::to_string_pretty(value) {
-                let _ = f.write_all(s.as_bytes());
-                println!("[saved {}]", path.display());
-            }
+            let s = rows_to_json(rows);
+            let _ = f.write_all(s.as_bytes());
+            println!("[saved {}]", path.display());
         }
         Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
     }
+}
+
+/// Renders result rows as a pretty-printed JSON array.
+fn rows_to_json(rows: &[ResultRow]) -> String {
+    fn esc(s: &str) -> String {
+        let mut out = String::with_capacity(s.len());
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out
+    }
+    fn num(v: f64) -> String {
+        if v.is_finite() {
+            format!("{v}")
+        } else {
+            "null".to_string()
+        }
+    }
+    fn opt(v: Option<f64>) -> String {
+        v.map_or_else(|| "null".to_string(), num)
+    }
+    let mut out = String::from("[\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str("  {\n");
+        out.push_str(&format!("    \"config\": \"{}\",\n", esc(&r.config)));
+        out.push_str(&format!("    \"series\": \"{}\",\n", esc(&r.series)));
+        out.push_str(&format!("    \"x\": {},\n", num(r.x)));
+        out.push_str(&format!("    \"normalized\": {},\n", num(r.normalized)));
+        out.push_str(&format!(
+            "    \"llc_hit_ratio\": {},\n",
+            opt(r.llc_hit_ratio)
+        ));
+        out.push_str(&format!("    \"llc_mpi\": {}\n", opt(r.llc_mpi)));
+        out.push_str(if i + 1 == rows.len() {
+            "  }\n"
+        } else {
+            "  },\n"
+        });
+    }
+    out.push(']');
+    out
 }
 
 /// A generic result row for JSON capture.
@@ -91,6 +151,36 @@ pub fn pct(v: f64) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn rows_render_as_valid_json() {
+        let rows = vec![
+            ResultRow {
+                config: "dict=40MiB".into(),
+                series: "Q2 \"partitioned\"".into(),
+                x: 20.0,
+                normalized: 0.86,
+                llc_hit_ratio: Some(0.91),
+                llc_mpi: None,
+            },
+            ResultRow {
+                config: "dict=4MiB".into(),
+                series: "Q1".into(),
+                x: 2.0,
+                normalized: 1.0,
+                llc_hit_ratio: None,
+                llc_mpi: Some(0.002),
+            },
+        ];
+        let s = rows_to_json(&rows);
+        assert!(s.starts_with("[\n"));
+        assert!(s.ends_with(']'));
+        assert!(s.contains("\"series\": \"Q2 \\\"partitioned\\\"\""));
+        assert!(s.contains("\"llc_hit_ratio\": null"));
+        assert!(s.contains("\"llc_mpi\": 0.002"));
+        // Object separators: exactly one comma between the two objects.
+        assert_eq!(s.matches("},").count(), 1);
+    }
 
     #[test]
     fn env_selects_windows() {

@@ -37,7 +37,12 @@ fn bench_miss_path(c: &mut Criterion) {
     g.throughput(Throughput::Elements(1024));
     g.bench_function("streaming_misses", |b| {
         b.iter_batched_ref(
-            || (MemoryHierarchy::new(HierarchyConfig::broadwell_e5_2699_v4(), 1), 0u64),
+            || {
+                (
+                    MemoryHierarchy::new(HierarchyConfig::broadwell_e5_2699_v4(), 1),
+                    0u64,
+                )
+            },
             |(m, pos)| {
                 for _ in 0..1024 {
                     m.access(0, *pos, AccessKind::Read);
@@ -72,5 +77,10 @@ fn bench_masked_access(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_hit_path, bench_miss_path, bench_masked_access);
+criterion_group!(
+    benches,
+    bench_hit_path,
+    bench_miss_path,
+    bench_masked_access
+);
 criterion_main!(benches);

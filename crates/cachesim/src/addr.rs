@@ -26,7 +26,11 @@ impl Region {
     /// offset is a bug in an operator model, not a runtime condition.
     #[inline]
     pub fn addr(&self, off: u64) -> u64 {
-        debug_assert!(off < self.len, "offset {off} out of region of {} bytes", self.len);
+        debug_assert!(
+            off < self.len,
+            "offset {off} out of region of {} bytes",
+            self.len
+        );
         self.base + off
     }
 

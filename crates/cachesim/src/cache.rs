@@ -89,9 +89,15 @@ impl SetAssociativeCache {
     /// # Panics
     /// See [`SetAssociativeCache::new`].
     pub fn with_policy(size_bytes: u64, ways: u32, policy: ReplacementPolicy) -> Self {
-        assert!(ways >= 1 && ways <= 32, "associativity must be in 1..=32, got {ways}");
+        assert!(
+            (1..=32).contains(&ways),
+            "associativity must be in 1..=32, got {ways}"
+        );
         let sets = size_bytes / (u64::from(ways) * crate::LINE_BYTES);
-        assert!(sets > 0, "cache of {size_bytes} B with {ways} ways has no sets");
+        assert!(
+            sets > 0,
+            "cache of {size_bytes} B with {ways} ways has no sets"
+        );
         let slots = (sets * u64::from(ways)) as usize;
         SetAssociativeCache {
             sets,
@@ -186,7 +192,10 @@ impl SetAssociativeCache {
                 victim = idx;
             }
         }
-        debug_assert!(victim != usize::MAX, "non-empty mask always yields a victim");
+        debug_assert!(
+            victim != usize::MAX,
+            "non-empty mask always yields a victim"
+        );
         victim
     }
 
@@ -287,7 +296,10 @@ mod tests {
     #[test]
     fn miss_then_hit() {
         let mut c = small();
-        assert!(matches!(c.access(42, full8()), AccessOutcome::Miss { evicted: None }));
+        assert!(matches!(
+            c.access(42, full8()),
+            AccessOutcome::Miss { evicted: None }
+        ));
         assert!(c.access(42, full8()).is_hit());
         assert!(c.probe(42));
     }
@@ -324,7 +336,10 @@ mod tests {
             c.access(i * 8, low2);
         }
         let survivors = (0..8).filter(|i| c.probe(i * 8)).count();
-        assert_eq!(survivors, 6, "masked stream must not evict beyond its 2 ways");
+        assert_eq!(
+            survivors, 6,
+            "masked stream must not evict beyond its 2 ways"
+        );
     }
 
     #[test]
@@ -449,7 +464,10 @@ mod tests {
             c.access(i * 8, low2);
         }
         let survivors = (0..8).filter(|i| c.probe(i * 8)).count();
-        assert!(survivors >= 6, "masked SRRIP stream evicted beyond its ways: {survivors}");
+        assert!(
+            survivors >= 6,
+            "masked SRRIP stream evicted beyond its ways: {survivors}"
+        );
     }
 
     #[test]
@@ -468,14 +486,19 @@ mod tests {
         };
         let survivors = run();
         assert_eq!(survivors, run(), "random policy must be deterministic");
-        assert!(survivors >= 6, "masked random stream evicted beyond its ways");
+        assert!(
+            survivors >= 6,
+            "masked random stream evicted beyond its ways"
+        );
     }
 
     #[test]
     fn all_policies_install_the_accessed_line() {
-        for policy in
-            [ReplacementPolicy::Lru, ReplacementPolicy::Srrip, ReplacementPolicy::Random]
-        {
+        for policy in [
+            ReplacementPolicy::Lru,
+            ReplacementPolicy::Srrip,
+            ReplacementPolicy::Random,
+        ] {
             let mut c = SetAssociativeCache::with_policy(4096, 4, policy);
             let mask = WayMask::from_ways(4).unwrap();
             for line in [0u64, 1, 77, 1000, 0, 77] {

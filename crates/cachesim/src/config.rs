@@ -69,7 +69,11 @@ pub struct CostModel {
 impl Default for CostModel {
     fn default() -> Self {
         // Broadwell-class latencies: L2 ~12 cy, LLC ~40-50 cy.
-        CostModel { l2_hit_cycles: 12, llc_hit_cycles: 44, prefetched_hit_cycles: 4 }
+        CostModel {
+            l2_hit_cycles: 12,
+            llc_hit_cycles: 44,
+            prefetched_hit_cycles: 4,
+        }
     }
 }
 
@@ -101,9 +105,18 @@ impl HierarchyConfig {
     ///   2.2 GHz), measured by the authors with Intel MLC.
     pub fn broadwell_e5_2699_v4() -> Self {
         HierarchyConfig {
-            l2: CacheLevelConfig { size_bytes: 256 * 1024, ways: 8 },
-            llc: CacheLevelConfig { size_bytes: 55 * 1024 * 1024, ways: 20 },
-            dram: DramConfig { latency_cycles: 176, occupancy_centi_cycles: 220 },
+            l2: CacheLevelConfig {
+                size_bytes: 256 * 1024,
+                ways: 8,
+            },
+            llc: CacheLevelConfig {
+                size_bytes: 55 * 1024 * 1024,
+                ways: 20,
+            },
+            dram: DramConfig {
+                latency_cycles: 176,
+                occupancy_centi_cycles: 220,
+            },
             cost: CostModel::default(),
             prefetch_depth: 64,
             llc_policy: ReplacementPolicy::Lru,
@@ -115,9 +128,18 @@ impl HierarchyConfig {
     /// evictions with few accesses.
     pub fn tiny_for_tests() -> Self {
         HierarchyConfig {
-            l2: CacheLevelConfig { size_bytes: 4 * 1024, ways: 4 },
-            llc: CacheLevelConfig { size_bytes: 64 * 1024, ways: 8 },
-            dram: DramConfig { latency_cycles: 100, occupancy_centi_cycles: 200 },
+            l2: CacheLevelConfig {
+                size_bytes: 4 * 1024,
+                ways: 4,
+            },
+            llc: CacheLevelConfig {
+                size_bytes: 64 * 1024,
+                ways: 8,
+            },
+            dram: DramConfig {
+                latency_cycles: 100,
+                occupancy_centi_cycles: 200,
+            },
             cost: CostModel::default(),
             prefetch_depth: 0,
             llc_policy: ReplacementPolicy::Lru,

@@ -145,7 +145,10 @@ mod tests {
 
     fn cfg() -> DramConfig {
         // 100-cycle latency, 2 cycles occupancy per line.
-        DramConfig { latency_cycles: 100, occupancy_centi_cycles: 200 }
+        DramConfig {
+            latency_cycles: 100,
+            occupancy_centi_cycles: 200,
+        }
     }
 
     #[test]
@@ -214,7 +217,10 @@ mod tests {
         for t in 0..1000u64 {
             last = d.request(t, DramClass::Demand);
         }
-        assert!(last > 100 + 900, "overload must throttle, got latency {last}");
+        assert!(
+            last > 100 + 900,
+            "overload must throttle, got latency {last}"
+        );
     }
 
     #[test]
@@ -229,7 +235,10 @@ mod tests {
 
     #[test]
     fn sub_cycle_occupancy_accumulates() {
-        let mut d = DramChannel::new(DramConfig { latency_cycles: 10, occupancy_centi_cycles: 50 });
+        let mut d = DramChannel::new(DramConfig {
+            latency_cycles: 10,
+            occupancy_centi_cycles: 50,
+        });
         assert_eq!(d.request(0, DramClass::Demand), 10); // backlog 0
         assert_eq!(d.request(0, DramClass::Demand), 10); // 0.5 truncates
         assert_eq!(d.request(0, DramClass::Demand), 11); // 1.0

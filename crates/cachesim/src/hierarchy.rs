@@ -90,8 +90,14 @@ impl MemoryHierarchy {
     /// # Panics
     /// Panics on invalid geometry (zero sets/ways) — configuration bugs.
     pub fn new(cfg: HierarchyConfig, n_streams: usize) -> Self {
-        let full_llc = cfg.llc.full_mask().expect("LLC way count validated by config");
-        let full_l2 = cfg.l2.full_mask().expect("L2 way count validated by config");
+        let full_llc = cfg
+            .llc
+            .full_mask()
+            .expect("LLC way count validated by config");
+        let full_l2 = cfg
+            .l2
+            .full_mask()
+            .expect("L2 way count validated by config");
         let streams = (0..n_streams)
             .map(|_| Stream {
                 llc_mask: full_llc,
@@ -104,11 +110,7 @@ impl MemoryHierarchy {
         MemoryHierarchy {
             l2: SetAssociativeCache::new(cfg.l2.size_bytes, cfg.l2.ways),
             l2_mask: full_l2,
-            llc: SetAssociativeCache::with_policy(
-                cfg.llc.size_bytes,
-                cfg.llc.ways,
-                cfg.llc_policy,
-            ),
+            llc: SetAssociativeCache::with_policy(cfg.llc.size_bytes, cfg.llc.ways, cfg.llc_policy),
             dram: DramChannel::new(cfg.dram),
             cfg,
             streams,
@@ -134,7 +136,8 @@ impl MemoryHierarchy {
     /// # Panics
     /// Panics if the mask does not fit the LLC or `s` is out of range.
     pub fn set_mask(&mut self, s: StreamId, mask: WayMask) {
-        mask.check_fits(self.cfg.llc.ways).expect("mask must fit the LLC");
+        mask.check_fits(self.cfg.llc.ways)
+            .expect("mask must fit the LLC");
         self.streams[s].llc_mask = mask;
     }
 
@@ -244,7 +247,12 @@ impl MemoryHierarchy {
     /// took a long batch sees the drain clock frozen for its whole burst
     /// and throttles on phantom backlog.)
     fn dram_now(&self) -> u64 {
-        self.streams.iter().map(|st| st.clock_centi).min().unwrap_or(0) / 100
+        self.streams
+            .iter()
+            .map(|st| st.clock_centi)
+            .min()
+            .unwrap_or(0)
+            / 100
     }
 
     /// Inserts `line` into the shared L2.
@@ -454,7 +462,10 @@ mod tests {
         assert_eq!(m.clock(0), 0);
         m.access(0, 0, AccessKind::Read);
         let after_miss = m.clock(0);
-        assert!(after_miss >= 100, "a DRAM miss costs at least the DRAM latency");
+        assert!(
+            after_miss >= 100,
+            "a DRAM miss costs at least the DRAM latency"
+        );
         m.access(0, 0, AccessKind::Read);
         assert!(m.clock(0) > after_miss);
     }
@@ -538,7 +549,10 @@ mod tests {
             m.access(0, i * 64, AccessKind::Read);
         }
         let s = m.stats(0);
-        assert!(s.prefetches_issued > 0, "sequential stream must trigger prefetches");
+        assert!(
+            s.prefetches_issued > 0,
+            "sequential stream must trigger prefetches"
+        );
         assert!(s.prefetch_covered > 0, "later accesses must be covered");
         // With depth-4 prefetch most of the 64 lines never demand-miss the LLC.
         assert!(s.llc.misses < 16, "prefetching should hide most LLC misses");
@@ -556,7 +570,10 @@ mod tests {
         // whether by demand or prefetch — plus up to `depth` lines of
         // over-prefetch past the end of the region.
         let lines = m.dram().lines_transferred();
-        assert!((64..=68).contains(&lines), "unexpected DRAM traffic: {lines}");
+        assert!(
+            (64..=68).contains(&lines),
+            "unexpected DRAM traffic: {lines}"
+        );
     }
 
     #[test]

@@ -34,10 +34,19 @@ impl fmt::Display for MaskError {
                 write!(f, "capacity bitmask {m:#x} is not contiguous")
             }
             MaskError::TooWide { mask, ways } => {
-                write!(f, "capacity bitmask {mask:#x} exceeds the cache's {ways} ways")
+                write!(
+                    f,
+                    "capacity bitmask {mask:#x} exceeds the cache's {ways} ways"
+                )
             }
-            MaskError::TooManyWays { requested, available } => {
-                write!(f, "requested {requested} ways but the cache has only {available}")
+            MaskError::TooManyWays {
+                requested,
+                available,
+            } => {
+                write!(
+                    f,
+                    "requested {requested} ways but the cache has only {available}"
+                )
             }
         }
     }
@@ -82,7 +91,10 @@ impl WayMask {
             return Err(MaskError::Empty);
         }
         if n > MAX_WAYS {
-            return Err(MaskError::TooManyWays { requested: n, available: MAX_WAYS });
+            return Err(MaskError::TooManyWays {
+                requested: n,
+                available: MAX_WAYS,
+            });
         }
         let bits = if n == 32 { u32::MAX } else { (1u32 << n) - 1 };
         Ok(WayMask(bits))
@@ -188,7 +200,10 @@ mod tests {
     #[test]
     fn from_ways_rejects_out_of_range() {
         assert_eq!(WayMask::from_ways(0), Err(MaskError::Empty));
-        assert!(matches!(WayMask::from_ways(33), Err(MaskError::TooManyWays { .. })));
+        assert!(matches!(
+            WayMask::from_ways(33),
+            Err(MaskError::TooManyWays { .. })
+        ));
     }
 
     #[test]

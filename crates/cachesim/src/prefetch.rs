@@ -34,7 +34,11 @@ impl StreamPrefetcher {
     /// Creates a prefetcher that runs `depth` lines ahead. `depth == 0`
     /// disables prefetching entirely.
     pub fn new(depth: u32) -> Self {
-        StreamPrefetcher { depth, table: Vec::with_capacity(TABLE_SIZE), victim: 0 }
+        StreamPrefetcher {
+            depth,
+            table: Vec::with_capacity(TABLE_SIZE),
+            victim: 0,
+        }
     }
 
     /// Whether prefetching is enabled.
@@ -75,7 +79,10 @@ impl StreamPrefetcher {
             }
         }
         // New stream: allocate or replace round-robin.
-        let entry = StreamEntry { last_line: line, run: 1 };
+        let entry = StreamEntry {
+            last_line: line,
+            run: 1,
+        };
         if self.table.len() < TABLE_SIZE {
             self.table.push(entry);
         } else {
@@ -117,7 +124,10 @@ mod tests {
     fn random_accesses_never_prefetch() {
         let mut p = StreamPrefetcher::new(4);
         for line in [5u64, 900, 17, 40_000, 3, 77_777, 1_000_000] {
-            assert!(p.on_access(line).is_empty(), "random access must not prefetch");
+            assert!(
+                p.on_access(line).is_empty(),
+                "random access must not prefetch"
+            );
         }
     }
 

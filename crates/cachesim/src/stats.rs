@@ -134,14 +134,26 @@ mod tests {
     #[test]
     fn merge_accumulates() {
         let mut a = CacheStats { hits: 1, misses: 2 };
-        a.merge(&CacheStats { hits: 10, misses: 20 });
-        assert_eq!(a, CacheStats { hits: 11, misses: 22 });
+        a.merge(&CacheStats {
+            hits: 10,
+            misses: 20,
+        });
+        assert_eq!(
+            a,
+            CacheStats {
+                hits: 11,
+                misses: 22
+            }
+        );
     }
 
     #[test]
     fn mpi_uses_instructions() {
         let s = StreamStats {
-            llc: CacheStats { hits: 0, misses: 50 },
+            llc: CacheStats {
+                hits: 0,
+                misses: 50,
+            },
             instructions: 1000,
             ..Default::default()
         };

@@ -133,7 +133,10 @@ fn miss_outcome_reports_eviction() {
     let mask = WayMask::from_ways(4).unwrap();
     // 16 sets; fill set 0's four ways then overflow it.
     for i in 0..4 {
-        assert!(matches!(c.access(i * 16, mask), AccessOutcome::Miss { evicted: None }));
+        assert!(matches!(
+            c.access(i * 16, mask),
+            AccessOutcome::Miss { evicted: None }
+        ));
     }
     match c.access(4 * 16, mask) {
         AccessOutcome::Miss { evicted: Some(old) } => assert_eq!(old, 0),

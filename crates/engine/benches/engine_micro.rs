@@ -56,7 +56,9 @@ fn bench_policy(c: &mut Criterion) {
         b.iter(|| {
             let a = p.mask_for(CacheUsageClass::Polluting);
             let s = p.mask_for(CacheUsageClass::Sensitive);
-            let m = p.mask_for(CacheUsageClass::Mixed { hot_bytes: 12_500_000 });
+            let m = p.mask_for(CacheUsageClass::Mixed {
+                hot_bytes: 12_500_000,
+            });
             (a.bits(), s.bits(), m.bits())
         });
     });

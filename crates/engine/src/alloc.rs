@@ -113,7 +113,13 @@ struct ResctrlInner {
 impl ResctrlAllocator {
     /// Wraps an opened controller, programming the given L3 `domains`.
     pub fn new(ctl: CacheController, domains: Vec<u32>) -> Self {
-        ResctrlAllocator { inner: Mutex::new(ResctrlInner { ctl, groups: HashMap::new() }), domains }
+        ResctrlAllocator {
+            inner: Mutex::new(ResctrlInner {
+                ctl,
+                groups: HashMap::new(),
+            }),
+            domains,
+        }
     }
 
     /// Opens the host's resctrl mount and wraps it (single-socket: domain 0).
@@ -186,8 +192,7 @@ mod tests {
 
     fn fake_allocator() -> (FakeFs, ResctrlAllocator) {
         let fs = FakeFs::broadwell();
-        let ctl =
-            CacheController::open_with(Box::new(fs.clone()), "/sys/fs/resctrl").unwrap();
+        let ctl = CacheController::open_with(Box::new(fs.clone()), "/sys/fs/resctrl").unwrap();
         (fs, ResctrlAllocator::new(ctl, vec![0]))
     }
 
@@ -243,7 +248,9 @@ mod tests {
         let (fs, a) = fake_allocator();
         a.bind(1, WayMask::new(0xfff).unwrap()).unwrap();
         use ccp_resctrl::fs::ResctrlFs;
-        let s = fs.read(std::path::Path::new("/sys/fs/resctrl/ccp-fff/schemata")).unwrap();
+        let s = fs
+            .read(std::path::Path::new("/sys/fs/resctrl/ccp-fff/schemata"))
+            .unwrap();
         assert_eq!(s, "L3:0=fff\n");
     }
 

@@ -85,6 +85,15 @@ impl DualPoolExecutor {
     pub fn mask_switches(&self) -> (u64, u64) {
         (self.olap.mask_switches(), self.oltp.mask_switches())
     }
+
+    /// Attaches both pools' live instruments to `registry`, labeled
+    /// `pool="olap"` / `pool="oltp"` — one scrape then shows the §V-C
+    /// asymmetry directly (OLTP mask switches stay at one per worker
+    /// while OLAP switches track the CUID mix).
+    pub fn register_metrics(&self, registry: &ccp_obs::Registry) {
+        self.olap.metrics().register_into(registry, "olap");
+        self.oltp.metrics().register_into(registry, "oltp");
+    }
 }
 
 #[cfg(test)]
@@ -127,7 +136,10 @@ mod tests {
         }
         ex.wait_idle();
         let (_, oltp_switches) = ex.mask_switches();
-        assert!(oltp_switches <= 2, "OLTP pool must bind at most once per worker");
+        assert!(
+            oltp_switches <= 2,
+            "OLTP pool must bind at most once per worker"
+        );
     }
 
     #[test]
@@ -142,7 +154,12 @@ mod tests {
         ex.submit_oltp(Job::unannotated("t", || {}));
         ex.wait_idle();
         // After the toggle the OLAP scan binds the full mask too.
-        assert!(rec.calls().iter().rev().take(2).all(|(_, m)| m.bits() == 0xfffff));
+        assert!(rec
+            .calls()
+            .iter()
+            .rev()
+            .take(2)
+            .all(|(_, m)| m.bits() == 0xfffff));
     }
 
     #[test]
@@ -164,5 +181,20 @@ mod tests {
         assert_eq!(done.load(Ordering::Relaxed), 8);
         assert_eq!(ex.olap().jobs_executed(), 4);
         assert_eq!(ex.oltp().jobs_executed(), 4);
+    }
+
+    #[test]
+    fn register_metrics_exposes_both_pools() {
+        let (_, ex) = dual(1, 1);
+        ex.submit_olap(Job::new("scan", CacheUsageClass::Polluting, || {}));
+        ex.submit_oltp(Job::unannotated("txn", || {}));
+        ex.wait_idle();
+        let registry = ccp_obs::Registry::new();
+        ex.register_metrics(&registry);
+        let text = registry.render_prometheus();
+        assert!(text.contains("ccp_executor_jobs_total{class=\"polluting\",pool=\"olap\"} 1"));
+        // Job::unannotated defaults to the sensitive class.
+        assert!(text.contains("ccp_executor_jobs_total{class=\"sensitive\",pool=\"oltp\"} 1"));
+        assert!(text.contains("ccp_executor_mask_switches_total{pool=\"oltp\"} 1"));
     }
 }

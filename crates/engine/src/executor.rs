@@ -11,6 +11,7 @@
 
 use crate::alloc::{current_tid, CacheAllocator};
 use crate::job::Job;
+use crate::metrics::ExecutorMetrics;
 use crate::partition::PartitionPolicy;
 use ccp_cachesim::WayMask;
 use crossbeam::channel::{unbounded, Sender};
@@ -19,28 +20,20 @@ use std::ops::Range;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-
-/// Counters shared between the pool and its handle.
-#[derive(Debug, Default)]
-struct ExecutorStats {
-    jobs_executed: AtomicU64,
-    mask_switches: AtomicU64,
-    bind_failures: AtomicU64,
-    jobs_panicked: AtomicU64,
-}
+use std::time::Instant;
 
 struct Shared {
     policy: PartitionPolicy,
     allocator: Arc<dyn CacheAllocator>,
     partitioning: AtomicBool,
-    stats: ExecutorStats,
+    metrics: ExecutorMetrics,
     pending: Mutex<usize>,
     all_done: Condvar,
 }
 
 /// A pool of job workers with integrated cache partitioning.
 pub struct JobExecutor {
-    tx: Option<Sender<Job>>,
+    tx: Option<Sender<(Job, Instant)>>,
     workers: Vec<JoinHandle<()>>,
     shared: Arc<Shared>,
 }
@@ -56,12 +49,12 @@ impl JobExecutor {
         allocator: Arc<dyn CacheAllocator>,
     ) -> Self {
         assert!(n_workers > 0, "executor needs at least one worker");
-        let (tx, rx) = unbounded::<Job>();
+        let (tx, rx) = unbounded::<(Job, Instant)>();
         let shared = Arc::new(Shared {
             policy,
             allocator,
             partitioning: AtomicBool::new(true),
-            stats: ExecutorStats::default(),
+            metrics: ExecutorMetrics::new(),
             pending: Mutex::new(0),
             all_done: Condvar::new(),
         });
@@ -73,12 +66,14 @@ impl JobExecutor {
                     .name(format!("job-worker-{i}"))
                     .spawn(move || {
                         let tid = current_tid();
-                        let full = WayMask::full(shared.policy.llc.ways)
-                            .expect("validated LLC way count");
+                        let full =
+                            WayMask::full(shared.policy.llc.ways).expect("validated LLC way count");
                         let mut current: Option<WayMask> = None;
-                        while let Ok(job) = rx.recv() {
+                        while let Ok((job, submitted)) = rx.recv() {
+                            let queue_wait = submitted.elapsed().as_secs_f64();
+                            let cuid = job.cuid;
                             let want = if shared.partitioning.load(Ordering::Relaxed) {
-                                shared.policy.mask_for(job.cuid)
+                                shared.policy.mask_for(cuid)
                             } else {
                                 full
                             };
@@ -87,11 +82,11 @@ impl JobExecutor {
                             if current != Some(want) {
                                 match shared.allocator.bind(tid, want) {
                                     Ok(()) => {
-                                        shared.stats.mask_switches.fetch_add(1, Ordering::Relaxed);
+                                        shared.metrics.record_mask_switch();
                                         current = Some(want);
                                     }
                                     Err(_) => {
-                                        shared.stats.bind_failures.fetch_add(1, Ordering::Relaxed);
+                                        shared.metrics.record_bind_failure();
                                         // Run the job anyway: partitioning is
                                         // an optimization, never a gate.
                                     }
@@ -101,13 +96,15 @@ impl JobExecutor {
                             // leak the pending count (wait_idle would hang
                             // forever); unwind safety is fine because the
                             // closure is consumed either way.
-                            let outcome = std::panic::catch_unwind(
-                                std::panic::AssertUnwindSafe(job.run),
+                            let started = Instant::now();
+                            let outcome =
+                                std::panic::catch_unwind(std::panic::AssertUnwindSafe(job.run));
+                            shared.metrics.record_job(
+                                cuid,
+                                queue_wait,
+                                started.elapsed().as_secs_f64(),
+                                outcome.is_err(),
                             );
-                            if outcome.is_err() {
-                                shared.stats.jobs_panicked.fetch_add(1, Ordering::Relaxed);
-                            }
-                            shared.stats.jobs_executed.fetch_add(1, Ordering::Relaxed);
                             let mut pending = shared.pending.lock();
                             *pending -= 1;
                             if *pending == 0 {
@@ -118,7 +115,11 @@ impl JobExecutor {
                     .expect("spawning a worker thread")
             })
             .collect();
-        JobExecutor { tx: Some(tx), workers, shared }
+        JobExecutor {
+            tx: Some(tx),
+            workers,
+            shared,
+        }
     }
 
     /// Enables or disables partitioning at runtime (the paper's evaluation
@@ -139,7 +140,11 @@ impl JobExecutor {
             let mut pending = self.shared.pending.lock();
             *pending += 1;
         }
-        self.tx.as_ref().expect("executor not shut down").send(job).expect("workers alive");
+        self.tx
+            .as_ref()
+            .expect("executor not shut down")
+            .send((job, Instant::now()))
+            .expect("workers alive");
     }
 
     /// Submits all jobs and blocks until every submitted job (including
@@ -193,25 +198,33 @@ impl JobExecutor {
         acc.load(Ordering::Relaxed)
     }
 
+    /// This pool's instruments (queue-wait and run-latency histograms
+    /// per CUID class, mask-switch accounting). The returned handle
+    /// shares state with the pool; attach it to a registry with
+    /// [`ExecutorMetrics::register_into`] to expose it.
+    pub fn metrics(&self) -> ExecutorMetrics {
+        self.shared.metrics.clone()
+    }
+
     /// Jobs executed so far.
     pub fn jobs_executed(&self) -> u64 {
-        self.shared.stats.jobs_executed.load(Ordering::Relaxed)
+        self.shared.metrics.jobs_executed()
     }
 
     /// Mask switches performed (allocator binds that were not skipped by
     /// the per-worker fast path).
     pub fn mask_switches(&self) -> u64 {
-        self.shared.stats.mask_switches.load(Ordering::Relaxed)
+        self.shared.metrics.mask_switches()
     }
 
     /// Allocator bind failures (jobs still ran, unpartitioned).
     pub fn bind_failures(&self) -> u64 {
-        self.shared.stats.bind_failures.load(Ordering::Relaxed)
+        self.shared.metrics.bind_failures()
     }
 
     /// Jobs whose closure panicked (caught; the worker survived).
     pub fn jobs_panicked(&self) -> u64 {
-        self.shared.stats.jobs_panicked.load(Ordering::Relaxed)
+        self.shared.metrics.jobs_panicked()
     }
 
     /// Number of worker threads.
@@ -283,8 +296,9 @@ mod tests {
         let rec = Arc::new(RecordingAllocator::new());
         let ex = JobExecutor::new(1, policy(), rec.clone());
         // 10 consecutive polluting jobs on one worker: a single bind.
-        let jobs: Vec<Job> =
-            (0..10).map(|i| Job::new(format!("s{i}"), CacheUsageClass::Polluting, || {})).collect();
+        let jobs: Vec<Job> = (0..10)
+            .map(|i| Job::new(format!("s{i}"), CacheUsageClass::Polluting, || {}))
+            .collect();
         ex.run_jobs(jobs);
         assert_eq!(rec.calls().len(), 1);
         assert_eq!(ex.mask_switches(), 1);
@@ -324,8 +338,18 @@ mod tests {
         let rec = Arc::new(RecordingAllocator::new());
         let ex = JobExecutor::new(1, policy(), rec.clone());
         ex.run_jobs(vec![
-            Job::new("join-small", CacheUsageClass::Mixed { hot_bytes: 125_000 }, || {}),
-            Job::new("join-big", CacheUsageClass::Mixed { hot_bytes: 12_500_000 }, || {}),
+            Job::new(
+                "join-small",
+                CacheUsageClass::Mixed { hot_bytes: 125_000 },
+                || {},
+            ),
+            Job::new(
+                "join-big",
+                CacheUsageClass::Mixed {
+                    hot_bytes: 12_500_000,
+                },
+                || {},
+            ),
         ]);
         let masks: Vec<u32> = rec.calls().iter().map(|(_, m)| m.bits()).collect();
         assert_eq!(masks, vec![0x3, 0xfff]);
@@ -345,7 +369,10 @@ mod tests {
             .collect();
         ex.run_jobs(jobs);
         // Serial execution would take >= 400 ms.
-        assert!(start.elapsed() < Duration::from_millis(350), "jobs did not run in parallel");
+        assert!(
+            start.elapsed() < Duration::from_millis(350),
+            "jobs did not run in parallel"
+        );
     }
 
     #[test]
@@ -364,6 +391,39 @@ mod tests {
         assert_eq!(done.load(Ordering::Relaxed), 1);
         assert_eq!(ex.jobs_panicked(), 1);
         assert_eq!(ex.jobs_executed(), 2);
+    }
+
+    #[test]
+    fn metrics_expose_latency_distributions_per_class() {
+        let ex = JobExecutor::new(2, policy(), Arc::new(NoopAllocator));
+        let jobs: Vec<Job> = (0..10)
+            .map(|i| {
+                Job::new(format!("s{i}"), CacheUsageClass::Polluting, || {
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                })
+            })
+            .collect();
+        ex.run_jobs(jobs);
+        let m = ex.metrics();
+        assert_eq!(m.jobs_in_class(CacheUsageClass::Polluting), 10);
+        assert_eq!(m.jobs_in_class(CacheUsageClass::Sensitive), 0);
+        let lat = m.job_latency(CacheUsageClass::Polluting);
+        assert_eq!(lat.count(), 10);
+        assert!(lat.sum() >= 0.010, "10 x 1 ms of sleep, got {}", lat.sum());
+        assert_eq!(m.queue_wait(CacheUsageClass::Polluting).count(), 10);
+    }
+
+    #[test]
+    fn metrics_register_renders_executor_families() {
+        let ex = JobExecutor::new(1, policy(), Arc::new(NoopAllocator));
+        ex.run_jobs(vec![Job::new("agg", CacheUsageClass::Sensitive, || {})]);
+        let registry = ccp_obs::Registry::new();
+        ex.metrics().register_into(&registry, "test");
+        let text = registry.render_prometheus();
+        assert!(text.contains("ccp_executor_jobs_total{class=\"sensitive\",pool=\"test\"} 1"));
+        assert!(text.contains(
+            "ccp_executor_queue_wait_seconds_count{class=\"sensitive\",pool=\"test\"} 1"
+        ));
     }
 
     #[test]

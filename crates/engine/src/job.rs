@@ -8,7 +8,7 @@
 use serde::{Deserialize, Serialize};
 
 /// The paper's three cache-usage classes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
 pub enum CacheUsageClass {
     /// Class (*i*): not cache-sensitive, pollutes the cache by streaming —
     /// e.g. the column scan. Restricted to a small LLC slice.
@@ -16,6 +16,7 @@ pub enum CacheUsageClass {
     /// Class (*ii*): cache-sensitive, profits from the entire cache — e.g.
     /// grouped aggregation. **The default**, so unknown operators are never
     /// penalized (the paper's no-regression guarantee).
+    #[default]
     Sensitive,
     /// Class (*iii*): either polluting or sensitive depending on data —
     /// e.g. the FK join, decided by its bit-vector size at runtime.
@@ -25,12 +26,6 @@ pub enum CacheUsageClass {
         /// geometry to pick a mask.
         hot_bytes: u64,
     },
-}
-
-impl Default for CacheUsageClass {
-    fn default() -> Self {
-        CacheUsageClass::Sensitive
-    }
 }
 
 /// A unit of work for the executor: a closure tagged with its CUID.
@@ -50,7 +45,11 @@ impl Job {
         cuid: CacheUsageClass,
         run: impl FnOnce() + Send + 'static,
     ) -> Self {
-        Job { name: name.into(), cuid, run: Box::new(run) }
+        Job {
+            name: name.into(),
+            cuid,
+            run: Box::new(run),
+        }
     }
 
     /// Creates a job with the default (sensitive) CUID — what operators
@@ -62,7 +61,10 @@ impl Job {
 
 impl std::fmt::Debug for Job {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Job").field("name", &self.name).field("cuid", &self.cuid).finish()
+        f.debug_struct("Job")
+            .field("name", &self.name)
+            .field("cuid", &self.cuid)
+            .finish()
     }
 }
 
@@ -92,7 +94,9 @@ mod tests {
 
     #[test]
     fn mixed_carries_hot_bytes() {
-        let c = CacheUsageClass::Mixed { hot_bytes: 12_500_000 };
+        let c = CacheUsageClass::Mixed {
+            hot_bytes: 12_500_000,
+        };
         match c {
             CacheUsageClass::Mixed { hot_bytes } => assert_eq!(hot_bytes, 12_500_000),
             _ => unreachable!(),

@@ -39,6 +39,7 @@ pub mod alloc;
 pub mod dual_pool;
 pub mod executor;
 pub mod job;
+pub mod metrics;
 pub mod ops;
 pub mod partition;
 pub mod scheduler;
@@ -48,5 +49,6 @@ pub use alloc::{AllocError, CacheAllocator, NoopAllocator, RecordingAllocator, R
 pub use dual_pool::DualPoolExecutor;
 pub use executor::JobExecutor;
 pub use job::{CacheUsageClass, Job};
+pub use metrics::{class_label, ExecutorMetrics, SchedulerMetrics};
 pub use partition::{PartitionPolicy, PAPER_POLLUTER_MASK, PAPER_SHARED_MASK};
 pub use scheduler::{Admission, CacheAwareScheduler};

@@ -1,0 +1,335 @@
+//! Engine metric bundles built on [`ccp_obs`].
+//!
+//! Each [`JobExecutor`](crate::executor::JobExecutor) owns a private
+//! [`ExecutorMetrics`] — instances are isolated by default (tests and
+//! embedded pools don't share counters through a global registry). A
+//! component that wants exposition calls
+//! [`ExecutorMetrics::register_into`] to attach its live handles to a
+//! [`Registry`] under a `pool` label; the registry then renders them in
+//! Prometheus text format alongside every other family.
+//!
+//! Per-class fan-out uses the paper's CUID taxonomy as the `class`
+//! label: `polluting` (i), `sensitive` (ii), `mixed` (iii).
+
+use crate::job::CacheUsageClass;
+use crate::scheduler::Admission;
+use ccp_obs::{unit, Counter, Histogram, Registry};
+
+/// Stable label value for a CUID class (`polluting` / `sensitive` /
+/// `mixed`).
+pub fn class_label(cuid: CacheUsageClass) -> &'static str {
+    CLASS_LABELS[class_index(cuid)]
+}
+
+const CLASS_LABELS: [&str; 3] = ["polluting", "sensitive", "mixed"];
+
+fn class_index(cuid: CacheUsageClass) -> usize {
+    match cuid {
+        CacheUsageClass::Polluting => 0,
+        CacheUsageClass::Sensitive => 1,
+        CacheUsageClass::Mixed { .. } => 2,
+    }
+}
+
+/// Per-executor instruments: job counts and latency distributions per
+/// CUID class, plus the mask-switch accounting that quantifies the
+/// paper's Section V-C fast path. Cloning shares the underlying state.
+#[derive(Debug, Clone)]
+pub struct ExecutorMetrics {
+    jobs: [Counter; 3],
+    panicked: Counter,
+    mask_switches: Counter,
+    bind_failures: Counter,
+    queue_wait: [Histogram; 3],
+    job_latency: [Histogram; 3],
+}
+
+impl Default for ExecutorMetrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ExecutorMetrics {
+    /// Creates a fresh (zeroed, unregistered) instrument bundle.
+    pub fn new() -> Self {
+        let lat = || Histogram::new(unit::latency_seconds());
+        ExecutorMetrics {
+            jobs: std::array::from_fn(|_| Counter::new()),
+            panicked: Counter::new(),
+            mask_switches: Counter::new(),
+            bind_failures: Counter::new(),
+            queue_wait: std::array::from_fn(|_| lat()),
+            job_latency: std::array::from_fn(|_| lat()),
+        }
+    }
+
+    /// Records one completed job: its class, how long it sat in the
+    /// queue, how long it ran, and whether its closure panicked.
+    pub fn record_job(
+        &self,
+        cuid: CacheUsageClass,
+        queue_wait_secs: f64,
+        run_secs: f64,
+        panicked: bool,
+    ) {
+        let i = class_index(cuid);
+        self.jobs[i].inc();
+        self.queue_wait[i].observe(queue_wait_secs);
+        self.job_latency[i].observe(run_secs);
+        if panicked {
+            self.panicked.inc();
+        }
+    }
+
+    /// Records an allocator bind that was not skipped by the per-worker
+    /// fast path.
+    pub fn record_mask_switch(&self) {
+        self.mask_switches.inc();
+    }
+
+    /// Records a failed allocator bind (the job still ran,
+    /// unpartitioned).
+    pub fn record_bind_failure(&self) {
+        self.bind_failures.inc();
+    }
+
+    /// Jobs executed across all classes.
+    pub fn jobs_executed(&self) -> u64 {
+        self.jobs.iter().map(Counter::get).sum()
+    }
+
+    /// Jobs executed in one class.
+    pub fn jobs_in_class(&self, cuid: CacheUsageClass) -> u64 {
+        self.jobs[class_index(cuid)].get()
+    }
+
+    /// Jobs whose closure panicked.
+    pub fn jobs_panicked(&self) -> u64 {
+        self.panicked.get()
+    }
+
+    /// Mask switches performed.
+    pub fn mask_switches(&self) -> u64 {
+        self.mask_switches.get()
+    }
+
+    /// Allocator bind failures.
+    pub fn bind_failures(&self) -> u64 {
+        self.bind_failures.get()
+    }
+
+    /// Queue-wait latency histogram for one class (shared handle).
+    pub fn queue_wait(&self, cuid: CacheUsageClass) -> Histogram {
+        self.queue_wait[class_index(cuid)].clone()
+    }
+
+    /// Job run-latency histogram for one class (shared handle).
+    pub fn job_latency(&self, cuid: CacheUsageClass) -> Histogram {
+        self.job_latency[class_index(cuid)].clone()
+    }
+
+    /// Attaches these live handles to `registry` under
+    /// `pool="<pool>"`. Families are created idempotently, so several
+    /// pools can expose through one registry.
+    pub fn register_into(&self, registry: &Registry, pool: &str) {
+        let jobs = registry.counter_family(
+            "ccp_executor_jobs_total",
+            "Jobs executed, by pool and CUID class",
+        );
+        let wait = registry.histogram_family_with(
+            "ccp_executor_queue_wait_seconds",
+            "Time jobs spent queued before a worker picked them up",
+            unit::latency_seconds(),
+        );
+        let lat = registry.histogram_family_with(
+            "ccp_executor_job_latency_seconds",
+            "Job closure run time",
+            unit::latency_seconds(),
+        );
+        for (i, class) in CLASS_LABELS.iter().enumerate() {
+            let labels = [("pool", pool), ("class", *class)];
+            jobs.register(&labels, self.jobs[i].clone());
+            wait.register(&labels, self.queue_wait[i].clone());
+            lat.register(&labels, self.job_latency[i].clone());
+        }
+        registry
+            .counter_family(
+                "ccp_executor_jobs_panicked_total",
+                "Jobs whose closure panicked (caught; the worker survived)",
+            )
+            .register(&[("pool", pool)], self.panicked.clone());
+        registry
+            .counter_family(
+                "ccp_executor_mask_switches_total",
+                "Allocator binds not skipped by the per-worker mask fast path",
+            )
+            .register(&[("pool", pool)], self.mask_switches.clone());
+        registry
+            .counter_family(
+                "ccp_executor_bind_failures_total",
+                "Failed allocator binds (jobs still ran, unpartitioned)",
+            )
+            .register(&[("pool", pool)], self.bind_failures.clone());
+    }
+}
+
+/// Instruments for the cache-aware wave scheduler: how full waves are
+/// and how often admission control defers a candidate.
+#[derive(Debug, Clone)]
+pub struct SchedulerMetrics {
+    waves_planned: Counter,
+    wave_occupancy: Histogram,
+    admitted: Counter,
+    deferred: Counter,
+}
+
+impl Default for SchedulerMetrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SchedulerMetrics {
+    /// Creates a fresh (zeroed, unregistered) instrument bundle.
+    pub fn new() -> Self {
+        SchedulerMetrics {
+            waves_planned: Counter::new(),
+            wave_occupancy: Histogram::new(unit::small_counts()),
+            admitted: Counter::new(),
+            deferred: Counter::new(),
+        }
+    }
+
+    /// Records the outcome of one [`plan_waves`] run.
+    ///
+    /// [`plan_waves`]: crate::scheduler::CacheAwareScheduler::plan_waves
+    pub fn record_plan(&self, waves: &[Vec<usize>]) {
+        self.waves_planned.add(waves.len() as u64);
+        for w in waves {
+            self.wave_occupancy.observe(w.len() as f64);
+        }
+    }
+
+    /// Records one admission decision.
+    pub fn record_admission(&self, decision: Admission) {
+        match decision {
+            Admission::RunNow => self.admitted.inc(),
+            Admission::Defer => self.deferred.inc(),
+        }
+    }
+
+    /// Waves planned so far.
+    pub fn waves_planned(&self) -> u64 {
+        self.waves_planned.get()
+    }
+
+    /// Admission decisions that deferred the candidate.
+    pub fn deferrals(&self) -> u64 {
+        self.deferred.get()
+    }
+
+    /// Wave-occupancy histogram (queries per planned wave).
+    pub fn wave_occupancy(&self) -> Histogram {
+        self.wave_occupancy.clone()
+    }
+
+    /// Attaches these live handles to `registry`.
+    pub fn register_into(&self, registry: &Registry) {
+        registry
+            .counter_family(
+                "ccp_scheduler_waves_planned_total",
+                "Waves produced by plan_waves",
+            )
+            .register(&[], self.waves_planned.clone());
+        registry
+            .histogram_family_with(
+                "ccp_scheduler_wave_occupancy",
+                "Queries packed per planned wave",
+                unit::small_counts(),
+            )
+            .register(&[], self.wave_occupancy.clone());
+        let adm = registry.counter_family(
+            "ccp_scheduler_admissions_total",
+            "Admission decisions, by outcome",
+        );
+        adm.register(&[("decision", "run_now")], self.admitted.clone());
+        adm.register(&[("decision", "defer")], self.deferred.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_labels_cover_the_taxonomy() {
+        assert_eq!(class_label(CacheUsageClass::Polluting), "polluting");
+        assert_eq!(class_label(CacheUsageClass::Sensitive), "sensitive");
+        assert_eq!(
+            class_label(CacheUsageClass::Mixed { hot_bytes: 1 }),
+            "mixed"
+        );
+    }
+
+    #[test]
+    fn record_job_updates_class_counters_and_histograms() {
+        let m = ExecutorMetrics::new();
+        m.record_job(CacheUsageClass::Polluting, 0.001, 0.01, false);
+        m.record_job(CacheUsageClass::Polluting, 0.002, 0.02, true);
+        m.record_job(CacheUsageClass::Sensitive, 0.001, 0.01, false);
+        assert_eq!(m.jobs_executed(), 3);
+        assert_eq!(m.jobs_in_class(CacheUsageClass::Polluting), 2);
+        assert_eq!(m.jobs_panicked(), 1);
+        assert_eq!(m.queue_wait(CacheUsageClass::Polluting).count(), 2);
+        assert_eq!(m.job_latency(CacheUsageClass::Sensitive).count(), 1);
+    }
+
+    #[test]
+    fn register_into_exposes_live_handles() {
+        let m = ExecutorMetrics::new();
+        let r = Registry::new();
+        m.register_into(&r, "olap");
+        m.record_job(CacheUsageClass::Sensitive, 0.0, 0.5, false);
+        m.record_mask_switch();
+        let text = r.render_prometheus();
+        assert!(
+            text.contains("ccp_executor_jobs_total{class=\"sensitive\",pool=\"olap\"} 1"),
+            "got: {text}"
+        );
+        assert!(text.contains("ccp_executor_mask_switches_total{pool=\"olap\"} 1"));
+        assert!(text.contains(
+            "ccp_executor_job_latency_seconds_count{class=\"sensitive\",pool=\"olap\"} 1"
+        ));
+    }
+
+    #[test]
+    fn two_pools_share_one_registry() {
+        let a = ExecutorMetrics::new();
+        let b = ExecutorMetrics::new();
+        let r = Registry::new();
+        a.register_into(&r, "olap");
+        b.register_into(&r, "oltp");
+        a.record_job(CacheUsageClass::Polluting, 0.0, 0.0, false);
+        let text = r.render_prometheus();
+        assert!(text.contains("ccp_executor_jobs_total{class=\"polluting\",pool=\"olap\"} 1"));
+        assert!(text.contains("ccp_executor_jobs_total{class=\"polluting\",pool=\"oltp\"} 0"));
+    }
+
+    #[test]
+    fn scheduler_metrics_track_plans_and_admissions() {
+        let m = SchedulerMetrics::new();
+        m.record_plan(&[vec![0, 1], vec![2]]);
+        m.record_admission(Admission::RunNow);
+        m.record_admission(Admission::Defer);
+        m.record_admission(Admission::Defer);
+        assert_eq!(m.waves_planned(), 2);
+        assert_eq!(m.deferrals(), 2);
+        assert_eq!(m.wave_occupancy().count(), 2);
+        let r = Registry::new();
+        m.register_into(&r);
+        let text = r.render_prometheus();
+        assert!(text.contains("ccp_scheduler_waves_planned_total 2"));
+        assert!(text.contains("ccp_scheduler_admissions_total{decision=\"defer\"} 2"));
+    }
+}

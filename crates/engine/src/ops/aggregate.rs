@@ -29,7 +29,11 @@ pub fn grouped_aggregate(
     g_col: &Arc<DictColumn<i64>>,
     agg: Aggregate,
 ) -> AggHashTable {
-    assert_eq!(v_col.len(), g_col.len(), "aggregate inputs must have equal row counts");
+    assert_eq!(
+        v_col.len(),
+        g_col.len(),
+        "aggregate inputs must have equal row counts"
+    );
     let n = v_col.len();
     let expected_groups = g_col.dict().len();
     let locals: Arc<Mutex<Vec<AggHashTable>>> = Arc::new(Mutex::new(Vec::new()));
@@ -47,17 +51,21 @@ pub fn grouped_aggregate(
         // Local tables sized for the chunk's worst case, mirroring HANA's
         // thread-local pre-aggregation.
         let expected = expected_groups.min(hi - lo);
-        jobs.push(Job::new(format!("agg[{c}]"), CacheUsageClass::Sensitive, move || {
-            let mut local = AggHashTable::new(agg, expected);
-            for row in lo..hi {
-                let g_code = g_col.code_at(row);
-                // Decompress the aggregated value through the dictionary —
-                // the random-access pattern the paper highlights.
-                let v = *v_col.dict().decode(v_col.code_at(row));
-                local.update(g_code, v);
-            }
-            locals.lock().push(local);
-        }));
+        jobs.push(Job::new(
+            format!("agg[{c}]"),
+            CacheUsageClass::Sensitive,
+            move || {
+                let mut local = AggHashTable::new(agg, expected);
+                for row in lo..hi {
+                    let g_code = g_col.code_at(row);
+                    // Decompress the aggregated value through the dictionary —
+                    // the random-access pattern the paper highlights.
+                    let v = *v_col.dict().decode(v_col.code_at(row));
+                    local.update(g_code, v);
+                }
+                locals.lock().push(local);
+            },
+        ));
     }
     ex.run_jobs(jobs);
     // Global merge phase.
@@ -97,7 +105,10 @@ mod tests {
 
         let mut reference: BTreeMap<i64, i64> = BTreeMap::new();
         for (vi, gi) in v.iter().zip(&g) {
-            reference.entry(*gi).and_modify(|m| *m = (*m).max(*vi)).or_insert(*vi);
+            reference
+                .entry(*gi)
+                .and_modify(|m| *m = (*m).max(*vi))
+                .or_insert(*vi);
         }
         assert_eq!(result.len(), reference.len());
         for (gv, max) in &reference {
@@ -140,8 +151,8 @@ mod tests {
         let ex = executor();
         grouped_aggregate(
             &ex,
-            &Arc::new(DictColumn::build(&vec![1i64])),
-            &Arc::new(DictColumn::build(&vec![1i64, 2])),
+            &Arc::new(DictColumn::build(&[1i64])),
+            &Arc::new(DictColumn::build(&[1i64, 2])),
             Aggregate::Max,
         );
     }

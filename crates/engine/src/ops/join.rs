@@ -39,7 +39,9 @@ pub fn fk_join_count(
         bv.set(key as u64);
     }
     let bv = Arc::new(bv);
-    let cuid = CacheUsageClass::Mixed { hot_bytes: bv.size_bytes() };
+    let cuid = CacheUsageClass::Mixed {
+        hot_bytes: bv.size_bytes(),
+    };
 
     // Probe phase: one bit test per foreign key, parallel over chunks.
     let n = fk_col.len();
@@ -67,7 +69,11 @@ mod tests {
 
     fn executor(alloc: Arc<dyn crate::alloc::CacheAllocator>) -> JobExecutor {
         let cfg = HierarchyConfig::broadwell_e5_2699_v4();
-        JobExecutor::new(4, PartitionPolicy::paper_default(cfg.llc, cfg.l2.size_bytes), alloc)
+        JobExecutor::new(
+            4,
+            PartitionPolicy::paper_default(cfg.llc, cfg.l2.size_bytes),
+            alloc,
+        )
     }
 
     #[test]
@@ -103,8 +109,8 @@ mod tests {
 
     #[test]
     fn duplicate_fks_all_counted() {
-        let pk = Arc::new(DictColumn::build(&vec![5i64]));
-        let fk = Arc::new(DictColumn::build(&vec![5i64, 5, 5, 7, 7]));
+        let pk = Arc::new(DictColumn::build(&[5i64]));
+        let fk = Arc::new(DictColumn::build(&[5i64, 5, 5, 7, 7]));
         let ex = executor(Arc::new(NoopAllocator));
         assert_eq!(fk_join_count(&ex, &pk, &fk), 3);
     }

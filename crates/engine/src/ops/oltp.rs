@@ -28,8 +28,9 @@ impl<'t> PointSelect<'t> {
     /// Panics when a referenced column does not exist — statement
     /// preparation is schema-checked.
     pub fn prepare(table: &'t Table, key_column: &str, projected: &[&str]) -> Self {
-        let key_col =
-            table.column(key_column).unwrap_or_else(|| panic!("no key column {key_column:?}"));
+        let key_col = table
+            .column(key_column)
+            .unwrap_or_else(|| panic!("no key column {key_column:?}"));
         for p in projected {
             assert!(table.column(p).is_some(), "no projected column {p:?}");
         }
@@ -49,9 +50,15 @@ impl<'t> PointSelect<'t> {
     /// Executes the query for `key`, returning the projected rows (empty
     /// when the key is absent).
     pub fn execute_int(&self, key: i64) -> Vec<ProjectedRow> {
-        let Column::Int(kc) = self.table.column(&self.key_column).expect("validated in prepare")
+        let Column::Int(kc) = self
+            .table
+            .column(&self.key_column)
+            .expect("validated in prepare")
         else {
-            panic!("execute_int on non-integer key column {:?}", self.key_column)
+            panic!(
+                "execute_int on non-integer key column {:?}",
+                self.key_column
+            )
         };
         let Some(code) = kc.dict().encode(&key) else {
             return Vec::new();
@@ -85,7 +92,11 @@ impl<'t> PointSelect<'t> {
     pub fn working_set_bytes(&self) -> u64 {
         let mut total = self.key_index.size_bytes();
         for name in std::iter::once(&self.key_column).chain(&self.projected) {
-            total += self.table.column(name).expect("validated in prepare").dict_bytes();
+            total += self
+                .table
+                .column(name)
+                .expect("validated in prepare")
+                .dict_bytes();
         }
         total
     }
@@ -113,7 +124,7 @@ mod tests {
         let q = PointSelect::prepare(&t, "BELNR", &["WRBTR", "SGTXT"]);
         let rows = q.execute_int(42);
         assert_eq!(rows.len(), 4); // rows 42, 292, 542, 792
-        // First matching row is row 42: WRBTR = 420.
+                                   // First matching row is row 42: WRBTR = 420.
         assert_eq!(rows[0][0], ("WRBTR".to_string(), "420".to_string()));
         assert_eq!(rows[0][1], ("SGTXT".to_string(), "doc-0042".to_string()));
     }

@@ -20,13 +20,19 @@ const CHUNK_ROWS: usize = 64 * 1024;
 /// The column is shared read-only across jobs; each job counts its row
 /// range on the packed codes.
 pub fn column_scan(ex: &JobExecutor, col: &Arc<DictColumn<i64>>, threshold: i64) -> u64 {
-    let code_range = col.dict().code_range(Bound::Excluded(&threshold), Bound::Unbounded);
+    let code_range = col
+        .dict()
+        .code_range(Bound::Excluded(&threshold), Bound::Unbounded);
     let n = col.len();
     let chunks = n.div_ceil(CHUNK_ROWS).max(1);
     let col = col.clone();
-    ex.parallel_sum("column_scan", CacheUsageClass::Polluting, n, chunks, move |rows| {
-        col.codes().count_in_range_rows(code_range.clone(), rows)
-    })
+    ex.parallel_sum(
+        "column_scan",
+        CacheUsageClass::Polluting,
+        n,
+        chunks,
+        move |rows| col.codes().count_in_range_rows(code_range.clone(), rows),
+    )
 }
 
 #[cfg(test)]
@@ -39,7 +45,11 @@ mod tests {
 
     fn executor(alloc: Arc<dyn crate::alloc::CacheAllocator>) -> JobExecutor {
         let cfg = HierarchyConfig::broadwell_e5_2699_v4();
-        JobExecutor::new(4, PartitionPolicy::paper_default(cfg.llc, cfg.l2.size_bytes), alloc)
+        JobExecutor::new(
+            4,
+            PartitionPolicy::paper_default(cfg.llc, cfg.l2.size_bytes),
+            alloc,
+        )
     }
 
     #[test]
@@ -49,7 +59,11 @@ mod tests {
         let ex = executor(Arc::new(NoopAllocator));
         for threshold in [0i64, 250_000, 500_000, 999_999, 1_000_000] {
             let expected = values.iter().filter(|&&v| v > threshold).count() as u64;
-            assert_eq!(column_scan(&ex, &col, threshold), expected, "threshold {threshold}");
+            assert_eq!(
+                column_scan(&ex, &col, threshold),
+                expected,
+                "threshold {threshold}"
+            );
         }
     }
 

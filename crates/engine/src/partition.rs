@@ -59,8 +59,7 @@ impl PartitionPolicy {
             CacheUsageClass::Polluting => self.polluter_mask(),
             CacheUsageClass::Mixed { hot_bytes } => {
                 if self.is_llc_comparable(hot_bytes) {
-                    WayMask::percent(self.mixed_percent, self.llc.ways)
-                        .expect("valid percent/ways")
+                    WayMask::percent(self.mixed_percent, self.llc.ways).expect("valid percent/ways")
                 } else {
                     self.polluter_mask()
                 }
@@ -100,7 +99,10 @@ mod tests {
     #[test]
     fn paper_masks_reproduced() {
         let p = paper_policy();
-        assert_eq!(p.mask_for(CacheUsageClass::Polluting).bits(), PAPER_POLLUTER_MASK);
+        assert_eq!(
+            p.mask_for(CacheUsageClass::Polluting).bits(),
+            PAPER_POLLUTER_MASK
+        );
         assert_eq!(p.mask_for(CacheUsageClass::Sensitive).bits(), 0xfffff);
     }
 
@@ -117,7 +119,9 @@ mod tests {
     fn mixed_llc_sized_bitvec_gets_60_percent() {
         let p = paper_policy();
         // 10^8 primary keys -> 12.5 MB bit vector: comparable to the LLC.
-        let m = p.mask_for(CacheUsageClass::Mixed { hot_bytes: 12_500_000 });
+        let m = p.mask_for(CacheUsageClass::Mixed {
+            hot_bytes: 12_500_000,
+        });
         assert_eq!(m.bits(), PAPER_SHARED_MASK);
     }
 
@@ -125,7 +129,9 @@ mod tests {
     fn mixed_oversized_bitvec_is_confined() {
         let p = paper_policy();
         // 10^9 primary keys -> 125 MB: cannot be cached, treat as polluter.
-        let m = p.mask_for(CacheUsageClass::Mixed { hot_bytes: 125_000_000 });
+        let m = p.mask_for(CacheUsageClass::Mixed {
+            hot_bytes: 125_000_000,
+        });
         assert_eq!(m.bits(), PAPER_POLLUTER_MASK);
     }
 

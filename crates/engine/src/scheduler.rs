@@ -13,6 +13,7 @@
 //! ordinary [`crate::partition::PartitionPolicy`] masks apply.
 
 use crate::job::CacheUsageClass;
+use crate::metrics::SchedulerMetrics;
 use crate::partition::PartitionPolicy;
 
 /// Whether a query behaves as cache-sensitive under `policy` — class (ii),
@@ -61,8 +62,7 @@ impl CacheAwareScheduler {
         if running.len() >= self.slots {
             return Admission::Defer;
         }
-        let sensitive_running =
-            running.iter().any(|&c| is_cache_sensitive(&self.policy, c));
+        let sensitive_running = running.iter().any(|&c| is_cache_sensitive(&self.policy, c));
         if sensitive_running && is_cache_sensitive(&self.policy, candidate) {
             return Admission::Defer;
         }
@@ -90,6 +90,31 @@ impl CacheAwareScheduler {
         }
         waves.into_iter().map(|(ids, _)| ids).collect()
     }
+
+    /// [`admit`](Self::admit), recording the decision in `metrics`
+    /// (admissions vs. deferrals).
+    pub fn admit_observed(
+        &self,
+        running: &[CacheUsageClass],
+        candidate: CacheUsageClass,
+        metrics: &SchedulerMetrics,
+    ) -> Admission {
+        let decision = self.admit(running, candidate);
+        metrics.record_admission(decision);
+        decision
+    }
+
+    /// [`plan_waves`](Self::plan_waves), recording wave count and
+    /// per-wave occupancy in `metrics`.
+    pub fn plan_waves_observed(
+        &self,
+        queue: &[CacheUsageClass],
+        metrics: &SchedulerMetrics,
+    ) -> Vec<Vec<usize>> {
+        let waves = self.plan_waves(queue);
+        metrics.record_plan(&waves);
+        waves
+    }
 }
 
 #[cfg(test)]
@@ -108,7 +133,9 @@ mod tests {
     const AGG: CacheUsageClass = CacheUsageClass::Sensitive;
     const SCAN: CacheUsageClass = CacheUsageClass::Polluting;
     /// A join in its cache-sensitive regime (12.5 MB bit vector).
-    const JOIN_BIG: CacheUsageClass = CacheUsageClass::Mixed { hot_bytes: 12_500_000 };
+    const JOIN_BIG: CacheUsageClass = CacheUsageClass::Mixed {
+        hot_bytes: 12_500_000,
+    };
     /// A join acting as a polluter (125 KB bit vector).
     const JOIN_SMALL: CacheUsageClass = CacheUsageClass::Mixed { hot_bytes: 125_000 };
 
@@ -188,5 +215,54 @@ mod tests {
     #[should_panic(expected = "at least one slot")]
     fn zero_slots_rejected() {
         let _ = sched(0);
+    }
+
+    #[test]
+    fn empty_queue_plans_no_waves() {
+        let s = sched(4);
+        assert!(s.plan_waves(&[]).is_empty());
+    }
+
+    #[test]
+    fn single_slot_serializes_everything() {
+        let s = sched(1);
+        let queue = [SCAN, AGG, SCAN, JOIN_SMALL];
+        let waves = s.plan_waves(&queue);
+        assert_eq!(waves.len(), queue.len());
+        assert!(waves.iter().all(|w| w.len() == 1));
+        // Stable: original queue order preserved.
+        let flat: Vec<usize> = waves.into_iter().flatten().collect();
+        assert_eq!(flat, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn mixed_cuids_straddle_the_llc_comparable_threshold() {
+        let s = sched(2);
+        // JOIN_BIG is sensitive (12.5 MB dominates the shared LLC slice),
+        // JOIN_SMALL is not — so two big joins must not co-run while two
+        // small ones pack into one wave.
+        let big = s.plan_waves(&[JOIN_BIG, JOIN_BIG]);
+        assert_eq!(big.len(), 2);
+        let small = s.plan_waves(&[JOIN_SMALL, JOIN_SMALL]);
+        assert_eq!(small, vec![vec![0, 1]]);
+        // And a big join pairs with a small one (one sensitive per wave).
+        let pair = s.plan_waves(&[JOIN_BIG, JOIN_SMALL]);
+        assert_eq!(pair, vec![vec![0, 1]]);
+    }
+
+    #[test]
+    fn observed_variants_record_into_metrics() {
+        use crate::metrics::SchedulerMetrics;
+        let s = sched(2);
+        let m = SchedulerMetrics::new();
+        assert_eq!(s.admit_observed(&[AGG], AGG, &m), Admission::Defer);
+        assert_eq!(s.admit_observed(&[AGG], SCAN, &m), Admission::RunNow);
+        let waves = s.plan_waves_observed(&[AGG, SCAN, SCAN], &m);
+        assert_eq!(waves.len(), 2);
+        assert_eq!(m.deferrals(), 1);
+        assert_eq!(m.waves_planned(), 2);
+        // Occupancies 2 and 1: the histogram saw both waves.
+        assert_eq!(m.wave_occupancy().count(), 2);
+        assert!((m.wave_occupancy().sum() - 3.0).abs() < 1e-12);
     }
 }

@@ -50,7 +50,10 @@ impl AggregationSim {
     /// # Panics
     /// Panics when any cardinality is zero.
     pub fn new(space: &mut AddrSpace, rows: u64, distinct_v: u64, groups: u64) -> Self {
-        assert!(rows > 0 && distinct_v > 0 && groups > 0, "cardinalities must be positive");
+        assert!(
+            rows > 0 && distinct_v > 0 && groups > 0,
+            "cardinalities must be positive"
+        );
         let bits_v = 64 - (distinct_v - 1).max(1).leading_zeros() as u64;
         let bits_g = 64 - (groups - 1).max(1).leading_zeros() as u64;
         let code_bits = bits_v + bits_g;
@@ -120,11 +123,13 @@ impl SimOperator for AggregationSim {
     fn batch(&mut self, mem: &mut MemoryHierarchy, stream: StreamId) -> u64 {
         let todo = BATCH_ROWS.min(self.rows - self.row);
         // 1. Stream the packed codes (sequential, prefetched).
-        let end_byte = ((self.row + todo) * self.code_bits).div_ceil(8).min(self.codes.len);
+        let end_byte = ((self.row + todo) * self.code_bits)
+            .div_ceil(8)
+            .min(self.codes.len);
         // First *untouched* line: a batch boundary inside a line means that
         // line was already accessed by the previous batch.
-        let mut line_byte = self.next_byte.div_ceil(ccp_cachesim::LINE_BYTES)
-            * ccp_cachesim::LINE_BYTES;
+        let mut line_byte =
+            self.next_byte.div_ceil(ccp_cachesim::LINE_BYTES) * ccp_cachesim::LINE_BYTES;
         while line_byte < end_byte {
             mem.access(stream, self.codes.addr(line_byte), AccessKind::Read);
             line_byte += ccp_cachesim::LINE_BYTES;
@@ -202,7 +207,10 @@ mod tests {
         let t_full = run(20, 4 << 20, 100, rows);
         let t_4way = run(4, 4 << 20, 100, rows);
         let ratio = t_4way as f64 / t_full as f64;
-        assert!(ratio < 1.15, "small aggregation should not degrade at 11 MiB: {ratio}");
+        assert!(
+            ratio < 1.15,
+            "small aggregation should not degrade at 11 MiB: {ratio}"
+        );
     }
 
     #[test]
@@ -213,7 +221,10 @@ mod tests {
         let t_full = run(20, 4 << 20, 100_000, rows);
         let t_small = run(2, 4 << 20, 100_000, rows);
         let ratio = t_small as f64 / t_full as f64;
-        assert!(ratio > 1.5, "LLC-sized hash table must be cache-sensitive: {ratio}");
+        assert!(
+            ratio > 1.5,
+            "LLC-sized hash table must be cache-sensitive: {ratio}"
+        );
     }
 
     #[test]
@@ -223,7 +234,8 @@ mod tests {
         // LLC-sized case.
         let rows = 300_000;
         let sized = run(2, 4 << 20, 100_000, rows) as f64 / run(20, 4 << 20, 100_000, rows) as f64;
-        let over = run(2, 4 << 20, 1_000_000, rows) as f64 / run(20, 4 << 20, 1_000_000, rows) as f64;
+        let over =
+            run(2, 4 << 20, 1_000_000, rows) as f64 / run(20, 4 << 20, 1_000_000, rows) as f64;
         assert!(
             over < sized,
             "oversized HT should be relatively less sensitive: over {over} vs sized {sized}"

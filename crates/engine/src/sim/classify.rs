@@ -59,7 +59,11 @@ pub fn classify_operator(
         let mut space = AddrSpace::new();
         let out = run_concurrent(
             cfg,
-            vec![SimWorkload { name: "probe".into(), op: build(&mut space), mask }],
+            vec![SimWorkload {
+                name: "probe".into(),
+                op: build(&mut space),
+                mask,
+            }],
             warm,
             measure,
         );
@@ -117,8 +121,7 @@ fn hot_footprint_probe(
         op.batch(&mut mem, 0);
     }
     let s = mem.stats(0);
-    let genuine_hits =
-        (s.l2.hits + s.llc.hits).saturating_sub(s.prefetch_covered);
+    let genuine_hits = (s.l2.hits + s.llc.hits).saturating_sub(s.prefetch_covered);
     let denom = (s.l2.accesses() + s.prefetches_issued).max(1);
     (mem.llc_reused_bytes(0), genuine_hits as f64 / denom as f64)
 }

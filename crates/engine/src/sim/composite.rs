@@ -38,8 +38,14 @@ impl CompositeSim {
     /// # Panics
     /// Panics when `phases` is empty or any quota is zero.
     pub fn new(name: impl Into<String>, phases: Vec<Phase>) -> Self {
-        assert!(!phases.is_empty(), "a composite query needs at least one phase");
-        assert!(phases.iter().all(|p| p.quota > 0), "phase quotas must be positive");
+        assert!(
+            !phases.is_empty(),
+            "a composite query needs at least one phase"
+        );
+        assert!(
+            phases.iter().all(|p| p.quota > 0),
+            "phase quotas must be positive"
+        );
         CompositeSim {
             name: name.into(),
             phases,
@@ -106,8 +112,14 @@ mod tests {
         CompositeSim::new(
             "q",
             vec![
-                Phase { op: Box::new(ColumnScanSim::new(space, 1 << 20, 20)), quota: 1000 },
-                Phase { op: Box::new(AggregationSim::new(space, 1 << 20, 1000, 100)), quota: 500 },
+                Phase {
+                    op: Box::new(ColumnScanSim::new(space, 1 << 20, 20)),
+                    quota: 1000,
+                },
+                Phase {
+                    op: Box::new(AggregationSim::new(space, 1 << 20, 1000, 100)),
+                    quota: 500,
+                },
             ],
         )
     }
@@ -143,7 +155,10 @@ mod tests {
         }
         let before = mem.clock_centi(0);
         q.batch(&mut mem, 0);
-        assert!(mem.clock_centi(0) > before, "aggregation phase must cost cycles");
+        assert!(
+            mem.clock_centi(0) > before,
+            "aggregation phase must cost cycles"
+        );
         assert!(total >= 1000 - 256);
     }
 

@@ -25,12 +25,20 @@ pub struct SimWorkload {
 impl SimWorkload {
     /// Wraps an operator with the full-cache mask.
     pub fn unpartitioned(name: impl Into<String>, op: Box<dyn SimOperator>) -> Self {
-        SimWorkload { name: name.into(), op, mask: None }
+        SimWorkload {
+            name: name.into(),
+            op,
+            mask: None,
+        }
     }
 
     /// Wraps an operator with an explicit mask.
     pub fn masked(name: impl Into<String>, op: Box<dyn SimOperator>, mask: WayMask) -> Self {
-        SimWorkload { name: name.into(), op, mask: Some(mask) }
+        SimWorkload {
+            name: name.into(),
+            op,
+            mask: Some(mask),
+        }
     }
 }
 
@@ -101,9 +109,9 @@ pub fn run_concurrent(
     let n = workloads.len();
     let mut mem = MemoryHierarchy::new(*cfg, n);
     for (s, w) in workloads.iter().enumerate() {
-        let mask = w.mask.unwrap_or_else(|| {
-            WayMask::full(cfg.llc.ways).expect("validated LLC way count")
-        });
+        let mask = w
+            .mask
+            .unwrap_or_else(|| WayMask::full(cfg.llc.ways).expect("validated LLC way count"));
         mem.set_mask(s, mask);
         mem.set_parallelism(s, w.op.parallelism());
     }
@@ -127,7 +135,11 @@ pub fn run_concurrent(
                 work: work[s],
                 work_unit: w.op.work_unit(),
                 cycles,
-                throughput: if cycles == 0 { 0.0 } else { work[s] as f64 * 1000.0 / cycles as f64 },
+                throughput: if cycles == 0 {
+                    0.0
+                } else {
+                    work[s] as f64 * 1000.0 / cycles as f64
+                },
                 stats: *mem.stats(s),
             }
         })
@@ -178,7 +190,11 @@ pub fn run_isolated(
         warm_cycles,
         measure_cycles,
     );
-    outcome.streams.into_iter().next().expect("one workload submitted")
+    outcome
+        .streams
+        .into_iter()
+        .next()
+        .expect("one workload submitted")
 }
 
 #[cfg(test)]
@@ -279,10 +295,16 @@ mod tests {
         let part = run_concurrent(&cfg(), w, WARM, MEASURE);
 
         let gain = part.streams[0].throughput / base.streams[0].throughput;
-        assert!(gain > 1.05, "partitioning must help the aggregation, gain {gain}");
+        assert!(
+            gain > 1.05,
+            "partitioning must help the aggregation, gain {gain}"
+        );
         // And the scan must not collapse (paper: it even improves).
         let scan_ratio = part.streams[1].throughput / base.streams[1].throughput;
-        assert!(scan_ratio > 0.9, "the confined scan must not regress, ratio {scan_ratio}");
+        assert!(
+            scan_ratio > 0.9,
+            "the confined scan must not regress, ratio {scan_ratio}"
+        );
     }
 
     #[test]

@@ -76,9 +76,9 @@ impl FkJoinSim {
         let key_bits = 64 - (pk_count - 1).max(1).leading_zeros() as u64;
         // Preserve the paper's build:probe work ratio (u128: the operands
         // can each exceed 2^30).
-        let build_rows =
-            ((u128::from(probe_rows) * u128::from(pk_count) / u128::from(PAPER_FK_ROWS)) as u64)
-                .max(1);
+        let build_rows = ((u128::from(probe_rows) * u128::from(pk_count)
+            / u128::from(PAPER_FK_ROWS)) as u64)
+            .max(1);
         FkJoinSim {
             pk_codes: space.alloc((build_rows * key_bits).div_ceil(8).max(8)),
             fk_codes: space.alloc((probe_rows * key_bits).div_ceil(8).max(8)),
@@ -109,11 +109,17 @@ impl FkJoinSim {
 
 impl SimOperator for FkJoinSim {
     fn name(&self) -> String {
-        format!("fk_join({} pks, bitvec {} KB)", self.pk_count, self.bitvec.len >> 10)
+        format!(
+            "fk_join({} pks, bitvec {} KB)",
+            self.pk_count,
+            self.bitvec.len >> 10
+        )
     }
 
     fn cuid(&self) -> CacheUsageClass {
-        CacheUsageClass::Mixed { hot_bytes: self.bitvec.len }
+        CacheUsageClass::Mixed {
+            hot_bytes: self.bitvec.len,
+        }
     }
 
     fn parallelism(&self) -> u32 {
@@ -131,11 +137,13 @@ impl SimOperator for FkJoinSim {
         };
         let todo = BATCH_ROWS.min(phase_rows - self.phase_row);
         // Stream the key column sequentially.
-        let end_byte = ((self.phase_row + todo) * self.key_bits).div_ceil(8).min(codes.len);
+        let end_byte = ((self.phase_row + todo) * self.key_bits)
+            .div_ceil(8)
+            .min(codes.len);
         // First *untouched* line: a batch boundary inside a line means that
         // line was already accessed by the previous batch.
-        let mut line_byte = self.next_byte.div_ceil(ccp_cachesim::LINE_BYTES)
-            * ccp_cachesim::LINE_BYTES;
+        let mut line_byte =
+            self.next_byte.div_ceil(ccp_cachesim::LINE_BYTES) * ccp_cachesim::LINE_BYTES;
         while line_byte < end_byte {
             mem.access(stream, codes.addr(line_byte), AccessKind::Read);
             line_byte += ccp_cachesim::LINE_BYTES;
@@ -186,15 +194,26 @@ mod tests {
     #[test]
     fn bitvec_sizes_match_paper() {
         let mut space = AddrSpace::new();
-        assert_eq!(FkJoinSim::new(&mut space, 1_000_000, 1000).bitvec_bytes(), 125_000);
-        assert_eq!(FkJoinSim::new(&mut space, 100_000_000, 1000).bitvec_bytes(), 12_500_000);
+        assert_eq!(
+            FkJoinSim::new(&mut space, 1_000_000, 1000).bitvec_bytes(),
+            125_000
+        );
+        assert_eq!(
+            FkJoinSim::new(&mut space, 100_000_000, 1000).bitvec_bytes(),
+            12_500_000
+        );
     }
 
     #[test]
     fn cuid_carries_bitvec_size() {
         let mut space = AddrSpace::new();
         let j = FkJoinSim::new(&mut space, 100_000_000, 1000);
-        assert_eq!(j.cuid(), CacheUsageClass::Mixed { hot_bytes: 12_500_000 });
+        assert_eq!(
+            j.cuid(),
+            CacheUsageClass::Mixed {
+                hot_bytes: 12_500_000
+            }
+        );
     }
 
     #[test]
@@ -203,7 +222,10 @@ mod tests {
         // at most a few percent degradation.
         let rows = 300_000;
         let ratio = run(2, 1_000_000, rows) as f64 / run(20, 1_000_000, rows) as f64;
-        assert!(ratio < 1.18, "L2-resident join must barely degrade: {ratio}");
+        assert!(
+            ratio < 1.18,
+            "L2-resident join must barely degrade: {ratio}"
+        );
     }
 
     #[test]
@@ -212,7 +234,10 @@ mod tests {
         // must hurt clearly (paper: up to -33%).
         let rows = 300_000;
         let ratio = run(2, 100_000_000, rows) as f64 / run(20, 100_000_000, rows) as f64;
-        assert!(ratio > 1.2, "LLC-sized join must be cache-sensitive: {ratio}");
+        assert!(
+            ratio > 1.2,
+            "LLC-sized join must be cache-sensitive: {ratio}"
+        );
     }
 
     #[test]
@@ -221,7 +246,10 @@ mod tests {
         let rows = 200_000;
         let sized = run(2, 100_000_000, rows) as f64 / run(20, 100_000_000, rows) as f64;
         let over = run(2, 1_000_000_000, rows) as f64 / run(20, 1_000_000_000, rows) as f64;
-        assert!(over < sized, "beyond-LLC join should flatten: {over} vs {sized}");
+        assert!(
+            over < sized,
+            "beyond-LLC join should flatten: {over} vs {sized}"
+        );
     }
 
     #[test]

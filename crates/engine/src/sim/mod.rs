@@ -153,8 +153,8 @@ mod tests {
     fn ht_constant_anchors_paper_sizes() {
         // 10^5 groups ≈ the 55 MiB LLC; 10^6 groups far exceed it.
         assert_eq!(100_000 * HT_BYTES_PER_GROUP, 55_000_000);
-        assert!(1_000_000 * HT_BYTES_PER_GROUP > 8 * 55 * 1024 * 1024);
+        const { assert!(1_000_000 * HT_BYTES_PER_GROUP > 8 * 55 * 1024 * 1024) };
         // 10^4 groups per thread (~125 KiB) fit the 256 KiB L2.
-        assert!(10_000 * HT_BYTES_PER_GROUP / 44 < 256 * 1024);
+        const { assert!(10_000 * HT_BYTES_PER_GROUP / 44 < 256 * 1024) };
     }
 }

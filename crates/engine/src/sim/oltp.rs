@@ -50,9 +50,15 @@ impl OltpSim {
         dict_sizes: &[u64],
         data_bytes: u64,
     ) -> Self {
-        assert!(!dict_sizes.is_empty(), "a projection needs at least one column");
+        assert!(
+            !dict_sizes.is_empty(),
+            "a projection needs at least one column"
+        );
         OltpSim {
-            indexes: index_bytes.iter().map(|&b| space.alloc(b.max(64))).collect(),
+            indexes: index_bytes
+                .iter()
+                .map(|&b| space.alloc(b.max(64)))
+                .collect(),
             projected: dict_sizes
                 .iter()
                 .map(|&d| ProjectedColumn {

@@ -90,8 +90,8 @@ impl SimOperator for ColumnScanSim {
         // Touch each new cache line the batch's rows occupy, in order.
         // First *untouched* line: a batch boundary inside a line means that
         // line was already accessed by the previous batch.
-        let mut line_byte = self.next_byte.div_ceil(ccp_cachesim::LINE_BYTES)
-            * ccp_cachesim::LINE_BYTES;
+        let mut line_byte =
+            self.next_byte.div_ceil(ccp_cachesim::LINE_BYTES) * ccp_cachesim::LINE_BYTES;
         while line_byte < end_byte {
             mem.access(stream, self.column.addr(line_byte), AccessKind::Read);
             line_byte += ccp_cachesim::LINE_BYTES;
@@ -182,7 +182,10 @@ mod tests {
         // 2M rows * 2.5 B / 64 B = 78,125 lines at 2.2 cycles each.
         let min_cycles = 171_000;
         assert!(cycles >= min_cycles, "faster than DRAM allows: {cycles}");
-        assert!(cycles < min_cycles * 2, "scan far below bandwidth: {cycles}");
+        assert!(
+            cycles < min_cycles * 2,
+            "scan far below bandwidth: {cycles}"
+        );
     }
 
     #[test]

@@ -54,7 +54,10 @@ impl ZipfSampler {
     /// Panics when `n` is zero or `s` is not positive and finite.
     pub fn new(n: u64, s: f64) -> Self {
         assert!(n > 0, "Zipf domain must be non-empty");
-        assert!(s > 0.0 && s.is_finite(), "Zipf exponent must be positive, got {s}");
+        assert!(
+            s > 0.0 && s.is_finite(),
+            "Zipf exponent must be positive, got {s}"
+        );
         ZipfSampler {
             n,
             s,
@@ -110,7 +113,10 @@ mod tests {
         // s = 1: count(rank 1) / count(rank 10) ≈ 10.
         let counts = histogram(1000, 1.0, 200_000);
         let ratio = counts[0] as f64 / counts[9].max(1) as f64;
-        assert!((5.0..20.0).contains(&ratio), "rank1/rank10 ratio {ratio}, expected ~10");
+        assert!(
+            (5.0..20.0).contains(&ratio),
+            "rank1/rank10 ratio {ratio}, expected ~10"
+        );
         // Monotone non-increasing on average over the head.
         assert!(counts[0] > counts[4] && counts[4] > counts[49]);
     }
@@ -118,8 +124,9 @@ mod tests {
     #[test]
     fn low_exponent_is_nearly_uniform() {
         let counts = histogram(100, 0.05, 100_000);
-        let (min, max) =
-            counts.iter().fold((u64::MAX, 0), |(lo, hi), &c| (lo.min(c), hi.max(c)));
+        let (min, max) = counts
+            .iter()
+            .fold((u64::MAX, 0), |(lo, hi), &c| (lo.min(c), hi.max(c)));
         assert!(
             (max as f64) < 3.0 * min as f64,
             "s→0 should be near-uniform, got min {min} max {max}"

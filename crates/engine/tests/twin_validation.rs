@@ -25,7 +25,10 @@ fn scan_twin_touches_exactly_the_packed_bytes() {
     assert_eq!(scan.column_bytes(), (1u64 << 16) * 20 / 8);
     let (accesses, dram_lines) = drive(&mut scan, 1 << 16);
     assert_eq!(accesses, 2560, "one demand access per line");
-    assert_eq!(dram_lines, 2560, "each line crosses DRAM once (no prefetch in tiny cfg)");
+    assert_eq!(
+        dram_lines, 2560,
+        "each line crosses DRAM once (no prefetch in tiny cfg)"
+    );
 }
 
 #[test]

@@ -1,0 +1,143 @@
+//! Scalar metric primitives: [`Counter`] and [`Gauge`].
+//!
+//! Both are cheap to clone (`Arc` inside) and safe to update from any
+//! thread without locks, so hot paths — the executor's per-job
+//! accounting, the resctrl driver's syscall counts — can publish
+//! unconditionally.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A monotonically increasing counter.
+#[derive(Debug, Clone, Default)]
+pub struct Counter {
+    value: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// Creates a counter at zero.
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A point-in-time `f64` value (queue depths, occupancy bytes,
+/// throughput). Stored as bit-cast `u64` so updates stay lock-free.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge {
+    bits: Arc<AtomicU64>,
+}
+
+impl Gauge {
+    /// Creates a gauge at zero.
+    pub fn new() -> Self {
+        Gauge::default()
+    }
+
+    /// Sets the value.
+    pub fn set(&self, v: f64) {
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Adds `delta` (atomic read-modify-write).
+    pub fn add(&self, delta: f64) {
+        let mut cur = self.bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + delta).to_bits();
+            match self
+                .bits
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Subtracts `delta`.
+    pub fn sub(&self, delta: f64) {
+        self.add(-delta);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates() {
+        let c = Counter::new();
+        c.inc();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+    }
+
+    #[test]
+    fn counter_clones_share_state() {
+        let c = Counter::new();
+        let c2 = c.clone();
+        c2.add(7);
+        assert_eq!(c.get(), 7);
+    }
+
+    #[test]
+    fn gauge_set_add_sub() {
+        let g = Gauge::new();
+        g.set(1.5);
+        g.add(2.0);
+        g.sub(0.5);
+        assert!((g.get() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn concurrent_counter_is_exact() {
+        let c = Counter::new();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let c = c.clone();
+                s.spawn(move || {
+                    for _ in 0..10_000 {
+                        c.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 80_000);
+    }
+
+    #[test]
+    fn concurrent_gauge_adds_are_lost_update_free() {
+        let g = Gauge::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let g = g.clone();
+                s.spawn(move || {
+                    for _ in 0..10_000 {
+                        g.add(1.0);
+                    }
+                });
+            }
+        });
+        assert!((g.get() - 40_000.0).abs() < 1e-9);
+    }
+}

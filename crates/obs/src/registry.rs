@@ -1,0 +1,443 @@
+//! Metric families and the process-wide [`Registry`].
+//!
+//! A [`Family`] is one metric name fanned out over label sets (e.g.
+//! `ccp_executor_jobs_total{class="polluting"}`). The [`Registry`] owns
+//! families by name and renders everything in the Prometheus text
+//! exposition format, so a scrape endpoint or the `metrics_dump`
+//! example can serve/print the whole process state in one call.
+//!
+//! Families are idempotent: asking twice for the same name returns the
+//! same family, and instruments already held elsewhere (an executor's
+//! private counters) can be attached under a label set with
+//! [`Family::register`] — the registry then renders the live handle.
+
+use crate::histogram::{BucketSpec, Histogram};
+use crate::metrics::{Counter, Gauge};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// A label set: `(key, value)` pairs, sorted by key on creation.
+pub type Labels = Vec<(String, String)>;
+
+fn normalize(labels: &[(&str, &str)]) -> Labels {
+    let mut v: Labels = labels
+        .iter()
+        .map(|(k, s)| (k.to_string(), s.to_string()))
+        .collect();
+    v.sort();
+    v
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+struct FamilyInner<T> {
+    name: String,
+    help: String,
+    make: Box<dyn Fn() -> T + Send + Sync>,
+    metrics: Mutex<BTreeMap<Labels, T>>,
+}
+
+/// One metric name fanned out over label sets. Cloning shares the
+/// family; metrics handed out by [`get_or_create`](Family::get_or_create)
+/// share state with the registry's copy.
+pub struct Family<T> {
+    inner: Arc<FamilyInner<T>>,
+}
+
+impl<T> Clone for Family<T> {
+    fn clone(&self) -> Self {
+        Family {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T> std::fmt::Debug for Family<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Family")
+            .field("name", &self.inner.name)
+            .finish()
+    }
+}
+
+impl<T: Clone> Family<T> {
+    fn new(name: &str, help: &str, make: impl Fn() -> T + Send + Sync + 'static) -> Self {
+        Family {
+            inner: Arc::new(FamilyInner {
+                name: name.to_string(),
+                help: help.to_string(),
+                make: Box::new(make),
+                metrics: Mutex::new(BTreeMap::new()),
+            }),
+        }
+    }
+
+    /// Metric name of this family.
+    pub fn name(&self) -> &str {
+        &self.inner.name
+    }
+
+    /// Returns the metric for `labels`, creating it on first use. The
+    /// returned handle shares state with the family, so it can be moved
+    /// into a hot path and updated without further lookups.
+    pub fn get_or_create(&self, labels: &[(&str, &str)]) -> T {
+        let key = normalize(labels);
+        let mut map = lock(&self.inner.metrics);
+        map.entry(key)
+            .or_insert_with(|| (self.inner.make)())
+            .clone()
+    }
+
+    /// Attaches an existing metric handle under `labels`, replacing any
+    /// previous metric there. This lets a component keep private
+    /// instruments (isolated per instance) and expose them through a
+    /// registry only when asked.
+    pub fn register(&self, labels: &[(&str, &str)], metric: T) {
+        lock(&self.inner.metrics).insert(normalize(labels), metric);
+    }
+
+    /// Point-in-time copy of all (labels, metric) pairs, sorted by label
+    /// set.
+    pub fn collect(&self) -> Vec<(Labels, T)> {
+        lock(&self.inner.metrics)
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect()
+    }
+}
+
+#[derive(Clone)]
+enum AnyFamily {
+    Counter(Family<Counter>),
+    Gauge(Family<Gauge>),
+    Histogram(Family<Histogram>),
+}
+
+impl AnyFamily {
+    fn kind(&self) -> &'static str {
+        match self {
+            AnyFamily::Counter(_) => "counter",
+            AnyFamily::Gauge(_) => "gauge",
+            AnyFamily::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// Owns metric families and renders the Prometheus text format.
+/// Cloning shares the registry.
+#[derive(Clone, Default)]
+pub struct Registry {
+    families: Arc<Mutex<BTreeMap<String, AnyFamily>>>,
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let names: Vec<String> = lock(&self.families).keys().cloned().collect();
+        f.debug_struct("Registry")
+            .field("families", &names)
+            .finish()
+    }
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    fn family_or_insert<T: Clone>(
+        &self,
+        name: &str,
+        entry: impl FnOnce() -> AnyFamily,
+        extract: impl Fn(&AnyFamily) -> Option<Family<T>>,
+        want: &'static str,
+    ) -> Family<T> {
+        let mut map = lock(&self.families);
+        let fam = map.entry(name.to_string()).or_insert_with(entry);
+        extract(fam).unwrap_or_else(|| {
+            panic!(
+                "metric family {name:?} already registered as a {}, wanted {want}",
+                fam.kind()
+            )
+        })
+    }
+
+    /// Registers (or returns the existing) counter family.
+    pub fn counter_family(&self, name: &str, help: &str) -> Family<Counter> {
+        let fam = Family::new(name, help, Counter::new);
+        self.family_or_insert(
+            name,
+            move || AnyFamily::Counter(fam),
+            |f| match f {
+                AnyFamily::Counter(f) => Some(f.clone()),
+                _ => None,
+            },
+            "counter",
+        )
+    }
+
+    /// Registers (or returns the existing) gauge family.
+    pub fn gauge_family(&self, name: &str, help: &str) -> Family<Gauge> {
+        let fam = Family::new(name, help, Gauge::new);
+        self.family_or_insert(
+            name,
+            move || AnyFamily::Gauge(fam),
+            |f| match f {
+                AnyFamily::Gauge(f) => Some(f.clone()),
+                _ => None,
+            },
+            "gauge",
+        )
+    }
+
+    /// Registers (or returns the existing) histogram family with the
+    /// default latency bucket layout.
+    pub fn histogram_family(&self, name: &str, help: &str) -> Family<Histogram> {
+        self.histogram_family_with(name, help, crate::histogram::unit::latency_seconds())
+    }
+
+    /// Registers (or returns the existing) histogram family with an
+    /// explicit bucket layout. The layout only applies to metrics the
+    /// family creates; pre-built handles attached via
+    /// [`Family::register`] keep their own.
+    pub fn histogram_family_with(
+        &self,
+        name: &str,
+        help: &str,
+        spec: BucketSpec,
+    ) -> Family<Histogram> {
+        let fam = Family::new(name, help, move || Histogram::new(spec));
+        self.family_or_insert(
+            name,
+            move || AnyFamily::Histogram(fam),
+            |f| match f {
+                AnyFamily::Histogram(f) => Some(f.clone()),
+                _ => None,
+            },
+            "histogram",
+        )
+    }
+
+    /// Renders every family in the Prometheus text exposition format
+    /// (`# HELP` / `# TYPE` headers, one sample line per label set;
+    /// histograms expand to cumulative `_bucket{le=...}` series plus
+    /// `_sum` and `_count`). Families render in name order, label sets
+    /// in label order, so output is deterministic and diffable.
+    pub fn render_prometheus(&self) -> String {
+        let families: Vec<(String, AnyFamily)> = lock(&self.families)
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect();
+        let mut out = String::new();
+        for (name, fam) in families {
+            match &fam {
+                AnyFamily::Counter(f) => {
+                    header(&mut out, &name, &f.inner.help, "counter");
+                    for (labels, c) in f.collect() {
+                        let _ = writeln!(out, "{name}{} {}", label_str(&labels), c.get());
+                    }
+                }
+                AnyFamily::Gauge(f) => {
+                    header(&mut out, &name, &f.inner.help, "gauge");
+                    for (labels, g) in f.collect() {
+                        let _ = writeln!(out, "{name}{} {}", label_str(&labels), fmt_f64(g.get()));
+                    }
+                }
+                AnyFamily::Histogram(f) => {
+                    header(&mut out, &name, &f.inner.help, "histogram");
+                    for (labels, h) in f.collect() {
+                        render_histogram(&mut out, &name, &labels, &h);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+fn header(out: &mut String, name: &str, help: &str, kind: &str) {
+    let _ = writeln!(out, "# HELP {name} {}", help.replace('\n', " "));
+    let _ = writeln!(out, "# TYPE {name} {kind}");
+}
+
+fn escape_label_value(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+fn label_str(labels: &Labels) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let body: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label_value(v)))
+        .collect();
+    format!("{{{}}}", body.join(","))
+}
+
+/// Extra `le` label appended to a (possibly empty) label set.
+fn label_str_with_le(labels: &Labels, le: &str) -> String {
+    let mut body: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label_value(v)))
+        .collect();
+    body.push(format!("le=\"{le}\""));
+    format!("{{{}}}", body.join(","))
+}
+
+fn fmt_f64(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{v:.1}") // "3.0" not "3": keeps gauges visibly floats
+    } else {
+        format!("{v}")
+    }
+}
+
+fn render_histogram(out: &mut String, name: &str, labels: &Labels, h: &Histogram) {
+    let snap = h.snapshot();
+    let mut cumulative = 0u64;
+    for (i, &c) in snap.counts().iter().enumerate() {
+        cumulative += c;
+        let le = match snap.bounds().get(i) {
+            Some(b) => format!("{b}"),
+            None => "+Inf".to_string(),
+        };
+        let _ = writeln!(
+            out,
+            "{name}_bucket{} {cumulative}",
+            label_str_with_le(labels, &le)
+        );
+    }
+    let _ = writeln!(
+        out,
+        "{name}_sum{} {}",
+        label_str(labels),
+        fmt_f64(snap.sum())
+    );
+    let _ = writeln!(out, "{name}_count{} {cumulative}", label_str(labels));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::histogram::unit;
+
+    #[test]
+    fn counter_family_round_trips() {
+        let r = Registry::new();
+        let jobs = r.counter_family("jobs_total", "Jobs executed");
+        jobs.get_or_create(&[("class", "polluting")]).add(3);
+        jobs.get_or_create(&[("class", "sensitive")]).inc();
+        // Same labels -> same underlying counter.
+        jobs.get_or_create(&[("class", "polluting")]).inc();
+        let text = r.render_prometheus();
+        assert!(text.contains("# HELP jobs_total Jobs executed"));
+        assert!(text.contains("# TYPE jobs_total counter"));
+        assert!(text.contains("jobs_total{class=\"polluting\"} 4"));
+        assert!(text.contains("jobs_total{class=\"sensitive\"} 1"));
+    }
+
+    #[test]
+    fn family_requests_are_idempotent() {
+        let r = Registry::new();
+        let a = r.counter_family("x_total", "X");
+        let b = r.counter_family("x_total", "X");
+        a.get_or_create(&[]).inc();
+        assert_eq!(b.get_or_create(&[]).get(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_mismatch_panics() {
+        let r = Registry::new();
+        r.counter_family("x_total", "X");
+        r.gauge_family("x_total", "X");
+    }
+
+    #[test]
+    fn register_attaches_existing_handles() {
+        let r = Registry::new();
+        let private = Counter::new();
+        private.add(7);
+        let fam = r.counter_family("pool_jobs_total", "Jobs per pool");
+        fam.register(&[("pool", "olap")], private.clone());
+        private.inc(); // live handle: updates show up in the render
+        assert!(r
+            .render_prometheus()
+            .contains("pool_jobs_total{pool=\"olap\"} 8"));
+    }
+
+    #[test]
+    fn labels_are_sorted_and_escaped() {
+        let r = Registry::new();
+        let f = r.gauge_family("g", "G");
+        f.get_or_create(&[("b", "x\"y\\z"), ("a", "1")]).set(2.5);
+        let text = r.render_prometheus();
+        assert!(
+            text.contains("g{a=\"1\",b=\"x\\\"y\\\\z\"} 2.5"),
+            "got: {text}"
+        );
+    }
+
+    #[test]
+    fn unlabeled_metrics_render_bare() {
+        let r = Registry::new();
+        r.counter_family("total", "T").get_or_create(&[]).add(5);
+        assert!(r.render_prometheus().contains("\ntotal 5\n"));
+    }
+
+    #[test]
+    fn histogram_renders_cumulative_buckets() {
+        let r = Registry::new();
+        let f = r.histogram_family_with(
+            "lat_seconds",
+            "Latency",
+            crate::BucketSpec {
+                min_exp: 0,
+                max_exp: 2,
+                subdivisions: 1,
+            },
+        );
+        let h = f.get_or_create(&[("op", "scan")]);
+        h.observe(1.5); // bucket le=2
+        h.observe(3.0); // bucket le=4
+        h.observe(9.0); // +Inf
+        let text = r.render_prometheus();
+        assert!(text.contains("# TYPE lat_seconds histogram"));
+        assert!(text.contains("lat_seconds_bucket{op=\"scan\",le=\"2\"} 1"));
+        assert!(text.contains("lat_seconds_bucket{op=\"scan\",le=\"4\"} 2"));
+        assert!(text.contains("lat_seconds_bucket{op=\"scan\",le=\"+Inf\"} 3"));
+        assert!(text.contains("lat_seconds_sum{op=\"scan\"} 13.5"));
+        assert!(text.contains("lat_seconds_count{op=\"scan\"} 3"));
+    }
+
+    #[test]
+    fn default_histogram_layout_is_latency() {
+        let r = Registry::new();
+        let f = r.histogram_family("h_seconds", "H");
+        let h = f.get_or_create(&[]);
+        assert_eq!(
+            h.snapshot().bounds().len(),
+            Histogram::new(unit::latency_seconds())
+                .snapshot()
+                .bounds()
+                .len()
+        );
+    }
+
+    #[test]
+    fn families_render_in_name_order() {
+        let r = Registry::new();
+        r.counter_family("z_total", "Z").get_or_create(&[]).inc();
+        r.counter_family("a_total", "A").get_or_create(&[]).inc();
+        let text = r.render_prometheus();
+        let a = text.find("# TYPE a_total").unwrap();
+        let z = text.find("# TYPE z_total").unwrap();
+        assert!(a < z);
+    }
+}

@@ -1,0 +1,101 @@
+//! [`ScopedTimer`]: records a wall-clock span into a [`Histogram`] on
+//! drop.
+//!
+//! This is the idiom for latency instrumentation throughout the
+//! workspace: start a timer where the span begins (job pickup, resctrl
+//! syscall entry) and let scope exit — including early returns and
+//! panics unwinding through worker threads — record the elapsed seconds.
+
+use crate::histogram::Histogram;
+use std::time::Instant;
+
+/// Records elapsed seconds into a histogram when dropped.
+#[derive(Debug)]
+pub struct ScopedTimer {
+    histogram: Histogram,
+    start: Instant,
+    armed: bool,
+}
+
+impl ScopedTimer {
+    /// Starts timing now; the span ends (and records) on drop.
+    pub fn new(histogram: Histogram) -> Self {
+        ScopedTimer {
+            histogram,
+            start: Instant::now(),
+            armed: true,
+        }
+    }
+
+    /// Seconds elapsed so far, without ending the span.
+    pub fn elapsed_seconds(&self) -> f64 {
+        self.start.elapsed().as_secs_f64()
+    }
+
+    /// Ends the span now and records it, consuming the timer. Returns
+    /// the recorded seconds.
+    pub fn stop(mut self) -> f64 {
+        let secs = self.elapsed_seconds();
+        self.histogram.observe(secs);
+        self.armed = false;
+        secs
+    }
+
+    /// Abandons the span without recording anything (e.g. the guarded
+    /// operation turned out to be a cache hit that should not pollute
+    /// the latency distribution).
+    pub fn discard(mut self) {
+        self.armed = false;
+    }
+}
+
+impl Drop for ScopedTimer {
+    fn drop(&mut self) {
+        if self.armed {
+            self.histogram.observe(self.start.elapsed().as_secs_f64());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drop_records_one_observation() {
+        let h = Histogram::latency();
+        {
+            let _t = ScopedTimer::new(h.clone());
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        assert_eq!(h.count(), 1);
+        assert!(h.sum() >= 0.002);
+    }
+
+    #[test]
+    fn stop_records_and_returns_elapsed() {
+        let h = Histogram::latency();
+        let t = ScopedTimer::new(h.clone());
+        let secs = t.stop();
+        assert_eq!(h.count(), 1);
+        assert!((h.sum() - secs).abs() < 1e-12);
+    }
+
+    #[test]
+    fn discard_records_nothing() {
+        let h = Histogram::latency();
+        ScopedTimer::new(h.clone()).discard();
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn unwinding_still_records() {
+        let h = Histogram::latency();
+        let h2 = h.clone();
+        let _ = std::panic::catch_unwind(move || {
+            let _t = ScopedTimer::new(h2);
+            panic!("boom");
+        });
+        assert_eq!(h.count(), 1);
+    }
+}

@@ -9,10 +9,12 @@
 
 use crate::error::ResctrlError;
 use crate::fs::{RealFs, ResctrlFs};
+use crate::metrics::ResctrlMetrics;
 use crate::schemata::Schemata;
 use ccp_cachesim::WayMask;
 use std::collections::HashMap;
 use std::path::PathBuf;
+use std::time::Instant;
 
 /// Static CAT parameters read from `info/L3` at open time.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -56,7 +58,7 @@ pub struct CacheController {
     mask_cache: HashMap<(String, u32), WayMask>,
     /// Cache of task -> group assignments, same purpose.
     task_cache: HashMap<u64, String>,
-    skipped_writes: u64,
+    metrics: ResctrlMetrics,
 }
 
 impl std::fmt::Debug for CacheController {
@@ -64,7 +66,7 @@ impl std::fmt::Debug for CacheController {
         f.debug_struct("CacheController")
             .field("root", &self.root)
             .field("info", &self.info)
-            .field("skipped_writes", &self.skipped_writes)
+            .field("skipped_writes", &self.metrics.skipped_writes())
             .finish_non_exhaustive()
     }
 }
@@ -108,7 +110,7 @@ impl CacheController {
             info,
             mask_cache: HashMap::new(),
             task_cache: HashMap::new(),
-            skipped_writes: 0,
+            metrics: ResctrlMetrics::new(),
         })
     }
 
@@ -136,10 +138,20 @@ impl CacheController {
     /// Maps the kernel's `ENOSPC` to [`ResctrlError::TooManyGroups`].
     pub fn create_group(&mut self, name: &str) -> Result<GroupHandle, ResctrlError> {
         let dir = self.root.join(name);
+        let started = Instant::now();
         match self.fs.create_dir(&dir) {
-            Ok(()) => Ok(GroupHandle { name: name.to_string(), dir }),
+            Ok(()) => {
+                self.metrics
+                    .record_group_create(started.elapsed().as_secs_f64());
+                Ok(GroupHandle {
+                    name: name.to_string(),
+                    dir,
+                })
+            }
             Err(ResctrlError::Io { message, .. }) if message.contains("No space left") => {
-                Err(ResctrlError::TooManyGroups { limit: self.info.num_closids })
+                Err(ResctrlError::TooManyGroups {
+                    limit: self.info.num_closids,
+                })
             }
             Err(e) => Err(e),
         }
@@ -152,7 +164,10 @@ impl CacheController {
     pub fn existing_group(&self, name: &str) -> Result<GroupHandle, ResctrlError> {
         let dir = self.root.join(name);
         if self.fs.exists(&dir.join("schemata")) {
-            Ok(GroupHandle { name: name.to_string(), dir })
+            Ok(GroupHandle {
+                name: name.to_string(),
+                dir,
+            })
         } else {
             Err(ResctrlError::NoSuchGroup(name.to_string()))
         }
@@ -196,11 +211,14 @@ impl CacheController {
         }
         let key = (group.name.clone(), domain);
         if self.mask_cache.get(&key) == Some(&mask) {
-            self.skipped_writes += 1;
+            self.metrics.record_skipped_write();
             return Ok(());
         }
         let line = format!("L3:{domain}={:x}\n", mask.bits());
+        let started = Instant::now();
         self.fs.write(&group.dir.join("schemata"), &line)?;
+        self.metrics
+            .record_schemata_write(started.elapsed().as_secs_f64());
         self.mask_cache.insert(key, mask);
         Ok(())
     }
@@ -221,17 +239,29 @@ impl CacheController {
     /// Propagates filesystem errors.
     pub fn assign_task(&mut self, group: &GroupHandle, tid: u64) -> Result<(), ResctrlError> {
         if self.task_cache.get(&tid) == Some(&group.name) {
-            self.skipped_writes += 1;
+            self.metrics.record_skipped_write();
             return Ok(());
         }
+        let started = Instant::now();
         self.fs.write(&group.dir.join("tasks"), &tid.to_string())?;
+        self.metrics
+            .record_task_assign(started.elapsed().as_secs_f64());
         self.task_cache.insert(tid, group.name.clone());
         Ok(())
     }
 
     /// Number of kernel writes avoided by the old-vs-new fast path.
     pub fn skipped_writes(&self) -> u64 {
-        self.skipped_writes
+        self.metrics.skipped_writes()
+    }
+
+    /// This controller's instruments (kernel round-trip counts and
+    /// latency, skipped writes). Attach them to a registry with
+    /// [`ResctrlMetrics::register_into`]; once attached, every
+    /// [`monitoring`](Self::monitoring) read also publishes per-group
+    /// CMT/MBM gauges.
+    pub fn metrics(&self) -> ResctrlMetrics {
+        self.metrics.clone()
     }
 
     /// Reads a group's CMT/MBM monitoring counters for L3 domain `domain`
@@ -245,7 +275,10 @@ impl CacheController {
         group: &GroupHandle,
         domain: u32,
     ) -> Result<MonitoringData, ResctrlError> {
-        let dir = group.dir.join("mon_data").join(format!("mon_L3_{domain:02}"));
+        let dir = group
+            .dir
+            .join("mon_data")
+            .join(format!("mon_L3_{domain:02}"));
         if !self.fs.exists(&dir.join("llc_occupancy")) {
             return Err(ResctrlError::Unsupported(
                 "no mon_data for this group (CMT/MBM unavailable)".into(),
@@ -257,11 +290,13 @@ impl CacheController {
                 .parse()
                 .map_err(|_| ResctrlError::InvalidSchemata(format!("{file}: {text:?}")))
         };
-        Ok(MonitoringData {
+        let data = MonitoringData {
             llc_occupancy_bytes: read_u64("llc_occupancy")?,
             mbm_total_bytes: read_u64("mbm_total_bytes")?,
             mbm_local_bytes: read_u64("mbm_local_bytes")?,
-        })
+        };
+        self.metrics.record_monitoring(&group.name, domain, &data);
+        Ok(data)
     }
 }
 
@@ -290,7 +325,14 @@ mod tests {
     #[test]
     fn open_reads_cat_info() {
         let (_, ctl) = ctl();
-        assert_eq!(ctl.info(), CatInfo { cbm_mask: 0xfffff, min_cbm_bits: 2, num_closids: 16 });
+        assert_eq!(
+            ctl.info(),
+            CatInfo {
+                cbm_mask: 0xfffff,
+                min_cbm_bits: 2,
+                num_closids: 16
+            }
+        );
         assert_eq!(ctl.info().ways(), 20);
     }
 
@@ -310,7 +352,10 @@ mod tests {
         assert_eq!(ctl.existing_group("olap").unwrap(), g);
         ctl.remove_group(g).unwrap();
         assert!(ctl.groups().unwrap().is_empty());
-        assert!(matches!(ctl.existing_group("olap"), Err(ResctrlError::NoSuchGroup(_))));
+        assert!(matches!(
+            ctl.existing_group("olap"),
+            Err(ResctrlError::NoSuchGroup(_))
+        ));
     }
 
     #[test]
@@ -361,7 +406,10 @@ mod tests {
         ctl.assign_task(&g, 111).unwrap();
         ctl.assign_task(&g, 222).unwrap();
         ctl.assign_task(&g, 111).unwrap(); // cached, skipped
-        assert_eq!(fs.tasks_of(std::path::Path::new("/sys/fs/resctrl/g")), vec![111, 222]);
+        assert_eq!(
+            fs.tasks_of(std::path::Path::new("/sys/fs/resctrl/g")),
+            vec![111, 222]
+        );
         assert_eq!(ctl.skipped_writes(), 1);
     }
 
@@ -374,7 +422,10 @@ mod tests {
         ctl.assign_task(&b, 7).unwrap();
         // The fake appends to both files (the real kernel moves the task);
         // what matters here is that the second write was not skipped.
-        assert_eq!(fs.tasks_of(std::path::Path::new("/sys/fs/resctrl/b")), vec![7]);
+        assert_eq!(
+            fs.tasks_of(std::path::Path::new("/sys/fs/resctrl/b")),
+            vec![7]
+        );
         assert_eq!(ctl.skipped_writes(), 0);
     }
 
@@ -395,7 +446,11 @@ mod tests {
         let (fs, mut ctl) = ctl();
         let g = ctl.create_group("olap").unwrap();
         // Kernel-side counters tick (emulated by the fake).
-        fs.set_mon_counter(std::path::Path::new("/sys/fs/resctrl/olap"), "llc_occupancy", 5_767_168);
+        fs.set_mon_counter(
+            std::path::Path::new("/sys/fs/resctrl/olap"),
+            "llc_occupancy",
+            5_767_168,
+        );
         fs.set_mon_counter(
             std::path::Path::new("/sys/fs/resctrl/olap"),
             "mbm_total_bytes",
@@ -406,7 +461,42 @@ mod tests {
         assert_eq!(m.mbm_total_bytes, 123_456_789);
         assert_eq!(m.mbm_local_bytes, 0);
         // Unknown domain -> Unsupported, like a kernel without that socket.
-        assert!(matches!(ctl.monitoring(&g, 7), Err(ResctrlError::Unsupported(_))));
+        assert!(matches!(
+            ctl.monitoring(&g, 7),
+            Err(ResctrlError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn metrics_count_kernel_round_trips_and_skips() {
+        let (fs, mut ctl) = ctl();
+        let g = ctl.create_group("g").unwrap();
+        let m = WayMask::new(0xfff).unwrap();
+        ctl.set_l3_mask(&g, 0, m).unwrap();
+        ctl.set_l3_mask(&g, 0, m).unwrap(); // skipped
+        ctl.assign_task(&g, 7).unwrap();
+        ctl.assign_task(&g, 7).unwrap(); // skipped
+        let metrics = ctl.metrics();
+        assert_eq!(metrics.group_creates(), 1);
+        assert_eq!(metrics.schemata_writes(), 1);
+        assert_eq!(metrics.task_assigns(), 1);
+        assert_eq!(metrics.skipped_writes(), 2);
+        assert_eq!(metrics.skipped_writes(), ctl.skipped_writes());
+        // Three real fs operations, each timed.
+        assert_eq!(metrics.fs_op_seconds().count(), 3);
+
+        // Once attached to a registry, a monitoring read publishes gauges.
+        let registry = ccp_obs::Registry::new();
+        metrics.register_into(&registry);
+        fs.set_mon_counter(
+            std::path::Path::new("/sys/fs/resctrl/g"),
+            "llc_occupancy",
+            4096,
+        );
+        ctl.monitoring(&g, 0).unwrap();
+        let text = registry.render_prometheus();
+        assert!(text.contains("ccp_resctrl_schemata_writes_total 1"));
+        assert!(text.contains("ccp_resctrl_llc_occupancy_bytes{domain=\"0\",group=\"g\"} 4096.0"));
     }
 
     #[test]
@@ -417,14 +507,23 @@ mod tests {
         let scan = ctl.create_group("cuid_polluting").unwrap();
         let agg = ctl.create_group("cuid_sensitive").unwrap();
         let join = ctl.create_group("cuid_mixed").unwrap();
-        ctl.set_l3_mask(&scan, 0, WayMask::new(0x3).unwrap()).unwrap();
-        ctl.set_l3_mask(&agg, 0, WayMask::new(0xfffff).unwrap()).unwrap();
-        ctl.set_l3_mask(&join, 0, WayMask::new(0xfff).unwrap()).unwrap();
+        ctl.set_l3_mask(&scan, 0, WayMask::new(0x3).unwrap())
+            .unwrap();
+        ctl.set_l3_mask(&agg, 0, WayMask::new(0xfffff).unwrap())
+            .unwrap();
+        ctl.set_l3_mask(&join, 0, WayMask::new(0xfff).unwrap())
+            .unwrap();
         for (g, tid) in [(&scan, 100), (&agg, 200), (&join, 300)] {
             ctl.assign_task(g, tid).unwrap();
         }
         assert_eq!(ctl.schemata(&scan).unwrap().mask_of(0).unwrap().bits(), 0x3);
-        assert_eq!(ctl.schemata(&agg).unwrap().mask_of(0).unwrap().bits(), 0xfffff);
-        assert_eq!(ctl.schemata(&join).unwrap().mask_of(0).unwrap().bits(), 0xfff);
+        assert_eq!(
+            ctl.schemata(&agg).unwrap().mask_of(0).unwrap().bits(),
+            0xfffff
+        );
+        assert_eq!(
+            ctl.schemata(&join).unwrap().mask_of(0).unwrap().bits(),
+            0xfff
+        );
     }
 }

@@ -34,7 +34,11 @@ impl CatSupport {
 /// appropriate "missing" variant, because an unreadable `/proc` means the
 /// feature is unusable either way.
 pub fn detect() -> CatSupport {
-    detect_at(Path::new("/proc/cpuinfo"), Path::new("/proc/filesystems"), Path::new(crate::DEFAULT_MOUNT))
+    detect_at(
+        Path::new("/proc/cpuinfo"),
+        Path::new("/proc/filesystems"),
+        Path::new(crate::DEFAULT_MOUNT),
+    )
 }
 
 /// Testable core of [`detect`] with injectable paths.
@@ -42,17 +46,24 @@ pub fn detect_at(cpuinfo: &Path, filesystems: &Path, mount: &Path) -> CatSupport
     let cpuinfo_text = std::fs::read_to_string(cpuinfo).unwrap_or_default();
     let missing = missing_cpu_flags(&cpuinfo_text);
     if !missing.is_empty() {
-        return CatSupport::HardwareMissing { missing_flags: missing };
+        return CatSupport::HardwareMissing {
+            missing_flags: missing,
+        };
     }
     let fs_text = std::fs::read_to_string(filesystems).unwrap_or_default();
-    if !fs_text.lines().any(|l| l.trim_start().trim_start_matches("nodev").trim() == "resctrl") {
+    if !fs_text
+        .lines()
+        .any(|l| l.trim_start().trim_start_matches("nodev").trim() == "resctrl")
+    {
         let kernel = std::fs::read_to_string("/proc/sys/kernel/osrelease").unwrap_or_default();
         return CatSupport::KernelMissing {
             kernel_hint: format!("kernel {} lacks resctrl (need >= 4.10)", kernel.trim()),
         };
     }
     if mount.join("info").join("L3").is_dir() {
-        CatSupport::Available { mount: mount.display().to_string() }
+        CatSupport::Available {
+            mount: mount.display().to_string(),
+        }
     } else {
         CatSupport::NotMounted
     }

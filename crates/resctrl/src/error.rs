@@ -11,7 +11,11 @@ pub enum ResctrlError {
     /// resctrl support exists but the filesystem is not mounted.
     NotMounted,
     /// An underlying filesystem operation failed.
-    Io { path: String, op: &'static str, message: String },
+    Io {
+        path: String,
+        op: &'static str,
+        message: String,
+    },
     /// A schemata line could not be parsed.
     InvalidSchemata(String),
     /// The kernel rejected a schemata write (bad mask, unknown domain, ...).
@@ -50,7 +54,11 @@ impl std::error::Error for ResctrlError {}
 impl ResctrlError {
     /// Builds an [`ResctrlError::Io`] from a `std::io::Error`.
     pub fn io(path: impl Into<String>, op: &'static str, err: &std::io::Error) -> Self {
-        ResctrlError::Io { path: path.into(), op, message: err.to_string() }
+        ResctrlError::Io {
+            path: path.into(),
+            op,
+            message: err.to_string(),
+        }
     }
 }
 
@@ -62,7 +70,11 @@ mod tests {
     fn display_is_informative() {
         let e = ResctrlError::TooManyGroups { limit: 16 };
         assert!(e.to_string().contains("16"));
-        let e = ResctrlError::Io { path: "/x".into(), op: "write", message: "EACCES".into() };
+        let e = ResctrlError::Io {
+            path: "/x".into(),
+            op: "write",
+            message: "EACCES".into(),
+        };
         assert!(e.to_string().contains("/x"));
         assert!(e.to_string().contains("write"));
     }

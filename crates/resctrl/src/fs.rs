@@ -124,9 +124,14 @@ impl FakeFs {
         st.dirs.push(root.clone());
         st.dirs.push(root.join("info"));
         st.dirs.push(root.join("info/L3"));
-        st.files.insert(root.join("info/L3/cbm_mask"), format!("{cbm_mask:x}\n"));
-        st.files.insert(root.join("info/L3/min_cbm_bits"), format!("{min_cbm_bits}\n"));
-        st.files.insert(root.join("info/L3/num_closids"), format!("{num_closids}\n"));
+        st.files
+            .insert(root.join("info/L3/cbm_mask"), format!("{cbm_mask:x}\n"));
+        st.files.insert(
+            root.join("info/L3/min_cbm_bits"),
+            format!("{min_cbm_bits}\n"),
+        );
+        st.files
+            .insert(root.join("info/L3/num_closids"), format!("{num_closids}\n"));
         let schemata = Self::render_schemata(domains, cbm_mask);
         st.files.insert(root.join("schemata"), schemata);
         st.files.insert(root.join("tasks"), String::new());
@@ -134,9 +139,16 @@ impl FakeFs {
         // Monitoring (CMT/MBM) files, as on kernels with RDT monitoring.
         st.dirs.push(root.join("mon_data"));
         st.dirs.push(root.join("mon_data/mon_L3_00"));
-        st.files.insert(root.join("mon_data/mon_L3_00/llc_occupancy"), "0\n".into());
-        st.files.insert(root.join("mon_data/mon_L3_00/mbm_total_bytes"), "0\n".into());
-        st.files.insert(root.join("mon_data/mon_L3_00/mbm_local_bytes"), "0\n".into());
+        st.files
+            .insert(root.join("mon_data/mon_L3_00/llc_occupancy"), "0\n".into());
+        st.files.insert(
+            root.join("mon_data/mon_L3_00/mbm_total_bytes"),
+            "0\n".into(),
+        );
+        st.files.insert(
+            root.join("mon_data/mon_L3_00/mbm_local_bytes"),
+            "0\n".into(),
+        );
         FakeFs {
             state: Arc::new(Mutex::new(st)),
             root,
@@ -156,8 +168,10 @@ impl FakeFs {
     /// kernel updating CMT/MBM values).
     pub fn set_mon_counter(&self, group_dir: &Path, file: &str, value: u64) {
         let mut st = self.state.lock();
-        st.files
-            .insert(group_dir.join("mon_data/mon_L3_00").join(file), format!("{value}\n"));
+        st.files.insert(
+            group_dir.join("mon_data/mon_L3_00").join(file),
+            format!("{value}\n"),
+        );
     }
 
     /// Lists the tasks assigned to a group (test helper).
@@ -199,9 +213,10 @@ impl FakeFs {
         if let Some(rest) = current.trim().strip_prefix("L3:") {
             for part in rest.split(';') {
                 if let Some((dom, mask)) = part.split_once('=') {
-                    if let (Ok(d), Ok(m)) =
-                        (dom.trim().parse::<u32>(), u32::from_str_radix(mask.trim(), 16))
-                    {
+                    if let (Ok(d), Ok(m)) = (
+                        dom.trim().parse::<u32>(),
+                        u32::from_str_radix(mask.trim(), 16),
+                    ) {
                         masks.insert(d, m);
                     }
                 }
@@ -212,22 +227,24 @@ impl FakeFs {
             if line.is_empty() {
                 continue;
             }
-            let rest = line
-                .strip_prefix("L3:")
-                .ok_or_else(|| ResctrlError::RejectedSchemata(format!("unknown resource: {line}")))?;
+            let rest = line.strip_prefix("L3:").ok_or_else(|| {
+                ResctrlError::RejectedSchemata(format!("unknown resource: {line}"))
+            })?;
             for part in rest.split(';') {
                 let (dom, mask) = part.split_once('=').ok_or_else(|| {
                     ResctrlError::RejectedSchemata(format!("malformed entry: {part}"))
                 })?;
-                let dom: u32 = dom.trim().parse().map_err(|_| {
-                    ResctrlError::RejectedSchemata(format!("bad domain id: {dom}"))
-                })?;
+                let dom: u32 = dom
+                    .trim()
+                    .parse()
+                    .map_err(|_| ResctrlError::RejectedSchemata(format!("bad domain id: {dom}")))?;
                 if !self.domains.contains(&dom) {
-                    return Err(ResctrlError::RejectedSchemata(format!("unknown domain {dom}")));
+                    return Err(ResctrlError::RejectedSchemata(format!(
+                        "unknown domain {dom}"
+                    )));
                 }
-                let mask = u32::from_str_radix(mask.trim(), 16).map_err(|_| {
-                    ResctrlError::RejectedSchemata(format!("bad mask: {mask}"))
-                })?;
+                let mask = u32::from_str_radix(mask.trim(), 16)
+                    .map_err(|_| ResctrlError::RejectedSchemata(format!("bad mask: {mask}")))?;
                 if mask == 0 || (mask & !self.cbm_mask) != 0 {
                     return Err(ResctrlError::RejectedSchemata(format!(
                         "mask {mask:#x} outside cbm_mask {:#x}",
@@ -334,9 +351,16 @@ impl ResctrlFs for FakeFs {
         st.files.insert(path.join("cpus"), "ffffff\n".to_string());
         st.dirs.push(path.join("mon_data"));
         st.dirs.push(path.join("mon_data/mon_L3_00"));
-        st.files.insert(path.join("mon_data/mon_L3_00/llc_occupancy"), "0\n".into());
-        st.files.insert(path.join("mon_data/mon_L3_00/mbm_total_bytes"), "0\n".into());
-        st.files.insert(path.join("mon_data/mon_L3_00/mbm_local_bytes"), "0\n".into());
+        st.files
+            .insert(path.join("mon_data/mon_L3_00/llc_occupancy"), "0\n".into());
+        st.files.insert(
+            path.join("mon_data/mon_L3_00/mbm_total_bytes"),
+            "0\n".into(),
+        );
+        st.files.insert(
+            path.join("mon_data/mon_L3_00/mbm_local_bytes"),
+            "0\n".into(),
+        );
         Ok(())
     }
 
@@ -365,7 +389,12 @@ impl ResctrlFs for FakeFs {
             .dirs
             .iter()
             .filter(|d| d.parent() == Some(path))
-            .map(|d| d.file_name().unwrap_or_default().to_string_lossy().into_owned())
+            .map(|d| {
+                d.file_name()
+                    .unwrap_or_default()
+                    .to_string_lossy()
+                    .into_owned()
+            })
             .collect();
         out.sort();
         Ok(out)
@@ -381,7 +410,10 @@ mod tests {
         let fs = FakeFs::broadwell();
         let root = Path::new("/sys/fs/resctrl");
         assert!(fs.exists(root));
-        assert_eq!(fs.read(&root.join("info/L3/cbm_mask")).unwrap().trim(), "fffff");
+        assert_eq!(
+            fs.read(&root.join("info/L3/cbm_mask")).unwrap().trim(),
+            "fffff"
+        );
         assert_eq!(fs.read(&root.join("schemata")).unwrap(), "L3:0=fffff\n");
     }
 
@@ -393,7 +425,11 @@ mod tests {
         assert_eq!(fs.read(&g.join("schemata")).unwrap(), "L3:0=fffff\n");
         assert_eq!(fs.read(&g.join("tasks")).unwrap(), "");
         // Monitoring files come with the group, as on CMT-capable kernels.
-        assert_eq!(fs.read(&g.join("mon_data/mon_L3_00/llc_occupancy")).unwrap(), "0\n");
+        assert_eq!(
+            fs.read(&g.join("mon_data/mon_L3_00/llc_occupancy"))
+                .unwrap(),
+            "0\n"
+        );
     }
 
     #[test]
@@ -402,7 +438,11 @@ mod tests {
         let g = Path::new("/sys/fs/resctrl/olap");
         fs.create_dir(g).unwrap();
         fs.set_mon_counter(g, "llc_occupancy", 5_767_168);
-        assert_eq!(fs.read(&g.join("mon_data/mon_L3_00/llc_occupancy")).unwrap(), "5767168\n");
+        assert_eq!(
+            fs.read(&g.join("mon_data/mon_L3_00/llc_occupancy"))
+                .unwrap(),
+            "5767168\n"
+        );
     }
 
     #[test]
@@ -470,13 +510,22 @@ mod tests {
     #[test]
     fn multi_domain_schemata() {
         let fs = FakeFs::new("/r", 0xfffff, 2, 16, &[0, 1]);
-        assert_eq!(fs.read(Path::new("/r/schemata")).unwrap(), "L3:0=fffff;1=fffff\n");
+        assert_eq!(
+            fs.read(Path::new("/r/schemata")).unwrap(),
+            "L3:0=fffff;1=fffff\n"
+        );
         fs.create_dir(Path::new("/r/g")).unwrap();
         // Partial update keeps the other domain at its previous value.
         fs.write(Path::new("/r/g/schemata"), "L3:1=3\n").unwrap();
-        assert_eq!(fs.read(Path::new("/r/g/schemata")).unwrap(), "L3:0=fffff;1=3\n");
+        assert_eq!(
+            fs.read(Path::new("/r/g/schemata")).unwrap(),
+            "L3:0=fffff;1=3\n"
+        );
         // A later partial write to domain 0 must not reset domain 1.
         fs.write(Path::new("/r/g/schemata"), "L3:0=ff\n").unwrap();
-        assert_eq!(fs.read(Path::new("/r/g/schemata")).unwrap(), "L3:0=ff;1=3\n");
+        assert_eq!(
+            fs.read(Path::new("/r/g/schemata")).unwrap(),
+            "L3:0=ff;1=3\n"
+        );
     }
 }

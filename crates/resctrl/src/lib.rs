@@ -37,11 +37,13 @@ pub mod controller;
 pub mod detect;
 pub mod error;
 pub mod fs;
+pub mod metrics;
 pub mod schemata;
 
 pub use controller::{CacheController, CatInfo, GroupHandle, MonitoringData};
 pub use detect::{detect, CatSupport};
 pub use error::ResctrlError;
+pub use metrics::ResctrlMetrics;
 pub use schemata::Schemata;
 
 /// Conventional mount point of the resctrl filesystem.

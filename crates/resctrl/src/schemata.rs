@@ -21,7 +21,9 @@ pub struct Schemata {
 impl Schemata {
     /// A schemata assigning `mask` to every domain in `domains`.
     pub fn uniform(domains: &[u32], mask: WayMask) -> Self {
-        Schemata { l3: domains.iter().map(|&d| (d, mask)).collect() }
+        Schemata {
+            l3: domains.iter().map(|&d| (d, mask)).collect(),
+        }
     }
 
     /// Parses the contents of a `schemata` file. Lines for resources other
@@ -64,8 +66,11 @@ impl Schemata {
 /// Renders in the exact format the kernel accepts for writing.
 impl fmt::Display for Schemata {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let parts: Vec<String> =
-            self.l3.iter().map(|(d, m)| format!("{d}={:x}", m.bits())).collect();
+        let parts: Vec<String> = self
+            .l3
+            .iter()
+            .map(|(d, m)| format!("{d}={:x}", m.bits()))
+            .collect();
         writeln!(f, "L3:{}", parts.join(";"))
     }
 }
@@ -97,15 +102,30 @@ mod tests {
 
     #[test]
     fn rejects_malformed_entries() {
-        assert!(matches!(Schemata::parse("L3:0"), Err(ResctrlError::InvalidSchemata(_))));
-        assert!(matches!(Schemata::parse("L3:x=ff"), Err(ResctrlError::InvalidSchemata(_))));
-        assert!(matches!(Schemata::parse("L3:0=zz"), Err(ResctrlError::InvalidSchemata(_))));
+        assert!(matches!(
+            Schemata::parse("L3:0"),
+            Err(ResctrlError::InvalidSchemata(_))
+        ));
+        assert!(matches!(
+            Schemata::parse("L3:x=ff"),
+            Err(ResctrlError::InvalidSchemata(_))
+        ));
+        assert!(matches!(
+            Schemata::parse("L3:0=zz"),
+            Err(ResctrlError::InvalidSchemata(_))
+        ));
     }
 
     #[test]
     fn rejects_illegal_masks() {
-        assert!(matches!(Schemata::parse("L3:0=0"), Err(ResctrlError::BadMask(_))));
-        assert!(matches!(Schemata::parse("L3:0=5"), Err(ResctrlError::BadMask(_))));
+        assert!(matches!(
+            Schemata::parse("L3:0=0"),
+            Err(ResctrlError::BadMask(_))
+        ));
+        assert!(matches!(
+            Schemata::parse("L3:0=5"),
+            Err(ResctrlError::BadMask(_))
+        ));
     }
 
     #[test]

@@ -50,8 +50,10 @@ fn bench_dictionary(c: &mut Criterion) {
 }
 
 fn bench_hashtable(c: &mut Criterion) {
-    let keys: Vec<u32> =
-        gen::uniform_ints(ROWS, 100_000, 3).into_iter().map(|v| v as u32).collect();
+    let keys: Vec<u32> = gen::uniform_ints(ROWS, 100_000, 3)
+        .into_iter()
+        .map(|v| v as u32)
+        .collect();
     let mut g = c.benchmark_group("storage/hashtable");
     g.throughput(Throughput::Elements(ROWS as u64));
     g.bench_function("update_100k_groups", |b| {

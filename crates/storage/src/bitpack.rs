@@ -21,8 +21,15 @@ impl PackedCodeVector {
     /// # Panics
     /// `bits` must be in `1..=32` (codes are `u32`).
     pub fn new(bits: u32) -> Self {
-        assert!((1..=32).contains(&bits), "code width must be 1..=32, got {bits}");
-        PackedCodeVector { words: Vec::new(), bits, len: 0 }
+        assert!(
+            (1..=32).contains(&bits),
+            "code width must be 1..=32, got {bits}"
+        );
+        PackedCodeVector {
+            words: Vec::new(),
+            bits,
+            len: 0,
+        }
     }
 
     /// Creates a vector with capacity for `n` codes.
@@ -66,7 +73,11 @@ impl PackedCodeVector {
 
     #[inline]
     fn mask(&self) -> u64 {
-        if self.bits == 64 { u64::MAX } else { (1u64 << self.bits) - 1 }
+        if self.bits == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.bits) - 1
+        }
     }
 
     /// Appends a code.
@@ -99,7 +110,11 @@ impl PackedCodeVector {
     /// Panics on out-of-bounds access.
     #[inline]
     pub fn get(&self, idx: usize) -> u32 {
-        assert!(idx < self.len, "index {idx} out of bounds (len {})", self.len);
+        assert!(
+            idx < self.len,
+            "index {idx} out of bounds (len {})",
+            self.len
+        );
         let bit_pos = idx * self.bits as usize;
         let word = bit_pos / 64;
         let off = (bit_pos % 64) as u32;
@@ -226,8 +241,9 @@ mod tests {
         // Widths that do not divide 64 force codes to straddle words.
         for bits in [3u32, 5, 7, 11, 13, 17, 20, 23, 29, 31] {
             let max = (1u64 << bits) - 1;
-            let codes: Vec<u32> =
-                (0..1000u64).map(|i| ((i * 2_654_435_761) % (max + 1)) as u32).collect();
+            let codes: Vec<u32> = (0..1000u64)
+                .map(|i| ((i * 2_654_435_761) % (max + 1)) as u32)
+                .collect();
             let v = PackedCodeVector::from_codes(bits, &codes);
             for (i, &c) in codes.iter().enumerate() {
                 assert_eq!(v.get(i), c, "width {bits}, index {i}");
@@ -263,8 +279,9 @@ mod tests {
     fn count_in_range_rows_chunks() {
         let codes: Vec<u32> = (0..100).collect();
         let v = PackedCodeVector::from_codes(7, &codes);
-        let total: u64 =
-            (0..10).map(|c| v.count_in_range_rows(50..100, c * 10..(c + 1) * 10)).sum();
+        let total: u64 = (0..10)
+            .map(|c| v.count_in_range_rows(50..100, c * 10..(c + 1) * 10))
+            .sum();
         assert_eq!(total, v.count_in_range(50..100));
         // Out-of-bounds chunk end is clamped.
         assert_eq!(v.count_in_range_rows(0..100, 90..1000), 10);
@@ -272,7 +289,9 @@ mod tests {
 
     #[test]
     fn unpack_rows_matches_get() {
-        let codes: Vec<u32> = (0..10_000u32).map(|i| i.wrapping_mul(2_654_435_761) % (1 << 17)).collect();
+        let codes: Vec<u32> = (0..10_000u32)
+            .map(|i| i.wrapping_mul(2_654_435_761) % (1 << 17))
+            .collect();
         let v = PackedCodeVector::from_codes(17, &codes);
         let mut block = Vec::new();
         for range in [0..100usize, 4090..4200, 9_990..10_000, 0..10_000] {

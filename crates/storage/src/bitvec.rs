@@ -16,7 +16,10 @@ pub struct BitVec {
 impl BitVec {
     /// Creates a vector of `len` zero bits.
     pub fn zeros(len: u64) -> Self {
-        BitVec { words: vec![0; (len as usize).div_ceil(64)], len }
+        BitVec {
+            words: vec![0; (len as usize).div_ceil(64)],
+            len,
+        }
     }
 
     /// Number of bits.

@@ -23,7 +23,9 @@ impl<T: Ord + Clone> DictColumn<T> {
         let bits = dict.code_bits();
         let mut codes = PackedCodeVector::with_capacity(bits, values.len());
         for v in values {
-            let code = dict.encode(v).expect("dictionary was built from these values");
+            let code = dict
+                .encode(v)
+                .expect("dictionary was built from these values");
             codes.push(code);
         }
         DictColumn { dict, codes }
@@ -100,7 +102,10 @@ mod tests {
         // value > 49  -> 50 distinct values x 10 rows each.
         assert_eq!(col.count_range(Bound::Excluded(&49), Bound::Unbounded), 500);
         // 10 <= value < 20 -> 100 rows.
-        assert_eq!(col.count_range(Bound::Included(&10), Bound::Excluded(&20)), 100);
+        assert_eq!(
+            col.count_range(Bound::Included(&10), Bound::Excluded(&20)),
+            100
+        );
         // Out-of-domain predicate.
         assert_eq!(col.count_range(Bound::Excluded(&99), Bound::Unbounded), 0);
     }
@@ -118,7 +123,7 @@ mod tests {
 
     #[test]
     fn code_at_matches_dictionary_order() {
-        let col = DictColumn::build(&vec![30i64, 10, 20]);
+        let col = DictColumn::build(&[30i64, 10, 20]);
         assert_eq!(col.code_at(0), 2);
         assert_eq!(col.code_at(1), 0);
         assert_eq!(col.code_at(2), 1);
@@ -133,7 +138,10 @@ mod tests {
         let col = DictColumn::build(&values);
         assert_eq!(col.value_at(1), "apple");
         assert_eq!(
-            col.count_range(Bound::Included(&"apple".to_string()), Bound::Excluded(&"c".to_string())),
+            col.count_range(
+                Bound::Included(&"apple".to_string()),
+                Bound::Excluded(&"c".to_string())
+            ),
             3
         );
     }

@@ -31,7 +31,10 @@ impl<T: Ord + Clone> Dictionary<T> {
     /// Debug-asserts sortedness; building from unsorted data is a caller
     /// bug.
     pub fn from_sorted(values: Vec<T>) -> Self {
-        debug_assert!(values.windows(2).all(|w| w[0] < w[1]), "values must be sorted+unique");
+        debug_assert!(
+            values.windows(2).all(|w| w[0] < w[1]),
+            "values must be sorted+unique"
+        );
         Dictionary { values }
     }
 
@@ -167,16 +170,21 @@ mod tests {
     #[test]
     fn code_range_translates_predicates() {
         let d = dict(); // values 10,20,30,40 -> codes 0..4
-        // value > 20  <=>  code in [2, 4)
+                        // value > 20  <=>  code in [2, 4)
         assert_eq!(d.code_range(Bound::Excluded(&20), Bound::Unbounded), 2..4);
         // value >= 20 <=> code in [1, 4)
         assert_eq!(d.code_range(Bound::Included(&20), Bound::Unbounded), 1..4);
         // value < 15  <=> code in [0, 1)
         assert_eq!(d.code_range(Bound::Unbounded, Bound::Excluded(&15)), 0..1);
         // 20 <= value <= 30 <=> [1, 3)
-        assert_eq!(d.code_range(Bound::Included(&20), Bound::Included(&30)), 1..3);
+        assert_eq!(
+            d.code_range(Bound::Included(&20), Bound::Included(&30)),
+            1..3
+        );
         // Empty range for out-of-domain predicates.
-        assert!(d.code_range(Bound::Excluded(&40), Bound::Unbounded).is_empty());
+        assert!(d
+            .code_range(Bound::Excluded(&40), Bound::Unbounded)
+            .is_empty());
     }
 
     #[test]

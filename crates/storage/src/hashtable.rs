@@ -52,7 +52,14 @@ impl AggHashTable {
     pub fn new(agg: Aggregate, expected_groups: usize) -> Self {
         let cap = (expected_groups.max(8) * 2).next_power_of_two();
         AggHashTable {
-            slots: vec![Slot { key: EMPTY_KEY, acc: 0, count: 0 }; cap],
+            slots: vec![
+                Slot {
+                    key: EMPTY_KEY,
+                    acc: 0,
+                    count: 0
+                };
+                cap
+            ],
             mask: cap - 1,
             len: 0,
             agg,
@@ -109,7 +116,11 @@ impl AggHashTable {
                 return;
             }
             if slot.key == EMPTY_KEY {
-                *slot = Slot { key, acc: Self::init(agg, value), count: 1 };
+                *slot = Slot {
+                    key,
+                    acc: Self::init(agg, value),
+                    count: 1,
+                };
                 self.len += 1;
                 return;
             }
@@ -152,7 +163,10 @@ impl AggHashTable {
 
     /// Iterates over `(group key, aggregate, count)` in unspecified order.
     pub fn iter(&self) -> impl Iterator<Item = (u32, i64, u64)> + '_ {
-        self.slots.iter().filter(|s| s.key != EMPTY_KEY).map(|s| (s.key, s.acc, s.count))
+        self.slots
+            .iter()
+            .filter(|s| s.key != EMPTY_KEY)
+            .map(|s| (s.key, s.acc, s.count))
     }
 
     /// Merges `other` into `self` — the paper's global merge step after
@@ -194,7 +208,14 @@ impl AggHashTable {
         let new_cap = self.slots.len() * 2;
         let old = std::mem::replace(
             &mut self.slots,
-            vec![Slot { key: EMPTY_KEY, acc: 0, count: 0 }; new_cap],
+            vec![
+                Slot {
+                    key: EMPTY_KEY,
+                    acc: 0,
+                    count: 0
+                };
+                new_cap
+            ],
         );
         self.mask = self.slots.len() - 1;
         self.len = 0;

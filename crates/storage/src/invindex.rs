@@ -25,7 +25,10 @@ impl InvertedIndex {
         let mut counts = vec![0u64; dict_len + 1];
         let mut n_rows = 0u64;
         for c in codes.clone() {
-            assert!((c as usize) < dict_len, "code {c} out of dictionary range {dict_len}");
+            assert!(
+                (c as usize) < dict_len,
+                "code {c} out of dictionary range {dict_len}"
+            );
             counts[c as usize + 1] += 1;
             n_rows += 1;
         }
@@ -60,7 +63,10 @@ impl InvertedIndex {
 
     /// Total rows indexed.
     pub fn row_count(&self) -> u64 {
-        *self.offsets.last().expect("offsets always has dict_len+1 entries")
+        *self
+            .offsets
+            .last()
+            .expect("offsets always has dict_len+1 entries")
     }
 
     /// Index footprint in bytes (offsets directory + postings).
@@ -97,7 +103,10 @@ mod tests {
         let idx = InvertedIndex::build(codes.iter().copied(), 7);
         for c in 0..7 {
             let p = idx.lookup(c);
-            assert!(p.windows(2).all(|w| w[0] < w[1]), "postings of {c} must ascend");
+            assert!(
+                p.windows(2).all(|w| w[0] < w[1]),
+                "postings of {c} must ascend"
+            );
             assert_eq!(p.len(), if c < 6 { 143 } else { 142 });
         }
     }

@@ -78,7 +78,9 @@ impl RleVector {
 
     /// Iterates all codes, expanded.
     pub fn iter(&self) -> impl Iterator<Item = u32> + '_ {
-        self.runs.iter().flat_map(|&(code, run)| std::iter::repeat_n(code, run as usize))
+        self.runs
+            .iter()
+            .flat_map(|&(code, run)| std::iter::repeat_n(code, run as usize))
     }
 
     /// Counts rows whose code lies in `[lo, hi)` — per *run*, which is the
@@ -131,7 +133,9 @@ mod tests {
 
     #[test]
     fn random_data_does_not_compress() {
-        let codes: Vec<u32> = (0..1000).map(|i| (i * 2_654_435_761u64 % 97) as u32).collect();
+        let codes: Vec<u32> = (0..1000)
+            .map(|i| (i * 2_654_435_761u64 % 97) as u32)
+            .collect();
         let rle = RleVector::from_codes(codes.clone());
         assert!(rle.run_count() as f64 > 0.9 * codes.len() as f64);
         assert!(rle.compression_ratio() < 1.0); // pairs cost more than raw

@@ -61,7 +61,10 @@ pub struct Table {
 impl Table {
     /// Creates an empty table.
     pub fn new(name: impl Into<String>) -> Self {
-        Table { name: name.into(), columns: Vec::new() }
+        Table {
+            name: name.into(),
+            columns: Vec::new(),
+        }
     }
 
     /// The table name.
@@ -162,7 +165,7 @@ mod tests {
         t.add_column("K", int_col(&[1, 2, 3]));
         t.add_column(
             "TXT",
-            Column::Str(DictColumn::build(&vec![
+            Column::Str(DictColumn::build(&[
                 "aaa".to_string(),
                 "bbb".to_string(),
                 "aaa".to_string(),

@@ -58,19 +58,23 @@ pub fn q1_pricing_summary(ex: &JobExecutor, lineitem: &Arc<Table>) -> Vec<Q1Row>
         }
         let t = lineitem.clone();
         let locals = locals.clone();
-        jobs.push(Job::new(format!("q1[{c}]"), CacheUsageClass::Sensitive, move || {
-            let flag = int_column(&t, "L_RETURNFLAG");
-            let status = int_column(&t, "L_LINESTATUS");
-            let price = int_column(&t, "L_EXTENDEDPRICE");
-            let mut local = AggHashTable::new(Aggregate::Sum, 8);
-            for row in lo..hi {
-                let key = flag.code_at(row) * status_card + status.code_at(row);
-                // Decode through the (29 MiB at SF 100) price dictionary —
-                // the access pattern that makes Q1 cache-sensitive.
-                local.update(key, *price.dict().decode(price.code_at(row)));
-            }
-            locals.lock().push(local);
-        }));
+        jobs.push(Job::new(
+            format!("q1[{c}]"),
+            CacheUsageClass::Sensitive,
+            move || {
+                let flag = int_column(&t, "L_RETURNFLAG");
+                let status = int_column(&t, "L_LINESTATUS");
+                let price = int_column(&t, "L_EXTENDEDPRICE");
+                let mut local = AggHashTable::new(Aggregate::Sum, 8);
+                for row in lo..hi {
+                    let key = flag.code_at(row) * status_card + status.code_at(row);
+                    // Decode through the (29 MiB at SF 100) price dictionary —
+                    // the access pattern that makes Q1 cache-sensitive.
+                    local.update(key, *price.dict().decode(price.code_at(row)));
+                }
+                locals.lock().push(local);
+            },
+        ));
     }
     ex.run_jobs(jobs);
 
@@ -110,9 +114,10 @@ pub fn q6_forecast_revenue(
     let qty_range = int_column(lineitem, "L_QUANTITY")
         .dict()
         .code_range(Bound::Unbounded, Bound::Excluded(&max_quantity));
-    let disc_range = int_column(lineitem, "L_DISCOUNT")
-        .dict()
-        .code_range(Bound::Included(discount.start()), Bound::Included(discount.end()));
+    let disc_range = int_column(lineitem, "L_DISCOUNT").dict().code_range(
+        Bound::Included(discount.start()),
+        Bound::Included(discount.end()),
+    );
     const CHUNK: usize = 32 * 1024;
     let chunks = n.div_ceil(CHUNK).max(1);
     let t = lineitem.clone();
@@ -148,13 +153,17 @@ pub fn sample_database(lineitem_rows: usize, orders: usize, seed: u64) -> (Arc<T
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ccp_cachesim::HierarchyConfig;
     use ccp_engine::alloc::{NoopAllocator, RecordingAllocator};
     use ccp_engine::partition::PartitionPolicy;
-    use ccp_cachesim::HierarchyConfig;
 
     fn executor(alloc: Arc<dyn ccp_engine::alloc::CacheAllocator>) -> JobExecutor {
         let cfg = HierarchyConfig::broadwell_e5_2699_v4();
-        JobExecutor::new(4, PartitionPolicy::paper_default(cfg.llc, cfg.l2.size_bytes), alloc)
+        JobExecutor::new(
+            4,
+            PartitionPolicy::paper_default(cfg.llc, cfg.l2.size_bytes),
+            alloc,
+        )
     }
 
     #[test]
@@ -171,12 +180,16 @@ mod tests {
         let price = int_column(&lineitem, "L_EXTENDEDPRICE");
         let mut naive = std::collections::BTreeMap::<(i64, i64), (i64, u64)>::new();
         for row in 0..lineitem.row_count() {
-            let e = naive.entry((*flag.value_at(row), *status.value_at(row))).or_insert((0, 0));
+            let e = naive
+                .entry((*flag.value_at(row), *status.value_at(row)))
+                .or_insert((0, 0));
             e.0 += *price.value_at(row);
             e.1 += 1;
         }
         for r in &rows {
-            let &(sum, count) = naive.get(&(r.returnflag, r.linestatus)).expect("group exists");
+            let &(sum, count) = naive
+                .get(&(r.returnflag, r.linestatus))
+                .expect("group exists");
             assert_eq!((r.sum_extendedprice, r.count), (sum, count));
         }
         let total: u64 = rows.iter().map(|r| r.count).sum();

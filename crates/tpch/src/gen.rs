@@ -20,11 +20,14 @@ use rand::{Rng, SeedableRng};
 pub fn lineitem_sample(rows: usize, orders: usize, seed: u64) -> Table {
     assert!(rows > 0 && orders > 0, "sample needs rows and orders");
     let mut rng = StdRng::seed_from_u64(seed);
-    let orderkey: Vec<i64> = (0..rows).map(|_| rng.gen_range(1..=orders as i64)).collect();
+    let orderkey: Vec<i64> = (0..rows)
+        .map(|_| rng.gen_range(1..=orders as i64))
+        .collect();
     let quantity: Vec<i64> = (0..rows).map(|_| rng.gen_range(1..=50)).collect();
     let price_domain = (rows as i64 / 2).max(10);
-    let extendedprice: Vec<i64> =
-        (0..rows).map(|_| rng.gen_range(90_000..90_000 + price_domain)).collect();
+    let extendedprice: Vec<i64> = (0..rows)
+        .map(|_| rng.gen_range(90_000..90_000 + price_domain))
+        .collect();
     let discount: Vec<i64> = (0..rows).map(|_| rng.gen_range(0..=10)).collect();
     // Return flag A/N/R and line status F/O, encoded as small integers
     // (0..3 and 0..2) with the spec's rough proportions.
@@ -34,7 +37,10 @@ pub fn lineitem_sample(rows: usize, orders: usize, seed: u64) -> Table {
     let mut t = Table::new("lineitem");
     t.add_column("L_ORDERKEY", Column::Int(DictColumn::build(&orderkey)));
     t.add_column("L_QUANTITY", Column::Int(DictColumn::build(&quantity)));
-    t.add_column("L_EXTENDEDPRICE", Column::Int(DictColumn::build(&extendedprice)));
+    t.add_column(
+        "L_EXTENDEDPRICE",
+        Column::Int(DictColumn::build(&extendedprice)),
+    );
     t.add_column("L_DISCOUNT", Column::Int(DictColumn::build(&discount)));
     t.add_column("L_RETURNFLAG", Column::Int(DictColumn::build(&returnflag)));
     t.add_column("L_LINESTATUS", Column::Int(DictColumn::build(&linestatus)));
@@ -62,7 +68,9 @@ mod tests {
         let t = lineitem_sample(10_000, 1_000, 7);
         assert_eq!(t.row_count(), 10_000);
         assert_eq!(t.column_count(), 6);
-        let Column::Int(q) = t.column("L_QUANTITY").unwrap() else { panic!() };
+        let Column::Int(q) = t.column("L_QUANTITY").unwrap() else {
+            panic!()
+        };
         // Quantity domain is 1..=50.
         assert!(q.dict().len() <= 50);
         for i in 0..100 {
@@ -70,16 +78,20 @@ mod tests {
             assert!((1..=50).contains(&v));
         }
         // Extended price has a wide domain.
-        let Column::Int(p) = t.column("L_EXTENDEDPRICE").unwrap() else { panic!() };
+        let Column::Int(p) = t.column("L_EXTENDEDPRICE").unwrap() else {
+            panic!()
+        };
         assert!(p.dict().len() > 1_000);
     }
 
     #[test]
     fn orders_keys_are_dense_primary_keys() {
         let t = orders_sample(1_000, 3);
-        let Column::Int(k) = t.column("O_ORDERKEY").unwrap() else { panic!() };
+        let Column::Int(k) = t.column("O_ORDERKEY").unwrap() else {
+            panic!()
+        };
         assert_eq!(k.dict().len(), 1_000); // all distinct
-        // The dictionary is the sorted key set 1..=1000.
+                                           // The dictionary is the sorted key set 1..=1000.
         assert_eq!(*k.dict().decode(0), 1);
         assert_eq!(*k.dict().decode(999), 1_000);
     }
@@ -88,8 +100,12 @@ mod tests {
     fn generation_is_deterministic() {
         let a = lineitem_sample(100, 10, 1);
         let b = lineitem_sample(100, 10, 1);
-        let Column::Int(ca) = a.column("L_EXTENDEDPRICE").unwrap() else { panic!() };
-        let Column::Int(cb) = b.column("L_EXTENDEDPRICE").unwrap() else { panic!() };
+        let Column::Int(ca) = a.column("L_EXTENDEDPRICE").unwrap() else {
+            panic!()
+        };
+        let Column::Int(cb) = b.column("L_EXTENDEDPRICE").unwrap() else {
+            panic!()
+        };
         for i in 0..100 {
             assert_eq!(ca.value_at(i), cb.value_at(i));
         }

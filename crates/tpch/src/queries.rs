@@ -81,15 +81,29 @@ pub fn profile(id: u8) -> QueryProfile {
             "pricing summary report",
             "aggregates nearly all of lineitem through the 29 MiB L_EXTENDEDPRICE \
              dictionary into 4 groups: the paper's flagship cache-sensitive query",
-            vec![Aggregate { rows: 590_000_000, dict_bytes: dict::L_EXTENDEDPRICE, groups: 4 }],
+            vec![Aggregate {
+                rows: 590_000_000,
+                dict_bytes: dict::L_EXTENDEDPRICE,
+                groups: 4,
+            }],
         ),
         2 => (
             "minimum cost supplier",
             "small tables and a 0.8 MB supplycost dictionary: nothing LLC-sized",
             vec![
-                Scan { rows: rows::PART, bytes_per_row: 8 },
-                Join { build_keys: rows::SUPPLIER, probe_rows: rows::PARTSUPP },
-                Aggregate { rows: 320_000, dict_bytes: dict::PS_SUPPLYCOST, groups: 460 },
+                Scan {
+                    rows: rows::PART,
+                    bytes_per_row: 8,
+                },
+                Join {
+                    build_keys: rows::SUPPLIER,
+                    probe_rows: rows::PARTSUPP,
+                },
+                Aggregate {
+                    rows: 320_000,
+                    dict_bytes: dict::PS_SUPPLYCOST,
+                    groups: 460,
+                },
             ],
         ),
         3 => (
@@ -97,17 +111,34 @@ pub fn profile(id: u8) -> QueryProfile {
             "revenue per order: ~3M groups make the hash table far larger than \
              the LLC, so the query is bandwidth- rather than LLC-bound",
             vec![
-                Join { build_keys: rows::CUSTOMER, probe_rows: rows::ORDERS },
-                Join { build_keys: rows::ORDERS, probe_rows: rows::LINEITEM },
-                Aggregate { rows: 30_000_000, dict_bytes: dict::L_EXTENDEDPRICE, groups: 3_000_000 },
+                Join {
+                    build_keys: rows::CUSTOMER,
+                    probe_rows: rows::ORDERS,
+                },
+                Join {
+                    build_keys: rows::ORDERS,
+                    probe_rows: rows::LINEITEM,
+                },
+                Aggregate {
+                    rows: 30_000_000,
+                    dict_bytes: dict::L_EXTENDEDPRICE,
+                    groups: 3_000_000,
+                },
             ],
         ),
         4 => (
             "order priority checking",
             "semi-join plus a 5-group count: tiny working set",
             vec![
-                Join { build_keys: rows::ORDERS, probe_rows: rows::LINEITEM },
-                Aggregate { rows: 5_000_000, dict_bytes: dict::TINY, groups: 5 },
+                Join {
+                    build_keys: rows::ORDERS,
+                    probe_rows: rows::LINEITEM,
+                },
+                Aggregate {
+                    rows: 5_000_000,
+                    dict_bytes: dict::TINY,
+                    groups: 5,
+                },
             ],
         ),
         5 => (
@@ -115,18 +146,38 @@ pub fn profile(id: u8) -> QueryProfile {
             "join-heavy; the revenue aggregation touches L_EXTENDEDPRICE but over \
              a filtered ~2.8% of lineitem, diluting its cache sensitivity",
             vec![
-                Join { build_keys: rows::CUSTOMER, probe_rows: rows::ORDERS },
-                Join { build_keys: rows::ORDERS, probe_rows: rows::LINEITEM },
-                Join { build_keys: rows::SUPPLIER, probe_rows: 90_000_000 },
-                Aggregate { rows: 17_000_000, dict_bytes: dict::L_EXTENDEDPRICE, groups: 25 },
+                Join {
+                    build_keys: rows::CUSTOMER,
+                    probe_rows: rows::ORDERS,
+                },
+                Join {
+                    build_keys: rows::ORDERS,
+                    probe_rows: rows::LINEITEM,
+                },
+                Join {
+                    build_keys: rows::SUPPLIER,
+                    probe_rows: 90_000_000,
+                },
+                Aggregate {
+                    rows: 17_000_000,
+                    dict_bytes: dict::L_EXTENDEDPRICE,
+                    groups: 25,
+                },
             ],
         ),
         6 => (
             "forecasting revenue change",
             "a pure predicate scan; only ~1.9% of rows reach the revenue sum",
             vec![
-                Scan { rows: rows::LINEITEM, bytes_per_row: 12 },
-                Aggregate { rows: 11_000_000, dict_bytes: dict::L_EXTENDEDPRICE, groups: 1 },
+                Scan {
+                    rows: rows::LINEITEM,
+                    bytes_per_row: 12,
+                },
+                Aggregate {
+                    rows: 11_000_000,
+                    dict_bytes: dict::L_EXTENDEDPRICE,
+                    groups: 1,
+                },
             ],
         ),
         7 => (
@@ -134,9 +185,19 @@ pub fn profile(id: u8) -> QueryProfile {
             "two-nation filter keeps ~60M lineitem rows flowing through the \
              29 MiB price dictionary into 4 groups: cache-sensitive (paper: improves)",
             vec![
-                Join { build_keys: rows::SUPPLIER, probe_rows: rows::LINEITEM },
-                Join { build_keys: rows::ORDERS, probe_rows: 120_000_000 },
-                Aggregate { rows: 60_000_000, dict_bytes: dict::L_EXTENDEDPRICE, groups: 4 },
+                Join {
+                    build_keys: rows::SUPPLIER,
+                    probe_rows: rows::LINEITEM,
+                },
+                Join {
+                    build_keys: rows::ORDERS,
+                    probe_rows: 120_000_000,
+                },
+                Aggregate {
+                    rows: 60_000_000,
+                    dict_bytes: dict::L_EXTENDEDPRICE,
+                    groups: 4,
+                },
             ],
         ),
         8 => (
@@ -144,9 +205,19 @@ pub fn profile(id: u8) -> QueryProfile {
             "volume over two order years (~180M lineitem rows joined, ~45M \
              aggregated through the price dictionary): cache-sensitive (paper: improves)",
             vec![
-                Join { build_keys: rows::PART, probe_rows: rows::LINEITEM },
-                Join { build_keys: rows::ORDERS, probe_rows: 180_000_000 },
-                Aggregate { rows: 45_000_000, dict_bytes: dict::L_EXTENDEDPRICE, groups: 14 },
+                Join {
+                    build_keys: rows::PART,
+                    probe_rows: rows::LINEITEM,
+                },
+                Join {
+                    build_keys: rows::ORDERS,
+                    probe_rows: 180_000_000,
+                },
+                Aggregate {
+                    rows: 45_000_000,
+                    dict_bytes: dict::L_EXTENDEDPRICE,
+                    groups: 14,
+                },
             ],
         ),
         9 => (
@@ -155,9 +226,19 @@ pub fn profile(id: u8) -> QueryProfile {
              l_extendedprice and ps_supplycost (modeled as 60M dictionary-bound \
              rows), 175 nation×year groups: cache-sensitive (paper: improves)",
             vec![
-                Join { build_keys: rows::PART, probe_rows: rows::LINEITEM },
-                Join { build_keys: rows::SUPPLIER, probe_rows: rows::LINEITEM },
-                Aggregate { rows: 60_000_000, dict_bytes: dict::L_EXTENDEDPRICE, groups: 175 },
+                Join {
+                    build_keys: rows::PART,
+                    probe_rows: rows::LINEITEM,
+                },
+                Join {
+                    build_keys: rows::SUPPLIER,
+                    probe_rows: rows::LINEITEM,
+                },
+                Aggregate {
+                    rows: 60_000_000,
+                    dict_bytes: dict::L_EXTENDEDPRICE,
+                    groups: 175,
+                },
             ],
         ),
         10 => (
@@ -165,9 +246,19 @@ pub fn profile(id: u8) -> QueryProfile {
             "~380k customer groups put the hash table at ~200 MB, well past the \
              LLC: bandwidth-bound despite the price dictionary",
             vec![
-                Join { build_keys: rows::ORDERS, probe_rows: rows::LINEITEM },
-                Join { build_keys: rows::CUSTOMER, probe_rows: 57_000_000 },
-                Aggregate { rows: 15_000_000, dict_bytes: dict::L_EXTENDEDPRICE, groups: 380_000 },
+                Join {
+                    build_keys: rows::ORDERS,
+                    probe_rows: rows::LINEITEM,
+                },
+                Join {
+                    build_keys: rows::CUSTOMER,
+                    probe_rows: 57_000_000,
+                },
+                Aggregate {
+                    rows: 15_000_000,
+                    dict_bytes: dict::L_EXTENDEDPRICE,
+                    groups: 380_000,
+                },
             ],
         ),
         11 => (
@@ -175,16 +266,30 @@ pub fn profile(id: u8) -> QueryProfile {
             "partsupp value per part: 1M groups, 0.8 MB dictionary — oversized \
              hash table, small dictionary",
             vec![
-                Scan { rows: rows::PARTSUPP, bytes_per_row: 12 },
-                Aggregate { rows: 3_200_000, dict_bytes: dict::PS_SUPPLYCOST, groups: 1_000_000 },
+                Scan {
+                    rows: rows::PARTSUPP,
+                    bytes_per_row: 12,
+                },
+                Aggregate {
+                    rows: 3_200_000,
+                    dict_bytes: dict::PS_SUPPLYCOST,
+                    groups: 1_000_000,
+                },
             ],
         ),
         12 => (
             "shipping modes / order priority",
             "semi-join plus a 2-group count over tiny dictionaries",
             vec![
-                Join { build_keys: rows::ORDERS, probe_rows: rows::LINEITEM },
-                Aggregate { rows: 3_000_000, dict_bytes: dict::TINY, groups: 2 },
+                Join {
+                    build_keys: rows::ORDERS,
+                    probe_rows: rows::LINEITEM,
+                },
+                Aggregate {
+                    rows: 3_000_000,
+                    dict_bytes: dict::TINY,
+                    groups: 2,
+                },
             ],
         ),
         13 => (
@@ -192,8 +297,15 @@ pub fn profile(id: u8) -> QueryProfile {
             "order counts per customer then a 42-group histogram: streaming with \
              tiny dictionaries",
             vec![
-                Join { build_keys: rows::CUSTOMER, probe_rows: rows::ORDERS },
-                Aggregate { rows: rows::ORDERS, dict_bytes: dict::TINY, groups: 42 },
+                Join {
+                    build_keys: rows::CUSTOMER,
+                    probe_rows: rows::ORDERS,
+                },
+                Aggregate {
+                    rows: rows::ORDERS,
+                    dict_bytes: dict::TINY,
+                    groups: 42,
+                },
             ],
         ),
         14 => (
@@ -202,17 +314,34 @@ pub fn profile(id: u8) -> QueryProfile {
              (~7.5M rows) survives into the join and the price-dictionary \
              aggregation, so the bandwidth-bound scan dominates",
             vec![
-                Scan { rows: rows::LINEITEM, bytes_per_row: 8 },
-                Join { build_keys: rows::PART, probe_rows: 7_500_000 },
-                Aggregate { rows: 7_500_000, dict_bytes: dict::L_EXTENDEDPRICE, groups: 2 },
+                Scan {
+                    rows: rows::LINEITEM,
+                    bytes_per_row: 8,
+                },
+                Join {
+                    build_keys: rows::PART,
+                    probe_rows: 7_500_000,
+                },
+                Aggregate {
+                    rows: 7_500_000,
+                    dict_bytes: dict::L_EXTENDEDPRICE,
+                    groups: 2,
+                },
             ],
         ),
         15 => (
             "top supplier",
             "revenue per supplier: 1M groups → ~550 MB hash table, bandwidth-bound",
             vec![
-                Aggregate { rows: 22_000_000, dict_bytes: dict::L_EXTENDEDPRICE, groups: 1_000_000 },
-                Join { build_keys: rows::SUPPLIER, probe_rows: rows::SUPPLIER },
+                Aggregate {
+                    rows: 22_000_000,
+                    dict_bytes: dict::L_EXTENDEDPRICE,
+                    groups: 1_000_000,
+                },
+                Join {
+                    build_keys: rows::SUPPLIER,
+                    probe_rows: rows::SUPPLIER,
+                },
             ],
         ),
         16 => (
@@ -220,8 +349,15 @@ pub fn profile(id: u8) -> QueryProfile {
             "distinct-supplier counts over partsupp with enumerated-string \
              dictionaries: modest working set",
             vec![
-                Scan { rows: rows::PARTSUPP, bytes_per_row: 8 },
-                Aggregate { rows: 47_000_000, dict_bytes: dict::TINY, groups: 18_000 },
+                Scan {
+                    rows: rows::PARTSUPP,
+                    bytes_per_row: 8,
+                },
+                Aggregate {
+                    rows: 47_000_000,
+                    dict_bytes: dict::TINY,
+                    groups: 18_000,
+                },
             ],
         ),
         17 => (
@@ -229,8 +365,15 @@ pub fn profile(id: u8) -> QueryProfile {
             "a 0.1% part filter probed by all of lineitem; the final average is \
              over ~600k rows",
             vec![
-                Join { build_keys: rows::PART, probe_rows: rows::LINEITEM },
-                Aggregate { rows: 600_000, dict_bytes: dict::L_EXTENDEDPRICE, groups: 1 },
+                Join {
+                    build_keys: rows::PART,
+                    probe_rows: rows::LINEITEM,
+                },
+                Aggregate {
+                    rows: 600_000,
+                    dict_bytes: dict::L_EXTENDEDPRICE,
+                    groups: 1,
+                },
             ],
         ),
         18 => (
@@ -239,24 +382,45 @@ pub fn profile(id: u8) -> QueryProfile {
              heaviest bandwidth consumer of the suite (the paper notes the \
              co-running scan speeds up most with Q18)",
             vec![
-                Aggregate { rows: rows::LINEITEM, dict_bytes: dict::L_QUANTITY, groups: rows::ORDERS },
-                Join { build_keys: rows::ORDERS, probe_rows: rows::LINEITEM },
+                Aggregate {
+                    rows: rows::LINEITEM,
+                    dict_bytes: dict::L_QUANTITY,
+                    groups: rows::ORDERS,
+                },
+                Join {
+                    build_keys: rows::ORDERS,
+                    probe_rows: rows::LINEITEM,
+                },
             ],
         ),
         19 => (
             "discounted revenue",
             "three narrow part/quantity predicates: ~120k rows reach the revenue sum",
             vec![
-                Join { build_keys: rows::PART, probe_rows: rows::LINEITEM },
-                Aggregate { rows: 120_000, dict_bytes: dict::L_EXTENDEDPRICE, groups: 1 },
+                Join {
+                    build_keys: rows::PART,
+                    probe_rows: rows::LINEITEM,
+                },
+                Aggregate {
+                    rows: 120_000,
+                    dict_bytes: dict::L_EXTENDEDPRICE,
+                    groups: 1,
+                },
             ],
         ),
         20 => (
             "potential part promotion",
             "half-year lineitem quantities per part: 2M groups → oversized hash table",
             vec![
-                Join { build_keys: rows::PART, probe_rows: rows::PARTSUPP },
-                Aggregate { rows: 30_000_000, dict_bytes: dict::L_QUANTITY, groups: 2_000_000 },
+                Join {
+                    build_keys: rows::PART,
+                    probe_rows: rows::PARTSUPP,
+                },
+                Aggregate {
+                    rows: 30_000_000,
+                    dict_bytes: dict::L_QUANTITY,
+                    groups: 2_000_000,
+                },
             ],
         ),
         21 => (
@@ -264,22 +428,44 @@ pub fn profile(id: u8) -> QueryProfile {
             "double lineitem pass against the 18.75 MB orders bit vector, then a \
              40k-group count: join-dominated",
             vec![
-                Join { build_keys: rows::SUPPLIER, probe_rows: rows::LINEITEM },
-                Join { build_keys: rows::ORDERS, probe_rows: rows::LINEITEM },
-                Aggregate { rows: 12_000_000, dict_bytes: dict::TINY, groups: 40_000 },
+                Join {
+                    build_keys: rows::SUPPLIER,
+                    probe_rows: rows::LINEITEM,
+                },
+                Join {
+                    build_keys: rows::ORDERS,
+                    probe_rows: rows::LINEITEM,
+                },
+                Aggregate {
+                    rows: 12_000_000,
+                    dict_bytes: dict::TINY,
+                    groups: 40_000,
+                },
             ],
         ),
         22 => (
             "global sales opportunity",
             "customer-only query over the 9 MB acctbal dictionary: small and fast",
             vec![
-                Scan { rows: rows::CUSTOMER, bytes_per_row: 10 },
-                Aggregate { rows: 1_900_000, dict_bytes: dict::C_ACCTBAL, groups: 7 },
+                Scan {
+                    rows: rows::CUSTOMER,
+                    bytes_per_row: 10,
+                },
+                Aggregate {
+                    rows: 1_900_000,
+                    dict_bytes: dict::C_ACCTBAL,
+                    groups: 7,
+                },
             ],
         ),
         _ => panic!("TPC-H defines queries 1..=22, got {id}"),
     };
-    QueryProfile { id, name, rationale, phases }
+    QueryProfile {
+        id,
+        name,
+        rationale,
+        phases,
+    }
 }
 
 /// Builds the simulated composite operator for query `id` in `space`.
@@ -292,20 +478,33 @@ pub fn build_query(space: &mut AddrSpace, id: u8) -> Box<dyn SimOperator> {
         .phases
         .iter()
         .map(|p| match *p {
-            PhaseSpec::Scan { rows, bytes_per_row } => {
+            PhaseSpec::Scan {
+                rows,
+                bytes_per_row,
+            } => {
                 let scaled = (rows / ROW_SCALE).max(1);
                 Phase {
                     op: Box::new(ColumnScanSim::new(space, scaled, bytes_per_row * 8)),
                     quota: scaled,
                 }
             }
-            PhaseSpec::Join { build_keys, probe_rows } => {
+            PhaseSpec::Join {
+                build_keys,
+                probe_rows,
+            } => {
                 let scaled = (probe_rows / ROW_SCALE).max(1);
                 let join = FkJoinSim::new(space, build_keys, scaled);
                 let quota = join.cycle_rows();
-                Phase { op: Box::new(join), quota }
+                Phase {
+                    op: Box::new(join),
+                    quota,
+                }
             }
-            PhaseSpec::Aggregate { rows, dict_bytes, groups } => {
+            PhaseSpec::Aggregate {
+                rows,
+                dict_bytes,
+                groups,
+            } => {
                 let scaled = (rows / ROW_SCALE).max(1);
                 Phase {
                     op: Box::new(AggregationSim::paper_q2(space, scaled, dict_bytes, groups)),
@@ -342,7 +541,9 @@ mod tests {
         let p = profile(1);
         assert_eq!(p.phases.len(), 1);
         match p.phases[0] {
-            PhaseSpec::Aggregate { dict_bytes, groups, .. } => {
+            PhaseSpec::Aggregate {
+                dict_bytes, groups, ..
+            } => {
                 assert_eq!(dict_bytes, dict::L_EXTENDEDPRICE);
                 assert_eq!(groups, 4);
             }

@@ -51,7 +51,10 @@ pub struct AdaptiveController {
 impl AdaptiveController {
     /// A controller with short probe windows and a 1 % hysteresis band.
     pub fn new(probe: Experiment) -> Self {
-        AdaptiveController { probe, hysteresis: 0.01 }
+        AdaptiveController {
+            probe,
+            hysteresis: 0.01,
+        }
     }
 
     /// Probes the workload both ways and decides.
@@ -98,7 +101,11 @@ mod tests {
     use crate::paper;
 
     fn probe() -> Experiment {
-        Experiment { warm_cycles: 1_500_000, measure_cycles: 3_000_000, ..Default::default() }
+        Experiment {
+            warm_cycles: 1_500_000,
+            measure_cycles: 3_000_000,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -125,7 +132,10 @@ mod tests {
         ];
         let report = AdaptiveController::new(probe()).adapt(&specs);
         assert_eq!(report.decision, Decision::Unpartitioned, "{report:?}");
-        assert!(report.margin < 0.05, "no meaningful margin expected: {report:?}");
+        assert!(
+            report.margin < 0.05,
+            "no meaningful margin expected: {report:?}"
+        );
     }
 
     #[test]
@@ -138,7 +148,10 @@ mod tests {
         ];
         let report = AdaptiveController::new(probe()).adapt(&specs);
         for v in [report.partitioned_score, report.unpartitioned_score] {
-            assert!(v > 0.0 && v <= 1.1, "normalized scores stay near [0,1]: {report:?}");
+            assert!(
+                v > 0.0 && v <= 1.1,
+                "normalized scores stay near [0,1]: {report:?}"
+            );
         }
     }
 }

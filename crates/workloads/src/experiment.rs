@@ -15,8 +15,8 @@
 use ccp_cachesim::{AddrSpace, HierarchyConfig, StreamStats, WayMask};
 use ccp_engine::partition::PartitionPolicy;
 use ccp_engine::sim::{
-    run_concurrent, run_isolated, SimOperator, SimWorkload, StreamOutcome,
     driver::{DEFAULT_MEASURE_CYCLES, DEFAULT_WARM_CYCLES},
+    run_concurrent, run_isolated, SimOperator, SimWorkload, StreamOutcome,
 };
 
 /// A builder producing a fresh operator twin inside the given address
@@ -53,7 +53,11 @@ impl<'a> QuerySpec<'a> {
         mask: MaskChoice,
         build: impl Fn(&mut AddrSpace) -> Box<dyn SimOperator> + 'a,
     ) -> Self {
-        QuerySpec { name: name.into(), build: Box::new(build), mask }
+        QuerySpec {
+            name: name.into(),
+            build: Box::new(build),
+            mask,
+        }
     }
 }
 
@@ -112,7 +116,11 @@ impl Default for Experiment {
 impl Experiment {
     /// A faster configuration for CI/tests: shorter windows, same machine.
     pub fn quick() -> Self {
-        Experiment { warm_cycles: 4_000_000, measure_cycles: 8_000_000, ..Default::default() }
+        Experiment {
+            warm_cycles: 4_000_000,
+            measure_cycles: 8_000_000,
+            ..Default::default()
+        }
     }
 
     /// The paper's partition policy for this machine.
@@ -177,8 +185,10 @@ impl Experiment {
     pub fn run_concurrent_normalized(&self, specs: &[QuerySpec<'_>]) -> Vec<NormalizedOutcome> {
         let policy = self.policy();
         // Isolated baselines, one at a time.
-        let isolated: Vec<StreamOutcome> =
-            specs.iter().map(|q| self.run_isolated(&q.name, &q.build)).collect();
+        let isolated: Vec<StreamOutcome> = specs
+            .iter()
+            .map(|q| self.run_isolated(&q.name, &q.build))
+            .collect();
         // The concurrent run: all operators share one address space (they
         // are distinct regions; sharing the space only keeps them from
         // aliasing).
@@ -192,7 +202,11 @@ impl Experiment {
                     MaskChoice::Mask(m) => Some(m),
                     MaskChoice::Policy => Some(policy.mask_for(op.cuid())),
                 };
-                SimWorkload { name: q.name.clone(), op, mask }
+                SimWorkload {
+                    name: q.name.clone(),
+                    op,
+                    mask,
+                }
             })
             .collect();
         let out = run_concurrent(&self.cfg, workloads, self.warm_cycles, self.measure_cycles);
@@ -201,7 +215,11 @@ impl Experiment {
             .zip(isolated)
             .map(|(conc, iso)| NormalizedOutcome {
                 name: conc.name.clone(),
-                normalized: if iso.throughput > 0.0 { conc.throughput / iso.throughput } else { 0.0 },
+                normalized: if iso.throughput > 0.0 {
+                    conc.throughput / iso.throughput
+                } else {
+                    0.0
+                },
                 concurrent_throughput: conc.throughput,
                 isolated_throughput: iso.throughput,
                 stats: conc.stats,
@@ -216,7 +234,11 @@ mod tests {
     use crate::paper;
 
     fn tiny_experiment() -> Experiment {
-        Experiment { warm_cycles: 1_000_000, measure_cycles: 2_000_000, ..Default::default() }
+        Experiment {
+            warm_cycles: 1_000_000,
+            measure_cycles: 2_000_000,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -235,7 +257,10 @@ mod tests {
         let points = e.llc_sweep(&build, &sizes);
         assert_eq!(points.len(), 2);
         let best = points.iter().map(|p| p.normalized).fold(f64::MIN, f64::max);
-        assert!((best - 1.0).abs() < 1e-9, "best point must normalize to 1.0");
+        assert!(
+            (best - 1.0).abs() < 1e-9,
+            "best point must normalize to 1.0"
+        );
         // The LLC-sized hash table must be slower with 10% of the cache.
         assert!(points[1].normalized < 0.85, "got {}", points[1].normalized);
         assert_eq!(points[0].ways, 20);
@@ -254,7 +279,12 @@ mod tests {
         let out = e.run_concurrent_normalized(&specs);
         assert_eq!(out.len(), 2);
         for o in &out {
-            assert!(o.normalized > 0.0 && o.normalized < 1.05, "{}: {}", o.name, o.normalized);
+            assert!(
+                o.normalized > 0.0 && o.normalized < 1.05,
+                "{}: {}",
+                o.name,
+                o.normalized
+            );
             assert!(o.isolated_throughput > 0.0);
         }
         // The aggregation suffers from the scan.
@@ -266,7 +296,11 @@ mod tests {
         // Longer windows: the partitioning effect needs steady state in a
         // 55 MiB LLC, which the 1M-cycle warm-up of the other tests does
         // not reach.
-        let e = Experiment { warm_cycles: 6_000_000, measure_cycles: 10_000_000, ..Default::default() };
+        let e = Experiment {
+            warm_cycles: 6_000_000,
+            measure_cycles: 10_000_000,
+            ..Default::default()
+        };
         let specs = vec![
             QuerySpec::new("q2", MaskChoice::Policy, |s| {
                 paper::q2_aggregation(s, paper::DICT_4MIB, 100_000)

@@ -23,4 +23,6 @@ pub mod s4hana;
 
 pub use adaptive::{AdaptationReport, AdaptiveController, Decision};
 pub use experiment::{Experiment, MaskChoice, NormalizedOutcome, QuerySpec, SweepPoint};
-pub use native::{run_mixed, run_mixed_normalized, MixedRunReport, NativeQuery};
+pub use native::{
+    export_normalized_metrics, run_mixed, run_mixed_normalized, MixedRunReport, NativeQuery,
+};

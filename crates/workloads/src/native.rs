@@ -26,7 +26,10 @@ pub struct NativeQuery<'a> {
 impl<'a> NativeQuery<'a> {
     /// Convenience constructor.
     pub fn new(name: impl Into<String>, run_once: impl Fn() + Send + Sync + 'a) -> Self {
-        NativeQuery { name: name.into(), run_once: Box::new(run_once) }
+        NativeQuery {
+            name: name.into(),
+            run_once: Box::new(run_once),
+        }
     }
 }
 
@@ -43,6 +46,46 @@ impl MixedRunReport {
     /// Executions per second of query `idx`.
     pub fn throughput(&self, idx: usize) -> f64 {
         self.completions[idx].1 as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+
+    /// Publishes each query's absolute throughput (executions/s) and
+    /// completion count from this run into `registry`, labeled by query
+    /// name — so a bench or serving process exposes its latest mixed-run
+    /// results next to the executor and resctrl families.
+    pub fn export_metrics(&self, registry: &ccp_obs::Registry) {
+        let tput = registry.gauge_family(
+            "ccp_native_query_throughput",
+            "Query executions per second in the last mixed run",
+        );
+        let done = registry.gauge_family(
+            "ccp_native_query_completions",
+            "Query executions completed in the last mixed run",
+        );
+        for (i, (name, n)) in self.completions.iter().enumerate() {
+            tput.get_or_create(&[("query", name)])
+                .set(self.throughput(i));
+            done.get_or_create(&[("query", name)]).set(*n as f64);
+        }
+        registry
+            .gauge_family(
+                "ccp_native_run_elapsed_seconds",
+                "Wall-clock duration of the last mixed run",
+            )
+            .get_or_create(&[])
+            .set(self.elapsed.as_secs_f64());
+    }
+}
+
+/// Publishes normalized throughput results (as produced by
+/// [`run_mixed_normalized`]) into `registry` — the paper's headline
+/// metric, per query.
+pub fn export_normalized_metrics(registry: &ccp_obs::Registry, results: &[(String, f64)]) {
+    let fam = registry.gauge_family(
+        "ccp_native_normalized_throughput",
+        "Concurrent / isolated throughput per query (1.0 = no interference)",
+    );
+    for (name, norm) in results {
+        fam.get_or_create(&[("query", name)]).set(*norm);
     }
 }
 
@@ -72,7 +115,10 @@ pub fn run_mixed(duration: Duration, queries: &[NativeQuery<'_>]) -> MixedRunRep
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("driver thread panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("driver thread panicked"))
+            .collect()
     });
     MixedRunReport {
         completions: queries
@@ -90,10 +136,7 @@ pub fn run_mixed(duration: Duration, queries: &[NativeQuery<'_>]) -> MixedRunRep
 ///
 /// # Panics
 /// Panics when `queries` is empty.
-pub fn run_mixed_normalized(
-    duration: Duration,
-    queries: &[NativeQuery<'_>],
-) -> Vec<(String, f64)> {
+pub fn run_mixed_normalized(duration: Duration, queries: &[NativeQuery<'_>]) -> Vec<(String, f64)> {
     let isolated: Vec<f64> = queries
         .iter()
         .enumerate()
@@ -108,7 +151,11 @@ pub fn run_mixed_normalized(
         .iter()
         .enumerate()
         .map(|(i, q)| {
-            let norm = if isolated[i] > 0.0 { together.throughput(i) / isolated[i] } else { 0.0 };
+            let norm = if isolated[i] > 0.0 {
+                together.throughput(i) / isolated[i]
+            } else {
+                0.0
+            };
             (q.name.clone(), norm)
         })
         .collect()
@@ -140,8 +187,9 @@ mod tests {
 
     #[test]
     fn deadline_is_respected() {
-        let queries =
-            vec![NativeQuery::new("sleepy", || std::thread::sleep(Duration::from_millis(5)))];
+        let queries = vec![NativeQuery::new("sleepy", || {
+            std::thread::sleep(Duration::from_millis(5))
+        })];
         let report = run_mixed(Duration::from_millis(30), &queries);
         // Finishes the in-flight execution but does not run forever.
         assert!(report.elapsed < Duration::from_millis(500));
@@ -170,7 +218,10 @@ mod tests {
         assert_eq!(out[0].0, "x");
         assert_eq!(out[1].0, "y");
         for (name, norm) in out {
-            assert!(norm.is_finite() && norm > 0.0, "query {name} normalized {norm}");
+            assert!(
+                norm.is_finite() && norm > 0.0,
+                "query {name} normalized {norm}"
+            );
         }
     }
 
@@ -178,5 +229,25 @@ mod tests {
     #[should_panic(expected = "at least one query")]
     fn empty_mixed_run_rejected() {
         let _ = run_mixed(Duration::from_millis(1), &[]);
+    }
+
+    #[test]
+    fn export_publishes_per_query_gauges() {
+        let queries = vec![
+            NativeQuery::new("q1_scan", || {}),
+            NativeQuery::new("q2_agg", || {}),
+        ];
+        let report = run_mixed(Duration::from_millis(5), &queries);
+        let registry = ccp_obs::Registry::new();
+        report.export_metrics(&registry);
+        export_normalized_metrics(
+            &registry,
+            &[("q1_scan".to_string(), 1.0), ("q2_agg".to_string(), 0.86)],
+        );
+        let text = registry.render_prometheus();
+        assert!(text.contains("ccp_native_query_throughput{query=\"q1_scan\"}"));
+        assert!(text.contains("ccp_native_query_completions{query=\"q2_agg\"}"));
+        assert!(text.contains("ccp_native_run_elapsed_seconds"));
+        assert!(text.contains("ccp_native_normalized_throughput{query=\"q2_agg\"} 0.86"));
     }
 }

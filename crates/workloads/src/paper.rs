@@ -37,7 +37,9 @@ pub fn q1_scan(space: &mut AddrSpace) -> Box<dyn SimOperator> {
 /// Query 2: `SELECT MAX(B.V), B.G FROM B GROUP BY B.G` with a dictionary of
 /// `dict_bytes` on `B.V` and `groups` distinct values in `B.G`.
 pub fn q2_aggregation(space: &mut AddrSpace, dict_bytes: u64, groups: u64) -> Box<dyn SimOperator> {
-    Box::new(AggregationSim::paper_q2(space, BIG_ROWS, dict_bytes, groups))
+    Box::new(AggregationSim::paper_q2(
+        space, BIG_ROWS, dict_bytes, groups,
+    ))
 }
 
 /// Query 3: `SELECT COUNT(*) FROM R, S WHERE R.P = S.F` with `pk_count`
@@ -70,7 +72,12 @@ mod tests {
         let mut space = AddrSpace::new();
         for (pks, expected_bytes) in [(1_000_000u64, 125_000u64), (100_000_000, 12_500_000)] {
             let q = q3_join(&mut space, pks);
-            assert_eq!(q.cuid(), CacheUsageClass::Mixed { hot_bytes: expected_bytes });
+            assert_eq!(
+                q.cuid(),
+                CacheUsageClass::Mixed {
+                    hot_bytes: expected_bytes
+                }
+            );
         }
     }
 

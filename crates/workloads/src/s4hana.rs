@@ -60,7 +60,10 @@ pub fn oltp_6col(space: &mut AddrSpace) -> Box<dyn SimOperator> {
 /// # Panics
 /// Panics when `k` is outside `1..=13`.
 pub fn oltp_k_cols(space: &mut AddrSpace, k: usize) -> Box<dyn SimOperator> {
-    assert!((1..=13).contains(&k), "ACDOCA sweep projects 1..=13 columns, got {k}");
+    assert!(
+        (1..=13).contains(&k),
+        "ACDOCA sweep projects 1..=13 columns, got {k}"
+    );
     Box::new(OltpSim::paper_acdoca(space, &BIG13_DICTS[..k]))
 }
 

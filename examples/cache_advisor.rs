@@ -55,7 +55,11 @@ fn advise(e: &Experiment, name: &str, build: OpBuilder<'_>) {
 
 fn main() {
     println!("cache advisor — derive CAT masks from measured sensitivity curves");
-    let e = Experiment { warm_cycles: 4_000_000, measure_cycles: 8_000_000, ..Default::default() };
+    let e = Experiment {
+        warm_cycles: 4_000_000,
+        measure_cycles: 8_000_000,
+        ..Default::default()
+    };
 
     advise(&e, "column scan (paper Q1)", Box::new(paper::q1_scan));
     advise(
@@ -68,7 +72,11 @@ fn main() {
         "FK join, 1e8 primary keys (paper Q3)",
         Box::new(|s| paper::q3_join(s, 100_000_000)),
     );
-    advise(&e, "S/4HANA OLTP point select, 13 columns", Box::new(s4hana::oltp_13col));
+    advise(
+        &e,
+        "S/4HANA OLTP point select, 13 columns",
+        Box::new(s4hana::oltp_13col),
+    );
 
     println!(
         "\nthe paper's scheme falls out of the curves: scans -> 0x3, LLC-sized aggregations \

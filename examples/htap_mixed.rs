@@ -48,7 +48,10 @@ fn main() {
     let order_fk = Arc::new(DictColumn::build(&gen::foreign_keys(ROWS, 50_000, 4)));
 
     let mut customers = Table::new("customers");
-    customers.add_column("ID", Column::Int(DictColumn::build(&gen::primary_keys(10_000, 5))));
+    customers.add_column(
+        "ID",
+        Column::Int(DictColumn::build(&gen::primary_keys(10_000, 5))),
+    );
     customers.add_column(
         "NAME",
         Column::Str(DictColumn::build(&gen::string_values(10_000, 2_000, 24, 6))),
@@ -60,7 +63,10 @@ fn main() {
     println!("  Q1 column scan  (CUID: polluting) -> {hits} rows over threshold");
 
     let groups = aggregate::grouped_aggregate(&ex, &amounts, &regions, Aggregate::Max);
-    println!("  Q2 aggregation  (CUID: sensitive) -> {} groups", groups.len());
+    println!(
+        "  Q2 aggregation  (CUID: sensitive) -> {} groups",
+        groups.len()
+    );
 
     let matches = join::fk_join_count(&ex, &order_pk, &order_fk);
     println!("  Q3 FK join      (CUID: mixed)     -> {matches} matches");
@@ -74,7 +80,8 @@ fn main() {
     );
 
     // --- what the executor did ---------------------------------------------
-    println!("\nexecutor: {} jobs, {} mask switches, {} bind failures",
+    println!(
+        "\nexecutor: {} jobs, {} mask switches, {} bind failures",
         ex.jobs_executed(),
         ex.mask_switches(),
         ex.bind_failures()

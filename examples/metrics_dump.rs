@@ -1,0 +1,21 @@
+//! Runs a small Figure-9-style co-run (concurrent scan + aggregation
+//! through the dual-pool executor, waves planned by the cache-aware
+//! scheduler, masks programmed through the resctrl driver) and prints
+//! every exported metric family in the Prometheus text format.
+//!
+//! ```text
+//! cargo run --release --example metrics_dump
+//! ```
+//!
+//! Set `CCP_DEMO_MS` to change the co-run window (default 200 ms).
+
+use std::time::Duration;
+
+fn main() {
+    let window_ms: u64 = std::env::var("CCP_DEMO_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(200);
+    let registry = cache_partitioning::obs_demo::run_corun_demo(Duration::from_millis(window_ms));
+    print!("{}", registry.render_prometheus());
+}

@@ -20,25 +20,36 @@ use cache_partitioning::prelude::*;
 use ccp_engine::sim::{classify_operator, AggregationSim, ColumnScanSim, FkJoinSim};
 use ccp_engine::{Admission, CacheAwareScheduler};
 
+/// A named constructor for a simulated operator to be classified.
+type SimOpFactory = Box<dyn Fn(&mut AddrSpace) -> Box<dyn ccp_engine::sim::SimOperator>>;
+
 fn main() {
     let cfg = HierarchyConfig::broadwell_e5_2699_v4();
     let policy = PartitionPolicy::paper_default(cfg.llc, cfg.l2.size_bytes);
     let (warm, measure) = (3_000_000, 6_000_000);
 
     println!("probing four operators the engine has never seen…\n");
-    let candidates: Vec<(&str, Box<dyn Fn(&mut AddrSpace) -> Box<dyn ccp_engine::sim::SimOperator>>)> = vec![
-        ("mystery-A (it's a column scan)", Box::new(|s: &mut AddrSpace| {
-            Box::new(ColumnScanSim::paper_q1(s, 1 << 33)) as _
-        })),
-        ("mystery-B (aggregation, 40 MiB dict, 1e5 groups)", Box::new(|s: &mut AddrSpace| {
-            Box::new(AggregationSim::paper_q2(s, 1 << 40, 40 << 20, 100_000)) as _
-        })),
-        ("mystery-C (join, 1e6 keys)", Box::new(|s: &mut AddrSpace| {
-            Box::new(FkJoinSim::new(s, 1_000_000, 1 << 40)) as _
-        })),
-        ("mystery-D (aggregation, 4 MiB dict, 1e2 groups)", Box::new(|s: &mut AddrSpace| {
-            Box::new(AggregationSim::paper_q2(s, 1 << 40, 4 << 20, 100)) as _
-        })),
+    let candidates: Vec<(&str, SimOpFactory)> = vec![
+        (
+            "mystery-A (it's a column scan)",
+            Box::new(|s: &mut AddrSpace| Box::new(ColumnScanSim::paper_q1(s, 1 << 33)) as _),
+        ),
+        (
+            "mystery-B (aggregation, 40 MiB dict, 1e5 groups)",
+            Box::new(|s: &mut AddrSpace| {
+                Box::new(AggregationSim::paper_q2(s, 1 << 40, 40 << 20, 100_000)) as _
+            }),
+        ),
+        (
+            "mystery-C (join, 1e6 keys)",
+            Box::new(|s: &mut AddrSpace| Box::new(FkJoinSim::new(s, 1_000_000, 1 << 40)) as _),
+        ),
+        (
+            "mystery-D (aggregation, 4 MiB dict, 1e2 groups)",
+            Box::new(|s: &mut AddrSpace| {
+                Box::new(AggregationSim::paper_q2(s, 1 << 40, 4 << 20, 100)) as _
+            }),
+        ),
     ];
 
     let mut classified = Vec::new();

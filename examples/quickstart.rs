@@ -39,7 +39,10 @@ fn main() {
     println!("\n[2/2] concurrent, scan confined by the paper's policy (mask 0x3)…");
     let part = e.run_concurrent_normalized(&build_specs(MaskChoice::Policy));
 
-    println!("\n{:>18} {:>14} {:>14}", "query", "unpartitioned", "partitioned");
+    println!(
+        "\n{:>18} {:>14} {:>14}",
+        "query", "unpartitioned", "partitioned"
+    );
     for (b, p) in base.iter().zip(&part) {
         println!(
             "{:>18} {:>13.1}% {:>13.1}%",

@@ -24,18 +24,27 @@ fn demo_lifecycle(mut ctl: CacheController, flavor: &str) {
         info.num_closids
     );
 
-    let scan_group = ctl.create_group("ccp-demo-polluters").expect("create group");
+    let scan_group = ctl
+        .create_group("ccp-demo-polluters")
+        .expect("create group");
     println!("created group {:?}", scan_group.name());
 
     let mask = WayMask::new(0x3).expect("valid CAT mask");
-    ctl.set_l3_mask(&scan_group, 0, mask).expect("program schemata");
-    println!("programmed L3:0={:x} (the paper's 10% polluter slice)", mask.bits());
+    ctl.set_l3_mask(&scan_group, 0, mask)
+        .expect("program schemata");
+    println!(
+        "programmed L3:0={:x} (the paper's 10% polluter slice)",
+        mask.bits()
+    );
 
     // Bind this very process's main thread, then read the schemata back.
     let tid = std::process::id() as u64;
     ctl.assign_task(&scan_group, tid).expect("assign task");
     let schemata = ctl.schemata(&scan_group).expect("read back");
-    println!("bound tid {tid}; kernel reports: {}", schemata.to_string().trim());
+    println!(
+        "bound tid {tid}; kernel reports: {}",
+        schemata.to_string().trim()
+    );
 
     // Redundant updates are skipped (the paper's Section V-C fast path).
     for _ in 0..5 {

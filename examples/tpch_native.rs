@@ -26,7 +26,10 @@ fn main() {
 
     println!("\nTPC-H Q1 — pricing summary report (cache-sensitive jobs):");
     let rows = tpch::q1_pricing_summary(&ex, &lineitem);
-    println!("{:>6} {:>7} {:>18} {:>10}", "flag", "status", "sum(extprice)", "count");
+    println!(
+        "{:>6} {:>7} {:>18} {:>10}",
+        "flag", "status", "sum(extprice)", "count"
+    );
     for r in &rows {
         println!(
             "{:>6} {:>7} {:>18} {:>10}",

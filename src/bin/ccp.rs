@@ -17,6 +17,9 @@ use ccp_engine::sim::{classify_operator, AggregationSim, ColumnScanSim, FkJoinSi
 use ccp_engine::CacheAwareScheduler;
 use std::process::ExitCode;
 
+/// A named constructor for a simulated operator, used by `classify`.
+type SimOpFactory = Box<dyn Fn(&mut AddrSpace) -> Box<dyn ccp_engine::sim::SimOperator>>;
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
@@ -99,9 +102,17 @@ fn demo() -> ExitCode {
     };
     let base = e.run_concurrent_normalized(&mk(MaskChoice::Full));
     let part = e.run_concurrent_normalized(&mk(MaskChoice::Policy));
-    println!("{:>20} {:>14} {:>14}", "query", "unpartitioned", "partitioned");
+    println!(
+        "{:>20} {:>14} {:>14}",
+        "query", "unpartitioned", "partitioned"
+    );
     for (b, p) in base.iter().zip(&part) {
-        println!("{:>20} {:>13.1}% {:>13.1}%", b.name, b.normalized * 100.0, p.normalized * 100.0);
+        println!(
+            "{:>20} {:>13.1}% {:>13.1}%",
+            b.name,
+            b.normalized * 100.0,
+            p.normalized * 100.0
+        );
     }
     ExitCode::SUCCESS
 }
@@ -109,21 +120,30 @@ fn demo() -> ExitCode {
 fn classify() -> ExitCode {
     let cfg = HierarchyConfig::broadwell_e5_2699_v4();
     let policy = PartitionPolicy::paper_default(cfg.llc, cfg.l2.size_bytes);
-    let ops: Vec<(&str, Box<dyn Fn(&mut AddrSpace) -> Box<dyn ccp_engine::sim::SimOperator>>)> = vec![
-        ("column scan", Box::new(|s: &mut AddrSpace| {
-            Box::new(ColumnScanSim::paper_q1(s, 1 << 33)) as _
-        })),
-        ("aggregation 40MiB/1e5G", Box::new(|s: &mut AddrSpace| {
-            Box::new(AggregationSim::paper_q2(s, 1 << 40, 40 << 20, 100_000)) as _
-        })),
-        ("fk join 1e6 keys", Box::new(|s: &mut AddrSpace| {
-            Box::new(FkJoinSim::new(s, 1_000_000, 1 << 40)) as _
-        })),
-        ("fk join 1e8 keys", Box::new(|s: &mut AddrSpace| {
-            Box::new(FkJoinSim::new(s, 100_000_000, 1 << 40)) as _
-        })),
+    let ops: Vec<(&str, SimOpFactory)> = vec![
+        (
+            "column scan",
+            Box::new(|s: &mut AddrSpace| Box::new(ColumnScanSim::paper_q1(s, 1 << 33)) as _),
+        ),
+        (
+            "aggregation 40MiB/1e5G",
+            Box::new(|s: &mut AddrSpace| {
+                Box::new(AggregationSim::paper_q2(s, 1 << 40, 40 << 20, 100_000)) as _
+            }),
+        ),
+        (
+            "fk join 1e6 keys",
+            Box::new(|s: &mut AddrSpace| Box::new(FkJoinSim::new(s, 1_000_000, 1 << 40)) as _),
+        ),
+        (
+            "fk join 1e8 keys",
+            Box::new(|s: &mut AddrSpace| Box::new(FkJoinSim::new(s, 100_000_000, 1 << 40)) as _),
+        ),
     ];
-    println!("{:>24} {:>12} {:>8} {:>12} {:>20}", "operator", "sensitivity", "re-use", "hot MiB", "CUID -> mask");
+    println!(
+        "{:>24} {:>12} {:>8} {:>12} {:>20}",
+        "operator", "sensitivity", "re-use", "hot MiB", "CUID -> mask"
+    );
     for (name, build) in &ops {
         let r = classify_operator(&cfg, &policy, build.as_ref(), 3_000_000, 6_000_000);
         println!(
@@ -171,7 +191,13 @@ fn schedule(specs: &[String]) -> ExitCode {
     for (i, wave) in sched.plan_waves(&queue).iter().enumerate() {
         let members: Vec<String> = wave
             .iter()
-            .map(|&j| format!("{} (mask {:#x})", specs[j], policy.mask_for(queue[j]).bits()))
+            .map(|&j| {
+                format!(
+                    "{} (mask {:#x})",
+                    specs[j],
+                    policy.mask_for(queue[j]).bits()
+                )
+            })
             .collect();
         println!("wave {}: {}", i + 1, members.join("  +  "));
     }

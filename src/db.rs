@@ -47,7 +47,10 @@ impl std::fmt::Display for DbError {
                 write!(f, "no column {column:?} in table {table:?}")
             }
             DbError::WrongColumnType { table, column } => {
-                write!(f, "column {table}.{column} has the wrong type for this operation")
+                write!(
+                    f,
+                    "column {table}.{column} has the wrong type for this operation"
+                )
             }
         }
     }
@@ -110,7 +113,8 @@ impl Database {
 
     /// Registers a table (replacing any previous one of the same name).
     pub fn register_table(&mut self, table: Table) {
-        self.tables.insert(table.name().to_string(), Arc::new(table));
+        self.tables
+            .insert(table.name().to_string(), Arc::new(table));
     }
 
     /// Names of registered tables, sorted.
@@ -121,7 +125,9 @@ impl Database {
     }
 
     fn table(&self, name: &str) -> Result<&Arc<Table>, DbError> {
-        self.tables.get(name).ok_or_else(|| DbError::NoSuchTable(name.to_string()))
+        self.tables
+            .get(name)
+            .ok_or_else(|| DbError::NoSuchTable(name.to_string()))
     }
 
     fn int_column(&self, table: &str, column: &str) -> Result<Arc<DictColumn<i64>>, DbError> {
@@ -226,13 +232,16 @@ impl Database {
         let result: Arc<parking_lot::Mutex<Vec<oltp::ProjectedRow>>> =
             Arc::new(parking_lot::Mutex::new(Vec::new()));
         let out = result.clone();
-        self.pools.submit_oltp(Job::unannotated("point_select", move || {
-            let refs: Vec<&str> = projected.iter().map(|s| s.as_str()).collect();
-            let stmt = oltp::PointSelect::prepare(&t, &key_column, &refs);
-            *out.lock() = stmt.execute_int(key);
-        }));
+        self.pools
+            .submit_oltp(Job::unannotated("point_select", move || {
+                let refs: Vec<&str> = projected.iter().map(|s| s.as_str()).collect();
+                let stmt = oltp::PointSelect::prepare(&t, &key_column, &refs);
+                *out.lock() = stmt.execute_int(key);
+            }));
         self.pools.wait_idle();
-        Ok(Arc::try_unwrap(result).map(|m| m.into_inner()).unwrap_or_default())
+        Ok(Arc::try_unwrap(result)
+            .map(|m| m.into_inner())
+            .unwrap_or_default())
     }
 
     /// Toggles OLAP-side cache partitioning (the paper's evaluation knob).
@@ -256,15 +265,24 @@ mod tests {
     fn sample_db(alloc: Arc<dyn CacheAllocator>) -> Database {
         let mut db = Database::open_with(2, 1, alloc, false);
         let mut sales = Table::new("sales");
-        sales.add_column("AMOUNT", Column::Int(DictColumn::build(&gen::uniform_ints(50_000, 10_000, 1))));
-        sales.add_column("REGION", Column::Int(DictColumn::build(&gen::uniform_ints(50_000, 50, 2))));
+        sales.add_column(
+            "AMOUNT",
+            Column::Int(DictColumn::build(&gen::uniform_ints(50_000, 10_000, 1))),
+        );
+        sales.add_column(
+            "REGION",
+            Column::Int(DictColumn::build(&gen::uniform_ints(50_000, 50, 2))),
+        );
         sales.add_column(
             "ORDER_FK",
             Column::Int(DictColumn::build(&gen::foreign_keys(50_000, 5_000, 3))),
         );
         db.register_table(sales);
         let mut orders = Table::new("orders");
-        orders.add_column("ID", Column::Int(DictColumn::build(&gen::primary_keys(5_000, 4))));
+        orders.add_column(
+            "ID",
+            Column::Int(DictColumn::build(&gen::primary_keys(5_000, 4))),
+        );
         db.register_table(orders);
         db
     }
@@ -275,12 +293,19 @@ mod tests {
         assert_eq!(db.table_names(), vec!["orders", "sales"]);
 
         let n = db.count_where_greater("sales", "AMOUNT", 5_000).unwrap();
-        assert!(n > 20_000 && n < 30_000, "uniform data: ~half qualify, got {n}");
+        assert!(
+            n > 20_000 && n < 30_000,
+            "uniform data: ~half qualify, got {n}"
+        );
 
-        let groups = db.aggregate_by("sales", "AMOUNT", "REGION", Aggregate::Max).unwrap();
+        let groups = db
+            .aggregate_by("sales", "AMOUNT", "REGION", Aggregate::Max)
+            .unwrap();
         assert_eq!(groups.len(), 50);
 
-        let matches = db.fk_join_count("orders", "ID", "sales", "ORDER_FK").unwrap();
+        let matches = db
+            .fk_join_count("orders", "ID", "sales", "ORDER_FK")
+            .unwrap();
         assert_eq!(matches, 50_000);
 
         let rows = db.point_select("orders", "ID", 42, &["ID"]).unwrap();

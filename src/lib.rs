@@ -58,9 +58,11 @@
 //! [`engine::ResctrlAllocator`]; see `examples/htap_mixed.rs`.
 
 pub mod db;
+pub mod obs_demo;
 
 pub use ccp_cachesim as cachesim;
 pub use ccp_engine as engine;
+pub use ccp_obs as obs;
 pub use ccp_resctrl as resctrl;
 pub use ccp_storage as storage;
 pub use ccp_tpch as tpch;
@@ -68,6 +70,7 @@ pub use ccp_workloads as workloads;
 
 /// The most common imports for working with the library.
 pub mod prelude {
+    pub use crate::db::{Database, DbError};
     pub use ccp_cachesim::{AddrSpace, HierarchyConfig, MemoryHierarchy, WayMask};
     pub use ccp_engine::alloc::{CacheAllocator, NoopAllocator, ResctrlAllocator};
     pub use ccp_engine::job::{CacheUsageClass, Job};
@@ -77,5 +80,4 @@ pub mod prelude {
     pub use ccp_resctrl::{detect, CacheController, CatSupport};
     pub use ccp_workloads::paper;
     pub use ccp_workloads::{Experiment, MaskChoice, NormalizedOutcome, QuerySpec};
-    pub use crate::db::{Database, DbError};
 }

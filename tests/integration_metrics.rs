@@ -1,0 +1,142 @@
+//! End-to-end exposition check: the Figure-9-style co-run demo (the same
+//! code path `examples/metrics_dump.rs` runs) must produce structurally
+//! valid Prometheus text containing the executor, scheduler, resctrl and
+//! native-workload families.
+
+use cache_partitioning::obs_demo::run_corun_demo;
+use std::collections::HashSet;
+use std::time::Duration;
+
+fn demo_text() -> String {
+    run_corun_demo(Duration::from_millis(30)).render_prometheus()
+}
+
+#[test]
+fn corun_demo_exports_every_layer() {
+    let text = demo_text();
+    // Executor: both pools, per-class counters, latency histograms.
+    assert!(text.contains("# TYPE ccp_executor_jobs_total counter"));
+    assert!(text.contains("ccp_executor_jobs_total{class=\"polluting\",pool=\"olap\"}"));
+    assert!(text.contains("ccp_executor_jobs_total{class=\"sensitive\",pool=\"oltp\"}"));
+    assert!(text.contains("# TYPE ccp_executor_job_latency_seconds histogram"));
+    assert!(text.contains("ccp_executor_queue_wait_seconds_count"));
+    // Scheduler: the demo plans 2 waves from its 4-query co-run queue.
+    assert!(text.contains("ccp_scheduler_waves_planned_total 2"));
+    assert!(text.contains("ccp_scheduler_wave_occupancy_count 2"));
+    // resctrl: three groups programmed once each, three redundant writes
+    // skipped, CMT occupancy gauges per group.
+    assert!(text.contains("ccp_resctrl_schemata_writes_total 3"));
+    assert!(text.contains("ccp_resctrl_skipped_writes_total 3"));
+    assert!(text.contains("ccp_resctrl_llc_occupancy_bytes{domain=\"0\",group=\"cuid_polluting\"}"));
+    // Native workload: one throughput gauge per co-run query.
+    assert!(text.contains("ccp_native_query_throughput{query=\"q1_scan\"}"));
+    assert!(text.contains("ccp_native_query_throughput{query=\"q2_aggregation\"}"));
+}
+
+#[test]
+fn corun_demo_ran_real_work() {
+    let text = demo_text();
+    // The scan and aggregation each complete at least once even in a
+    // 30 ms window, and their jobs flow through the OLAP pool.
+    let jobs_line = text
+        .lines()
+        .find(|l| l.starts_with("ccp_executor_jobs_total{class=\"polluting\",pool=\"olap\"}"))
+        .expect("olap polluting jobs line present");
+    let jobs: u64 = jobs_line.rsplit(' ').next().unwrap().parse().unwrap();
+    assert!(jobs > 0, "scan jobs must have executed: {jobs_line}");
+    let ping_line = text
+        .lines()
+        .find(|l| l.starts_with("ccp_native_query_completions{query=\"oltp_ping\"}"))
+        .expect("oltp ping completions present");
+    let pings: f64 = ping_line.rsplit(' ').next().unwrap().parse().unwrap();
+    assert!(pings >= 1.0, "OLTP pings must have completed: {ping_line}");
+}
+
+#[test]
+fn exposition_is_structurally_valid_prometheus() {
+    let text = demo_text();
+    assert!(!text.is_empty());
+    let mut typed: HashSet<String> = HashSet::new();
+    let mut last_help: Option<String> = None;
+    for line in text.lines() {
+        assert!(!line.trim().is_empty(), "no blank lines in the exposition");
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let name = rest.split_whitespace().next().expect("HELP names a metric");
+            last_help = Some(name.to_string());
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split_whitespace();
+            let name = parts.next().expect("TYPE names a metric");
+            let kind = parts.next().expect("TYPE has a kind");
+            assert!(
+                ["counter", "gauge", "histogram"].contains(&kind),
+                "bad kind {kind}"
+            );
+            // TYPE directly follows its HELP line.
+            assert_eq!(
+                last_help.as_deref(),
+                Some(name),
+                "HELP/TYPE pairing for {name}"
+            );
+            assert!(
+                typed.insert(name.to_string()),
+                "family {name} rendered twice"
+            );
+            continue;
+        }
+        // Sample line: `name{labels} value` or `name value`.
+        let (series, value) = line.rsplit_once(' ').expect("sample has a value");
+        assert!(
+            value == "+Inf" || value.parse::<f64>().is_ok(),
+            "unparseable sample value {value:?} in {line:?}"
+        );
+        let name = series.split('{').next().unwrap();
+        let base = name
+            .strip_suffix("_bucket")
+            .or_else(|| name.strip_suffix("_sum"))
+            .or_else(|| name.strip_suffix("_count"))
+            .filter(|b| typed.contains(*b))
+            .unwrap_or(name);
+        assert!(typed.contains(base), "sample {name} lacks a # TYPE header");
+        if let Some(rest) = series.split_once('{') {
+            assert!(rest.1.ends_with('}'), "unterminated label set in {line:?}");
+        }
+    }
+    assert!(
+        typed.len() >= 10,
+        "expected a rich exposition, got {} families",
+        typed.len()
+    );
+}
+
+#[test]
+fn histogram_bucket_counts_are_cumulative_and_consistent() {
+    let text = demo_text();
+    // For one histogram series, +Inf bucket == _count and buckets never
+    // decrease.
+    let buckets: Vec<u64> = text
+        .lines()
+        .filter(|l| {
+            l.starts_with(
+                "ccp_executor_job_latency_seconds_bucket{class=\"polluting\",pool=\"olap\"",
+            )
+        })
+        .map(|l| l.rsplit(' ').next().unwrap().parse().unwrap())
+        .collect();
+    assert!(!buckets.is_empty());
+    assert!(
+        buckets.windows(2).all(|w| w[0] <= w[1]),
+        "buckets must be cumulative"
+    );
+    let count_line = text
+        .lines()
+        .find(|l| {
+            l.starts_with(
+                "ccp_executor_job_latency_seconds_count{class=\"polluting\",pool=\"olap\"}",
+            )
+        })
+        .expect("histogram _count present");
+    let count: u64 = count_line.rsplit(' ').next().unwrap().parse().unwrap();
+    assert_eq!(*buckets.last().unwrap(), count, "+Inf bucket equals _count");
+}

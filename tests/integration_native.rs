@@ -11,7 +11,11 @@ use std::sync::Arc;
 
 fn executor_with(alloc: Arc<dyn CacheAllocator>) -> JobExecutor {
     let cfg = HierarchyConfig::broadwell_e5_2699_v4();
-    JobExecutor::new(4, PartitionPolicy::paper_default(cfg.llc, cfg.l2.size_bytes), alloc)
+    JobExecutor::new(
+        4,
+        PartitionPolicy::paper_default(cfg.llc, cfg.l2.size_bytes),
+        alloc,
+    )
 }
 
 #[test]
@@ -35,7 +39,10 @@ fn full_query_mix_produces_correct_results_and_masks() {
     let agg = aggregate::grouped_aggregate(&ex, &amounts, &regions, Aggregate::Max);
     let mut reference: BTreeMap<i64, i64> = BTreeMap::new();
     for (a, g) in amounts_raw.iter().zip(&regions_raw) {
-        reference.entry(*g).and_modify(|m| *m = (*m).max(*a)).or_insert(*a);
+        reference
+            .entry(*g)
+            .and_modify(|m| *m = (*m).max(*a))
+            .or_insert(*a);
     }
     assert_eq!(agg.len(), reference.len());
     for (g, m) in &reference {
@@ -50,8 +57,7 @@ fn full_query_mix_produces_correct_results_and_masks() {
 
     // The allocator saw all three mask classes: 0x3 for the scan and the
     // small-bitvec join, 0xfffff for the aggregation.
-    let masks: std::collections::HashSet<u32> =
-        rec.calls().iter().map(|(_, m)| m.bits()).collect();
+    let masks: std::collections::HashSet<u32> = rec.calls().iter().map(|(_, m)| m.bits()).collect();
     assert!(masks.contains(&0x3), "polluter mask must appear");
     assert!(masks.contains(&0xfffff), "sensitive mask must appear");
 }
@@ -86,8 +92,14 @@ fn executor_respects_partitioning_toggle_mid_stream() {
     scan::column_scan(&ex, &col, 50);
 
     let masks: Vec<u32> = rec.calls().iter().map(|(_, m)| m.bits()).collect();
-    assert!(masks.contains(&0x3), "partitioned phase uses the polluter mask");
-    assert!(masks.contains(&0xfffff), "unpartitioned phase re-binds to the full mask");
+    assert!(
+        masks.contains(&0x3),
+        "partitioned phase uses the polluter mask"
+    );
+    assert!(
+        masks.contains(&0xfffff),
+        "unpartitioned phase re-binds to the full mask"
+    );
 }
 
 #[test]
@@ -108,5 +120,8 @@ fn join_cuid_switches_with_pk_cardinality() {
     let fk2 = Arc::new(DictColumn::build(&vec![1i64; 5_000]));
     join::fk_join_count(&ex, &wide_pk, &fk2);
     let last_masks: Vec<u32> = rec.calls().iter().map(|(_, m)| m.bits()).collect();
-    assert!(last_masks.contains(&0xfff), "LLC-comparable bit vector gets the 60% mask");
+    assert!(
+        last_masks.contains(&0xfff),
+        "LLC-comparable bit vector gets the 60% mask"
+    );
 }

@@ -15,8 +15,11 @@ fn fake_stack() -> (FakeFs, JobExecutor) {
         .expect("fake tree mounts");
     let allocator = Arc::new(ResctrlAllocator::new(ctl, vec![0]));
     let cfg = HierarchyConfig::broadwell_e5_2699_v4();
-    let ex =
-        JobExecutor::new(2, PartitionPolicy::paper_default(cfg.llc, cfg.l2.size_bytes), allocator);
+    let ex = JobExecutor::new(
+        2,
+        PartitionPolicy::paper_default(cfg.llc, cfg.l2.size_bytes),
+        allocator,
+    );
     (fs, ex)
 }
 
@@ -64,8 +67,11 @@ fn paper_section5c_masks_via_detect_fallback() {
         Arc::new(NoopAllocator)
     };
     let cfg = HierarchyConfig::broadwell_e5_2699_v4();
-    let ex =
-        JobExecutor::new(2, PartitionPolicy::paper_default(cfg.llc, cfg.l2.size_bytes), allocator);
+    let ex = JobExecutor::new(
+        2,
+        PartitionPolicy::paper_default(cfg.llc, cfg.l2.size_bytes),
+        allocator,
+    );
     let col = Arc::new(DictColumn::build(&gen::uniform_ints(10_000, 100, 3)));
     assert_eq!(scan::column_scan(&ex, &col, 0), 10_000);
     assert_eq!(ex.bind_failures(), 0);

@@ -7,7 +7,11 @@ use ccp_workloads::experiment::OpBuilder;
 use ccp_workloads::{paper, s4hana};
 
 fn quick() -> Experiment {
-    Experiment { warm_cycles: 1_500_000, measure_cycles: 3_000_000, ..Default::default() }
+    Experiment {
+        warm_cycles: 1_500_000,
+        measure_cycles: 3_000_000,
+        ..Default::default()
+    }
 }
 
 #[test]
@@ -43,8 +47,14 @@ fn join_sensitivity_depends_on_bitvec_size() {
     let big: OpBuilder = Box::new(|s| paper::q3_join(s, 100_000_000));
     let small_drop = e.llc_sweep(&small, &sizes)[0].normalized;
     let big_drop = e.llc_sweep(&big, &sizes)[0].normalized;
-    assert!(small_drop > 0.9, "125 KB bit vector join must be insensitive: {small_drop}");
-    assert!(big_drop < 0.85, "12.5 MB bit vector join must be sensitive: {big_drop}");
+    assert!(
+        small_drop > 0.9,
+        "125 KB bit vector join must be insensitive: {small_drop}"
+    );
+    assert!(
+        big_drop < 0.85,
+        "12.5 MB bit vector join must be sensitive: {big_drop}"
+    );
 }
 
 #[test]
@@ -80,7 +90,11 @@ fn partitioning_policy_beats_unpartitioned_for_the_mixed_workload() {
 fn oltp_gains_from_confining_the_olap_scan() {
     // The OLTP working set is ~50 MiB; it needs a longer warm-up than the
     // other smoke tests to reach steady state.
-    let e = Experiment { warm_cycles: 5_000_000, measure_cycles: 8_000_000, ..Default::default() };
+    let e = Experiment {
+        warm_cycles: 5_000_000,
+        measure_cycles: 8_000_000,
+        ..Default::default()
+    };
     let mk = |mask| {
         vec![
             QuerySpec::new("oltp", MaskChoice::Full, s4hana::oltp_13col),
@@ -89,7 +103,11 @@ fn oltp_gains_from_confining_the_olap_scan() {
     };
     let base = e.run_concurrent_normalized(&mk(MaskChoice::Full));
     let part = e.run_concurrent_normalized(&mk(MaskChoice::Policy));
-    assert!(base[0].normalized < 0.95, "OLAP must hurt OLTP: {}", base[0].normalized);
+    assert!(
+        base[0].normalized < 0.95,
+        "OLAP must hurt OLTP: {}",
+        base[0].normalized
+    );
     assert!(
         part[0].normalized > base[0].normalized,
         "partitioning must lift OLTP: {} -> {}",
@@ -131,5 +149,9 @@ fn experiments_are_reproducible_end_to_end() {
             .map(|o| (o.normalized * 1e12) as i64)
             .collect::<Vec<_>>()
     };
-    assert_eq!(run(), run(), "identical runs must produce identical results");
+    assert_eq!(
+        run(),
+        run(),
+        "identical runs must produce identical results"
+    );
 }

@@ -1,0 +1,274 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the API subset the workspace's microbenchmarks use —
+//! [`Criterion`], [`criterion_group!`], [`criterion_main!`],
+//! benchmark groups with [`Throughput`], and [`Bencher::iter`] /
+//! [`Bencher::iter_batched`] / [`Bencher::iter_batched_ref`] — backed by
+//! a small calibrating timer instead of criterion's statistical engine.
+//! Results print as `<group>/<name>  time: ... ns/iter (± throughput)`.
+//! No files are written and no command-line options are parsed.
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque hint preventing the optimizer from deleting a value.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Batch sizing knob (accepted for API compatibility; the stand-in
+/// re-runs setup for every iteration regardless).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One batch per iteration.
+    PerIteration,
+}
+
+/// Units processed per iteration, for derived throughput reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Measurement configuration shared by all benchmarks of a binary.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    target_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Keep the stand-in quick: ~1/4 s measuring window per benchmark
+        // unless CCP_BENCH_MS overrides it.
+        let ms = std::env::var("CCP_BENCH_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(250);
+        Criterion {
+            target_time: Duration::from_millis(ms),
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Benchmarks `f` outside any group.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_benchmark(name, None, self.target_time, f);
+        self
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration throughput used in reports.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmarks `f` under `<group>/<name>`.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let full = format!("{}/{name}", self.name);
+        run_benchmark(&full, self.throughput, self.criterion.target_time, f);
+        self
+    }
+
+    /// Ends the group (no-op; provided for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; runs and times the workload.
+pub struct Bencher {
+    target_time: Duration,
+    /// Total measured time and iterations of the final window.
+    result: Option<(Duration, u64)>,
+}
+
+impl Bencher {
+    /// Times `routine` over a calibrated number of iterations.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // Calibrate: grow the iteration count until the window is at
+        // least ~1/8 of the target time, then measure one full window.
+        let mut n: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..n {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= self.target_time / 8 || n >= 1 << 30 {
+                self.result = Some((elapsed, n));
+                if elapsed < self.target_time && n < 1 << 30 {
+                    let scale =
+                        (self.target_time.as_nanos() / elapsed.as_nanos().max(1)).clamp(1, 1024);
+                    n = n.saturating_mul(scale as u64);
+                    let start = Instant::now();
+                    for _ in 0..n {
+                        black_box(routine());
+                    }
+                    self.result = Some((start.elapsed(), n));
+                }
+                return;
+            }
+            n = n.saturating_mul(4);
+        }
+    }
+
+    /// Times `routine` over fresh inputs built by `setup` (setup time is
+    /// excluded from the measurement).
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        let mut total = Duration::ZERO;
+        let mut iters: u64 = 0;
+        while total < self.target_time / 4 && iters < 1 << 24 {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+            iters += 1;
+        }
+        self.result = Some((total, iters.max(1)));
+    }
+
+    /// Like [`Bencher::iter_batched`] with the routine borrowing its
+    /// input.
+    pub fn iter_batched_ref<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(&mut I) -> O,
+        _size: BatchSize,
+    ) {
+        let mut total = Duration::ZERO;
+        let mut iters: u64 = 0;
+        while total < self.target_time / 4 && iters < 1 << 24 {
+            let mut input = setup();
+            let start = Instant::now();
+            black_box(routine(&mut input));
+            total += start.elapsed();
+            iters += 1;
+        }
+        self.result = Some((total, iters.max(1)));
+    }
+}
+
+fn run_benchmark(
+    name: &str,
+    throughput: Option<Throughput>,
+    target_time: Duration,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    let mut b = Bencher {
+        target_time,
+        result: None,
+    };
+    f(&mut b);
+    let Some((elapsed, iters)) = b.result else {
+        println!("{name:<40} (no measurement recorded)");
+        return;
+    };
+    let ns_per_iter = elapsed.as_nanos() as f64 / iters.max(1) as f64;
+    let rate = |units: u64| {
+        let per_sec = units as f64 * 1e9 / ns_per_iter.max(1e-9);
+        if per_sec >= 1e9 {
+            format!("{:.2} G", per_sec / 1e9)
+        } else if per_sec >= 1e6 {
+            format!("{:.2} M", per_sec / 1e6)
+        } else {
+            format!("{per_sec:.0} ")
+        }
+    };
+    match throughput {
+        Some(Throughput::Elements(n)) => {
+            println!("{name:<40} {ns_per_iter:>12.1} ns/iter   {}elem/s", rate(n));
+        }
+        Some(Throughput::Bytes(n)) => {
+            println!("{name:<40} {ns_per_iter:>12.1} ns/iter   {}B/s", rate(n));
+        }
+        None => println!("{name:<40} {ns_per_iter:>12.1} ns/iter"),
+    }
+}
+
+/// Declares a group-runner function calling each benchmark with a shared
+/// [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_measures_something() {
+        let mut c = Criterion {
+            target_time: Duration::from_millis(5),
+        };
+        let mut g = c.benchmark_group("t");
+        g.throughput(Throughput::Elements(1));
+        g.bench_function("spin", |b| {
+            b.iter(|| black_box(3u64).wrapping_mul(7));
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn batched_runs_setup_per_iteration() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let setups = AtomicU64::new(0);
+        let runs = AtomicU64::new(0);
+        let mut c = Criterion {
+            target_time: Duration::from_millis(2),
+        };
+        c.bench_function("batched", |b| {
+            b.iter_batched_ref(
+                || setups.fetch_add(1, Ordering::Relaxed),
+                |_| runs.fetch_add(1, Ordering::Relaxed),
+                BatchSize::SmallInput,
+            );
+        });
+        assert_eq!(setups.load(Ordering::Relaxed), runs.load(Ordering::Relaxed));
+        assert!(runs.load(Ordering::Relaxed) >= 1);
+    }
+}

@@ -1,0 +1,400 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! A deterministic mini property-testing harness. It covers exactly the
+//! surface this workspace's property suites use:
+//!
+//! * the [`proptest!`] macro over `#[test] fn name(arg in strategy, ...)`
+//!   items;
+//! * [`prop_assert!`] / [`prop_assert_eq!`];
+//! * integer range strategies (`0u32..28`, `1u32..=32`);
+//! * [`collection::vec`] and [`collection::btree_set`];
+//! * tuple strategies (`(0u32..200, -100i64..100)`);
+//! * [`strategy::Just`], [`prop_oneof!`] and
+//!   [`strategy::Strategy::prop_map`].
+//!
+//! Unlike real proptest there is no shrinking: each test runs a fixed
+//! number of cases from a generator seeded by the test's name, so every
+//! failure reproduces exactly. The case count can be raised with the
+//! `PROPTEST_CASES` environment variable.
+
+// Lets code inside this crate (including the macro-expansion tests below)
+// refer to itself by its external name, exactly like user crates do.
+extern crate self as proptest;
+
+pub mod test_runner {
+    //! Deterministic case generation.
+
+    /// Deterministic RNG driving case generation (SplitMix64).
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seeds the generator from a test name, so each property gets an
+        /// independent but reproducible stream.
+        pub fn deterministic(name: &str) -> Self {
+            // FNV-1a over the name.
+            let mut h: u64 = 0xcbf29ce484222325;
+            for b in name.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x100000001b3);
+            }
+            TestRng { state: h }
+        }
+
+        /// Next 64 uniformly distributed bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e3779b97f4a7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            z ^ (z >> 31)
+        }
+
+        /// Draws a value in `0..span` (rejection sampling, no modulo
+        /// bias).
+        pub fn below(&mut self, span: u64) -> u64 {
+            assert!(span > 0, "empty sampling domain");
+            let zone = u64::MAX - (u64::MAX % span + 1) % span;
+            loop {
+                let v = self.next_u64();
+                if v <= zone {
+                    return v % span;
+                }
+            }
+        }
+    }
+
+    /// Number of cases each property runs (default 64, override with
+    /// `PROPTEST_CASES`).
+    pub fn cases() -> u32 {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(64)
+    }
+}
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A recipe for generating values of one type.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Generates one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Boxes the strategy (used by `prop_oneof!`).
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    /// A boxed, dynamically dispatched strategy.
+    pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Strategy that always yields a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// [`Strategy::prop_map`] combinator.
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+        fn generate(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Uniform choice between boxed strategies (`prop_oneof!`).
+    pub struct Union<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// Builds a union; panics on an empty option list.
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+            Union { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let i = rng.below(self.options.len() as u64) as usize;
+            self.options[i].generate(rng)
+        }
+    }
+
+    macro_rules! impl_int_ranges {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + rng.below(span) as i128) as $t
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as i128 - lo as i128 + 1) as u128;
+                    if span > u64::MAX as u128 {
+                        return rng.next_u64() as $t;
+                    }
+                    (lo as i128 + rng.below(span as u64) as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_int_ranges!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_tuples {
+        ($(($($s:ident / $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuples! {
+        (A / 0)
+        (A / 0, B / 1)
+        (A / 0, B / 1, C / 2)
+        (A / 0, B / 1, C / 2, D / 3)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::collections::BTreeSet;
+    use std::ops::Range;
+
+    /// Strategy for `Vec`s whose length is drawn from `len`.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// Generates vectors of `element` values with a length in `len`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = sample_len(rng, &self.len);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy for `BTreeSet`s targeting a size drawn from `size`.
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Generates ordered sets of `element` values with a size in `size`
+    /// (best effort: if the element domain is too small to reach the
+    /// sampled size, the set is as large as the domain allows).
+    pub fn btree_set<S>(element: S, size: Range<usize>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy { element, size }
+    }
+
+    impl<S> Strategy for BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+            let target = sample_len(rng, &self.size);
+            let mut out = BTreeSet::new();
+            // Inserting duplicates does not grow the set, so allow a
+            // generous number of draws before giving up.
+            let mut attempts = target.saturating_mul(16) + 16;
+            while out.len() < target && attempts > 0 {
+                out.insert(self.element.generate(rng));
+                attempts -= 1;
+            }
+            out
+        }
+    }
+
+    fn sample_len(rng: &mut TestRng, range: &Range<usize>) -> usize {
+        assert!(range.start < range.end, "empty length range");
+        let span = (range.end - range.start) as u64;
+        range.start + rng.below(span) as usize
+    }
+}
+
+pub mod prelude {
+    //! Everything the `proptest!` suites import.
+
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...)` item
+/// becomes a `#[test]` running [`test_runner::cases`] generated cases.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let strategies = ($($strat,)+);
+                let mut rng = $crate::test_runner::TestRng::deterministic(concat!(
+                    module_path!(), "::", stringify!($name)
+                ));
+                for _case in 0..$crate::test_runner::cases() {
+                    let ($($arg,)+) =
+                        $crate::strategy::Strategy::generate(&strategies, &mut rng);
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// `assert!` under a property (no shrinking in this stand-in).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// `assert_eq!` under a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// `assert_ne!` under a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Uniform choice between strategies yielding the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($option:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($option)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_generate_in_bounds() {
+        let mut rng = TestRng::deterministic("ranges");
+        for _ in 0..500 {
+            let v = (3u32..17).generate(&mut rng);
+            assert!((3..17).contains(&v));
+            let w = (-5i64..=5).generate(&mut rng);
+            assert!((-5..=5).contains(&w));
+        }
+    }
+
+    #[test]
+    fn vec_lengths_respect_range() {
+        let mut rng = TestRng::deterministic("vec");
+        for _ in 0..200 {
+            let v = crate::collection::vec(0u32..10, 2..7).generate(&mut rng);
+            assert!((2..7).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 10));
+        }
+    }
+
+    #[test]
+    fn btree_set_reaches_min_size() {
+        let mut rng = TestRng::deterministic("set");
+        for _ in 0..200 {
+            let s = crate::collection::btree_set(0u64..10_000, 2..50).generate(&mut rng);
+            assert!((2..50).contains(&s.len()));
+        }
+    }
+
+    #[test]
+    fn oneof_covers_all_options() {
+        let s = prop_oneof![Just(1u8), Just(2u8), (5u8..8).prop_map(|v| v)];
+        let mut rng = TestRng::deterministic("oneof");
+        let mut seen = [false; 3];
+        for _ in 0..300 {
+            match s.generate(&mut rng) {
+                1 => seen[0] = true,
+                2 => seen[1] = true,
+                5..=7 => seen[2] = true,
+                other => panic!("unexpected value {other}"),
+            }
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    proptest! {
+        /// The macro itself: args bind, bodies run, assertions fire.
+        #[test]
+        fn macro_binds_args(a in 0u32..10, b in proptest::collection::vec(0i64..5, 1..4)) {
+            prop_assert!(a < 10);
+            prop_assert_eq!(b.len().min(3), b.len());
+            prop_assert_ne!(b.len(), 0);
+        }
+    }
+}

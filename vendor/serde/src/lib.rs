@@ -1,0 +1,60 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The workspace's `#[derive(Serialize, Deserialize)]` annotations mark
+//! types as *intended* to be serializable; nothing in the workspace
+//! actually serializes through serde's data model (the bench harness
+//! renders its JSON by hand — see `ccp-bench`). So in this registry-less
+//! build environment `Serialize`/`Deserialize` are marker traits with
+//! blanket implementations, and the derives (re-exported from the
+//! vendored `serde_derive` when the `derive` feature is on) expand to
+//! nothing. Swapping the real serde back in requires only restoring the
+//! registry dependency — call sites are source-compatible.
+
+/// Marker for types serializable in principle. Blanket-implemented.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker for types deserializable in principle. Blanket-implemented.
+pub trait Deserialize<'de> {}
+
+impl<T: ?Sized> Deserialize<'_> for T {}
+
+/// Owned-deserialization marker, mirroring serde's blanket rule.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+
+impl<T: ?Sized + for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_serialize<T: Serialize>() {}
+    fn assert_deserialize<T: for<'de> Deserialize<'de>>() {}
+
+    #[test]
+    fn blanket_impls_cover_everything() {
+        assert_serialize::<u64>();
+        assert_serialize::<Vec<String>>();
+        assert_deserialize::<(u8, f64)>();
+    }
+
+    #[cfg(feature = "derive")]
+    #[test]
+    fn derives_compile_on_structs_and_enums() {
+        #[derive(Serialize, Deserialize)]
+        struct S {
+            _a: u32,
+        }
+        #[derive(Serialize, Deserialize)]
+        enum E {
+            _A,
+            _B { _x: u64 },
+        }
+        assert_serialize::<S>();
+        assert_serialize::<E>();
+    }
+}

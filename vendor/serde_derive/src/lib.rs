@@ -1,0 +1,23 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The vendored `serde` crate (see `vendor/serde`) declares `Serialize`
+//! and `Deserialize` as marker traits with blanket implementations, so
+//! the derives legitimately have nothing to generate: they accept the
+//! input (including `#[serde(...)]` helper attributes) and emit no code.
+//! That keeps the workspace's `#[derive(Serialize, Deserialize)]`
+//! annotations compiling unchanged in this registry-less build
+//! environment.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive (the trait is blanket-implemented).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive (the trait is blanket-implemented).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
