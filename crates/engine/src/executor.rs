@@ -20,7 +20,88 @@ use std::ops::Range;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+struct BatchInner {
+    remaining: Mutex<usize>,
+    done: Condvar,
+}
+
+/// Completion handle for one group of jobs submitted together via
+/// [`JobExecutor::submit_batch`].
+///
+/// Unlike [`JobExecutor::wait_idle`] — which blocks until the *whole pool*
+/// drains and therefore couples independent callers under concurrency — a
+/// batch handle completes as soon as its own jobs have finished, no matter
+/// what else the pool is running. This is what lets a serving front end
+/// admit many simultaneous queries through one executor and still report
+/// accurate per-query latencies.
+#[derive(Clone)]
+pub struct BatchHandle {
+    inner: Arc<BatchInner>,
+}
+
+impl BatchHandle {
+    fn new(count: usize) -> Self {
+        BatchHandle {
+            inner: Arc::new(BatchInner {
+                remaining: Mutex::new(count),
+                done: Condvar::new(),
+            }),
+        }
+    }
+
+    /// Completion guard embedded in each job; decrements on drop so the
+    /// batch completes even when the job's closure panics (the worker
+    /// catches the unwind, the guard runs during it).
+    fn guard(&self) -> BatchGuard {
+        BatchGuard {
+            inner: self.inner.clone(),
+        }
+    }
+
+    /// Jobs of this batch still running or queued.
+    pub fn remaining(&self) -> usize {
+        *self.inner.remaining.lock()
+    }
+
+    /// Blocks until every job of the batch has finished.
+    pub fn wait(&self) {
+        let mut remaining = self.inner.remaining.lock();
+        while *remaining > 0 {
+            self.inner.done.wait(&mut remaining);
+        }
+    }
+
+    /// Blocks until the batch finishes or `timeout` elapses; returns
+    /// whether the batch completed.
+    pub fn wait_timeout(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut remaining = self.inner.remaining.lock();
+        while *remaining > 0 {
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            self.inner.done.wait_for(&mut remaining, deadline - now);
+        }
+        true
+    }
+}
+
+struct BatchGuard {
+    inner: Arc<BatchInner>,
+}
+
+impl Drop for BatchGuard {
+    fn drop(&mut self) {
+        let mut remaining = self.inner.remaining.lock();
+        *remaining -= 1;
+        if *remaining == 0 {
+            self.inner.done.notify_all();
+        }
+    }
+}
 
 struct Shared {
     policy: PartitionPolicy,
@@ -156,6 +237,30 @@ impl JobExecutor {
         self.wait_idle();
     }
 
+    /// Submits `jobs` as one tracked batch and returns a handle that
+    /// completes when exactly these jobs have finished — independent of
+    /// whatever else the pool is running. The handle is panic-safe: a
+    /// panicking job still counts as finished.
+    pub fn submit_batch(&self, jobs: Vec<Job>) -> BatchHandle {
+        let batch = BatchHandle::new(jobs.len());
+        for job in jobs {
+            let Job { name, cuid, run } = job;
+            let guard = batch.guard();
+            self.submit(Job::new(name, cuid, move || {
+                let _guard = guard;
+                run();
+            }));
+        }
+        batch
+    }
+
+    /// Submits `jobs` as a batch and blocks until *these* jobs (and only
+    /// these) have finished. Under concurrent submitters this is the right
+    /// primitive: [`run_jobs`](Self::run_jobs) waits for the whole pool.
+    pub fn run_batch(&self, jobs: Vec<Job>) {
+        self.submit_batch(jobs).wait();
+    }
+
     /// Blocks until no submitted job is outstanding.
     pub fn wait_idle(&self) {
         let mut pending = self.shared.pending.lock();
@@ -194,7 +299,9 @@ impl JobExecutor {
                 acc.fetch_add(f(lo..hi), Ordering::Relaxed);
             }));
         }
-        self.run_jobs(jobs);
+        // Wait on the batch, not the pool: concurrent operators sharing
+        // this executor must not serialize on each other's jobs.
+        self.run_batch(jobs);
         acc.load(Ordering::Relaxed)
     }
 
@@ -424,6 +531,60 @@ mod tests {
         assert!(text.contains(
             "ccp_executor_queue_wait_seconds_count{class=\"sensitive\",pool=\"test\"} 1"
         ));
+    }
+
+    #[test]
+    fn batch_completes_independently_of_other_submissions() {
+        use std::time::Duration;
+        let ex = JobExecutor::new(2, policy(), Arc::new(NoopAllocator));
+        // A long-running foreign job occupies one worker the whole time.
+        let gate = Arc::new(AtomicU64::new(0));
+        let g = gate.clone();
+        ex.submit(Job::unannotated("slow", move || {
+            while g.load(Ordering::Relaxed) == 0 {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }));
+        // The batch must finish on the free worker without waiting for
+        // the foreign job (wait_idle would hang here).
+        let batch = ex.submit_batch(vec![
+            Job::unannotated("a", || {}),
+            Job::unannotated("b", || {}),
+        ]);
+        assert!(
+            batch.wait_timeout(Duration::from_secs(5)),
+            "batch blocked on an unrelated job"
+        );
+        assert_eq!(batch.remaining(), 0);
+        gate.store(1, Ordering::Relaxed);
+        ex.wait_idle();
+    }
+
+    #[test]
+    fn batch_wait_survives_panicking_jobs() {
+        let ex = JobExecutor::new(1, policy(), Arc::new(NoopAllocator));
+        let batch = ex.submit_batch(vec![
+            Job::unannotated("boom", || panic!("deliberate test panic")),
+            Job::unannotated("ok", || {}),
+        ]);
+        batch.wait(); // must not hang
+        assert_eq!(ex.jobs_panicked(), 1);
+    }
+
+    #[test]
+    fn batch_wait_timeout_reports_unfinished_work() {
+        use std::time::Duration;
+        let ex = JobExecutor::new(1, policy(), Arc::new(NoopAllocator));
+        let gate = Arc::new(AtomicU64::new(0));
+        let g = gate.clone();
+        let batch = ex.submit_batch(vec![Job::unannotated("slow", move || {
+            while g.load(Ordering::Relaxed) == 0 {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        })]);
+        assert!(!batch.wait_timeout(Duration::from_millis(20)));
+        gate.store(1, Ordering::Relaxed);
+        assert!(batch.wait_timeout(Duration::from_secs(5)));
     }
 
     #[test]

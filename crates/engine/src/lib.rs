@@ -47,7 +47,7 @@ pub mod sim;
 
 pub use alloc::{AllocError, CacheAllocator, NoopAllocator, RecordingAllocator, ResctrlAllocator};
 pub use dual_pool::DualPoolExecutor;
-pub use executor::JobExecutor;
+pub use executor::{BatchHandle, JobExecutor};
 pub use job::{CacheUsageClass, Job};
 pub use metrics::{class_label, ExecutorMetrics, SchedulerMetrics};
 pub use partition::{PartitionPolicy, PAPER_POLLUTER_MASK, PAPER_SHARED_MASK};

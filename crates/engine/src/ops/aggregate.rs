@@ -67,7 +67,9 @@ pub fn grouped_aggregate(
             },
         ));
     }
-    ex.run_jobs(jobs);
+    // Wait on this aggregation's own jobs only — concurrent queries
+    // sharing the pool must not extend each other's merge barrier.
+    ex.run_batch(jobs);
     // Global merge phase.
     let mut global = AggHashTable::new(agg, expected_groups);
     for local in locals.lock().iter() {

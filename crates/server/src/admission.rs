@@ -1,0 +1,365 @@
+//! Bounded, scheduler-gated query admission.
+//!
+//! Every `/query` request must take a [`RunPermit`] before it touches the
+//! executor. Permits come from an [`AdmissionQueue`] that enforces two
+//! independent limits:
+//!
+//! 1. **Concurrency shape** — the engine's
+//!    [`CacheAwareScheduler`](ccp_engine::CacheAwareScheduler) decides who
+//!    may co-run: at most `slots` queries at once, never two
+//!    cache-sensitive ones together (they would fight over the LLC share
+//!    partitioning reserves for them). Waiters are served FIFO *with
+//!    bypass*: when the head of the queue is a deferred sensitive query, a
+//!    polluter behind it may start — the same packing rule
+//!    [`plan_waves`](ccp_engine::CacheAwareScheduler::plan_waves) applies
+//!    to offline queues.
+//! 2. **Queue depth** — at most `capacity` queries may *wait*. Beyond
+//!    that, [`acquire`](AdmissionQueue::acquire) fails immediately with
+//!    [`AdmissionError::QueueFull`], which the HTTP layer maps to `429`.
+//!    Backpressure is explicit and observable instead of an unbounded
+//!    thread pile-up.
+
+use crate::metrics::ServerMetrics;
+use ccp_engine::{Admission, CacheAwareScheduler, CacheUsageClass, SchedulerMetrics};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
+
+/// Why a query was not admitted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmissionError {
+    /// The bounded waiting queue is full — retry later (HTTP 429).
+    QueueFull,
+    /// The server is draining — no new work (HTTP 503).
+    ShuttingDown,
+}
+
+impl std::fmt::Display for AdmissionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AdmissionError::QueueFull => write!(f, "admission queue full"),
+            AdmissionError::ShuttingDown => write!(f, "server is shutting down"),
+        }
+    }
+}
+
+struct State {
+    /// CUIDs of queries currently holding a permit.
+    running: Vec<CacheUsageClass>,
+    /// Waiting queries in arrival order (ticket, CUID).
+    waiting: Vec<(u64, CacheUsageClass)>,
+    next_ticket: u64,
+    shutdown: bool,
+}
+
+/// Bounded admission queue in front of the dual-pool executor.
+pub struct AdmissionQueue {
+    scheduler: CacheAwareScheduler,
+    sched_metrics: SchedulerMetrics,
+    server_metrics: ServerMetrics,
+    capacity: usize,
+    state: Mutex<State>,
+    changed: Condvar,
+}
+
+impl AdmissionQueue {
+    /// Creates a queue holding at most `capacity` waiting queries.
+    ///
+    /// Admission decisions are recorded in `sched_metrics` (register it
+    /// into the scrape registry to see them); occupancy and rejections go
+    /// to `server_metrics`.
+    pub fn new(
+        scheduler: CacheAwareScheduler,
+        capacity: usize,
+        sched_metrics: SchedulerMetrics,
+        server_metrics: ServerMetrics,
+    ) -> Self {
+        AdmissionQueue {
+            scheduler,
+            sched_metrics,
+            server_metrics,
+            capacity,
+            state: Mutex::new(State {
+                running: Vec::new(),
+                waiting: Vec::new(),
+                next_ticket: 0,
+                shutdown: false,
+            }),
+            changed: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, State> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn publish(&self, st: &State) {
+        self.server_metrics
+            .set_admission_occupancy(st.waiting.len(), st.running.len());
+    }
+
+    /// Blocks until `cuid` may run, then returns a permit; the permit
+    /// releases its slot on drop.
+    ///
+    /// Fails fast (without blocking) when the waiting queue is at
+    /// capacity or the queue has been shut down.
+    pub fn acquire(self: &Arc<Self>, cuid: CacheUsageClass) -> Result<RunPermit, AdmissionError> {
+        let mut st = self.lock();
+        if st.shutdown {
+            return Err(AdmissionError::ShuttingDown);
+        }
+        if st.waiting.len() >= self.capacity {
+            self.server_metrics.record_admission_rejection();
+            return Err(AdmissionError::QueueFull);
+        }
+        // Record the arrival-time decision (admitted vs. deferred) in the
+        // scheduler's instruments; re-checks below are not re-counted.
+        self.scheduler
+            .admit_observed(&st.running, cuid, &self.sched_metrics);
+        let ticket = st.next_ticket;
+        st.next_ticket += 1;
+        st.waiting.push((ticket, cuid));
+        self.publish(&st);
+        loop {
+            if st.shutdown {
+                st.waiting.retain(|&(t, _)| t != ticket);
+                self.publish(&st);
+                self.changed.notify_all();
+                return Err(AdmissionError::ShuttingDown);
+            }
+            // FIFO with bypass: the *first* admissible waiter starts. A
+            // polluter may overtake a deferred sensitive query (it fills
+            // the wave), but never another admissible one.
+            let first_admissible = st
+                .waiting
+                .iter()
+                .position(|&(_, c)| self.scheduler.admit(&st.running, c) == Admission::RunNow);
+            match first_admissible {
+                Some(i) if st.waiting[i].0 == ticket => {
+                    st.waiting.remove(i);
+                    st.running.push(cuid);
+                    self.publish(&st);
+                    // Admitting one query can unblock another admissible
+                    // one (slots permitting) — let everybody re-check.
+                    self.changed.notify_all();
+                    return Ok(RunPermit {
+                        queue: Arc::clone(self),
+                        cuid,
+                    });
+                }
+                _ => {
+                    st = self
+                        .changed
+                        .wait(st)
+                        .unwrap_or_else(PoisonError::into_inner);
+                }
+            }
+        }
+    }
+
+    fn release(&self, cuid: CacheUsageClass) {
+        let mut st = self.lock();
+        if let Some(i) = st.running.iter().position(|&c| c == cuid) {
+            st.running.remove(i);
+        }
+        self.publish(&st);
+        self.changed.notify_all();
+    }
+
+    /// Marks the queue as draining: waiters wake with
+    /// [`AdmissionError::ShuttingDown`], new arrivals fail fast. Already
+    /// running queries keep their permits.
+    pub fn shutdown(&self) {
+        let mut st = self.lock();
+        st.shutdown = true;
+        self.publish(&st);
+        self.changed.notify_all();
+    }
+
+    /// Waits until nothing runs or waits any more, up to `timeout`.
+    /// Returns `true` when the queue drained completely.
+    pub fn drain(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut st = self.lock();
+        while !st.running.is_empty() || !st.waiting.is_empty() {
+            let Some(left) = deadline.checked_duration_since(Instant::now()) else {
+                return false;
+            };
+            let (guard, _) = self
+                .changed
+                .wait_timeout(st, left)
+                .unwrap_or_else(PoisonError::into_inner);
+            st = guard;
+        }
+        true
+    }
+
+    /// Current `(waiting, running)` occupancy.
+    pub fn occupancy(&self) -> (usize, usize) {
+        let st = self.lock();
+        (st.waiting.len(), st.running.len())
+    }
+
+    /// Maximum number of waiting queries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Maximum queries running concurrently (scheduler slots).
+    pub fn slots(&self) -> usize {
+        self.scheduler.slots
+    }
+
+    /// Arrival-time deferrals recorded so far.
+    pub fn deferrals(&self) -> u64 {
+        self.sched_metrics.deferrals()
+    }
+}
+
+/// Permission for one query to run; releases its concurrency slot on drop
+/// (also when the query panics).
+pub struct RunPermit {
+    queue: Arc<AdmissionQueue>,
+    cuid: CacheUsageClass,
+}
+
+impl std::fmt::Debug for RunPermit {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RunPermit")
+            .field("cuid", &self.cuid)
+            .finish()
+    }
+}
+
+impl RunPermit {
+    /// The CUID this permit was granted for.
+    pub fn cuid(&self) -> CacheUsageClass {
+        self.cuid
+    }
+}
+
+impl Drop for RunPermit {
+    fn drop(&mut self) {
+        self.queue.release(self.cuid);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccp_cachesim::HierarchyConfig;
+    use ccp_engine::PartitionPolicy;
+    use ccp_obs::Registry;
+    use std::sync::mpsc;
+    use std::thread;
+
+    fn queue(slots: usize, capacity: usize) -> Arc<AdmissionQueue> {
+        let cfg = HierarchyConfig::broadwell_e5_2699_v4();
+        let policy = PartitionPolicy::paper_default(cfg.llc, cfg.l2.size_bytes);
+        let scheduler = CacheAwareScheduler::new(policy, slots);
+        let registry = Registry::new();
+        Arc::new(AdmissionQueue::new(
+            scheduler,
+            capacity,
+            SchedulerMetrics::new(),
+            ServerMetrics::new(&registry),
+        ))
+    }
+
+    #[test]
+    fn grants_up_to_slots_then_defers() {
+        let q = queue(2, 8);
+        let a = q.acquire(CacheUsageClass::Polluting).unwrap();
+        let b = q.acquire(CacheUsageClass::Polluting).unwrap();
+        assert_eq!(q.occupancy(), (0, 2));
+        // Third must wait until a permit drops.
+        let q2 = Arc::clone(&q);
+        let (tx, rx) = mpsc::channel();
+        let t = thread::spawn(move || {
+            let p = q2.acquire(CacheUsageClass::Polluting).unwrap();
+            tx.send(()).unwrap();
+            drop(p);
+        });
+        assert!(rx.recv_timeout(Duration::from_millis(100)).is_err());
+        drop(a);
+        rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        t.join().unwrap();
+        drop(b);
+        assert!(q.drain(Duration::from_secs(1)));
+    }
+
+    #[test]
+    fn never_two_sensitive_queries_at_once() {
+        let q = queue(4, 8);
+        let s1 = q.acquire(CacheUsageClass::Sensitive).unwrap();
+        // A polluter bypasses the deferred second sensitive query.
+        let q2 = Arc::clone(&q);
+        let sensitive = thread::spawn(move || {
+            let p = q2.acquire(CacheUsageClass::Sensitive).unwrap();
+            drop(p);
+        });
+        // Give the sensitive waiter time to enqueue ahead of us.
+        while q.occupancy().0 < 1 {
+            thread::yield_now();
+        }
+        let p = q.acquire(CacheUsageClass::Polluting).unwrap();
+        assert_eq!(
+            q.occupancy(),
+            (1, 2),
+            "polluter bypassed the sensitive waiter"
+        );
+        drop(p);
+        drop(s1);
+        sensitive.join().unwrap();
+        assert!(q.drain(Duration::from_secs(1)));
+    }
+
+    #[test]
+    fn overflow_is_rejected_not_blocked() {
+        let q = queue(1, 1);
+        let held = q.acquire(CacheUsageClass::Sensitive).unwrap();
+        let q2 = Arc::clone(&q);
+        let waiter = thread::spawn(move || q2.acquire(CacheUsageClass::Sensitive).map(drop));
+        while q.occupancy().0 < 1 {
+            thread::yield_now();
+        }
+        // Queue (capacity 1) is now full: immediate rejection.
+        let err = q.acquire(CacheUsageClass::Polluting).unwrap_err();
+        assert_eq!(err, AdmissionError::QueueFull);
+        drop(held);
+        waiter.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn shutdown_wakes_waiters_and_rejects_new_arrivals() {
+        let q = queue(1, 4);
+        let held = q.acquire(CacheUsageClass::Polluting).unwrap();
+        let q2 = Arc::clone(&q);
+        let waiter = thread::spawn(move || q2.acquire(CacheUsageClass::Polluting));
+        while q.occupancy().0 < 1 {
+            thread::yield_now();
+        }
+        q.shutdown();
+        assert_eq!(
+            waiter.join().unwrap().unwrap_err(),
+            AdmissionError::ShuttingDown
+        );
+        assert_eq!(
+            q.acquire(CacheUsageClass::Polluting).unwrap_err(),
+            AdmissionError::ShuttingDown
+        );
+        drop(held);
+        assert!(q.drain(Duration::from_secs(1)));
+    }
+
+    #[test]
+    fn permit_drop_releases_even_on_panic() {
+        let q = queue(1, 4);
+        let q2 = Arc::clone(&q);
+        let t = thread::spawn(move || {
+            let _p = q2.acquire(CacheUsageClass::Polluting).unwrap();
+            panic!("query blew up");
+        });
+        assert!(t.join().is_err());
+        assert_eq!(q.occupancy(), (0, 0), "slot came back despite the panic");
+    }
+}

@@ -1,0 +1,481 @@
+//! A small, strict HTTP/1.1 core: request reading with hard limits,
+//! response writing, and a plain client for tests and examples.
+//!
+//! The server only needs a narrow slice of HTTP — request line, headers,
+//! `Content-Length` bodies, keep-alive and pipelining on one buffered
+//! stream — so that slice is implemented directly over `std::net` with
+//! explicit limits instead of pulling in a framework. Every limit
+//! violation maps to a precise status code: malformed syntax is **400**,
+//! oversized lines/headers/bodies are **413**.
+
+use std::io::{self, BufRead, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// Longest accepted request line (method + target + version).
+pub const MAX_REQUEST_LINE: usize = 8 * 1024;
+/// Cumulative header bytes accepted per request.
+pub const MAX_HEADER_BYTES: usize = 16 * 1024;
+/// Maximum number of header fields per request.
+pub const MAX_HEADERS: usize = 64;
+/// Largest accepted request body.
+pub const MAX_BODY_BYTES: usize = 1 << 20;
+
+/// Why a request could not be read.
+#[derive(Debug)]
+pub enum HttpError {
+    /// Syntactically invalid request → respond 400.
+    Malformed(&'static str),
+    /// A limit was exceeded → respond 413.
+    TooLarge(&'static str),
+    /// The connection failed (including read timeouts) → drop silently.
+    Io(io::Error),
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::Malformed(why) => write!(f, "malformed request: {why}"),
+            HttpError::TooLarge(why) => write!(f, "request too large: {why}"),
+            HttpError::Io(e) => write!(f, "connection error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+/// One parsed request.
+#[derive(Debug)]
+pub struct Request {
+    /// Request method, uppercase as received (`GET`, `POST`, …).
+    pub method: String,
+    /// Request target as received, including any query string.
+    pub target: String,
+    /// `true` for HTTP/1.1, `false` for HTTP/1.0.
+    pub http11: bool,
+    /// Header fields in order of appearance.
+    pub headers: Vec<(String, String)>,
+    /// The body (empty without `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// Case-insensitive header lookup (first match).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The target's path component (query string stripped).
+    pub fn path(&self) -> &str {
+        self.target
+            .split_once('?')
+            .map_or(self.target.as_str(), |(p, _)| p)
+    }
+
+    /// Whether the client asked to close the connection after this
+    /// exchange (`Connection: close`, or HTTP/1.0 without keep-alive).
+    pub fn wants_close(&self) -> bool {
+        match self.header("connection") {
+            Some(v) if v.eq_ignore_ascii_case("close") => true,
+            Some(v) if v.eq_ignore_ascii_case("keep-alive") => false,
+            _ => !self.http11,
+        }
+    }
+}
+
+/// Reads one line (up to `max` bytes before the terminator) from `r`.
+/// `Ok(None)` is a clean EOF before any byte of the line.
+fn read_line_limited<R: BufRead>(r: &mut R, max: usize) -> Result<Option<Vec<u8>>, HttpError> {
+    let mut buf = Vec::new();
+    let n = (&mut *r)
+        .take(max as u64 + 1)
+        .read_until(b'\n', &mut buf)
+        .map_err(HttpError::Io)?;
+    if n == 0 {
+        return Ok(None);
+    }
+    if buf.last() != Some(&b'\n') {
+        return Err(if buf.len() > max {
+            HttpError::TooLarge("line exceeds limit")
+        } else {
+            HttpError::Malformed("truncated request")
+        });
+    }
+    buf.pop();
+    if buf.last() == Some(&b'\r') {
+        buf.pop();
+    }
+    Ok(Some(buf))
+}
+
+fn ascii_line(bytes: Vec<u8>, what: &'static str) -> Result<String, HttpError> {
+    String::from_utf8(bytes).map_err(|_| HttpError::Malformed(what))
+}
+
+/// Reads the next request off a buffered stream. `Ok(None)` means the
+/// peer closed the connection cleanly between requests (keep-alive /
+/// pipelining end). Errors classify as 400 ([`HttpError::Malformed`]),
+/// 413 ([`HttpError::TooLarge`]) or connection-level
+/// ([`HttpError::Io`]).
+pub fn read_request<R: BufRead>(r: &mut R) -> Result<Option<Request>, HttpError> {
+    let Some(line) = read_line_limited(r, MAX_REQUEST_LINE)? else {
+        return Ok(None);
+    };
+    let line = ascii_line(line, "request line is not UTF-8")?;
+    if line.is_empty() {
+        return Err(HttpError::Malformed("empty request line"));
+    }
+    let mut parts = line.split(' ');
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) if !m.is_empty() && !t.is_empty() => (m, t, v),
+        _ => {
+            return Err(HttpError::Malformed(
+                "request line is not 'METHOD TARGET VERSION'",
+            ))
+        }
+    };
+    if !method.bytes().all(|b| b.is_ascii_uppercase()) {
+        return Err(HttpError::Malformed("method is not an uppercase token"));
+    }
+    if !target.starts_with('/') {
+        return Err(HttpError::Malformed(
+            "target must be origin-form (start with '/')",
+        ));
+    }
+    let http11 = match version {
+        "HTTP/1.1" => true,
+        "HTTP/1.0" => false,
+        _ => return Err(HttpError::Malformed("unsupported HTTP version")),
+    };
+
+    let mut headers = Vec::new();
+    let mut header_bytes = 0usize;
+    loop {
+        let Some(line) = read_line_limited(r, MAX_HEADER_BYTES)? else {
+            return Err(HttpError::Malformed("connection closed inside headers"));
+        };
+        if line.is_empty() {
+            break;
+        }
+        header_bytes += line.len();
+        if header_bytes > MAX_HEADER_BYTES {
+            return Err(HttpError::TooLarge("headers exceed limit"));
+        }
+        if headers.len() >= MAX_HEADERS {
+            return Err(HttpError::TooLarge("too many header fields"));
+        }
+        let line = ascii_line(line, "header is not UTF-8")?;
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(HttpError::Malformed("header without ':'"));
+        };
+        let name = name.trim();
+        if name.is_empty() || name.contains(' ') {
+            return Err(HttpError::Malformed("invalid header name"));
+        }
+        headers.push((name.to_string(), value.trim().to_string()));
+    }
+
+    let mut request = Request {
+        method: method.to_string(),
+        target: target.to_string(),
+        http11,
+        headers,
+        body: Vec::new(),
+    };
+    if request.header("transfer-encoding").is_some() {
+        return Err(HttpError::Malformed("transfer encodings are not supported"));
+    }
+    if let Some(len) = request.header("content-length") {
+        let len: usize = len
+            .parse()
+            .map_err(|_| HttpError::Malformed("invalid Content-Length"))?;
+        if len > MAX_BODY_BYTES {
+            return Err(HttpError::TooLarge("body exceeds limit"));
+        }
+        let mut body = vec![0u8; len];
+        r.read_exact(&mut body).map_err(|e| {
+            if e.kind() == io::ErrorKind::UnexpectedEof {
+                HttpError::Malformed("truncated body")
+            } else {
+                HttpError::Io(e)
+            }
+        })?;
+        request.body = body;
+    }
+    Ok(Some(request))
+}
+
+/// Standard reason phrase for the status codes the server emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// One response, written with `Content-Length` framing.
+#[derive(Debug)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Response body.
+    pub body: Vec<u8>,
+    /// Whether to send `Connection: close` and drop the connection.
+    pub close: bool,
+}
+
+impl Response {
+    /// A `text/plain` response.
+    pub fn text(status: u16, body: impl Into<Vec<u8>>) -> Self {
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            body: body.into(),
+            close: false,
+        }
+    }
+
+    /// An `application/json` response.
+    pub fn json(status: u16, body: &crate::json::Json) -> Self {
+        Response {
+            status,
+            content_type: "application/json",
+            body: body.to_string().into_bytes(),
+            close: false,
+        }
+    }
+
+    /// An NDJSON (one JSON document per line) response.
+    pub fn ndjson(status: u16, lines: impl Into<Vec<u8>>) -> Self {
+        Response {
+            status,
+            content_type: "application/x-ndjson",
+            body: lines.into(),
+            close: false,
+        }
+    }
+
+    /// A Prometheus text-exposition response.
+    pub fn prometheus(body: impl Into<Vec<u8>>) -> Self {
+        Response {
+            status: 200,
+            content_type: "text/plain; version=0.0.4; charset=utf-8",
+            body: body.into(),
+            close: false,
+        }
+    }
+
+    /// Marks the connection for closing after this response.
+    pub fn closing(mut self) -> Self {
+        self.close = true;
+        self
+    }
+
+    /// Writes the response (status line, headers, body) and flushes.
+    pub fn write_to<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        write!(
+            w,
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n",
+            self.status,
+            reason(self.status),
+            self.content_type,
+            self.body.len()
+        )?;
+        if self.close {
+            write!(w, "Connection: close\r\n")?;
+        }
+        write!(w, "\r\n")?;
+        w.write_all(&self.body)?;
+        w.flush()
+    }
+}
+
+/// A parsed client-side response, as returned by [`fetch`].
+#[derive(Debug)]
+pub struct ClientResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// Response body as UTF-8 text.
+    pub body: String,
+}
+
+/// Minimal blocking HTTP client used by tests, examples and the
+/// `metrics_dump` scrape path: one request per connection
+/// (`Connection: close`), 5 s timeouts.
+pub fn fetch(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> io::Result<ClientResponse> {
+    let mut stream = TcpStream::connect_timeout(&addr, Duration::from_secs(5))?;
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(5)))?;
+    let body = body.unwrap_or("");
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )?;
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw)?;
+    let (head, payload) = raw
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "response without header end"))?;
+    let status: u16 = head
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "response without status"))?;
+    Ok(ClientResponse {
+        status,
+        body: payload.to_string(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(raw: &[u8]) -> Result<Option<Request>, HttpError> {
+        read_request(&mut BufReader::new(raw))
+    }
+
+    #[test]
+    fn parses_a_get_with_headers() {
+        let req = parse(b"GET /metrics?debug=1 HTTP/1.1\r\nHost: x\r\nAccept: */*\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path(), "/metrics");
+        assert_eq!(req.target, "/metrics?debug=1");
+        assert!(req.http11);
+        assert_eq!(req.header("host"), Some("x"));
+        assert_eq!(req.header("HOST"), Some("x"));
+        assert!(req.body.is_empty());
+        assert!(!req.wants_close());
+    }
+
+    #[test]
+    fn parses_a_post_body_by_content_length() {
+        let req = parse(b"POST /query HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.body, b"hello");
+    }
+
+    #[test]
+    fn clean_eof_is_none() {
+        assert!(parse(b"").unwrap().is_none());
+    }
+
+    #[test]
+    fn pipelined_requests_parse_in_sequence() {
+        let raw: &[u8] =
+            b"GET /healthz HTTP/1.1\r\n\r\nPOST /query HTTP/1.1\r\nContent-Length: 2\r\n\r\nhi";
+        let mut r = BufReader::new(raw);
+        let a = read_request(&mut r).unwrap().unwrap();
+        let b = read_request(&mut r).unwrap().unwrap();
+        assert_eq!(a.path(), "/healthz");
+        assert_eq!(b.body, b"hi");
+        assert!(read_request(&mut r).unwrap().is_none());
+    }
+
+    #[test]
+    fn malformed_inputs_are_400() {
+        for raw in [
+            &b"garbage\r\n\r\n"[..],
+            b"GET\r\n\r\n",
+            b"GET /x HTTP/2.0\r\n\r\n",
+            b"GET /x HTTP/1.1 extra\r\n\r\n",
+            b"get /x HTTP/1.1\r\n\r\n",
+            b"GET x HTTP/1.1\r\n\r\n",
+            b"GET /x HTTP/1.1\r\nno-colon-here\r\n\r\n",
+            b"GET /x HTTP/1.1\r\n: empty\r\n\r\n",
+            b"POST /x HTTP/1.1\r\nContent-Length: nope\r\n\r\n",
+            b"POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort",
+            b"POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
+            b"GET /x HTTP/1.1\r\ntrunc",
+        ] {
+            match parse(raw) {
+                Err(HttpError::Malformed(_)) => {}
+                other => panic!("expected Malformed for {raw:?}, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_inputs_are_413() {
+        let long_target = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(MAX_REQUEST_LINE));
+        let big_header = format!(
+            "GET /x HTTP/1.1\r\nX-Big: {}\r\n\r\n",
+            "b".repeat(MAX_HEADER_BYTES)
+        );
+        let many_headers = format!(
+            "GET /x HTTP/1.1\r\n{}\r\n",
+            (0..MAX_HEADERS + 1)
+                .map(|i| format!("X-{i}: v\r\n"))
+                .collect::<String>()
+        );
+        let huge_body = format!(
+            "POST /x HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        for raw in [long_target, big_header, many_headers, huge_body] {
+            match parse(raw.as_bytes()) {
+                Err(HttpError::TooLarge(_)) => {}
+                other => panic!("expected TooLarge, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn connection_close_semantics() {
+        let req = parse(b"GET /x HTTP/1.1\r\nConnection: close\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert!(req.wants_close());
+        let req = parse(b"GET /x HTTP/1.0\r\n\r\n").unwrap().unwrap();
+        assert!(req.wants_close());
+        let req = parse(b"GET /x HTTP/1.0\r\nConnection: keep-alive\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert!(!req.wants_close());
+    }
+
+    #[test]
+    fn response_writes_content_length_framing() {
+        let mut out = Vec::new();
+        Response::text(200, "hello").write_to(&mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 5\r\n"));
+        assert!(text.ends_with("\r\n\r\nhello"));
+
+        let mut out = Vec::new();
+        Response::json(
+            429,
+            &crate::json::Json::obj(vec![("error", crate::json::Json::str("full"))]),
+        )
+        .closing()
+        .write_to(&mut out)
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 429 Too Many Requests\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.contains(r#"{"error":"full"}"#));
+    }
+}

@@ -1,0 +1,44 @@
+//! # ccp-server — networked service layer
+//!
+//! The paper's engine ([`ccp_engine`]) schedules and cache-partitions
+//! jobs *inside* one process. This crate puts a wire in front of it: a
+//! dependency-free (std-only) multi-threaded HTTP/1.1 service that
+//!
+//! * admits queries through the cache-aware scheduler — the query API
+//!   (`POST /query`) classifies each workload to a cache usage
+//!   identifier, takes a permit from a **bounded admission queue**
+//!   (never two cache-sensitive queries at once, `429` when the queue
+//!   overflows), and executes on the dual-pool executor;
+//! * exposes the whole stack's instruments — one `GET /metrics` scrape
+//!   in Prometheus text format shows executor, scheduler and
+//!   `ccp_server_*` families side by side, plus `GET /healthz` and a
+//!   JSON `GET /stats` snapshot.
+//!
+//! ```no_run
+//! use ccp_server::{Server, ServerConfig};
+//!
+//! let mut server = Server::start(ServerConfig::default()).unwrap();
+//! println!("serving on http://{}", server.addr());
+//! // ... later:
+//! server.shutdown();
+//! ```
+//!
+//! Everything — HTTP framing ([`http`]), JSON ([`json`]) — is written
+//! against `std` alone, keeping the offline-vendored workspace honest.
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod admission;
+pub mod http;
+pub mod json;
+pub mod metrics;
+pub mod query;
+pub mod server;
+
+pub use admission::{AdmissionError, AdmissionQueue, RunPermit};
+pub use http::{fetch, ClientResponse, HttpError, Request, Response};
+pub use json::Json;
+pub use metrics::ServerMetrics;
+pub use query::{parse_query, QueryEngine, QueryOutcome, WorkloadSpec};
+pub use server::{install_sigint_handler, sigint_requested, ScrapeServer, Server, ServerConfig};

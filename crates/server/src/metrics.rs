@@ -1,0 +1,165 @@
+//! The server's own `ccp-obs` metric families (`ccp_server_*`).
+//!
+//! Everything the service layer does — connections accepted and refused,
+//! requests by endpoint and status, request latency, admission-queue
+//! occupancy and rejections — lands in the same [`Registry`] the engine,
+//! scheduler and resctrl layers already publish to, so one `/metrics`
+//! scrape shows the whole stack.
+
+use ccp_obs::{unit, Counter, Family, Gauge, Histogram, Registry};
+
+/// Instruments of the HTTP service layer. Cloning shares state.
+#[derive(Clone)]
+pub struct ServerMetrics {
+    connections_total: Counter,
+    connections_refused: Counter,
+    active_connections: Gauge,
+    requests: Family<Counter>,
+    request_latency: Family<Histogram>,
+    admission_rejections: Counter,
+    queue_depth: Gauge,
+    running_queries: Gauge,
+}
+
+impl ServerMetrics {
+    /// Creates the `ccp_server_*` families in `registry` and returns live
+    /// handles.
+    pub fn new(registry: &Registry) -> Self {
+        ServerMetrics {
+            connections_total: registry
+                .counter_family(
+                    "ccp_server_connections_total",
+                    "TCP connections accepted by the server",
+                )
+                .get_or_create(&[]),
+            connections_refused: registry
+                .counter_family(
+                    "ccp_server_connections_refused_total",
+                    "Connections turned away at the connection cap (503)",
+                )
+                .get_or_create(&[]),
+            active_connections: registry
+                .gauge_family(
+                    "ccp_server_active_connections",
+                    "Connections currently being served",
+                )
+                .get_or_create(&[]),
+            requests: registry.counter_family(
+                "ccp_server_requests_total",
+                "HTTP requests handled, by endpoint and status code",
+            ),
+            request_latency: registry.histogram_family_with(
+                "ccp_server_request_seconds",
+                "Request handling latency, by endpoint",
+                unit::latency_seconds(),
+            ),
+            admission_rejections: registry
+                .counter_family(
+                    "ccp_server_admission_rejections_total",
+                    "Queries rejected with 429 because the admission queue was full",
+                )
+                .get_or_create(&[]),
+            queue_depth: registry
+                .gauge_family(
+                    "ccp_server_admission_queue_depth",
+                    "Queries waiting in the bounded admission queue",
+                )
+                .get_or_create(&[]),
+            running_queries: registry
+                .gauge_family(
+                    "ccp_server_running_queries",
+                    "Queries currently admitted and executing",
+                )
+                .get_or_create(&[]),
+        }
+    }
+
+    /// Records an accepted connection; pair with
+    /// [`connection_closed`](Self::connection_closed).
+    pub fn connection_opened(&self) {
+        self.connections_total.inc();
+        self.active_connections.add(1.0);
+    }
+
+    /// Records the end of an accepted connection.
+    pub fn connection_closed(&self) {
+        self.active_connections.sub(1.0);
+    }
+
+    /// Records a connection refused at the cap.
+    pub fn connection_refused(&self) {
+        self.connections_refused.inc();
+    }
+
+    /// Records one handled request.
+    pub fn record_request(&self, endpoint: &str, status: u16, latency_secs: f64) {
+        self.requests
+            .get_or_create(&[("endpoint", endpoint), ("status", &status.to_string())])
+            .inc();
+        self.request_latency
+            .get_or_create(&[("endpoint", endpoint)])
+            .observe(latency_secs);
+    }
+
+    /// Records an admission-queue overflow (a 429).
+    pub fn record_admission_rejection(&self) {
+        self.admission_rejections.inc();
+    }
+
+    /// Publishes the admission queue's current occupancy.
+    pub fn set_admission_occupancy(&self, queued: usize, running: usize) {
+        self.queue_depth.set(queued as f64);
+        self.running_queries.set(running as f64);
+    }
+
+    /// Admission rejections so far.
+    pub fn admission_rejections(&self) -> u64 {
+        self.admission_rejections.get()
+    }
+
+    /// Connections accepted so far.
+    pub fn connections_total(&self) -> u64 {
+        self.connections_total.get()
+    }
+
+    /// Connections currently active.
+    pub fn active_connections(&self) -> f64 {
+        self.active_connections.get()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn families_render_with_endpoint_and_status_labels() {
+        let registry = Registry::new();
+        let m = ServerMetrics::new(&registry);
+        m.connection_opened();
+        m.record_request("/metrics", 200, 0.002);
+        m.record_request("/query", 429, 0.0001);
+        m.record_admission_rejection();
+        m.set_admission_occupancy(3, 2);
+        let text = registry.render_prometheus();
+        assert!(text.contains("ccp_server_connections_total 1"));
+        assert!(text.contains("ccp_server_active_connections 1.0"));
+        assert!(text.contains("ccp_server_requests_total{endpoint=\"/metrics\",status=\"200\"} 1"));
+        assert!(text.contains("ccp_server_requests_total{endpoint=\"/query\",status=\"429\"} 1"));
+        assert!(text.contains("ccp_server_request_seconds_count{endpoint=\"/query\"} 1"));
+        assert!(text.contains("ccp_server_admission_rejections_total 1"));
+        assert!(text.contains("ccp_server_admission_queue_depth 3.0"));
+        assert!(text.contains("ccp_server_running_queries 2.0"));
+    }
+
+    #[test]
+    fn connection_gauge_tracks_open_and_close() {
+        let registry = Registry::new();
+        let m = ServerMetrics::new(&registry);
+        m.connection_opened();
+        m.connection_opened();
+        m.connection_closed();
+        assert_eq!(m.active_connections(), 1.0);
+        assert_eq!(m.connections_total(), 2);
+    }
+}

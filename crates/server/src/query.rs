@@ -1,0 +1,654 @@
+//! Workload parsing, CUID classification and execution for `/query`.
+//!
+//! A query arrives as one JSON object per body line, names a workload —
+//! the paper's microbenchmarks (`q1`/`q2`/`q3`), a TPC-H query
+//! (`tpch-1`…`tpch-22`), an OLTP point select (`oltp`) — and is
+//! classified to a cache usage identifier *before* execution, exactly as
+//! the engine tags jobs: the CUID drives both the admission decision (may
+//! it co-run?) and the way mask its jobs bind.
+//!
+//! The engine owns a resident, seeded data set built once at startup, so
+//! every request measures execution, not data generation.
+
+use crate::json::Json;
+use ccp_engine::alloc::{CacheAllocator, NoopAllocator, ResctrlAllocator};
+use ccp_engine::ops::{aggregate, join, scan};
+use ccp_engine::{class_label, CacheUsageClass, DualPoolExecutor, Job, PartitionPolicy};
+use ccp_resctrl::{detect, CatSupport};
+use ccp_storage::{gen, Aggregate, DictColumn, InvertedIndex, Table};
+use ccp_tpch::queries::PhaseSpec;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+/// A parsed `/query` request line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WorkloadSpec {
+    /// Paper Q1: selective column scan (`WHERE A < threshold`).
+    Q1 {
+        /// Scan predicate threshold (domain `1..=50_000`).
+        threshold: i64,
+    },
+    /// Paper Q2: grouped aggregation over the region column.
+    Q2 {
+        /// Aggregate function.
+        agg: Aggregate,
+    },
+    /// Paper Q3: bit-vector foreign-key join.
+    Q3,
+    /// TPC-H query `id` — native for 1 and 6, profile-driven phase
+    /// playback for the rest.
+    Tpch {
+        /// Query number, 1–22.
+        id: u8,
+    },
+    /// OLTP point select on the dedicated full-cache pool.
+    Oltp {
+        /// Document key to look up.
+        key: i64,
+    },
+    /// Debug workload: hold an executor slot for `ms` milliseconds.
+    /// Only parsed when the server enables it (backpressure tests).
+    Sleep {
+        /// Sleep duration in milliseconds (capped at 10 s).
+        ms: u64,
+    },
+}
+
+impl WorkloadSpec {
+    /// Stable name used for metrics labels and throughput normalization.
+    pub fn name(&self) -> String {
+        match self {
+            WorkloadSpec::Q1 { .. } => "q1".into(),
+            WorkloadSpec::Q2 { .. } => "q2".into(),
+            WorkloadSpec::Q3 => "q3".into(),
+            WorkloadSpec::Tpch { id } => format!("tpch-{id}"),
+            WorkloadSpec::Oltp { .. } => "oltp".into(),
+            WorkloadSpec::Sleep { .. } => "sleep".into(),
+        }
+    }
+}
+
+/// Parses one request line (`{"workload": "q1", ...}`) into a spec.
+///
+/// `allow_sleep` gates the debug sleep workload; in production it parses
+/// as an error like any other unknown workload.
+pub fn parse_query(v: &Json, allow_sleep: bool) -> Result<WorkloadSpec, String> {
+    let workload = v
+        .get("workload")
+        .and_then(Json::as_str)
+        .ok_or_else(|| "missing string field \"workload\"".to_string())?;
+    match workload {
+        "q1" => {
+            let threshold = match v.get("threshold") {
+                None => 25_000,
+                Some(t) => t
+                    .as_i64()
+                    .ok_or_else(|| "\"threshold\" must be an integer".to_string())?,
+            };
+            Ok(WorkloadSpec::Q1 { threshold })
+        }
+        "q2" => {
+            let agg = match v.get("agg").map(|a| (a, a.as_str())) {
+                None => Aggregate::Max,
+                Some((_, Some("max"))) => Aggregate::Max,
+                Some((_, Some("min"))) => Aggregate::Min,
+                Some((_, Some("sum"))) => Aggregate::Sum,
+                Some((_, Some("count"))) => Aggregate::Count,
+                Some(_) => return Err("\"agg\" must be one of max|min|sum|count".to_string()),
+            };
+            Ok(WorkloadSpec::Q2 { agg })
+        }
+        "q3" => Ok(WorkloadSpec::Q3),
+        "oltp" => {
+            let key = match v.get("key") {
+                None => 7,
+                Some(k) => k
+                    .as_i64()
+                    .ok_or_else(|| "\"key\" must be an integer".to_string())?,
+            };
+            Ok(WorkloadSpec::Oltp { key })
+        }
+        "sleep" if allow_sleep => {
+            let ms = match v.get("ms") {
+                None => 100,
+                Some(m) => m
+                    .as_u64()
+                    .ok_or_else(|| "\"ms\" must be a non-negative integer".to_string())?,
+            };
+            Ok(WorkloadSpec::Sleep { ms: ms.min(10_000) })
+        }
+        other if other.starts_with("tpch-") => {
+            let id: u8 = other["tpch-".len()..]
+                .parse()
+                .map_err(|_| format!("bad TPC-H query id in {other:?}"))?;
+            if !(1..=22).contains(&id) {
+                return Err(format!("TPC-H query id must be 1..=22, got {id}"));
+            }
+            Ok(WorkloadSpec::Tpch { id })
+        }
+        other => Err(format!(
+            "unknown workload {other:?} (expected q1, q2, q3, tpch-N, oltp)"
+        )),
+    }
+}
+
+/// The result of one executed query, rendered as one NDJSON line.
+#[derive(Debug, Clone)]
+pub struct QueryOutcome {
+    /// Workload name (`q1`, `tpch-5`, …).
+    pub workload: String,
+    /// CUID class label (`polluting`, `sensitive`, `mixed`).
+    pub class: &'static str,
+    /// Way mask the OLAP jobs bind (full mask for OLTP).
+    pub mask_bits: u32,
+    /// Input rows processed.
+    pub rows: u64,
+    /// Workload-specific scalar result (matches, groups, revenue, …).
+    pub result: i64,
+    /// Wall-clock execution time in seconds.
+    pub latency_secs: f64,
+    /// Rows per second this execution achieved.
+    pub rows_per_sec: f64,
+    /// Throughput normalized to the best run of the same workload seen by
+    /// this server (1.0 = fastest so far; lower = slowed by co-runners).
+    pub normalized_throughput: f64,
+}
+
+impl QueryOutcome {
+    /// Renders the outcome as a JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("workload", Json::str(&self.workload)),
+            ("class", Json::str(self.class)),
+            ("mask", Json::str(format!("{:#x}", self.mask_bits))),
+            ("rows", Json::num(self.rows as f64)),
+            ("result", Json::num(self.result as f64)),
+            ("latency_secs", Json::num(self.latency_secs)),
+            ("rows_per_sec", Json::num(self.rows_per_sec)),
+            (
+                "normalized_throughput",
+                Json::num(self.normalized_throughput),
+            ),
+        ])
+    }
+}
+
+/// The resident data sets queries run against (built once at startup).
+struct Datasets {
+    /// Q1/Q2 value column: uniform `1..=50_000`.
+    amounts: Arc<DictColumn<i64>>,
+    /// Q2 grouping column: 64 regions.
+    regions: Arc<DictColumn<i64>>,
+    /// Q3 build side: distinct keys `1..=keys`.
+    pk: Arc<DictColumn<i64>>,
+    /// Q3 probe side.
+    fk: Arc<DictColumn<i64>>,
+    /// TPC-H lineitem sample for native Q1/Q6.
+    lineitem: Arc<Table>,
+    /// OLTP key column (BELNR) with its point-lookup index.
+    oltp_keys: Arc<DictColumn<i64>>,
+    oltp_index: Arc<InvertedIndex>,
+    oltp_amounts: Arc<DictColumn<i64>>,
+}
+
+impl Datasets {
+    fn build(rows: usize) -> Self {
+        let rows = rows.max(64);
+        let keys = (rows / 4).max(16);
+        let amounts = Arc::new(DictColumn::build(&gen::uniform_ints(rows, 50_000, 11)));
+        let regions = Arc::new(DictColumn::build(&gen::uniform_ints(rows, 64, 12)));
+        let pk = Arc::new(DictColumn::build(&gen::primary_keys(keys, 21)));
+        let fk = Arc::new(DictColumn::build(&gen::foreign_keys(rows, keys as i64, 22)));
+        let (lineitem, _orders) = ccp_tpch::sample_database(rows, keys, 7);
+        // OLTP side: an ACDOCA-like document table — repeated document
+        // keys, an amount per row.
+        let doc_count = (rows / 8).max(8) as i64;
+        let oltp_keys = Arc::new(DictColumn::build(&gen::uniform_ints(rows, doc_count, 31)));
+        let oltp_index = Arc::new(InvertedIndex::build(
+            oltp_keys.codes().iter(),
+            oltp_keys.dict().len(),
+        ));
+        let oltp_amounts = Arc::new(DictColumn::build(&gen::uniform_ints(rows, 1_000_000, 32)));
+        Datasets {
+            amounts,
+            regions,
+            pk,
+            fk,
+            lineitem,
+            oltp_keys,
+            oltp_index,
+            oltp_amounts,
+        }
+    }
+
+    /// Bit-vector size of the Q3 build side — the join's hot set.
+    fn q3_hot_bytes(&self) -> u64 {
+        let max_key = self
+            .pk
+            .dict()
+            .iter()
+            .next_back()
+            .copied()
+            .unwrap_or(0)
+            .max(0) as u64;
+        (max_key + 1).div_ceil(8)
+    }
+}
+
+/// The serving engine: dual-pool executor + partition policy + resident
+/// data + per-workload best-throughput tracking.
+pub struct QueryEngine {
+    pools: DualPoolExecutor,
+    policy: PartitionPolicy,
+    cat_live: bool,
+    data: Datasets,
+    best_rows_per_sec: Mutex<HashMap<String, f64>>,
+}
+
+impl QueryEngine {
+    /// Builds the engine, partitioning through real CAT when the host
+    /// supports it and falling back to no-op allocation otherwise.
+    pub fn new(olap_workers: usize, oltp_workers: usize, dataset_rows: usize) -> Self {
+        let support = detect();
+        let (allocator, cat_live): (Arc<dyn CacheAllocator>, bool) = match &support {
+            CatSupport::Available { .. } => match ResctrlAllocator::open_host() {
+                Ok(a) => (Arc::new(a), true),
+                Err(_) => (Arc::new(NoopAllocator), false),
+            },
+            _ => (Arc::new(NoopAllocator), false),
+        };
+        Self::with_allocator(
+            olap_workers,
+            oltp_workers,
+            dataset_rows,
+            allocator,
+            cat_live,
+        )
+    }
+
+    /// Builds the engine with an explicit allocator (tests use recording
+    /// or no-op allocators).
+    pub fn with_allocator(
+        olap_workers: usize,
+        oltp_workers: usize,
+        dataset_rows: usize,
+        allocator: Arc<dyn CacheAllocator>,
+        cat_live: bool,
+    ) -> Self {
+        let cfg = ccp_cachesim::HierarchyConfig::broadwell_e5_2699_v4();
+        let policy = PartitionPolicy::paper_default(cfg.llc, cfg.l2.size_bytes);
+        QueryEngine {
+            pools: DualPoolExecutor::new(olap_workers, oltp_workers, policy, allocator),
+            policy,
+            cat_live,
+            data: Datasets::build(dataset_rows),
+            best_rows_per_sec: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The dual-pool executor (for `/stats` snapshots).
+    pub fn pools(&self) -> &DualPoolExecutor {
+        &self.pools
+    }
+
+    /// The active partition policy.
+    pub fn policy(&self) -> PartitionPolicy {
+        self.policy
+    }
+
+    /// Whether masks reach real CAT hardware.
+    pub fn cat_live(&self) -> bool {
+        self.cat_live
+    }
+
+    /// Classifies a workload to its cache usage identifier — the paper's
+    /// taxonomy applied at the query level.
+    pub fn classify(&self, spec: &WorkloadSpec) -> CacheUsageClass {
+        match spec {
+            // A selective scan streams without reuse: class (i).
+            WorkloadSpec::Q1 { .. } => CacheUsageClass::Polluting,
+            // Aggregation hash tables + dictionaries want the LLC: (ii).
+            WorkloadSpec::Q2 { .. } => CacheUsageClass::Sensitive,
+            // The join's bit vector is the hot set: class (iii).
+            WorkloadSpec::Q3 => CacheUsageClass::Mixed {
+                hot_bytes: self.data.q3_hot_bytes(),
+            },
+            WorkloadSpec::Tpch { id } => classify_profile(*id),
+            // Point selects touch a few lines; treat as sensitive — they
+            // run on the full-cache OLTP pool regardless.
+            WorkloadSpec::Oltp { .. } => CacheUsageClass::Sensitive,
+            // Sleep holds a slot the way a sensitive query would, which
+            // is exactly what the backpressure tests need.
+            WorkloadSpec::Sleep { .. } => CacheUsageClass::Sensitive,
+        }
+    }
+
+    /// The way mask jobs of this workload bind (OLTP: always full cache).
+    pub fn mask_bits(&self, spec: &WorkloadSpec, cuid: CacheUsageClass) -> u32 {
+        match spec {
+            WorkloadSpec::Oltp { .. } => self.policy.mask_for(CacheUsageClass::Sensitive).bits(),
+            _ => self.policy.mask_for(cuid).bits(),
+        }
+    }
+
+    /// Executes `spec` on the appropriate pool and reports the outcome.
+    pub fn execute(&self, spec: &WorkloadSpec) -> QueryOutcome {
+        let cuid = self.classify(spec);
+        let started = Instant::now();
+        let (rows, result) = self.run(spec);
+        let latency = started.elapsed();
+        let latency_secs = latency.as_secs_f64().max(1e-9);
+        let rows_per_sec = rows as f64 / latency_secs;
+        let workload = spec.name();
+        let normalized = self.normalize(&workload, rows_per_sec);
+        QueryOutcome {
+            workload,
+            class: class_label(cuid),
+            mask_bits: self.mask_bits(spec, cuid),
+            rows,
+            result,
+            latency_secs,
+            rows_per_sec,
+            normalized_throughput: normalized,
+        }
+    }
+
+    /// Throughput relative to the best run of `workload` seen so far.
+    fn normalize(&self, workload: &str, rows_per_sec: f64) -> f64 {
+        let mut best = self
+            .best_rows_per_sec
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        let entry = best.entry(workload.to_string()).or_insert(rows_per_sec);
+        if rows_per_sec > *entry {
+            *entry = rows_per_sec;
+        }
+        if *entry <= 0.0 {
+            1.0
+        } else {
+            rows_per_sec / *entry
+        }
+    }
+
+    fn run(&self, spec: &WorkloadSpec) -> (u64, i64) {
+        let d = &self.data;
+        match spec {
+            WorkloadSpec::Q1 { threshold } => {
+                let matches = scan::column_scan(self.pools.olap(), &d.amounts, *threshold);
+                (d.amounts.len() as u64, matches as i64)
+            }
+            WorkloadSpec::Q2 { agg } => {
+                let table =
+                    aggregate::grouped_aggregate(self.pools.olap(), &d.amounts, &d.regions, *agg);
+                (d.amounts.len() as u64, table.len() as i64)
+            }
+            WorkloadSpec::Q3 => {
+                let matches = join::fk_join_count(self.pools.olap(), &d.pk, &d.fk);
+                (d.fk.len() as u64, matches as i64)
+            }
+            WorkloadSpec::Tpch { id: 1 } => {
+                let groups = ccp_tpch::q1_pricing_summary(self.pools.olap(), &d.lineitem);
+                (d.lineitem.row_count() as u64, groups.len() as i64)
+            }
+            WorkloadSpec::Tpch { id: 6 } => {
+                let revenue =
+                    ccp_tpch::q6_forecast_revenue(self.pools.olap(), &d.lineitem, 24, 4..=6);
+                (d.lineitem.row_count() as u64, revenue)
+            }
+            WorkloadSpec::Tpch { id } => self.run_profile_phases(*id),
+            WorkloadSpec::Oltp { key } => self.run_point_select(*key),
+            WorkloadSpec::Sleep { ms } => {
+                let pause = Duration::from_millis(*ms);
+                self.pools
+                    .olap()
+                    .submit_batch(vec![Job::new(
+                        "sleep",
+                        CacheUsageClass::Sensitive,
+                        move || std::thread::sleep(pause),
+                    )])
+                    .wait();
+                (0, *ms as i64)
+            }
+        }
+    }
+
+    /// Plays a TPC-H profile's phase sequence against the resident data:
+    /// each phase maps to the native operator of its kind, so the query
+    /// exercises the same operator mix (and CUID behaviour) its SF 100
+    /// profile describes, at the server's data scale.
+    fn run_profile_phases(&self, id: u8) -> (u64, i64) {
+        let d = &self.data;
+        let mut rows = 0u64;
+        let mut result = 0i64;
+        for phase in &ccp_tpch::queries::profile(id).phases {
+            match phase {
+                PhaseSpec::Scan { .. } => {
+                    result += scan::column_scan(self.pools.olap(), &d.amounts, 25_000) as i64;
+                    rows += d.amounts.len() as u64;
+                }
+                PhaseSpec::Join { .. } => {
+                    result += join::fk_join_count(self.pools.olap(), &d.pk, &d.fk) as i64;
+                    rows += d.fk.len() as u64;
+                }
+                PhaseSpec::Aggregate { .. } => {
+                    let t = aggregate::grouped_aggregate(
+                        self.pools.olap(),
+                        &d.amounts,
+                        &d.regions,
+                        Aggregate::Sum,
+                    );
+                    result += t.len() as i64;
+                    rows += d.amounts.len() as u64;
+                }
+            }
+        }
+        (rows, result)
+    }
+
+    /// Point select on the dedicated full-cache OLTP pool: index lookup on
+    /// the key column, sum of the projected amount column.
+    fn run_point_select(&self, key: i64) -> (u64, i64) {
+        let Some(code) = self.data.oltp_keys.dict().encode(&key) else {
+            return (0, 0);
+        };
+        let index = self.data.oltp_index.clone();
+        let amounts = self.data.oltp_amounts.clone();
+        let hits = Arc::new(AtomicU64::new(0));
+        let total = Arc::new(AtomicU64::new(0));
+        let (hits2, total2) = (hits.clone(), total.clone());
+        self.pools
+            .oltp()
+            .submit_batch(vec![Job::new(
+                "point-select",
+                CacheUsageClass::Sensitive,
+                move || {
+                    let rows = index.lookup(code);
+                    let mut sum = 0i64;
+                    for &r in rows {
+                        sum += *amounts.dict().decode(amounts.code_at(r as usize));
+                    }
+                    hits2.store(rows.len() as u64, Ordering::Relaxed);
+                    total2.store(sum as u64, Ordering::Relaxed);
+                },
+            )])
+            .wait();
+        (
+            hits.load(Ordering::Relaxed),
+            total.load(Ordering::Relaxed) as i64,
+        )
+    }
+}
+
+/// CUID for a TPC-H query from its SF 100 cache profile: the phase
+/// processing the most rows shapes the query's cache behaviour. A
+/// scan-dominated query pollutes even when a small sum rides along
+/// (TPC-H 6); an aggregation-dominated one is sensitive (TPC-H 1); a
+/// join-dominated one is mixed with the build-side bit vector as its hot
+/// set.
+fn classify_profile(id: u8) -> CacheUsageClass {
+    let profile = ccp_tpch::queries::profile(id);
+    let mut dominant: Option<(u64, CacheUsageClass)> = None;
+    for phase in &profile.phases {
+        let (rows, class) = match *phase {
+            PhaseSpec::Scan { rows, .. } => (rows, CacheUsageClass::Polluting),
+            PhaseSpec::Join {
+                build_keys,
+                probe_rows,
+            } => (
+                probe_rows,
+                CacheUsageClass::Mixed {
+                    hot_bytes: build_keys.div_ceil(8),
+                },
+            ),
+            PhaseSpec::Aggregate { rows, .. } => (rows, CacheUsageClass::Sensitive),
+        };
+        if dominant.is_none_or(|(max, _)| rows > max) {
+            dominant = Some((rows, class));
+        }
+    }
+    dominant.map_or(CacheUsageClass::Polluting, |(_, class)| class)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccp_engine::alloc::RecordingAllocator;
+
+    fn engine() -> QueryEngine {
+        QueryEngine::with_allocator(2, 1, 4_096, Arc::new(RecordingAllocator::new()), false)
+    }
+
+    #[test]
+    fn parses_all_workload_forms() {
+        let q = |s: &str| parse_query(&Json::parse(s).unwrap(), false).unwrap();
+        assert_eq!(
+            q(r#"{"workload":"q1","threshold":100}"#),
+            WorkloadSpec::Q1 { threshold: 100 }
+        );
+        assert_eq!(
+            q(r#"{"workload":"q2","agg":"sum"}"#),
+            WorkloadSpec::Q2 {
+                agg: Aggregate::Sum
+            }
+        );
+        assert_eq!(q(r#"{"workload":"q3"}"#), WorkloadSpec::Q3);
+        assert_eq!(q(r#"{"workload":"tpch-6"}"#), WorkloadSpec::Tpch { id: 6 });
+        assert_eq!(
+            q(r#"{"workload":"oltp","key":3}"#),
+            WorkloadSpec::Oltp { key: 3 }
+        );
+    }
+
+    #[test]
+    fn rejects_bad_requests_with_reasons() {
+        let e = |s: &str| parse_query(&Json::parse(s).unwrap(), false).unwrap_err();
+        assert!(e(r#"{}"#).contains("workload"));
+        assert!(e(r#"{"workload":"q9"}"#).contains("unknown workload"));
+        assert!(e(r#"{"workload":"tpch-23"}"#).contains("1..=22"));
+        assert!(e(r#"{"workload":"tpch-x"}"#).contains("bad TPC-H"));
+        assert!(e(r#"{"workload":"q1","threshold":"hi"}"#).contains("threshold"));
+        // Sleep is gated.
+        assert!(e(r#"{"workload":"sleep"}"#).contains("unknown workload"));
+        assert_eq!(
+            parse_query(
+                &Json::parse(r#"{"workload":"sleep","ms":5}"#).unwrap(),
+                true
+            )
+            .unwrap(),
+            WorkloadSpec::Sleep { ms: 5 }
+        );
+    }
+
+    #[test]
+    fn classification_follows_the_paper_taxonomy() {
+        let en = engine();
+        assert_eq!(
+            en.classify(&WorkloadSpec::Q1 { threshold: 1 }),
+            CacheUsageClass::Polluting
+        );
+        assert_eq!(
+            en.classify(&WorkloadSpec::Q2 {
+                agg: Aggregate::Max
+            }),
+            CacheUsageClass::Sensitive
+        );
+        assert!(matches!(
+            en.classify(&WorkloadSpec::Q3),
+            CacheUsageClass::Mixed { .. }
+        ));
+        // TPC-H 1 aggregates -> sensitive; TPC-H 6 is a pure scan.
+        assert_eq!(
+            en.classify(&WorkloadSpec::Tpch { id: 1 }),
+            CacheUsageClass::Sensitive
+        );
+        assert_eq!(
+            en.classify(&WorkloadSpec::Tpch { id: 6 }),
+            CacheUsageClass::Polluting
+        );
+    }
+
+    #[test]
+    fn executes_each_native_workload() {
+        let en = engine();
+        let q1 = en.execute(&WorkloadSpec::Q1 { threshold: 25_000 });
+        assert_eq!(q1.rows, 4_096);
+        assert!(q1.result > 0, "roughly half the rows match");
+        let q2 = en.execute(&WorkloadSpec::Q2 {
+            agg: Aggregate::Sum,
+        });
+        assert_eq!(q2.result, 64, "one group per region");
+        let q3 = en.execute(&WorkloadSpec::Q3);
+        assert_eq!(q3.result, 4_096, "every foreign key matches");
+        let t1 = en.execute(&WorkloadSpec::Tpch { id: 1 });
+        assert!(t1.result > 0 && t1.rows > 0);
+        let t5 = en.execute(&WorkloadSpec::Tpch { id: 5 });
+        assert!(t5.rows > 0, "phase playback processed rows");
+        let oltp = en.execute(&WorkloadSpec::Oltp { key: 7 });
+        assert!(oltp.rows > 0, "key 7 exists in 1..=512");
+        assert!(oltp.result > 0);
+    }
+
+    #[test]
+    fn normalized_throughput_is_relative_to_best_run() {
+        let en = engine();
+        let first = en.execute(&WorkloadSpec::Q1 { threshold: 25_000 });
+        assert!((first.normalized_throughput - 1.0).abs() < 1e-9);
+        for _ in 0..3 {
+            let again = en.execute(&WorkloadSpec::Q1 { threshold: 25_000 });
+            assert!(again.normalized_throughput <= 1.0 + 1e-9);
+            assert!(again.normalized_throughput > 0.0);
+        }
+    }
+
+    #[test]
+    fn outcome_renders_as_json_object() {
+        let en = engine();
+        let line = en.execute(&WorkloadSpec::Q3).to_json().to_string();
+        let parsed = Json::parse(&line).unwrap();
+        assert_eq!(parsed.get("workload").unwrap().as_str(), Some("q3"));
+        assert_eq!(parsed.get("class").unwrap().as_str(), Some("mixed"));
+        assert!(parsed
+            .get("mask")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .starts_with("0x"));
+        assert!(parsed.get("latency_secs").unwrap().as_f64().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn every_tpch_profile_classifies_and_small_ones_execute() {
+        let en = engine();
+        for id in ccp_tpch::query_ids() {
+            let spec = WorkloadSpec::Tpch { id };
+            let _ = en.classify(&spec);
+        }
+        // A couple of profile-driven queries end to end.
+        for id in [3, 14] {
+            let out = en.execute(&WorkloadSpec::Tpch { id });
+            assert!(out.rows > 0, "tpch-{id} processed rows");
+        }
+    }
+}

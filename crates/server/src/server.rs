@@ -1,0 +1,604 @@
+//! The TCP service: accept loop, router, graceful shutdown.
+//!
+//! One listener thread accepts connections up to a hard cap and hands
+//! each to a short-lived handler thread (std-only; no async runtime).
+//! Handlers speak strict HTTP/1.1 with keep-alive, route to four
+//! endpoints, and account every request in the `ccp_server_*` families:
+//!
+//! | endpoint | method | body |
+//! |---|---|---|
+//! | `/metrics` | GET | Prometheus text exposition of the whole registry |
+//! | `/healthz` | GET | `{"status":"ok"}` |
+//! | `/stats` | GET | JSON snapshot of executor/scheduler/admission state |
+//! | `/query` | POST | NDJSON workloads in, NDJSON outcomes out |
+//!
+//! Shutdown is cooperative: a flag flips, a self-connection unblocks
+//! `accept`, the admission queue drains, and the handle joins every
+//! connection before returning — no `TcpListener` leaks into the next
+//! test's port.
+
+use crate::admission::{AdmissionError, AdmissionQueue};
+use crate::http::{read_request, HttpError, Request, Response};
+use crate::json::Json;
+use crate::metrics::ServerMetrics;
+use crate::query::{parse_query, QueryEngine};
+use ccp_engine::{CacheAwareScheduler, JobExecutor, SchedulerMetrics};
+use ccp_obs::Registry;
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+/// Everything tunable about a [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// OLAP (partitioned) worker threads.
+    pub olap_workers: usize,
+    /// OLTP (full-cache) worker threads.
+    pub oltp_workers: usize,
+    /// Queries allowed to run concurrently (scheduler wave slots).
+    pub scheduler_slots: usize,
+    /// Queries allowed to *wait* for a slot before `429`.
+    pub queue_capacity: usize,
+    /// Concurrent connections before new ones get `503` and close.
+    pub max_connections: usize,
+    /// Per-connection socket read timeout.
+    pub read_timeout: Duration,
+    /// Per-connection socket write timeout.
+    pub write_timeout: Duration,
+    /// Rows in each resident data set column.
+    pub dataset_rows: usize,
+    /// Enables the debug `sleep` workload (admission tests).
+    pub enable_sleep_workload: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            olap_workers: 2,
+            oltp_workers: 1,
+            scheduler_slots: 2,
+            queue_capacity: 16,
+            max_connections: 64,
+            read_timeout: Duration::from_secs(5),
+            write_timeout: Duration::from_secs(5),
+            dataset_rows: 60_000,
+            enable_sleep_workload: false,
+        }
+    }
+}
+
+/// Counts live connection-handler threads so shutdown can join them.
+struct ConnTracker {
+    count: Mutex<usize>,
+    zero: Condvar,
+}
+
+impl ConnTracker {
+    fn new() -> Self {
+        ConnTracker {
+            count: Mutex::new(0),
+            zero: Condvar::new(),
+        }
+    }
+
+    fn try_acquire(&self, cap: usize) -> bool {
+        let mut n = self.count.lock().unwrap_or_else(PoisonError::into_inner);
+        if *n >= cap {
+            return false;
+        }
+        *n += 1;
+        true
+    }
+
+    fn release(&self) {
+        let mut n = self.count.lock().unwrap_or_else(PoisonError::into_inner);
+        *n = n.saturating_sub(1);
+        self.zero.notify_all();
+    }
+
+    fn wait_zero(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut n = self.count.lock().unwrap_or_else(PoisonError::into_inner);
+        while *n > 0 {
+            let Some(left) = deadline.checked_duration_since(Instant::now()) else {
+                return false;
+            };
+            let (guard, _) = self
+                .zero
+                .wait_timeout(n, left)
+                .unwrap_or_else(PoisonError::into_inner);
+            n = guard;
+        }
+        true
+    }
+}
+
+struct Shared {
+    config: ServerConfig,
+    registry: Registry,
+    metrics: ServerMetrics,
+    admission: Arc<AdmissionQueue>,
+    engine: QueryEngine,
+    shutdown: AtomicBool,
+    conns: ConnTracker,
+    started: Instant,
+}
+
+/// A running server; dropping it shuts the service down gracefully.
+pub struct Server {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    accept: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds, builds the engine and registry, and starts serving.
+    pub fn start(config: ServerConfig) -> std::io::Result<Server> {
+        let registry = Registry::new();
+        let engine = QueryEngine::new(
+            config.olap_workers,
+            config.oltp_workers,
+            config.dataset_rows,
+        );
+        engine.pools().register_metrics(&registry);
+        let metrics = ServerMetrics::new(&registry);
+        let sched_metrics = SchedulerMetrics::new();
+        sched_metrics.register_into(&registry);
+        let scheduler = CacheAwareScheduler::new(engine.policy(), config.scheduler_slots);
+        let admission = Arc::new(AdmissionQueue::new(
+            scheduler,
+            config.queue_capacity,
+            sched_metrics,
+            metrics.clone(),
+        ));
+
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            config,
+            registry,
+            metrics,
+            admission,
+            engine,
+            shutdown: AtomicBool::new(false),
+            conns: ConnTracker::new(),
+            started: Instant::now(),
+        });
+        let accept_shared = Arc::clone(&shared);
+        let accept = std::thread::Builder::new()
+            .name("ccp-accept".to_string())
+            .spawn(move || accept_loop(listener, accept_shared))?;
+        Ok(Server {
+            shared,
+            addr,
+            accept: Some(accept),
+        })
+    }
+
+    /// The bound address (with the resolved port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The scrape registry (shares state with the live instruments).
+    pub fn registry(&self) -> Registry {
+        self.shared.registry.clone()
+    }
+
+    /// Whether way masks reach real CAT hardware.
+    pub fn cat_live(&self) -> bool {
+        self.shared.engine.cat_live()
+    }
+
+    /// Whether something (a signal, `Server::shutdown`) asked the server
+    /// to stop.
+    pub fn shutdown_requested(&self) -> bool {
+        self.shared.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Requests a graceful stop and blocks until the listener has exited,
+    /// the admission queue has drained and every connection handler has
+    /// finished (bounded by the connection timeouts).
+    pub fn shutdown(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.admission.shutdown();
+        // The accept loop blocks in `accept`; a throwaway self-connection
+        // wakes it so it can observe the flag.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept.take() {
+            let _ = t.join();
+        }
+        let grace = self.shared.config.read_timeout + Duration::from_secs(2);
+        self.shared.admission.drain(grace);
+        self.shared.conns.wait_zero(grace);
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    for stream in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let stream = match stream {
+            Ok(s) => s,
+            Err(_) => continue,
+        };
+        if !shared.conns.try_acquire(shared.config.max_connections) {
+            shared.metrics.connection_refused();
+            let _ = stream.set_write_timeout(Some(shared.config.write_timeout));
+            let mut s = stream;
+            let _ = Response::json(
+                503,
+                &Json::obj(vec![("error", Json::str("connection limit reached"))]),
+            )
+            .closing()
+            .write_to(&mut s);
+            continue;
+        }
+        let conn_shared = Arc::clone(&shared);
+        let spawned = std::thread::Builder::new()
+            .name("ccp-conn".to_string())
+            .spawn(move || {
+                handle_connection(&conn_shared, stream);
+                conn_shared.conns.release();
+            });
+        if spawned.is_err() {
+            shared.conns.release();
+        }
+    }
+}
+
+fn handle_connection(shared: &Shared, stream: TcpStream) {
+    shared.metrics.connection_opened();
+    let _ = stream.set_read_timeout(Some(shared.config.read_timeout));
+    let _ = stream.set_write_timeout(Some(shared.config.write_timeout));
+    let Ok(read_half) = stream.try_clone() else {
+        shared.metrics.connection_closed();
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = stream;
+    loop {
+        match read_request(&mut reader) {
+            Ok(None) => break,
+            Ok(Some(req)) => {
+                let started = Instant::now();
+                let (endpoint, mut resp) = route(shared, &req);
+                let close =
+                    resp.close || req.wants_close() || shared.shutdown.load(Ordering::SeqCst);
+                if close {
+                    resp = resp.closing();
+                }
+                let status = resp.status;
+                let write_ok = resp.write_to(&mut writer).is_ok();
+                shared
+                    .metrics
+                    .record_request(endpoint, status, started.elapsed().as_secs_f64());
+                if close || !write_ok {
+                    break;
+                }
+            }
+            Err(HttpError::Malformed(why)) => {
+                respond_error(shared, &mut writer, 400, why);
+                break;
+            }
+            Err(HttpError::TooLarge(why)) => {
+                respond_error(shared, &mut writer, 413, why);
+                break;
+            }
+            Err(HttpError::Io(_)) => break,
+        }
+    }
+    shared.metrics.connection_closed();
+}
+
+fn respond_error(shared: &Shared, writer: &mut TcpStream, status: u16, why: &str) {
+    let started = Instant::now();
+    let body = Json::obj(vec![("error", Json::str(why))]);
+    let _ = Response::json(status, &body).closing().write_to(writer);
+    shared
+        .metrics
+        .record_request("invalid", status, started.elapsed().as_secs_f64());
+}
+
+/// Routes one request; returns the endpoint label used for metrics.
+fn route(shared: &Shared, req: &Request) -> (&'static str, Response) {
+    match (req.method.as_str(), req.path()) {
+        ("GET", "/metrics") => (
+            "/metrics",
+            Response::prometheus(shared.registry.render_prometheus()),
+        ),
+        ("GET", "/healthz") => (
+            "/healthz",
+            Response::json(200, &Json::obj(vec![("status", Json::str("ok"))])),
+        ),
+        ("GET", "/stats") => ("/stats", Response::json(200, &stats_json(shared))),
+        ("POST", "/query") => ("/query", handle_query(shared, req)),
+        ("GET" | "HEAD", _) => ("other", not_found()),
+        (_, "/metrics" | "/healthz" | "/stats" | "/query") => (
+            "other",
+            Response::json(
+                405,
+                &Json::obj(vec![("error", Json::str("method not allowed"))]),
+            ),
+        ),
+        _ => ("other", not_found()),
+    }
+}
+
+fn not_found() -> Response {
+    let endpoints = Json::Arr(
+        ["/metrics", "/healthz", "/stats", "/query"]
+            .iter()
+            .map(|e| Json::str(*e))
+            .collect(),
+    );
+    Response::json(
+        404,
+        &Json::obj(vec![
+            ("error", Json::str("not found")),
+            ("endpoints", endpoints),
+        ]),
+    )
+}
+
+/// Executes the NDJSON query body line by line.
+///
+/// The *first* line's admission failure turns into the response status
+/// (`429` queue full / `503` draining) so callers and load balancers see
+/// backpressure; failures on later lines become error objects inside the
+/// 200 NDJSON stream, since the status line has already been decided.
+fn handle_query(shared: &Shared, req: &Request) -> Response {
+    let Ok(body) = std::str::from_utf8(&req.body) else {
+        return Response::json(
+            400,
+            &Json::obj(vec![("error", Json::str("body is not UTF-8"))]),
+        );
+    };
+    let lines: Vec<&str> = body
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty())
+        .collect();
+    if lines.is_empty() {
+        return Response::json(
+            400,
+            &Json::obj(vec![(
+                "error",
+                Json::str("empty body; send one JSON object per line"),
+            )]),
+        );
+    }
+    let mut out = Vec::with_capacity(lines.len());
+    for (i, line) in lines.iter().enumerate() {
+        match run_query_line(shared, line) {
+            Ok(outcome) => out.push(outcome),
+            Err(QueryLineError::Parse(why)) => {
+                let err = Json::obj(vec![("error", Json::str(&why))]);
+                if i == 0 {
+                    return Response::json(400, &err);
+                }
+                out.push(err.to_string());
+            }
+            Err(QueryLineError::Admission(err)) => {
+                let status = match err {
+                    AdmissionError::QueueFull => 429,
+                    AdmissionError::ShuttingDown => 503,
+                };
+                let msg = Json::obj(vec![("error", Json::str(err.to_string()))]);
+                if i == 0 {
+                    return Response::json(status, &msg);
+                }
+                out.push(msg.to_string());
+            }
+        }
+    }
+    let mut body = out.join("\n");
+    body.push('\n');
+    Response::ndjson(200, body)
+}
+
+enum QueryLineError {
+    Parse(String),
+    Admission(AdmissionError),
+}
+
+fn run_query_line(shared: &Shared, line: &str) -> Result<String, QueryLineError> {
+    let value = Json::parse(line).map_err(|e| QueryLineError::Parse(format!("bad JSON: {e}")))?;
+    let spec =
+        parse_query(&value, shared.config.enable_sleep_workload).map_err(QueryLineError::Parse)?;
+    let cuid = shared.engine.classify(&spec);
+    let permit = shared
+        .admission
+        .acquire(cuid)
+        .map_err(QueryLineError::Admission)?;
+    let outcome = shared.engine.execute(&spec);
+    drop(permit);
+    Ok(outcome.to_json().to_string())
+}
+
+fn pool_json(ex: &JobExecutor) -> Json {
+    let m = ex.metrics();
+    Json::obj(vec![
+        ("jobs_executed", Json::num(m.jobs_executed() as f64)),
+        ("jobs_panicked", Json::num(m.jobs_panicked() as f64)),
+        ("mask_switches", Json::num(m.mask_switches() as f64)),
+        ("bind_failures", Json::num(m.bind_failures() as f64)),
+    ])
+}
+
+fn stats_json(shared: &Shared) -> Json {
+    let (queued, running) = shared.admission.occupancy();
+    Json::obj(vec![
+        (
+            "uptime_secs",
+            Json::num(shared.started.elapsed().as_secs_f64()),
+        ),
+        ("cat_live", Json::Bool(shared.engine.cat_live())),
+        (
+            "pools",
+            Json::obj(vec![
+                ("olap", pool_json(shared.engine.pools().olap())),
+                ("oltp", pool_json(shared.engine.pools().oltp())),
+            ]),
+        ),
+        (
+            "admission",
+            Json::obj(vec![
+                ("queued", Json::num(queued as f64)),
+                ("running", Json::num(running as f64)),
+                ("capacity", Json::num(shared.admission.capacity() as f64)),
+                ("slots", Json::num(shared.admission.slots() as f64)),
+                (
+                    "rejections",
+                    Json::num(shared.metrics.admission_rejections() as f64),
+                ),
+                ("deferrals", Json::num(shared.admission.deferrals() as f64)),
+            ]),
+        ),
+        (
+            "connections",
+            Json::obj(vec![
+                ("active", Json::num(shared.metrics.active_connections())),
+                (
+                    "total",
+                    Json::num(shared.metrics.connections_total() as f64),
+                ),
+                ("max", Json::num(shared.config.max_connections as f64)),
+            ]),
+        ),
+    ])
+}
+
+// ---------------------------------------------------------------------------
+// SIGINT flag
+// ---------------------------------------------------------------------------
+
+static SIGINT_SEEN: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+mod sigint {
+    use super::SIGINT_SEEN;
+    use std::sync::atomic::Ordering;
+
+    extern "C" fn on_sigint(_signum: i32) {
+        // Only async-signal-safe work here: flip the flag; the serve loop
+        // polls it.
+        SIGINT_SEEN.store(true, Ordering::SeqCst);
+    }
+
+    extern "C" {
+        // libc is always linked on unix; `signal` keeps us dependency-free.
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    pub fn install() {
+        const SIGINT: i32 = 2;
+        unsafe {
+            signal(SIGINT, on_sigint);
+        }
+    }
+}
+
+/// Installs a SIGINT handler that only flips a flag readable through
+/// [`sigint_requested`]. No-op on non-unix platforms.
+pub fn install_sigint_handler() {
+    #[cfg(unix)]
+    sigint::install();
+}
+
+/// Whether SIGINT arrived since [`install_sigint_handler`].
+pub fn sigint_requested() -> bool {
+    SIGINT_SEEN.load(Ordering::SeqCst)
+}
+
+// ---------------------------------------------------------------------------
+// Scrape-only server
+// ---------------------------------------------------------------------------
+
+/// A minimal scrape endpoint over an *existing* registry: `/metrics` and
+/// `/healthz` only, no executor, no admission. This is what
+/// `examples/metrics_dump.rs` serves — any application that already fills
+/// a [`Registry`] can expose it with two lines.
+pub struct ScrapeServer {
+    inner: Server,
+}
+
+impl ScrapeServer {
+    /// Serves `registry` on `addr` (port 0 for ephemeral).
+    ///
+    /// The caller's registry is served verbatim, with this server's
+    /// `ccp_server_*` request accounting registered into it. A tiny
+    /// placeholder engine backs `/query` (noop allocator, 64-row data
+    /// set, one slot) so the router stays uniform.
+    pub fn start(registry: &Registry, addr: &str) -> std::io::Result<ScrapeServer> {
+        let config = ServerConfig {
+            addr: addr.to_string(),
+            olap_workers: 1,
+            oltp_workers: 1,
+            scheduler_slots: 1,
+            queue_capacity: 1,
+            dataset_rows: 64,
+            ..ServerConfig::default()
+        };
+        let metrics = ServerMetrics::new(registry);
+        let engine = QueryEngine::with_allocator(
+            config.olap_workers,
+            config.oltp_workers,
+            config.dataset_rows,
+            Arc::new(ccp_engine::NoopAllocator),
+            false,
+        );
+        let scheduler = CacheAwareScheduler::new(engine.policy(), config.scheduler_slots);
+        let admission = Arc::new(AdmissionQueue::new(
+            scheduler,
+            config.queue_capacity,
+            SchedulerMetrics::new(),
+            metrics.clone(),
+        ));
+        let listener = TcpListener::bind(&config.addr)?;
+        let bound = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            config,
+            registry: registry.clone(),
+            metrics,
+            admission,
+            engine,
+            shutdown: AtomicBool::new(false),
+            conns: ConnTracker::new(),
+            started: Instant::now(),
+        });
+        let accept_shared = Arc::clone(&shared);
+        let accept = std::thread::Builder::new()
+            .name("ccp-scrape".to_string())
+            .spawn(move || accept_loop(listener, accept_shared))?;
+        Ok(ScrapeServer {
+            inner: Server {
+                shared,
+                addr: bound,
+                accept: Some(accept),
+            },
+        })
+    }
+
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.inner.addr()
+    }
+
+    /// Graceful stop.
+    pub fn shutdown(&mut self) {
+        self.inner.shutdown();
+    }
+}

@@ -1,0 +1,135 @@
+//! Property tests for the HTTP/1.1 request reader: arbitrary and
+//! adversarial byte streams must never panic, and every rejection must
+//! land in the right status class — syntax errors map to 400
+//! ([`HttpError::Malformed`]), limit violations to 413
+//! ([`HttpError::TooLarge`]).
+
+use ccp_server::http::{
+    read_request, HttpError, MAX_BODY_BYTES, MAX_HEADERS, MAX_HEADER_BYTES, MAX_REQUEST_LINE,
+};
+use proptest::prelude::*;
+use std::io::BufReader;
+
+fn parse(raw: &[u8]) -> Result<Option<ccp_server::Request>, HttpError> {
+    read_request(&mut BufReader::new(raw))
+}
+
+/// Drains a whole byte stream as a pipelined connection, counting parsed
+/// requests; panics are the only failure mode under test.
+fn drain(raw: &[u8]) -> usize {
+    let mut r = BufReader::new(raw);
+    let mut parsed = 0;
+    loop {
+        match read_request(&mut r) {
+            Ok(Some(_)) => parsed += 1,
+            Ok(None) | Err(_) => return parsed,
+        }
+    }
+}
+
+proptest! {
+    /// Arbitrary bytes never panic the reader, in single-request or
+    /// pipelined use.
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in proptest::collection::vec(0u8..=255, 0..600)) {
+        let _ = parse(&bytes);
+        let _ = drain(&bytes);
+    }
+
+    /// Mostly-printable noise (likelier to pass the early syntax checks
+    /// and reach header/body handling) never panics either.
+    #[test]
+    fn printable_noise_never_panics(bytes in proptest::collection::vec(32u8..127, 0..600)) {
+        let _ = parse(&bytes);
+        let _ = drain(&bytes);
+    }
+
+    /// A structurally valid request survives arbitrary header values and
+    /// bodies: it either parses back exactly or is cleanly rejected.
+    #[test]
+    fn roundtrip_with_arbitrary_body(
+        body in proptest::collection::vec(0u8..=255, 0..300),
+        value in proptest::collection::vec(33u8..127, 0..40),
+    ) {
+        let value = String::from_utf8(value).unwrap();
+        let mut raw = format!(
+            "POST /query HTTP/1.1\r\nX-Noise: {value}\r\nContent-Length: {}\r\n\r\n",
+            body.len()
+        )
+        .into_bytes();
+        raw.extend_from_slice(&body);
+        let req = parse(&raw).expect("valid framing must parse").expect("not EOF");
+        prop_assert_eq!(req.body, body);
+        prop_assert_eq!(req.header("x-noise").unwrap_or(""), value.trim());
+    }
+
+    /// Truncating a valid request at any point never panics: the reader
+    /// answers clean-EOF, a 400-class error, or (for a cut inside the
+    /// body with enough bytes) a shorter parse — never a hang or crash.
+    #[test]
+    fn truncation_at_every_point_is_safe(cut in 0usize..=73) {
+        let raw = b"POST /query HTTP/1.1\r\nHost: x\r\nContent-Length: 20\r\n\r\n0123456789abcdefghij";
+        prop_assert!(raw.len() == 73, "keep `cut` range in sync");
+        match parse(&raw[..cut.min(raw.len())]) {
+            Ok(None) | Ok(Some(_)) | Err(HttpError::Malformed(_)) => {}
+            other => prop_assert!(false, "unexpected outcome at cut {}: {:?}", cut, other),
+        }
+    }
+
+    /// Oversized request lines are always 413, regardless of how far
+    /// past the limit they go.
+    #[test]
+    fn oversized_request_line_is_413(extra in 1usize..4096) {
+        let raw = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(MAX_REQUEST_LINE + extra));
+        prop_assert!(matches!(parse(raw.as_bytes()), Err(HttpError::TooLarge(_))));
+    }
+
+    /// Oversized header blocks are always 413 — whether via one huge
+    /// value or via many fields.
+    #[test]
+    fn oversized_headers_are_413(extra in 1usize..4096, split in 1usize..32) {
+        let chunk = (MAX_HEADER_BYTES + extra) / split + 1;
+        let fields: String = (0..split)
+            .map(|i| format!("X-{i}: {}\r\n", "h".repeat(chunk)))
+            .collect();
+        let raw = format!("GET /x HTTP/1.1\r\n{fields}\r\n");
+        prop_assert!(matches!(parse(raw.as_bytes()), Err(HttpError::TooLarge(_))));
+    }
+
+    /// Declared bodies beyond the limit are rejected before any body
+    /// byte is read.
+    #[test]
+    fn oversized_body_is_413(extra in 1u64..1_000_000) {
+        let raw = format!(
+            "POST /x HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES as u64 + extra
+        );
+        prop_assert!(matches!(parse(raw.as_bytes()), Err(HttpError::TooLarge(_))));
+    }
+
+    /// Pipelined well-formed requests all parse, in order, for any
+    /// count the header-field limit allows.
+    #[test]
+    fn pipelining_parses_every_request(n in 1usize..20) {
+        let raw: Vec<u8> = (0..n)
+            .flat_map(|i| {
+                format!("POST /query HTTP/1.1\r\nContent-Length: 2\r\n\r\n{i:02}").into_bytes()
+            })
+            .collect();
+        prop_assert_eq!(drain(&raw), n);
+    }
+
+    /// The field-count limit holds exactly: MAX_HEADERS parse, one more
+    /// is 413.
+    #[test]
+    fn header_count_limit_is_exact(over in 0usize..2) {
+        let n = MAX_HEADERS + over;
+        let fields: String = (0..n).map(|i| format!("X-{i}: v\r\n")).collect();
+        let raw = format!("GET /x HTTP/1.1\r\n{fields}\r\n");
+        match parse(raw.as_bytes()) {
+            Ok(Some(req)) => prop_assert!(over == 0 && req.headers.len() == MAX_HEADERS),
+            Err(HttpError::TooLarge(_)) => prop_assert!(over > 0),
+            other => prop_assert!(false, "unexpected: {:?}", other),
+        }
+    }
+}

@@ -76,7 +76,7 @@ pub fn q1_pricing_summary(ex: &JobExecutor, lineitem: &Arc<Table>) -> Vec<Q1Row>
             },
         ));
     }
-    ex.run_jobs(jobs);
+    ex.run_batch(jobs);
 
     let mut global = AggHashTable::new(Aggregate::Sum, 8);
     for local in locals.lock().iter() {

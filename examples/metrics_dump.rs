@@ -1,21 +1,37 @@
 //! Runs a small Figure-9-style co-run (concurrent scan + aggregation
 //! through the dual-pool executor, waves planned by the cache-aware
-//! scheduler, masks programmed through the resctrl driver) and prints
-//! every exported metric family in the Prometheus text format.
+//! scheduler, masks programmed through the resctrl driver), then serves
+//! the resulting registry on a real HTTP `/metrics` endpoint and scrapes
+//! it once — the same path a Prometheus server would take.
 //!
 //! ```text
-//! cargo run --release --example metrics_dump
+//! cargo run --release --example metrics_dump            # serve + self-scrape
+//! cargo run --release --example metrics_dump -- --stdout # plain dump, no socket
 //! ```
 //!
 //! Set `CCP_DEMO_MS` to change the co-run window (default 200 ms).
 
+use ccp_server::ScrapeServer;
 use std::time::Duration;
 
 fn main() {
+    let stdout_only = std::env::args().any(|a| a == "--stdout");
     let window_ms: u64 = std::env::var("CCP_DEMO_MS")
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(200);
     let registry = cache_partitioning::obs_demo::run_corun_demo(Duration::from_millis(window_ms));
-    print!("{}", registry.render_prometheus());
+
+    if stdout_only {
+        print!("{}", registry.render_prometheus());
+        return;
+    }
+
+    let mut server = ScrapeServer::start(&registry, "127.0.0.1:0").expect("bind an ephemeral port");
+    let addr = server.addr();
+    eprintln!("scraping http://{addr}/metrics …\n");
+    let resp = ccp_server::fetch(addr, "GET", "/metrics", None).expect("self-scrape");
+    assert_eq!(resp.status, 200);
+    print!("{}", resp.body);
+    server.shutdown();
 }

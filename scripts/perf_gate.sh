@@ -1,0 +1,116 @@
+#!/usr/bin/env bash
+# Perf-regression gate for the cache-allocation fast path.
+#
+# Runs the `micro_alloc` criterion benchmark several times on the current
+# tree and on a base ref (checked out into a throwaway git worktree),
+# compares per-benchmark medians, and fails if any gated benchmark got
+# more than the threshold slower. The measurements come from the JSON
+# lines the vendored criterion stand-in appends when CCP_BENCH_JSON is
+# set.
+#
+# Usage:
+#   scripts/perf_gate.sh [BASE_REF]        # default: origin/main, then main
+#
+# Tunables (environment):
+#   CCP_PERF_RUNS       repetitions per side (default 5)
+#   CCP_PERF_THRESHOLD  allowed slowdown in percent (default 15)
+#   CCP_PERF_GATE_IDS   space-separated benchmark ids to gate
+#                       (default: the mask-rebind fast path + mask switch)
+#   CCP_BENCH_MS        measuring window per benchmark in ms (default 120)
+
+set -euo pipefail
+
+RUNS="${CCP_PERF_RUNS:-5}"
+THRESHOLD="${CCP_PERF_THRESHOLD:-15}"
+GATE_IDS="${CCP_PERF_GATE_IDS:-alloc/fast_path/rebind_same_mask alloc/switch/alternate_masks}"
+export CCP_BENCH_MS="${CCP_BENCH_MS:-120}"
+
+REPO_ROOT="$(git rev-parse --show-toplevel)"
+cd "$REPO_ROOT"
+
+BASE_REF="${1:-}"
+if [[ -z "$BASE_REF" ]]; then
+    if git rev-parse --verify -q origin/main >/dev/null; then
+        BASE_REF=origin/main
+    else
+        BASE_REF=main
+    fi
+fi
+
+WORK_DIR="$(mktemp -d)"
+BASE_TREE="$WORK_DIR/base"
+PR_JSON="$WORK_DIR/pr.jsonl"
+BASE_JSON="$WORK_DIR/base.jsonl"
+cleanup() {
+    git worktree remove --force "$BASE_TREE" >/dev/null 2>&1 || true
+    rm -rf "$WORK_DIR"
+}
+trap cleanup EXIT
+
+run_bench() { # run_bench <tree-dir> <json-out>
+    local tree="$1" out="$2" i
+    for ((i = 1; i <= RUNS; i++)); do
+        echo "  run $i/$RUNS …"
+        (cd "$tree" && CCP_BENCH_JSON="$out" \
+            cargo bench -p ccp-bench --bench micro_alloc >/dev/null)
+    done
+}
+
+echo "== perf gate: current tree vs $BASE_REF (runs=$RUNS, threshold=${THRESHOLD}%) =="
+echo "-- benchmarking current tree"
+run_bench "$REPO_ROOT" "$PR_JSON"
+
+echo "-- benchmarking base ($BASE_REF)"
+git worktree add --detach "$BASE_TREE" "$BASE_REF" >/dev/null
+run_bench "$BASE_TREE" "$BASE_JSON"
+
+if [[ ! -s "$BASE_JSON" ]]; then
+    # The base ref predates CCP_BENCH_JSON support in the vendored
+    # criterion stand-in; there is nothing to compare against yet.
+    echo "-- base produced no measurements; gate passes vacuously"
+    exit 0
+fi
+
+python3 - "$PR_JSON" "$BASE_JSON" "$THRESHOLD" $GATE_IDS <<'PY'
+import json
+import statistics
+import sys
+
+pr_path, base_path, threshold = sys.argv[1], sys.argv[2], float(sys.argv[3])
+gate_ids = sys.argv[4:]
+
+
+def medians(path):
+    by_id = {}
+    with open(path) as f:
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            rec = json.loads(line)
+            by_id.setdefault(rec["id"], []).append(rec["ns_per_iter"])
+    return {bench: statistics.median(v) for bench, v in by_id.items()}
+
+
+pr, base = medians(pr_path), medians(base_path)
+failed = False
+for bench in gate_ids:
+    if bench not in pr:
+        print(f"FAIL {bench}: missing from current-tree measurements")
+        failed = True
+        continue
+    if bench not in base:
+        print(f"skip {bench}: not measured on base (new benchmark)")
+        continue
+    delta = (pr[bench] - base[bench]) / base[bench] * 100.0
+    verdict = "FAIL" if delta > threshold else "ok  "
+    print(
+        f"{verdict} {bench}: base {base[bench]:10.1f} ns  "
+        f"pr {pr[bench]:10.1f} ns  delta {delta:+6.1f}%"
+    )
+    if delta > threshold:
+        failed = True
+
+sys.exit(1 if failed else 0)
+PY
+echo "== perf gate passed =="

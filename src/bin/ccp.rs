@@ -6,6 +6,8 @@
 //! ccp classify                  # online CUID classification of the paper's operators
 //! ccp schedule scan agg join:125000 agg
 //!                               # plan co-run waves for a query queue
+//! ccp serve --addr 127.0.0.1:9090
+//!                               # HTTP query admission + Prometheus scrape service
 //! ccp help
 //! ```
 //!
@@ -15,6 +17,7 @@
 use cache_partitioning::prelude::*;
 use ccp_engine::sim::{classify_operator, AggregationSim, ColumnScanSim, FkJoinSim};
 use ccp_engine::CacheAwareScheduler;
+use ccp_server::{install_sigint_handler, sigint_requested, Server, ServerConfig};
 use std::process::ExitCode;
 
 /// A named constructor for a simulated operator, used by `classify`.
@@ -23,10 +26,11 @@ type SimOpFactory = Box<dyn Fn(&mut AddrSpace) -> Box<dyn ccp_engine::sim::SimOp
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
-        Some("probe") => probe(),
-        Some("demo") => demo(),
-        Some("classify") => classify(),
+        Some("probe") => reject_extra_args("probe", &args[1..]).unwrap_or_else(probe),
+        Some("demo") => reject_extra_args("demo", &args[1..]).unwrap_or_else(demo),
+        Some("classify") => reject_extra_args("classify", &args[1..]).unwrap_or_else(classify),
         Some("schedule") => schedule(&args[1..]),
+        Some("serve") => serve(&args[1..]),
         Some("help") | None => {
             print_help();
             ExitCode::SUCCESS
@@ -39,6 +43,17 @@ fn main() -> ExitCode {
     }
 }
 
+/// Commands that take no arguments fail loudly on stray ones instead of
+/// silently ignoring a typo like `ccp probe --verbose`.
+fn reject_extra_args(cmd: &str, rest: &[String]) -> Option<ExitCode> {
+    if rest.is_empty() {
+        None
+    } else {
+        eprintln!("`ccp {cmd}` takes no arguments, got {rest:?}");
+        Some(ExitCode::FAILURE)
+    }
+}
+
 fn print_help() {
     println!(
         "ccp — CPU cache partitioning for concurrent database workloads (ICDE 2018 reproduction)\n\n\
@@ -48,7 +63,16 @@ fn print_help() {
          demo       reproduce the paper's headline effect on the simulator\n  \
          classify   probe the paper's operators and derive their CUIDs online\n  \
          schedule   plan cache-aware co-run waves, e.g. `ccp schedule scan agg join:125000`\n  \
+         serve      run the HTTP query/metrics service, e.g. `ccp serve --addr 127.0.0.1:9090`\n  \
          help       this text\n\n\
+         SERVE FLAGS:\n  \
+         --addr HOST:PORT   bind address        (default 127.0.0.1:9090)\n  \
+         --olap-workers N   partitioned workers (default 2)\n  \
+         --oltp-workers N   full-cache workers  (default 1)\n  \
+         --slots N          concurrent queries  (default 2)\n  \
+         --queue N          admission queue cap (default 16)\n  \
+         --max-conns N      connection cap      (default 64)\n  \
+         --rows N           resident rows       (default 60000)\n\n\
          The full experiment suite lives in `cargo bench -p ccp-bench`."
     );
 }
@@ -156,6 +180,81 @@ fn classify() -> ExitCode {
             policy.mask_for(r.cuid).bits()
         );
     }
+    ExitCode::SUCCESS
+}
+
+/// Parses `serve` flags into a [`ServerConfig`]; any unknown flag,
+/// missing value or unparsable number is a clean failure, never a panic.
+fn parse_serve_config(args: &[String]) -> Result<ServerConfig, String> {
+    let mut config = ServerConfig {
+        addr: "127.0.0.1:9090".to_string(),
+        ..ServerConfig::default()
+    };
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value_of = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("flag {name} needs a value"))
+        };
+        match flag.as_str() {
+            "--addr" => config.addr = value_of("--addr")?,
+            "--olap-workers" => config.olap_workers = parse_count(&value_of("--olap-workers")?)?,
+            "--oltp-workers" => config.oltp_workers = parse_count(&value_of("--oltp-workers")?)?,
+            "--slots" => config.scheduler_slots = parse_count(&value_of("--slots")?)?,
+            "--queue" => config.queue_capacity = parse_count(&value_of("--queue")?)?,
+            "--max-conns" => config.max_connections = parse_count(&value_of("--max-conns")?)?,
+            "--rows" => config.dataset_rows = parse_count(&value_of("--rows")?)?,
+            other => {
+                return Err(format!(
+                    "unknown serve flag {other:?} (see `ccp help` for the flag list)"
+                ))
+            }
+        }
+    }
+    Ok(config)
+}
+
+fn parse_count(s: &str) -> Result<usize, String> {
+    match s.parse::<usize>() {
+        Ok(n) if n > 0 => Ok(n),
+        Ok(_) => Err(format!("expected a positive number, got {s:?}")),
+        Err(_) => Err(format!("expected a number, got {s:?}")),
+    }
+}
+
+fn serve(args: &[String]) -> ExitCode {
+    let config = match parse_serve_config(args) {
+        Ok(c) => c,
+        Err(why) => {
+            eprintln!("{why}");
+            return ExitCode::FAILURE;
+        }
+    };
+    install_sigint_handler();
+    let mut server = match Server::start(config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot start server: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("ccp-server listening on http://{}", server.addr());
+    println!(
+        "  partitioning: {}",
+        if server.cat_live() {
+            "live CAT via resctrl"
+        } else {
+            "no-op allocator (no CAT on this host)"
+        }
+    );
+    println!("  endpoints: /metrics /healthz /stats POST /query");
+    println!("  ctrl-c to stop");
+    while !sigint_requested() && !server.shutdown_requested() {
+        std::thread::sleep(std::time::Duration::from_millis(100));
+    }
+    println!("shutting down…");
+    server.shutdown();
     ExitCode::SUCCESS
 }
 

@@ -30,6 +30,7 @@
 //! | [`engine`] | jobs + CUIDs, worker pool, allocator backends, native operators and their simulated twins |
 //! | [`workloads`] | the paper's workloads (Q1/Q2/Q3, S/4HANA OLTP) and measurement protocol |
 //! | [`tpch`] | TPC-H SF 100 cache profiles for all 22 queries |
+//! | [`server`] | std-only HTTP service: query admission front end + Prometheus scrape endpoint |
 //!
 //! ## Quickstart
 //!
@@ -64,6 +65,7 @@ pub use ccp_cachesim as cachesim;
 pub use ccp_engine as engine;
 pub use ccp_obs as obs;
 pub use ccp_resctrl as resctrl;
+pub use ccp_server as server;
 pub use ccp_storage as storage;
 pub use ccp_tpch as tpch;
 pub use ccp_workloads as workloads;
@@ -78,6 +80,7 @@ pub mod prelude {
     pub use ccp_engine::sim::{run_concurrent, run_isolated, SimWorkload};
     pub use ccp_engine::JobExecutor;
     pub use ccp_resctrl::{detect, CacheController, CatSupport};
+    pub use ccp_server::{Server, ServerConfig};
     pub use ccp_workloads::paper;
     pub use ccp_workloads::{Experiment, MaskChoice, NormalizedOutcome, QuerySpec};
 }

@@ -1,0 +1,68 @@
+//! Black-box tests for the `ccp` binary: unknown subcommands and
+//! malformed flags must exit non-zero with a clear message on stderr —
+//! never panic, never silently succeed.
+
+use std::process::{Command, Output};
+
+fn ccp(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_ccp"))
+        .args(args)
+        .output()
+        .expect("spawn ccp")
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+#[test]
+fn unknown_subcommand_fails_with_message() {
+    let out = ccp(&["bogus"]);
+    assert!(!out.status.success());
+    assert_eq!(out.status.code(), Some(1));
+    let err = stderr(&out);
+    assert!(err.contains("unknown command"), "stderr: {err}");
+    assert!(err.contains("bogus"), "names the offender: {err}");
+    assert!(!err.contains("panicked"), "no panic: {err}");
+}
+
+#[test]
+fn stray_arguments_on_simple_commands_fail() {
+    for cmd in ["probe", "demo", "classify"] {
+        let out = ccp(&[cmd, "--verbose"]);
+        assert_eq!(out.status.code(), Some(1), "{cmd} accepts no flags");
+        let err = stderr(&out);
+        assert!(err.contains("takes no arguments"), "{cmd} stderr: {err}");
+    }
+}
+
+#[test]
+fn malformed_serve_flags_fail_without_binding() {
+    let cases: &[(&[&str], &str)] = &[
+        (
+            &["serve", "--queue", "nope"],
+            "expected a number, got \"nope\"",
+        ),
+        (&["serve", "--frobnicate"], "unknown serve flag"),
+        (&["serve", "--slots"], "flag --slots needs a value"),
+        (&["serve", "--rows", "0"], "expected a positive number"),
+        (&["serve", "--addr"], "flag --addr needs a value"),
+    ];
+    for (args, expect) in cases {
+        let out = ccp(args);
+        assert_eq!(out.status.code(), Some(1), "args: {args:?}");
+        let err = stderr(&out);
+        assert!(err.contains(expect), "args {args:?} stderr: {err}");
+        assert!(!err.contains("panicked"), "no panic for {args:?}: {err}");
+    }
+}
+
+#[test]
+fn help_and_no_args_succeed() {
+    for args in [&["help"][..], &[][..]] {
+        let out = ccp(args);
+        assert!(out.status.success(), "args: {args:?}");
+        let text = String::from_utf8_lossy(&out.stdout);
+        assert!(text.contains("serve"), "help mentions serve: {text}");
+    }
+}

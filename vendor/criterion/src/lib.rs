@@ -193,6 +193,7 @@ fn run_benchmark(
         return;
     };
     let ns_per_iter = elapsed.as_nanos() as f64 / iters.max(1) as f64;
+    emit_json_line(name, ns_per_iter, iters);
     let rate = |units: u64| {
         let per_sec = units as f64 * 1e9 / ns_per_iter.max(1e-9);
         if per_sec >= 1e9 {
@@ -211,6 +212,37 @@ fn run_benchmark(
             println!("{name:<40} {ns_per_iter:>12.1} ns/iter   {}B/s", rate(n));
         }
         None => println!("{name:<40} {ns_per_iter:>12.1} ns/iter"),
+    }
+}
+
+/// Appends one JSON line per measurement to the file named by the
+/// `CCP_BENCH_JSON` environment variable, for machine consumers such as
+/// the CI perf-regression gate. Silent no-op when the variable is unset;
+/// write failures are reported on stderr but never fail the benchmark.
+fn emit_json_line(name: &str, ns_per_iter: f64, iters: u64) {
+    let Ok(path) = std::env::var("CCP_BENCH_JSON") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    let escaped: String = name
+        .chars()
+        .flat_map(|c| match c {
+            '"' | '\\' => vec!['\\', c],
+            c if c.is_control() => vec![' '],
+            c => vec![c],
+        })
+        .collect();
+    let line =
+        format!("{{\"id\":\"{escaped}\",\"ns_per_iter\":{ns_per_iter:.3},\"iters\":{iters}}}\n");
+    let written = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .and_then(|mut f| std::io::Write::write_all(&mut f, line.as_bytes()));
+    if let Err(e) = written {
+        eprintln!("criterion stand-in: cannot append to {path}: {e}");
     }
 }
 
@@ -251,6 +283,26 @@ mod tests {
             b.iter(|| black_box(3u64).wrapping_mul(7));
         });
         g.finish();
+    }
+
+    #[test]
+    fn json_lines_append_when_env_is_set() {
+        let path = std::env::temp_dir().join(format!("ccp-bench-{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        std::env::set_var("CCP_BENCH_JSON", &path);
+        let mut c = Criterion {
+            target_time: Duration::from_millis(2),
+        };
+        c.bench_function("gate/probe", |b| b.iter(|| black_box(1u64) + 1));
+        std::env::remove_var("CCP_BENCH_JSON");
+        let text = std::fs::read_to_string(&path).expect("json file written");
+        let _ = std::fs::remove_file(&path);
+        let line = text
+            .lines()
+            .find(|l| l.contains("\"id\":\"gate/probe\""))
+            .expect("measurement line present");
+        assert!(line.contains("\"ns_per_iter\":"), "line: {line}");
+        assert!(line.contains("\"iters\":"), "line: {line}");
     }
 
     #[test]

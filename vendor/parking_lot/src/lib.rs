@@ -118,6 +118,25 @@ impl Condvar {
         guard.inner = Some(inner);
     }
 
+    /// Like [`wait`](Condvar::wait) with an upper bound on blocking time.
+    /// Returns a result whose [`timed_out`](WaitTimeoutResult::timed_out)
+    /// reports whether the wait ended by timeout rather than notification.
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: std::time::Duration,
+    ) -> WaitTimeoutResult {
+        let inner = guard.inner.take().expect("guard present on wait entry");
+        let (inner, result) = self
+            .inner
+            .wait_timeout(inner, timeout)
+            .unwrap_or_else(|e| e.into_inner());
+        guard.inner = Some(inner);
+        WaitTimeoutResult {
+            timed_out: result.timed_out(),
+        }
+    }
+
     /// Wakes up one blocked thread.
     pub fn notify_one(&self) {
         self.inner.notify_one();
@@ -126,6 +145,20 @@ impl Condvar {
     /// Wakes up all blocked threads.
     pub fn notify_all(&self) {
         self.inner.notify_all();
+    }
+}
+
+/// Outcome of [`Condvar::wait_for`], mirroring
+/// `parking_lot::WaitTimeoutResult`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitTimeoutResult {
+    timed_out: bool,
+}
+
+impl WaitTimeoutResult {
+    /// Whether the wait ended because the timeout elapsed.
+    pub fn timed_out(&self) -> bool {
+        self.timed_out
     }
 }
 
