@@ -14,6 +14,7 @@ use crate::job::Job;
 use crate::metrics::ExecutorMetrics;
 use crate::partition::PartitionPolicy;
 use ccp_cachesim::WayMask;
+use ccp_trace::TraceCat;
 use crossbeam::channel::{unbounded, Sender};
 use parking_lot::{Condvar, Mutex};
 use std::ops::Range;
@@ -153,6 +154,7 @@ impl JobExecutor {
                         while let Ok((job, submitted)) = rx.recv() {
                             let queue_wait = submitted.elapsed().as_secs_f64();
                             let cuid = job.cuid;
+                            let query_id = job.ctx.as_ref().map_or(0, |c| c.id);
                             let want = if shared.partitioning.load(Ordering::Relaxed) {
                                 shared.policy.mask_for(cuid)
                             } else {
@@ -161,6 +163,9 @@ impl JobExecutor {
                             // Fast path: skip the allocator when the worker
                             // already carries the right mask.
                             if current != Some(want) {
+                                let bind_started = Instant::now();
+                                let bind_span =
+                                    ccp_trace::span_id(TraceCat::Bind, "mask_bind", query_id);
                                 match shared.allocator.bind(tid, want) {
                                     Ok(()) => {
                                         shared.metrics.record_mask_switch();
@@ -172,14 +177,20 @@ impl JobExecutor {
                                         // an optimization, never a gate.
                                     }
                                 }
+                                drop(bind_span);
+                                if let Some(ctx) = &job.ctx {
+                                    ctx.add_bind_ns(bind_started.elapsed().as_nanos() as u64);
+                                }
                             }
                             // A panicking job must not kill the worker or
                             // leak the pending count (wait_idle would hang
                             // forever); unwind safety is fine because the
                             // closure is consumed either way.
                             let started = Instant::now();
+                            let job_span = ccp_trace::span_id(TraceCat::Op, &job.name, query_id);
                             let outcome =
                                 std::panic::catch_unwind(std::panic::AssertUnwindSafe(job.run));
+                            drop(job_span);
                             shared.metrics.record_job(
                                 cuid,
                                 queue_wait,
@@ -244,12 +255,21 @@ impl JobExecutor {
     pub fn submit_batch(&self, jobs: Vec<Job>) -> BatchHandle {
         let batch = BatchHandle::new(jobs.len());
         for job in jobs {
-            let Job { name, cuid, run } = job;
+            let Job {
+                name,
+                cuid,
+                run,
+                ctx,
+            } = job;
             let guard = batch.guard();
-            self.submit(Job::new(name, cuid, move || {
+            let mut wrapped = Job::new(name, cuid, move || {
                 let _guard = guard;
                 run();
-            }));
+            });
+            // Preserve the context the job was *created* under, not
+            // whatever scope this wrapping happens to run in.
+            wrapped.ctx = ctx;
+            self.submit(wrapped);
         }
         batch
     }

@@ -6,6 +6,9 @@
 //! executor turns it into a CAT way mask before the job runs.
 
 use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// The paper's three cache-usage classes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
@@ -28,6 +31,65 @@ pub enum CacheUsageClass {
     },
 }
 
+/// Per-query execution context propagated from the thread that plans a
+/// query onto every job the query submits.
+///
+/// The serving layer needs to answer "how much of query #N's latency was
+/// resctrl mask-binding?" — but binds happen on executor workers, several
+/// jobs deep. A `QueryCtx` travels with each [`Job`] (captured from the
+/// submitting thread's [`with_query_ctx`] scope), and workers accumulate
+/// their bind time into it; the query's trace spans carry the same `id`.
+#[derive(Debug)]
+pub struct QueryCtx {
+    /// Correlation id (the server's query ticket); tags trace spans.
+    pub id: u64,
+    bind_ns: AtomicU64,
+}
+
+impl QueryCtx {
+    /// Creates a context for query `id`.
+    pub fn new(id: u64) -> Arc<QueryCtx> {
+        Arc::new(QueryCtx {
+            id,
+            bind_ns: AtomicU64::new(0),
+        })
+    }
+
+    /// Adds `ns` nanoseconds of mask-bind work attributed to this query.
+    pub fn add_bind_ns(&self, ns: u64) {
+        self.bind_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Total mask-bind nanoseconds accumulated so far.
+    pub fn bind_ns(&self) -> u64 {
+        self.bind_ns.load(Ordering::Relaxed)
+    }
+}
+
+thread_local! {
+    static CURRENT_QUERY: RefCell<Option<Arc<QueryCtx>>> = const { RefCell::new(None) };
+}
+
+/// Runs `f` with `ctx` installed as the thread's current query context:
+/// every [`Job`] created inside (directly or via `parallel_sum`) carries
+/// it. The previous context is restored on exit, panics included.
+pub fn with_query_ctx<R>(ctx: Arc<QueryCtx>, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<Arc<QueryCtx>>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            CURRENT_QUERY.with(|c| *c.borrow_mut() = self.0.take());
+        }
+    }
+    let _restore = Restore(CURRENT_QUERY.with(|c| c.borrow_mut().replace(ctx)));
+    f()
+}
+
+/// The thread's current query context, if inside a [`with_query_ctx`]
+/// scope.
+pub fn current_query_ctx() -> Option<Arc<QueryCtx>> {
+    CURRENT_QUERY.with(|c| c.borrow().clone())
+}
+
 /// A unit of work for the executor: a closure tagged with its CUID.
 pub struct Job {
     /// Human-readable label for diagnostics.
@@ -36,10 +98,14 @@ pub struct Job {
     pub cuid: CacheUsageClass,
     /// The work itself.
     pub run: Box<dyn FnOnce() + Send + 'static>,
+    /// Query this job belongs to, captured from the submitting thread's
+    /// [`with_query_ctx`] scope (`None` outside one).
+    pub ctx: Option<Arc<QueryCtx>>,
 }
 
 impl Job {
-    /// Creates a job with an explicit CUID.
+    /// Creates a job with an explicit CUID. The current thread's query
+    /// context, if any, is attached automatically.
     pub fn new(
         name: impl Into<String>,
         cuid: CacheUsageClass,
@@ -49,6 +115,7 @@ impl Job {
             name: name.into(),
             cuid,
             run: Box::new(run),
+            ctx: current_query_ctx(),
         }
     }
 
@@ -90,6 +157,26 @@ mod tests {
         });
         (j.run)();
         assert!(flag.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn jobs_capture_and_scope_query_context() {
+        assert!(current_query_ctx().is_none());
+        let outside = Job::unannotated("outside", || {});
+        assert!(outside.ctx.is_none());
+        let ctx = QueryCtx::new(42);
+        let job = with_query_ctx(ctx.clone(), || {
+            // Nested scopes shadow and restore.
+            let inner_ctx = QueryCtx::new(43);
+            let inner = with_query_ctx(inner_ctx, || Job::unannotated("inner", || {}));
+            assert_eq!(inner.ctx.as_ref().unwrap().id, 43);
+            Job::unannotated("outer", || {})
+        });
+        assert_eq!(job.ctx.as_ref().unwrap().id, 42);
+        assert!(current_query_ctx().is_none());
+        ctx.add_bind_ns(120);
+        ctx.add_bind_ns(80);
+        assert_eq!(ctx.bind_ns(), 200);
     }
 
     #[test]

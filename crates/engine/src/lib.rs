@@ -48,7 +48,7 @@ pub mod sim;
 pub use alloc::{AllocError, CacheAllocator, NoopAllocator, RecordingAllocator, ResctrlAllocator};
 pub use dual_pool::DualPoolExecutor;
 pub use executor::{BatchHandle, JobExecutor};
-pub use job::{CacheUsageClass, Job};
+pub use job::{current_query_ctx, with_query_ctx, CacheUsageClass, Job, QueryCtx};
 pub use metrics::{class_label, ExecutorMetrics, SchedulerMetrics};
 pub use partition::{PartitionPolicy, PAPER_POLLUTER_MASK, PAPER_SHARED_MASK};
 pub use scheduler::{Admission, CacheAwareScheduler};

@@ -34,6 +34,7 @@ pub fn grouped_aggregate(
         g_col.len(),
         "aggregate inputs must have equal row counts"
     );
+    let _span = super::op_span("grouped_aggregate");
     let n = v_col.len();
     let expected_groups = g_col.dict().len();
     let locals: Arc<Mutex<Vec<AggHashTable>>> = Arc::new(Mutex::new(Vec::new()));
@@ -71,6 +72,7 @@ pub fn grouped_aggregate(
     // sharing the pool must not extend each other's merge barrier.
     ex.run_batch(jobs);
     // Global merge phase.
+    let _merge_span = super::op_span("agg_merge");
     let mut global = AggHashTable::new(agg, expected_groups);
     for local in locals.lock().iter() {
         global.merge(local);

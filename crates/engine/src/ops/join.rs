@@ -28,8 +28,10 @@ pub fn fk_join_count(
     pk_col: &Arc<DictColumn<i64>>,
     fk_col: &Arc<DictColumn<i64>>,
 ) -> u64 {
+    let _span = super::op_span("fk_join");
     // Build phase: the dictionary of a primary-key column is the sorted key
     // set itself; the largest key bounds the bit-vector length.
+    let build_span = super::op_span("join_build");
     let max_key = pk_col.dict().iter().next_back().copied().unwrap_or(0);
     assert!(max_key >= 0, "primary keys must be positive");
     let mut bv = BitVec::zeros(max_key as u64 + 1);
@@ -39,6 +41,7 @@ pub fn fk_join_count(
         bv.set(key as u64);
     }
     let bv = Arc::new(bv);
+    drop(build_span);
     let cuid = CacheUsageClass::Mixed {
         hot_bytes: bv.size_bytes(),
     };

@@ -17,3 +17,12 @@ pub mod aggregate;
 pub mod join;
 pub mod oltp;
 pub mod scan;
+
+/// Opens an operator-phase trace span on the calling thread, tagged with
+/// the current query id (if inside a
+/// [`with_query_ctx`](crate::job::with_query_ctx) scope). Inert — one
+/// relaxed atomic load — while tracing is disabled.
+pub(crate) fn op_span(name: &str) -> ccp_trace::SpanGuard {
+    let id = crate::job::current_query_ctx().map_or(0, |c| c.id);
+    ccp_trace::span_id(ccp_trace::TraceCat::Op, name, id)
+}

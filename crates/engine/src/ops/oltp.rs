@@ -50,6 +50,7 @@ impl<'t> PointSelect<'t> {
     /// Executes the query for `key`, returning the projected rows (empty
     /// when the key is absent).
     pub fn execute_int(&self, key: i64) -> Vec<ProjectedRow> {
+        let _span = super::op_span("point_select");
         let Column::Int(kc) = self
             .table
             .column(&self.key_column)

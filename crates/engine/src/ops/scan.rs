@@ -20,6 +20,7 @@ const CHUNK_ROWS: usize = 64 * 1024;
 /// The column is shared read-only across jobs; each job counts its row
 /// range on the packed codes.
 pub fn column_scan(ex: &JobExecutor, col: &Arc<DictColumn<i64>>, threshold: i64) -> u64 {
+    let _span = super::op_span("column_scan");
     let code_range = col
         .dict()
         .code_range(Bound::Excluded(&threshold), Bound::Unbounded);

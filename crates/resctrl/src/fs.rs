@@ -89,6 +89,9 @@ struct FakeState {
 /// * `mkdir` of a group auto-creates its `schemata` (full mask) and `tasks`
 ///   files, and fails with `ENOSPC` semantics once `num_closids - 1` groups
 ///   exist;
+/// * `mkdir` under a `mon_groups` directory creates a *monitoring group*
+///   (CMT/MBM counters + `tasks`, no `schemata`), which does **not**
+///   consume a CLOS — as on RDT-monitoring kernels;
 /// * writes to a `schemata` file are validated (hex mask, contiguity,
 ///   min_cbm_bits, known domain) and the file is re-rendered in the
 ///   kernel's canonical `L3:0=fffff` format;
@@ -149,6 +152,9 @@ impl FakeFs {
             root.join("mon_data/mon_L3_00/mbm_local_bytes"),
             "0\n".into(),
         );
+        // Per-task monitoring groups live under `mon_groups` and do not
+        // consume a CLOS (they only allocate an RMID).
+        st.dirs.push(root.join("mon_groups"));
         FakeFs {
             state: Arc::new(Mutex::new(st)),
             root,
@@ -201,6 +207,19 @@ impl FakeFs {
 
     fn is_group_dir(&self, path: &Path) -> bool {
         path.parent() == Some(self.root.as_path()) && !Self::is_reserved(path)
+    }
+
+    /// Whether `path` names a monitoring group: a child of an *existing*
+    /// `mon_groups` directory (the root's, or a control group's).
+    fn is_mon_group_dir(&self, path: &Path) -> bool {
+        let Some(parent) = path.parent() else {
+            return false;
+        };
+        if !parent.ends_with("mon_groups") {
+            return false;
+        }
+        let st = self.state.lock();
+        st.dirs.iter().any(|d| d == parent)
     }
 
     /// Validates a schemata write the way the kernel does and returns the
@@ -320,6 +339,27 @@ impl ResctrlFs for FakeFs {
     }
 
     fn create_dir(&self, path: &Path) -> Result<(), ResctrlError> {
+        if self.is_mon_group_dir(path) {
+            // Monitoring groups allocate an RMID, not a CLOS: no schemata
+            // file, no closid budget.
+            let mut st = self.state.lock();
+            if st.dirs.contains(&path.to_path_buf()) {
+                return Err(ResctrlError::Io {
+                    path: path.display().to_string(),
+                    op: "mkdir",
+                    message: "File exists".into(),
+                });
+            }
+            st.dirs.push(path.to_path_buf());
+            st.dirs.push(path.join("mon_data"));
+            st.dirs.push(path.join("mon_data/mon_L3_00"));
+            st.files.insert(path.join("tasks"), String::new());
+            for f in ["llc_occupancy", "mbm_total_bytes", "mbm_local_bytes"] {
+                st.files
+                    .insert(path.join("mon_data/mon_L3_00").join(f), "0\n".into());
+            }
+            return Ok(());
+        }
         if !self.is_group_dir(path) {
             return Err(ResctrlError::Io {
                 path: path.display().to_string(),
@@ -361,6 +401,7 @@ impl ResctrlFs for FakeFs {
             path.join("mon_data/mon_L3_00/mbm_local_bytes"),
             "0\n".into(),
         );
+        st.dirs.push(path.join("mon_groups"));
         Ok(())
     }
 
@@ -498,7 +539,42 @@ mod tests {
         fs.create_dir(Path::new("/sys/fs/resctrl/b")).unwrap();
         fs.create_dir(Path::new("/sys/fs/resctrl/a")).unwrap();
         let dirs = fs.list_dirs(Path::new("/sys/fs/resctrl")).unwrap();
-        assert_eq!(dirs, vec!["a", "b", "info", "mon_data"]);
+        assert_eq!(dirs, vec!["a", "b", "info", "mon_data", "mon_groups"]);
+    }
+
+    #[test]
+    fn mon_group_mkdir_creates_counters_without_schemata() {
+        let fs = FakeFs::broadwell();
+        let m = Path::new("/sys/fs/resctrl/mon_groups/q17");
+        fs.create_dir(m).unwrap();
+        assert_eq!(fs.read(&m.join("tasks")).unwrap(), "");
+        assert_eq!(
+            fs.read(&m.join("mon_data/mon_L3_00/llc_occupancy"))
+                .unwrap(),
+            "0\n"
+        );
+        // Monitoring groups have no schemata file.
+        assert!(fs.read(&m.join("schemata")).is_err());
+        // Duplicate mkdir fails like the kernel.
+        assert!(fs.create_dir(m).is_err());
+    }
+
+    #[test]
+    fn mon_groups_do_not_consume_closids() {
+        let fs = FakeFs::new("/r", 0xf, 1, 2, &[0]); // room for exactly 1 group
+        fs.create_dir(Path::new("/r/g1")).unwrap();
+        // CLOS budget exhausted, but monitoring groups still allocate.
+        fs.create_dir(Path::new("/r/mon_groups/m1")).unwrap();
+        fs.create_dir(Path::new("/r/g1/mon_groups/m2")).unwrap();
+        assert_eq!(fs.group_count(), 1);
+        fs.set_mon_counter(Path::new("/r/g1/mon_groups/m2"), "llc_occupancy", 42);
+        assert_eq!(
+            fs.read(Path::new(
+                "/r/g1/mon_groups/m2/mon_data/mon_L3_00/llc_occupancy"
+            ))
+            .unwrap(),
+            "42\n"
+        );
     }
 
     #[test]

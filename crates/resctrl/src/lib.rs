@@ -21,6 +21,13 @@
 //!   suite and by any host without CAT, such as a container on an old
 //!   kernel.
 //!
+//! Beyond allocation, the crate also drives RDT **monitoring**: typed
+//! `mon_groups` handles ([`MonGroupHandle`]) for RMID-backed per-query
+//! counters, CMT/MBM reads, and a background [`OccupancySampler`] that
+//! publishes per-CUID-class `ccp_llc_occupancy_bytes` gauges — backed by
+//! real counters ([`ResctrlMonitor`]) or by a load-driven model
+//! ([`SimulatedMonitor`]) where the hardware has none.
+//!
 //! ```
 //! use ccp_resctrl::{fs::FakeFs, CacheController};
 //! use ccp_cachesim::WayMask;
@@ -38,12 +45,16 @@ pub mod detect;
 pub mod error;
 pub mod fs;
 pub mod metrics;
+pub mod monitor;
 pub mod schemata;
 
-pub use controller::{CacheController, CatInfo, GroupHandle, MonitoringData};
+pub use controller::{CacheController, CatInfo, GroupHandle, MonGroupHandle, MonitoringData};
 pub use detect::{detect, CatSupport};
 pub use error::ResctrlError;
 pub use metrics::ResctrlMetrics;
+pub use monitor::{
+    ClassSample, OccupancyProbe, OccupancySampler, ResctrlMonitor, SimClass, SimulatedMonitor,
+};
 pub use schemata::Schemata;
 
 /// Conventional mount point of the resctrl filesystem.

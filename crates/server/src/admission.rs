@@ -18,9 +18,21 @@
 //!    [`AdmissionError::QueueFull`], which the HTTP layer maps to `429`.
 //!    Backpressure is explicit and observable instead of an unbounded
 //!    thread pile-up.
+//!
+//! Waiters may additionally carry a **deadline**
+//! ([`acquire_with_deadline`](AdmissionQueue::acquire_with_deadline)):
+//! a query that waits past it is dequeued and fails with
+//! [`AdmissionError::TimedOut`] (HTTP `503` + `Retry-After`), so a
+//! saturated server sheds load instead of accumulating doomed work.
+//!
+//! Every admission is traced ([`ccp_trace`]): an `admission_wait` span
+//! covers enqueue→grant, with `enqueue` / `dequeue` / `bypass` /
+//! `timeout` instants, all tagged with the admission ticket — the same
+//! id the query's operator spans carry downstream.
 
 use crate::metrics::ServerMetrics;
-use ccp_engine::{Admission, CacheAwareScheduler, CacheUsageClass, SchedulerMetrics};
+use ccp_engine::{class_label, Admission, CacheAwareScheduler, CacheUsageClass, SchedulerMetrics};
+use ccp_trace::TraceCat;
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
@@ -31,6 +43,9 @@ pub enum AdmissionError {
     QueueFull,
     /// The server is draining — no new work (HTTP 503).
     ShuttingDown,
+    /// The query waited past its deadline and was dequeued — retry
+    /// later (HTTP 503 with `Retry-After`).
+    TimedOut,
 }
 
 impl std::fmt::Display for AdmissionError {
@@ -38,6 +53,7 @@ impl std::fmt::Display for AdmissionError {
         match self {
             AdmissionError::QueueFull => write!(f, "admission queue full"),
             AdmissionError::ShuttingDown => write!(f, "server is shutting down"),
+            AdmissionError::TimedOut => write!(f, "timed out waiting for an admission slot"),
         }
     }
 }
@@ -103,6 +119,18 @@ impl AdmissionQueue {
     /// Fails fast (without blocking) when the waiting queue is at
     /// capacity or the queue has been shut down.
     pub fn acquire(self: &Arc<Self>, cuid: CacheUsageClass) -> Result<RunPermit, AdmissionError> {
+        self.acquire_with_deadline(cuid, None)
+    }
+
+    /// Like [`acquire`](Self::acquire), but gives up with
+    /// [`AdmissionError::TimedOut`] (dequeuing the waiter) when no permit
+    /// was granted within `deadline`. `None` waits indefinitely.
+    pub fn acquire_with_deadline(
+        self: &Arc<Self>,
+        cuid: CacheUsageClass,
+        deadline: Option<Duration>,
+    ) -> Result<RunPermit, AdmissionError> {
+        let enqueued = Instant::now();
         let mut st = self.lock();
         if st.shutdown {
             return Err(AdmissionError::ShuttingDown);
@@ -119,6 +147,11 @@ impl AdmissionQueue {
         st.next_ticket += 1;
         st.waiting.push((ticket, cuid));
         self.publish(&st);
+        let wait_span = ccp_trace::span_id(TraceCat::Admission, "admission_wait", ticket);
+        ccp_trace::instant_id(TraceCat::Admission, "enqueue", ticket);
+        // Decision time (scheduler admissibility scans on behalf of this
+        // waiter) is accounted separately from pure queueing time.
+        let mut sched_ns: u64 = 0;
         loop {
             if st.shutdown {
                 st.waiting.retain(|&(t, _)| t != ticket);
@@ -129,28 +162,67 @@ impl AdmissionQueue {
             // FIFO with bypass: the *first* admissible waiter starts. A
             // polluter may overtake a deferred sensitive query (it fills
             // the wave), but never another admissible one.
+            let decide_started = Instant::now();
             let first_admissible = st
                 .waiting
                 .iter()
                 .position(|&(_, c)| self.scheduler.admit(&st.running, c) == Admission::RunNow);
+            sched_ns += decide_started.elapsed().as_nanos() as u64;
             match first_admissible {
                 Some(i) if st.waiting[i].0 == ticket => {
+                    if i > 0 {
+                        ccp_trace::instant_id(TraceCat::Admission, "bypass", ticket);
+                    }
                     st.waiting.remove(i);
                     st.running.push(cuid);
                     self.publish(&st);
                     // Admitting one query can unblock another admissible
                     // one (slots permitting) — let everybody re-check.
                     self.changed.notify_all();
+                    ccp_trace::instant_id(TraceCat::Admission, "dequeue", ticket);
+                    drop(wait_span);
+                    let schedule_us = sched_ns / 1_000;
+                    let queue_us =
+                        (enqueued.elapsed().as_micros() as u64).saturating_sub(schedule_us);
                     return Ok(RunPermit {
                         queue: Arc::clone(self),
                         cuid,
+                        ticket,
+                        queue_us,
+                        schedule_us,
                     });
                 }
                 _ => {
-                    st = self
-                        .changed
-                        .wait(st)
-                        .unwrap_or_else(PoisonError::into_inner);
+                    let remaining = match deadline {
+                        None => None,
+                        Some(d) => match d.checked_sub(enqueued.elapsed()) {
+                            Some(left) if !left.is_zero() => Some(left),
+                            _ => {
+                                // Deadline passed while still deferred:
+                                // leave the queue so the slot scan stops
+                                // considering us, and tell the client to
+                                // come back.
+                                st.waiting.retain(|&(t, _)| t != ticket);
+                                self.publish(&st);
+                                self.changed.notify_all();
+                                self.server_metrics.record_admission_timeout();
+                                ccp_trace::instant_id(TraceCat::Admission, "timeout", ticket);
+                                return Err(AdmissionError::TimedOut);
+                            }
+                        },
+                    };
+                    st = match remaining {
+                        Some(left) => {
+                            self.changed
+                                .wait_timeout(st, left)
+                                .unwrap_or_else(PoisonError::into_inner)
+                                .0
+                        }
+                        None => self
+                            .changed
+                            .wait(st)
+                            .unwrap_or_else(PoisonError::into_inner),
+                    };
                 }
             }
         }
@@ -213,6 +285,23 @@ impl AdmissionQueue {
     pub fn deferrals(&self) -> u64 {
         self.sched_metrics.deferrals()
     }
+
+    /// Count of currently *running* queries per CUID class label
+    /// (`polluting` / `sensitive` / `mixed`). This is the load signal the
+    /// occupancy sampler's simulated probe feeds on when no CMT hardware
+    /// is present.
+    pub fn running_by_class(&self) -> Vec<(&'static str, usize)> {
+        let st = self.lock();
+        let mut counts: Vec<(&'static str, usize)> = Vec::new();
+        for &cuid in &st.running {
+            let label = class_label(cuid);
+            match counts.iter_mut().find(|(l, _)| *l == label) {
+                Some((_, n)) => *n += 1,
+                None => counts.push((label, 1)),
+            }
+        }
+        counts
+    }
 }
 
 /// Permission for one query to run; releases its concurrency slot on drop
@@ -220,12 +309,16 @@ impl AdmissionQueue {
 pub struct RunPermit {
     queue: Arc<AdmissionQueue>,
     cuid: CacheUsageClass,
+    ticket: u64,
+    queue_us: u64,
+    schedule_us: u64,
 }
 
 impl std::fmt::Debug for RunPermit {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("RunPermit")
             .field("cuid", &self.cuid)
+            .field("ticket", &self.ticket)
             .finish()
     }
 }
@@ -234,6 +327,24 @@ impl RunPermit {
     /// The CUID this permit was granted for.
     pub fn cuid(&self) -> CacheUsageClass {
         self.cuid
+    }
+
+    /// The admission ticket — unique per queue, used as the query id on
+    /// trace spans so queue, scheduler and operator events correlate.
+    pub fn ticket(&self) -> u64 {
+        self.ticket
+    }
+
+    /// Microseconds spent waiting in the admission queue (wall time from
+    /// enqueue to grant, minus scheduler decision time).
+    pub fn queue_us(&self) -> u64 {
+        self.queue_us
+    }
+
+    /// Microseconds the scheduler spent on admissibility decisions for
+    /// this waiter (accumulated over every wakeup re-check).
+    pub fn schedule_us(&self) -> u64 {
+        self.schedule_us
     }
 }
 
@@ -348,6 +459,27 @@ mod tests {
             AdmissionError::ShuttingDown
         );
         drop(held);
+        assert!(q.drain(Duration::from_secs(1)));
+    }
+
+    #[test]
+    fn deadline_expiry_dequeues_and_reports_timeout() {
+        let q = queue(1, 4);
+        let held = q.acquire(CacheUsageClass::Polluting).unwrap();
+        let err = q
+            .acquire_with_deadline(CacheUsageClass::Polluting, Some(Duration::from_millis(30)))
+            .unwrap_err();
+        assert_eq!(err, AdmissionError::TimedOut);
+        // The expired waiter left the queue: nothing waits any more.
+        assert_eq!(q.occupancy(), (0, 1));
+        drop(held);
+        // Zero deadline with a free slot still admits immediately (the
+        // admissibility check runs before the deadline check).
+        let p = q
+            .acquire_with_deadline(CacheUsageClass::Polluting, Some(Duration::ZERO))
+            .unwrap();
+        assert!(p.ticket() > 0);
+        drop(p);
         assert!(q.drain(Duration::from_secs(1)));
     }
 

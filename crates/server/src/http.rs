@@ -234,6 +234,8 @@ pub struct Response {
     pub body: Vec<u8>,
     /// Whether to send `Connection: close` and drop the connection.
     pub close: bool,
+    /// `Retry-After` header value in seconds, when set (429/503 replies).
+    pub retry_after_secs: Option<u64>,
 }
 
 impl Response {
@@ -244,6 +246,7 @@ impl Response {
             content_type: "text/plain; charset=utf-8",
             body: body.into(),
             close: false,
+            retry_after_secs: None,
         }
     }
 
@@ -254,6 +257,18 @@ impl Response {
             content_type: "application/json",
             body: body.to_string().into_bytes(),
             close: false,
+            retry_after_secs: None,
+        }
+    }
+
+    /// An `application/json` response from pre-rendered JSON text.
+    pub fn json_text(status: u16, body: impl Into<Vec<u8>>) -> Self {
+        Response {
+            status,
+            content_type: "application/json",
+            body: body.into(),
+            close: false,
+            retry_after_secs: None,
         }
     }
 
@@ -264,6 +279,7 @@ impl Response {
             content_type: "application/x-ndjson",
             body: lines.into(),
             close: false,
+            retry_after_secs: None,
         }
     }
 
@@ -274,12 +290,19 @@ impl Response {
             content_type: "text/plain; version=0.0.4; charset=utf-8",
             body: body.into(),
             close: false,
+            retry_after_secs: None,
         }
     }
 
     /// Marks the connection for closing after this response.
     pub fn closing(mut self) -> Self {
         self.close = true;
+        self
+    }
+
+    /// Attaches a `Retry-After: secs` header (for 429/503 replies).
+    pub fn retry_after(mut self, secs: u64) -> Self {
+        self.retry_after_secs = Some(secs);
         self
     }
 
@@ -293,6 +316,9 @@ impl Response {
             self.content_type,
             self.body.len()
         )?;
+        if let Some(secs) = self.retry_after_secs {
+            write!(w, "Retry-After: {secs}\r\n")?;
+        }
         if self.close {
             write!(w, "Connection: close\r\n")?;
         }
@@ -302,47 +328,200 @@ impl Response {
     }
 }
 
-/// A parsed client-side response, as returned by [`fetch`].
+/// A parsed client-side response, as returned by [`fetch`] and
+/// [`HttpClient::request`].
 #[derive(Debug)]
 pub struct ClientResponse {
     /// HTTP status code.
     pub status: u16,
+    /// Response header fields in order of appearance.
+    pub headers: Vec<(String, String)>,
     /// Response body as UTF-8 text.
     pub body: String,
 }
 
+impl ClientResponse {
+    /// Case-insensitive response-header lookup (first match).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+fn invalid(what: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, what.to_string())
+}
+
+/// Reads one `Content-Length`-framed response off a buffered stream.
+/// Returns the response plus whether the server asked to close the
+/// connection afterwards.
+fn read_client_response<R: BufRead>(r: &mut R) -> io::Result<(ClientResponse, bool)> {
+    let mut line = String::new();
+    if r.read_line(&mut line)? == 0 {
+        return Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "connection closed before status line",
+        ));
+    }
+    let status: u16 = line
+        .trim_end()
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| invalid("response without status"))?;
+    let mut headers = Vec::new();
+    loop {
+        let mut line = String::new();
+        if r.read_line(&mut line)? == 0 {
+            return Err(invalid("connection closed inside response headers"));
+        }
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| invalid("response header without ':'"))?;
+        headers.push((name.trim().to_string(), value.trim().to_string()));
+    }
+    let resp = ClientResponse {
+        status,
+        headers,
+        body: String::new(),
+    };
+    let close = resp
+        .header("connection")
+        .is_some_and(|v| v.eq_ignore_ascii_case("close"));
+    let body = match resp.header("content-length") {
+        Some(len) => {
+            let len: usize = len.parse().map_err(|_| invalid("bad Content-Length"))?;
+            let mut buf = vec![0u8; len];
+            r.read_exact(&mut buf)?;
+            String::from_utf8(buf).map_err(|_| invalid("body is not UTF-8"))?
+        }
+        // No framing: the body runs to connection close.
+        None => {
+            let mut buf = String::new();
+            r.read_to_string(&mut buf)?;
+            buf
+        }
+    };
+    Ok((ClientResponse { body, ..resp }, close))
+}
+
+/// A blocking HTTP/1.1 client that keeps its connection alive across
+/// requests, reconnecting transparently when the server (or a timeout)
+/// closed it. One in-flight request at a time; 5 s timeouts.
+///
+/// This is what the `bench-serve` load generator and the demo drive —
+/// connection reuse keeps the measured latency about the *query*, not
+/// about TCP handshakes.
+#[derive(Debug)]
+pub struct HttpClient {
+    addr: SocketAddr,
+    stream: Option<io::BufReader<TcpStream>>,
+}
+
+impl HttpClient {
+    /// Creates a client for `addr` and opens the first connection.
+    pub fn connect(addr: SocketAddr) -> io::Result<Self> {
+        Ok(HttpClient {
+            addr,
+            stream: Some(Self::open(addr)?),
+        })
+    }
+
+    fn open(addr: SocketAddr) -> io::Result<io::BufReader<TcpStream>> {
+        let stream = TcpStream::connect_timeout(&addr, Duration::from_secs(5))?;
+        stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+        stream.set_write_timeout(Some(Duration::from_secs(5)))?;
+        // Request/response traffic: Nagle + delayed ACK would add tens of
+        // milliseconds per round trip for nothing.
+        stream.set_nodelay(true)?;
+        Ok(io::BufReader::new(stream))
+    }
+
+    /// Sends one request and reads its response, reusing the persistent
+    /// connection. A dead reused connection (server idle-closed it) is
+    /// reopened and the request retried once.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> io::Result<ClientResponse> {
+        let reused = self.stream.is_some();
+        match self.try_request(method, path, body) {
+            Ok(resp) => Ok(resp),
+            Err(_) if reused => {
+                // The reused connection may have died between requests;
+                // one fresh-connection retry is safe for our idempotent
+                // query/scrape traffic.
+                self.stream = None;
+                self.try_request(method, path, body)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    fn try_request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> io::Result<ClientResponse> {
+        if self.stream.is_none() {
+            self.stream = Some(Self::open(self.addr)?);
+        }
+        let reader = self.stream.as_mut().expect("just opened");
+        let body = body.unwrap_or("");
+        // One buffer, one write: the request must not straddle TCP
+        // segments the peer's delayed ACK would stall on.
+        let raw = format!(
+            "{method} {path} HTTP/1.1\r\nHost: {}\r\nContent-Length: {}\r\n\r\n{body}",
+            self.addr,
+            body.len()
+        );
+        let result = reader
+            .get_mut()
+            .write_all(raw.as_bytes())
+            .and_then(|()| read_client_response(reader));
+        match result {
+            Ok((resp, close)) => {
+                if close {
+                    self.stream = None;
+                }
+                Ok(resp)
+            }
+            Err(e) => {
+                self.stream = None;
+                Err(e)
+            }
+        }
+    }
+}
+
 /// Minimal blocking HTTP client used by tests, examples and the
 /// `metrics_dump` scrape path: one request per connection
-/// (`Connection: close`), 5 s timeouts.
+/// (`Connection: close`), 5 s timeouts. For repeated requests prefer
+/// [`HttpClient`], which reuses its connection.
 pub fn fetch(
     addr: SocketAddr,
     method: &str,
     path: &str,
     body: Option<&str>,
 ) -> io::Result<ClientResponse> {
-    let mut stream = TcpStream::connect_timeout(&addr, Duration::from_secs(5))?;
-    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
-    stream.set_write_timeout(Some(Duration::from_secs(5)))?;
+    let mut reader = HttpClient::open(addr)?;
     let body = body.unwrap_or("");
     write!(
-        stream,
+        reader.get_mut(),
         "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{body}",
         body.len()
     )?;
-    let mut raw = String::new();
-    stream.read_to_string(&mut raw)?;
-    let (head, payload) = raw
-        .split_once("\r\n\r\n")
-        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "response without header end"))?;
-    let status: u16 = head
-        .split(' ')
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "response without status"))?;
-    Ok(ClientResponse {
-        status,
-        body: payload.to_string(),
-    })
+    let (resp, _) = read_client_response(&mut reader)?;
+    Ok(resp)
 }
 
 #[cfg(test)]
@@ -454,6 +633,79 @@ mod tests {
             .unwrap()
             .unwrap();
         assert!(!req.wants_close());
+    }
+
+    #[test]
+    fn retry_after_header_is_written() {
+        let mut out = Vec::new();
+        Response::text(503, "busy")
+            .retry_after(2)
+            .write_to(&mut out)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("Retry-After: 2\r\n"));
+    }
+
+    #[test]
+    fn client_reuses_one_connection_across_requests() {
+        use std::net::TcpListener;
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let accepted = Arc::new(AtomicUsize::new(0));
+        let accepted2 = accepted.clone();
+        let server = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            accepted2.fetch_add(1, Ordering::SeqCst);
+            let mut reader = BufReader::new(stream);
+            for i in 0..3 {
+                let req = read_request(&mut reader).unwrap().unwrap();
+                assert_eq!(req.path(), format!("/r{i}"));
+                Response::text(200, format!("ok{i}"))
+                    .write_to(reader.get_mut())
+                    .unwrap();
+            }
+        });
+        let mut client = HttpClient::connect(addr).unwrap();
+        for i in 0..3 {
+            let resp = client.request("GET", &format!("/r{i}"), None).unwrap();
+            assert_eq!(resp.status, 200);
+            assert_eq!(resp.body, format!("ok{i}"));
+            assert_eq!(
+                resp.header("content-type"),
+                Some("text/plain; charset=utf-8")
+            );
+        }
+        server.join().unwrap();
+        assert_eq!(accepted.load(Ordering::SeqCst), 1, "connection was reused");
+    }
+
+    #[test]
+    fn client_reconnects_after_server_close() {
+        use std::net::TcpListener;
+
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            for _ in 0..2 {
+                let (stream, _) = listener.accept().unwrap();
+                let mut reader = BufReader::new(stream);
+                let _ = read_request(&mut reader).unwrap().unwrap();
+                Response::text(200, "bye")
+                    .closing()
+                    .write_to(reader.get_mut())
+                    .unwrap();
+                // Dropping the stream closes the connection.
+            }
+        });
+        let mut client = HttpClient::connect(addr).unwrap();
+        assert_eq!(client.request("GET", "/a", None).unwrap().body, "bye");
+        // Server closed after the response; the next request transparently
+        // opens a fresh connection.
+        assert_eq!(client.request("GET", "/b", None).unwrap().body, "bye");
+        server.join().unwrap();
     }
 
     #[test]

@@ -12,7 +12,12 @@
 //! * exposes the whole stack's instruments — one `GET /metrics` scrape
 //!   in Prometheus text format shows executor, scheduler and
 //!   `ccp_server_*` families side by side, plus `GET /healthz` and a
-//!   JSON `GET /stats` snapshot.
+//!   JSON `GET /stats` snapshot;
+//! * serves the process tracer ([`ccp_trace`]) as Chrome trace-event
+//!   JSON on `GET /trace` (load it in Perfetto / `chrome://tracing`),
+//!   and attaches a per-query latency breakdown
+//!   (`queue_us`/`schedule_us`/`bind_us`/`exec_us`) to every `/query`
+//!   response line.
 //!
 //! ```no_run
 //! use ccp_server::{Server, ServerConfig};
@@ -37,8 +42,8 @@ pub mod query;
 pub mod server;
 
 pub use admission::{AdmissionError, AdmissionQueue, RunPermit};
-pub use http::{fetch, ClientResponse, HttpError, Request, Response};
+pub use http::{fetch, ClientResponse, HttpClient, HttpError, Request, Response};
 pub use json::Json;
 pub use metrics::ServerMetrics;
-pub use query::{parse_query, QueryEngine, QueryOutcome, WorkloadSpec};
+pub use query::{parse_query, Breakdown, QueryEngine, QueryOutcome, WorkloadSpec};
 pub use server::{install_sigint_handler, sigint_requested, ScrapeServer, Server, ServerConfig};

@@ -17,6 +17,7 @@ pub struct ServerMetrics {
     requests: Family<Counter>,
     request_latency: Family<Histogram>,
     admission_rejections: Counter,
+    admission_timeouts: Counter,
     queue_depth: Gauge,
     running_queries: Gauge,
 }
@@ -57,6 +58,12 @@ impl ServerMetrics {
                 .counter_family(
                     "ccp_server_admission_rejections_total",
                     "Queries rejected with 429 because the admission queue was full",
+                )
+                .get_or_create(&[]),
+            admission_timeouts: registry
+                .counter_family(
+                    "ccp_admission_timeouts_total",
+                    "Queries dequeued with 503 after waiting past the admission deadline",
                 )
                 .get_or_create(&[]),
             queue_depth: registry
@@ -112,9 +119,19 @@ impl ServerMetrics {
         self.running_queries.set(running as f64);
     }
 
+    /// Records a query dequeued after its admission deadline (a 503).
+    pub fn record_admission_timeout(&self) {
+        self.admission_timeouts.inc();
+    }
+
     /// Admission rejections so far.
     pub fn admission_rejections(&self) -> u64 {
         self.admission_rejections.get()
+    }
+
+    /// Admission deadline timeouts so far.
+    pub fn admission_timeouts(&self) -> u64 {
+        self.admission_timeouts.get()
     }
 
     /// Connections accepted so far.
@@ -140,6 +157,7 @@ mod tests {
         m.record_request("/metrics", 200, 0.002);
         m.record_request("/query", 429, 0.0001);
         m.record_admission_rejection();
+        m.record_admission_timeout();
         m.set_admission_occupancy(3, 2);
         let text = registry.render_prometheus();
         assert!(text.contains("ccp_server_connections_total 1"));
@@ -148,6 +166,7 @@ mod tests {
         assert!(text.contains("ccp_server_requests_total{endpoint=\"/query\",status=\"429\"} 1"));
         assert!(text.contains("ccp_server_request_seconds_count{endpoint=\"/query\"} 1"));
         assert!(text.contains("ccp_server_admission_rejections_total 1"));
+        assert!(text.contains("ccp_admission_timeouts_total 1"));
         assert!(text.contains("ccp_server_admission_queue_depth 3.0"));
         assert!(text.contains("ccp_server_running_queries 2.0"));
     }

@@ -156,7 +156,48 @@ pub struct QueryOutcome {
     pub normalized_throughput: f64,
 }
 
+/// Per-query latency breakdown in microseconds, assembled by the HTTP
+/// layer from admission timing ([`RunPermit`](crate::RunPermit)) and the
+/// engine's bind-time attribution ([`QueryCtx`](ccp_engine::QueryCtx)).
+///
+/// The parts are carved out of disjoint wall-clock intervals, so
+/// `queue_us + schedule_us + bind_us + exec_us` never exceeds the
+/// request's total latency.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Breakdown {
+    /// Time spent waiting in the admission queue (net of decision time).
+    pub queue_us: u64,
+    /// Scheduler admissibility-decision time for this query.
+    pub schedule_us: u64,
+    /// Way-mask (re)bind time accumulated across the query's worker jobs.
+    pub bind_us: u64,
+    /// Execution time net of bind time.
+    pub exec_us: u64,
+}
+
+impl Breakdown {
+    /// Renders the breakdown as a JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("queue_us", Json::num(self.queue_us as f64)),
+            ("schedule_us", Json::num(self.schedule_us as f64)),
+            ("bind_us", Json::num(self.bind_us as f64)),
+            ("exec_us", Json::num(self.exec_us as f64)),
+        ])
+    }
+}
+
 impl QueryOutcome {
+    /// Renders the outcome with the latency breakdown attached as a
+    /// `"breakdown"` sub-object.
+    pub fn to_json_with(&self, breakdown: &Breakdown) -> Json {
+        let mut json = self.to_json();
+        if let Json::Obj(ref mut fields) = json {
+            fields.push(("breakdown".to_string(), breakdown.to_json()));
+        }
+        json
+    }
+
     /// Renders the outcome as a JSON object.
     pub fn to_json(&self) -> Json {
         Json::obj(vec![

@@ -2,7 +2,7 @@
 //!
 //! One listener thread accepts connections up to a hard cap and hands
 //! each to a short-lived handler thread (std-only; no async runtime).
-//! Handlers speak strict HTTP/1.1 with keep-alive, route to four
+//! Handlers speak strict HTTP/1.1 with keep-alive, route to five
 //! endpoints, and account every request in the `ccp_server_*` families:
 //!
 //! | endpoint | method | body |
@@ -11,6 +11,7 @@
 //! | `/healthz` | GET | `{"status":"ok"}` |
 //! | `/stats` | GET | JSON snapshot of executor/scheduler/admission state |
 //! | `/query` | POST | NDJSON workloads in, NDJSON outcomes out |
+//! | `/trace` | GET | Chrome trace-event JSON (`?clear=1` resets the rings) |
 //!
 //! Shutdown is cooperative: a flag flips, a self-connection unblocks
 //! `accept`, the admission queue drains, and the handle joins every
@@ -21,9 +22,15 @@ use crate::admission::{AdmissionError, AdmissionQueue};
 use crate::http::{read_request, HttpError, Request, Response};
 use crate::json::Json;
 use crate::metrics::ServerMetrics;
-use crate::query::{parse_query, QueryEngine};
-use ccp_engine::{CacheAwareScheduler, JobExecutor, SchedulerMetrics};
+use crate::query::{parse_query, Breakdown, QueryEngine};
+use ccp_engine::{
+    with_query_ctx, CacheAwareScheduler, CacheUsageClass, JobExecutor, QueryCtx, SchedulerMetrics,
+};
 use ccp_obs::Registry;
+use ccp_resctrl::{
+    CacheController, OccupancyProbe, OccupancySampler, ResctrlMonitor, SimClass, SimulatedMonitor,
+};
+use ccp_trace::TraceCat;
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -53,6 +60,17 @@ pub struct ServerConfig {
     pub dataset_rows: usize,
     /// Enables the debug `sleep` workload (admission tests).
     pub enable_sleep_workload: bool,
+    /// How long a query may wait for an admission slot before it is
+    /// dequeued with `503` + `Retry-After`. `None` waits indefinitely.
+    pub queue_deadline: Option<Duration>,
+    /// Enables the process-global tracer at startup (`/trace` serves its
+    /// snapshot either way; with tracing off it is just empty).
+    pub trace: bool,
+    /// Per-thread trace ring capacity (events retained per thread).
+    pub trace_ring_capacity: usize,
+    /// How often the background sampler refreshes the per-CUID-class
+    /// `ccp_llc_occupancy_bytes` gauges. `None` disables sampling.
+    pub monitor_interval: Option<Duration>,
 }
 
 impl Default for ServerConfig {
@@ -68,6 +86,10 @@ impl Default for ServerConfig {
             write_timeout: Duration::from_secs(5),
             dataset_rows: 60_000,
             enable_sleep_workload: false,
+            queue_deadline: Some(Duration::from_secs(30)),
+            trace: true,
+            trace_ring_capacity: 4096,
+            monitor_interval: Some(Duration::from_millis(250)),
         }
     }
 }
@@ -127,6 +149,9 @@ struct Shared {
     shutdown: AtomicBool,
     conns: ConnTracker,
     started: Instant,
+    /// Background occupancy sampler, if enabled; taken (and stopped) once
+    /// at shutdown.
+    sampler: Mutex<Option<OccupancySampler>>,
 }
 
 /// A running server; dropping it shuts the service down gracefully.
@@ -139,6 +164,12 @@ pub struct Server {
 impl Server {
     /// Binds, builds the engine and registry, and starts serving.
     pub fn start(config: ServerConfig) -> std::io::Result<Server> {
+        if config.trace {
+            ccp_trace::enable(ccp_trace::TraceConfig {
+                ring_capacity: config.trace_ring_capacity,
+                ..ccp_trace::TraceConfig::default()
+            });
+        }
         let registry = Registry::new();
         let engine = QueryEngine::new(
             config.olap_workers,
@@ -157,6 +188,11 @@ impl Server {
             metrics.clone(),
         ));
 
+        let sampler = config.monitor_interval.and_then(|interval| {
+            let probe = occupancy_probe(&engine, &admission);
+            OccupancySampler::start(probe, &registry, interval).ok()
+        });
+
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
         let shared = Arc::new(Shared {
@@ -168,6 +204,7 @@ impl Server {
             shutdown: AtomicBool::new(false),
             conns: ConnTracker::new(),
             started: Instant::now(),
+            sampler: Mutex::new(sampler),
         });
         let accept_shared = Arc::clone(&shared);
         let accept = std::thread::Builder::new()
@@ -206,6 +243,15 @@ impl Server {
     /// finished (bounded by the connection timeouts).
     pub fn shutdown(&mut self) {
         self.shared.shutdown.store(true, Ordering::SeqCst);
+        if let Some(mut sampler) = self
+            .shared
+            .sampler
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .take()
+        {
+            sampler.stop();
+        }
         self.shared.admission.shutdown();
         // The accept loop blocks in `accept`; a throwaway self-connection
         // wakes it so it can observe the flag.
@@ -223,6 +269,62 @@ impl Drop for Server {
     fn drop(&mut self) {
         self.shutdown();
     }
+}
+
+/// Builds the cache-occupancy probe for the background sampler.
+///
+/// With live CAT hardware the probe reads real CMT counters from the
+/// control groups the engine's allocator materializes (one `ccp-<mask>`
+/// group per distinct way mask, so each CUID class maps to the group of
+/// its policy mask). Everywhere else — containers, CI, non-Intel hosts —
+/// a [`SimulatedMonitor`] stands in, driven by how many queries of each
+/// class currently hold an admission permit.
+fn occupancy_probe(
+    engine: &QueryEngine,
+    admission: &Arc<AdmissionQueue>,
+) -> Box<dyn OccupancyProbe> {
+    let policy = engine.policy();
+    let classes = [
+        ("polluting", policy.mask_for(CacheUsageClass::Polluting)),
+        ("sensitive", policy.mask_for(CacheUsageClass::Sensitive)),
+        (
+            // The mixed class in its cache-sensitive regime (hot structure
+            // comparable to the LLC) — the mask the paper's 60% rule picks.
+            "mixed",
+            policy.mask_for(CacheUsageClass::Mixed {
+                hot_bytes: policy.llc.size_bytes,
+            }),
+        ),
+    ];
+    if engine.cat_live() {
+        if let Ok(ctl) = CacheController::open() {
+            let groups = classes
+                .iter()
+                .map(|(label, mask)| ((*label).to_string(), format!("ccp-{:x}", mask.bits())))
+                .collect();
+            return Box::new(ResctrlMonitor::new(ctl, groups, 0));
+        }
+    }
+    let ways = f64::from(policy.llc.ways);
+    let sim_classes = classes
+        .iter()
+        .map(|(label, mask)| SimClass {
+            label: (*label).to_string(),
+            llc_share: f64::from(mask.way_count()) / ways,
+        })
+        .collect();
+    let admission = Arc::clone(admission);
+    Box::new(SimulatedMonitor::new(
+        policy.llc.size_bytes,
+        sim_classes,
+        Box::new(move || {
+            admission
+                .running_by_class()
+                .into_iter()
+                .map(|(label, n)| (label.to_string(), n as f64))
+                .collect()
+        }),
+    ))
 }
 
 fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
@@ -263,6 +365,9 @@ fn handle_connection(shared: &Shared, stream: TcpStream) {
     shared.metrics.connection_opened();
     let _ = stream.set_read_timeout(Some(shared.config.read_timeout));
     let _ = stream.set_write_timeout(Some(shared.config.write_timeout));
+    // Responses are small; without TCP_NODELAY, Nagle against the
+    // client's delayed ACK costs ~40ms per keep-alive round trip.
+    let _ = stream.set_nodelay(true);
     let Ok(read_half) = stream.try_clone() else {
         shared.metrics.connection_closed();
         return;
@@ -274,7 +379,9 @@ fn handle_connection(shared: &Shared, stream: TcpStream) {
             Ok(None) => break,
             Ok(Some(req)) => {
                 let started = Instant::now();
+                let request_span = ccp_trace::span(TraceCat::Server, req.path());
                 let (endpoint, mut resp) = route(shared, &req);
+                drop(request_span);
                 let close =
                     resp.close || req.wants_close() || shared.shutdown.load(Ordering::SeqCst);
                 if close {
@@ -324,9 +431,10 @@ fn route(shared: &Shared, req: &Request) -> (&'static str, Response) {
             Response::json(200, &Json::obj(vec![("status", Json::str("ok"))])),
         ),
         ("GET", "/stats") => ("/stats", Response::json(200, &stats_json(shared))),
+        ("GET", "/trace") => ("/trace", handle_trace(req)),
         ("POST", "/query") => ("/query", handle_query(shared, req)),
         ("GET" | "HEAD", _) => ("other", not_found()),
-        (_, "/metrics" | "/healthz" | "/stats" | "/query") => (
+        (_, "/metrics" | "/healthz" | "/stats" | "/query" | "/trace") => (
             "other",
             Response::json(
                 405,
@@ -337,9 +445,30 @@ fn route(shared: &Shared, req: &Request) -> (&'static str, Response) {
     }
 }
 
+/// `true` when the request's query string sets `name=1` or `name=true`.
+fn query_flag(req: &Request, name: &str) -> bool {
+    let Some((_, qs)) = req.target.split_once('?') else {
+        return false;
+    };
+    qs.split('&')
+        .filter_map(|pair| pair.split_once('='))
+        .any(|(k, v)| k == name && (v == "1" || v == "true"))
+}
+
+/// Serves the tracer's Chrome trace-event snapshot. `?clear=1`
+/// additionally resets every ring after the snapshot was taken, so a
+/// scrape-then-clear loop sees each span exactly once.
+fn handle_trace(req: &Request) -> Response {
+    let json = ccp_trace::snapshot().to_chrome_json();
+    if query_flag(req, "clear") {
+        ccp_trace::clear();
+    }
+    Response::json_text(200, json)
+}
+
 fn not_found() -> Response {
     let endpoints = Json::Arr(
-        ["/metrics", "/healthz", "/stats", "/query"]
+        ["/metrics", "/healthz", "/stats", "/query", "/trace"]
             .iter()
             .map(|e| Json::str(*e))
             .collect(),
@@ -394,11 +523,16 @@ fn handle_query(shared: &Shared, req: &Request) -> Response {
             Err(QueryLineError::Admission(err)) => {
                 let status = match err {
                     AdmissionError::QueueFull => 429,
-                    AdmissionError::ShuttingDown => 503,
+                    AdmissionError::ShuttingDown | AdmissionError::TimedOut => 503,
                 };
                 let msg = Json::obj(vec![("error", Json::str(err.to_string()))]);
                 if i == 0 {
-                    return Response::json(status, &msg);
+                    let resp = Response::json(status, &msg);
+                    return if err == AdmissionError::TimedOut {
+                        resp.retry_after(retry_after_secs(shared))
+                    } else {
+                        resp
+                    };
                 }
                 out.push(msg.to_string());
             }
@@ -414,6 +548,15 @@ enum QueryLineError {
     Admission(AdmissionError),
 }
 
+/// Seconds a timed-out client should wait before retrying: the admission
+/// deadline itself (the queue needs about that long to move), at least 1.
+fn retry_after_secs(shared: &Shared) -> u64 {
+    shared
+        .config
+        .queue_deadline
+        .map_or(1, |d| d.as_secs().max(1))
+}
+
 fn run_query_line(shared: &Shared, line: &str) -> Result<String, QueryLineError> {
     let value = Json::parse(line).map_err(|e| QueryLineError::Parse(format!("bad JSON: {e}")))?;
     let spec =
@@ -421,11 +564,27 @@ fn run_query_line(shared: &Shared, line: &str) -> Result<String, QueryLineError>
     let cuid = shared.engine.classify(&spec);
     let permit = shared
         .admission
-        .acquire(cuid)
+        .acquire_with_deadline(cuid, shared.config.queue_deadline)
         .map_err(QueryLineError::Admission)?;
-    let outcome = shared.engine.execute(&spec);
+    // The admission ticket doubles as the trace query id: every span this
+    // query emits downstream (scheduler, bind, operators) carries it.
+    let ticket = permit.ticket();
+    let ctx = QueryCtx::new(ticket);
+    let name = spec.name();
+    let query_span = ccp_trace::span_id(TraceCat::Query, &name, ticket);
+    let exec_started = Instant::now();
+    let outcome = with_query_ctx(Arc::clone(&ctx), || shared.engine.execute(&spec));
+    let exec_total_us = exec_started.elapsed().as_micros() as u64;
+    drop(query_span);
+    let bind_us = ctx.bind_ns() / 1_000;
+    let breakdown = Breakdown {
+        queue_us: permit.queue_us(),
+        schedule_us: permit.schedule_us(),
+        bind_us,
+        exec_us: exec_total_us.saturating_sub(bind_us),
+    };
     drop(permit);
-    Ok(outcome.to_json().to_string())
+    Ok(outcome.to_json_with(&breakdown).to_string())
 }
 
 fn pool_json(ex: &JobExecutor) -> Json {
@@ -463,6 +622,10 @@ fn stats_json(shared: &Shared) -> Json {
                 (
                     "rejections",
                     Json::num(shared.metrics.admission_rejections() as f64),
+                ),
+                (
+                    "timeouts",
+                    Json::num(shared.metrics.admission_timeouts() as f64),
                 ),
                 ("deferrals", Json::num(shared.admission.deferrals() as f64)),
             ]),
@@ -578,6 +741,7 @@ impl ScrapeServer {
             shutdown: AtomicBool::new(false),
             conns: ConnTracker::new(),
             started: Instant::now(),
+            sampler: Mutex::new(None),
         });
         let accept_shared = Arc::clone(&shared);
         let accept = std::thread::Builder::new()

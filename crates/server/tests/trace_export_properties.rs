@@ -1,0 +1,110 @@
+//! Property test: whatever spans, instants and hostile names are pushed
+//! through the tracer, `/trace`'s payload — the tracer's Chrome
+//! trace-event export — must stay a valid, balanced JSON document that
+//! this crate's own strict parser accepts (Perfetto is stricter still,
+//! so this is a necessary condition for loadability).
+
+use ccp_server::Json;
+use ccp_trace::{TraceCat, TraceConfig};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+const CATS: [TraceCat; 6] = [
+    TraceCat::Server,
+    TraceCat::Admission,
+    TraceCat::Sched,
+    TraceCat::Bind,
+    TraceCat::Op,
+    TraceCat::Query,
+];
+
+/// One randomized tracer interaction.
+#[derive(Debug, Clone)]
+enum Op {
+    Open { cat: usize, name: String, id: u64 },
+    Close,
+    Instant { cat: usize, name: String, id: u64 },
+}
+
+/// Names built from arbitrary bytes: lossy decoding yields every
+/// JSON-hostile shape — quotes, backslashes, control characters,
+/// multi-byte code points, U+FFFD replacements — plus lengths past the
+/// tracer's name truncation.
+fn name_strategy() -> impl Strategy<Value = String> {
+    proptest::collection::vec(0u8..=255, 0..48)
+        .prop_map(|bytes| String::from_utf8_lossy(&bytes).into_owned())
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..CATS.len(), name_strategy(), 0u64..u64::MAX).prop_map(|(cat, name, id)| Op::Open {
+            cat,
+            name,
+            id
+        }),
+        Just(Op::Close),
+        (0..CATS.len(), name_strategy(), 0u64..u64::MAX).prop_map(|(cat, name, id)| Op::Instant {
+            cat,
+            name,
+            id
+        }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn export_is_valid_balanced_chrome_json(ops in proptest::collection::vec(op_strategy(), 0..80)) {
+        ccp_trace::enable(TraceConfig::default());
+        ccp_trace::clear();
+        let mut open = Vec::new();
+        for op in ops {
+            match op {
+                Op::Open { cat, name, id } => {
+                    open.push(ccp_trace::span_id(CATS[cat], &name, id));
+                }
+                Op::Close => {
+                    open.pop();
+                }
+                Op::Instant { cat, name, id } => {
+                    ccp_trace::instant_id(CATS[cat], &name, id);
+                }
+            }
+        }
+        drop(open); // close whatever is still running
+
+        let json = ccp_trace::snapshot().to_chrome_json();
+        let doc = Json::parse(&json).expect("export parses under the strict JSON parser");
+        let Some(Json::Arr(events)) = doc.get("traceEvents") else {
+            panic!("traceEvents array missing in {json}");
+        };
+        prop_assert!(doc.get("otherData").is_some());
+
+        // Per-tid B/E nesting must be balanced: never a close without an
+        // open, nothing left open at the end of the document.
+        let mut depth: HashMap<u64, i64> = HashMap::new();
+        for ev in events {
+            let ph = ev.get("ph").and_then(Json::as_str).expect("ph");
+            let tid = ev.get("tid").and_then(Json::as_u64).expect("tid");
+            match ph {
+                "B" => *depth.entry(tid).or_insert(0) += 1,
+                "E" => {
+                    let d = depth.entry(tid).or_insert(0);
+                    *d -= 1;
+                    prop_assert!(*d >= 0, "E without matching B on tid {}", tid);
+                }
+                "i" | "M" => {}
+                other => panic!("unexpected phase {other:?}"),
+            }
+            if ph != "M" {
+                prop_assert!(ev.get("ts").and_then(Json::as_u64).is_some());
+                let cat = ev.get("cat").and_then(Json::as_str).expect("cat");
+                prop_assert!(
+                    ["server", "admission", "sched", "bind", "op", "query"].contains(&cat)
+                );
+            }
+        }
+        for (tid, d) in depth {
+            prop_assert!(d == 0, "tid {} ended at depth {}", tid, d);
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! # ccp-trace
+//!
+//! Query-level tracing for the whole workspace: where did query #4217
+//! spend its 38 ms?  `ccp-obs` answers *how often* and *how long on
+//! average* (counters, histograms); this crate answers *when exactly and
+//! in what order* — one co-run of a polluting scan and a cache-sensitive
+//! aggregation renders as a complete timeline in Perfetto or
+//! `chrome://tracing`, with spans from admission wait, scheduler
+//! decision, executor dispatch, resctrl mask-bind and operator execution
+//! stacked per thread.
+//!
+//! ## Design
+//!
+//! * **Per-thread lock-free rings.** Each traced thread owns a bounded
+//!   ring of fixed-size slots ([`ring::SpanRing`]). Only the owning
+//!   thread writes; snapshot readers use a per-slot seqlock (odd/even
+//!   sequence numbers) to detect and skip torn slots, so recording never
+//!   takes a lock and never blocks on a reader.
+//! * **Completed spans, not raw begin/end.** A [`SpanGuard`] captures
+//!   the start timestamp on creation and writes one record (start +
+//!   duration) when dropped. The exporter re-derives begin/end pairs,
+//!   which makes the Chrome output balanced by construction even when
+//!   the ring wraps mid-burst.
+//! * **Bounded with drop counting.** When a ring wraps, the oldest
+//!   record is overwritten and a drop counter increments; the `/trace`
+//!   snapshot reports the total so truncation is visible, never silent.
+//! * **Zero-cost when disabled.** Every recording call first reads one
+//!   process-global relaxed [`AtomicBool`]; when tracing is off nothing
+//!   else happens — no thread-local access, no timestamp, no allocation.
+//!   The `micro_alloc` perf gate runs with tracing disabled and must not
+//!   move.
+//! * **Sampling.** [`TraceConfig::sample_one_in`] records only every
+//!   N-th span per thread for always-on production tracing at low cost.
+//!
+//! [`AtomicBool`]: std::sync::atomic::AtomicBool
+//!
+//! ## Example
+//!
+//! ```
+//! use ccp_trace::{self as trace, TraceCat, TraceConfig};
+//!
+//! trace::enable(TraceConfig::default());
+//! {
+//!     let _outer = trace::span_id(TraceCat::Op, "column_scan", 42);
+//!     trace::instant(TraceCat::Admission, "bypass");
+//! } // span recorded on drop
+//! let snap = trace::snapshot();
+//! assert_eq!(snap.events.len(), 2);
+//! let json = snap.to_chrome_json();
+//! assert!(json.contains("\"traceEvents\""));
+//! trace::disable();
+//! ```
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+#![forbid(unsafe_code)]
+
+mod export;
+mod ring;
+mod tracer;
+
+pub use export::{ThreadInfo, TraceEvent, TraceEventKind, TraceSnapshot};
+pub use ring::SpanRing;
+pub use tracer::{
+    clear, disable, dropped, enable, enabled, instant, instant_id, snapshot, span, span_id,
+    SpanGuard, TraceConfig, Tracer,
+};
+
+/// Category a trace event belongs to; becomes the Chrome `cat` field so
+/// Perfetto can filter one layer of the stack at a time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum TraceCat {
+    /// HTTP service layer: request handling, response writing.
+    Server = 0,
+    /// Admission queue: enqueue, wait, bypass, timeout.
+    Admission = 1,
+    /// Scheduler decision: slot acquisition, co-run admissibility.
+    Sched = 2,
+    /// resctrl mask-bind on an executor worker (the paper's <100 µs
+    /// fast path).
+    Bind = 3,
+    /// Operator execution: scan, aggregate, join phases.
+    Op = 4,
+    /// Whole-query envelope spans.
+    Query = 5,
+}
+
+impl TraceCat {
+    /// Stable lowercase label used in exported JSON.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            TraceCat::Server => "server",
+            TraceCat::Admission => "admission",
+            TraceCat::Sched => "sched",
+            TraceCat::Bind => "bind",
+            TraceCat::Op => "op",
+            TraceCat::Query => "query",
+        }
+    }
+
+    pub(crate) fn from_u8(v: u8) -> TraceCat {
+        match v {
+            0 => TraceCat::Server,
+            1 => TraceCat::Admission,
+            2 => TraceCat::Sched,
+            3 => TraceCat::Bind,
+            4 => TraceCat::Op,
+            _ => TraceCat::Query,
+        }
+    }
+}

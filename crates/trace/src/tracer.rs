@@ -1,0 +1,294 @@
+//! The process-global tracer: enable/disable, per-thread ring
+//! registration, span guards and snapshots.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+use crate::export::{ThreadInfo, TraceSnapshot};
+use crate::ring::{Record, SpanRing, KIND_INSTANT, KIND_SPAN, MAX_NAME};
+use crate::TraceCat;
+
+/// Tuning knobs passed to [`enable`].
+#[derive(Debug, Clone, Copy)]
+pub struct TraceConfig {
+    /// Slots per thread-local ring; oldest records are overwritten (and
+    /// counted as dropped) beyond this.
+    pub ring_capacity: usize,
+    /// Record only every N-th span per thread (`1` = record all). Lets
+    /// tracing stay on under load at a bounded cost.
+    pub sample_one_in: u32,
+}
+
+impl Default for TraceConfig {
+    fn default() -> TraceConfig {
+        TraceConfig {
+            ring_capacity: 4096,
+            sample_one_in: 1,
+        }
+    }
+}
+
+/// Process-global tracer state. Use the free functions ([`enable`],
+/// [`span`], [`snapshot`], …) rather than holding one of these.
+pub struct Tracer {
+    enabled: AtomicBool,
+    ring_capacity: AtomicU64,
+    sample_one_in: AtomicU32,
+    next_tid: AtomicU32,
+    /// Every ring ever registered, with its display identity. Entries
+    /// outlive their threads so late snapshots still see final events;
+    /// bounded by the number of distinct threads traced.
+    rings: Mutex<Vec<RegisteredRing>>,
+    /// Zero point for all timestamps (first use of the tracer).
+    epoch: Instant,
+}
+
+struct RegisteredRing {
+    ring: Arc<SpanRing>,
+    tid: u32,
+    thread_name: String,
+}
+
+fn global() -> &'static Tracer {
+    static TRACER: OnceLock<Tracer> = OnceLock::new();
+    TRACER.get_or_init(|| Tracer {
+        enabled: AtomicBool::new(false),
+        ring_capacity: AtomicU64::new(TraceConfig::default().ring_capacity as u64),
+        sample_one_in: AtomicU32::new(1),
+        next_tid: AtomicU32::new(1),
+        rings: Mutex::new(Vec::new()),
+        epoch: Instant::now(),
+    })
+}
+
+thread_local! {
+    /// This thread's ring, installed on first recorded event. `None`
+    /// until then so threads that never trace pay nothing but the
+    /// enabled check.
+    static LOCAL_RING: Cell<Option<&'static ThreadRing>> = const { Cell::new(None) };
+}
+
+/// Leaked per-thread handle: one `Arc` clone of the registered ring plus
+/// the thread's sampling counter. Leaking (one small allocation per
+/// traced thread, ever) keeps the hot path free of `RefCell` borrows.
+struct ThreadRing {
+    ring: Arc<SpanRing>,
+    sample_tick: Cell<u32>,
+}
+
+// SAFETY-free justification: `ThreadRing` is only ever reached through
+// the thread-local `LOCAL_RING`, so `sample_tick` is single-threaded
+// despite the `&'static` reference.
+
+fn local_ring(t: &'static Tracer) -> &'static ThreadRing {
+    LOCAL_RING.with(|cell| match cell.get() {
+        Some(r) => r,
+        None => {
+            let ring = Arc::new(SpanRing::new(
+                t.ring_capacity.load(Ordering::Relaxed) as usize
+            ));
+            let tid = t.next_tid.fetch_add(1, Ordering::Relaxed);
+            let thread_name = std::thread::current()
+                .name()
+                .map(str::to_owned)
+                .unwrap_or_else(|| format!("thread-{tid}"));
+            t.rings
+                .lock()
+                .expect("tracer registry")
+                .push(RegisteredRing {
+                    ring: Arc::clone(&ring),
+                    tid,
+                    thread_name,
+                });
+            let leaked: &'static ThreadRing = Box::leak(Box::new(ThreadRing {
+                ring,
+                sample_tick: Cell::new(0),
+            }));
+            cell.set(Some(leaked));
+            leaked
+        }
+    })
+}
+
+/// Microseconds since the tracer's epoch.
+fn now_us(t: &Tracer) -> u64 {
+    t.epoch.elapsed().as_micros() as u64
+}
+
+/// Turns tracing on with the given configuration. Idempotent;
+/// reconfiguring applies to rings created after the call.
+pub fn enable(config: TraceConfig) {
+    let t = global();
+    t.ring_capacity
+        .store(config.ring_capacity.max(8) as u64, Ordering::Relaxed);
+    t.sample_one_in
+        .store(config.sample_one_in.max(1), Ordering::Relaxed);
+    t.enabled.store(true, Ordering::Relaxed);
+}
+
+/// Turns tracing off. Already-recorded events stay snapshottable.
+pub fn disable() {
+    global().enabled.store(false, Ordering::Relaxed);
+}
+
+/// Whether tracing is currently on (one relaxed atomic load — this is
+/// the entire cost of a disabled trace point).
+#[inline]
+pub fn enabled() -> bool {
+    global().enabled.load(Ordering::Relaxed)
+}
+
+/// Starts a span; the record is written when the guard drops. Returns
+/// an inert guard (no ring write ever) when tracing is disabled or this
+/// span is sampled out.
+#[inline]
+pub fn span(cat: TraceCat, name: &str) -> SpanGuard {
+    span_id(cat, name, 0)
+}
+
+/// Like [`span`] but tags the record with a correlation id (query id),
+/// exported as `args.query`.
+#[inline]
+pub fn span_id(cat: TraceCat, name: &str, id: u64) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard::inert();
+    }
+    let t = global();
+    let local = local_ring(t);
+    let n = t.sample_one_in.load(Ordering::Relaxed);
+    if n > 1 {
+        let tick = local.sample_tick.get().wrapping_add(1);
+        local.sample_tick.set(tick);
+        if !tick.is_multiple_of(n) {
+            return SpanGuard::inert();
+        }
+    }
+    let mut name_buf = [0u8; MAX_NAME];
+    let stored = crate::ring::truncated_utf8(name);
+    name_buf[..stored.len()].copy_from_slice(stored);
+    SpanGuard {
+        local: Some(local),
+        start_us: now_us(t),
+        cat,
+        id,
+        name: name_buf,
+        name_len: stored.len() as u8,
+    }
+}
+
+/// Records a zero-duration instant event (admission bypass, timeout …).
+pub fn instant(cat: TraceCat, name: &str) {
+    instant_id(cat, name, 0);
+}
+
+/// Like [`instant`] with a correlation id.
+pub fn instant_id(cat: TraceCat, name: &str, id: u64) {
+    if !enabled() {
+        return;
+    }
+    let t = global();
+    let local = local_ring(t);
+    local.ring.push(now_us(t), 0, KIND_INSTANT, cat, id, name);
+}
+
+/// An in-flight span; writes its record (start timestamp + duration)
+/// into the owning thread's ring when dropped.
+///
+/// Dropping on a different thread than the one that created it would
+/// break the single-writer ring protocol, so the guard is deliberately
+/// `!Send` (it holds a thread-local reference).
+pub struct SpanGuard {
+    /// `None` for inert guards (tracing disabled / sampled out).
+    local: Option<&'static ThreadRing>,
+    start_us: u64,
+    cat: TraceCat,
+    id: u64,
+    name: [u8; MAX_NAME],
+    name_len: u8,
+}
+
+impl SpanGuard {
+    fn inert() -> SpanGuard {
+        SpanGuard {
+            local: None,
+            start_us: 0,
+            cat: TraceCat::Query,
+            id: 0,
+            name: [0; MAX_NAME],
+            name_len: 0,
+        }
+    }
+
+    /// Whether this guard will record on drop.
+    pub fn is_recording(&self) -> bool {
+        self.local.is_some()
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(local) = self.local {
+            let end = now_us(global());
+            let name = std::str::from_utf8(&self.name[..self.name_len as usize]).unwrap_or("");
+            local.ring.push(
+                self.start_us,
+                end.saturating_sub(self.start_us),
+                KIND_SPAN,
+                self.cat,
+                self.id,
+                name,
+            );
+        }
+    }
+}
+
+/// Collects every ring into one snapshot (events sorted per thread by
+/// the exporter, drop totals summed across rings).
+pub fn snapshot() -> TraceSnapshot {
+    let t = global();
+    let rings = t.rings.lock().expect("tracer registry");
+    let mut events = Vec::new();
+    let mut threads = Vec::with_capacity(rings.len());
+    let mut dropped_total = 0u64;
+    for reg in rings.iter() {
+        let mut records: Vec<Record> = Vec::new();
+        reg.ring.collect(&mut records);
+        dropped_total += reg.ring.dropped();
+        threads.push(ThreadInfo {
+            tid: reg.tid,
+            name: reg.thread_name.clone(),
+        });
+        events.extend(
+            records
+                .into_iter()
+                .map(|r| crate::export::event_from_record(r, reg.tid)),
+        );
+    }
+    TraceSnapshot {
+        events,
+        threads,
+        dropped: dropped_total,
+    }
+}
+
+/// Total records lost to ring wrap-around since the last [`clear`].
+pub fn dropped() -> u64 {
+    let t = global();
+    t.rings
+        .lock()
+        .expect("tracer registry")
+        .iter()
+        .map(|r| r.ring.dropped())
+        .sum()
+}
+
+/// Forgets all recorded events (`GET /trace?clear=1`): subsequent
+/// snapshots only contain events recorded after this call.
+pub fn clear() {
+    let t = global();
+    for reg in t.rings.lock().expect("tracer registry").iter() {
+        reg.ring.clear();
+    }
+}

@@ -1,7 +1,7 @@
 //! End-to-end demo of the networked service layer: start a server on an
 //! ephemeral port, fire **concurrent** scan and aggregation clients at
-//! `POST /query` over real sockets, then scrape `/metrics` and show the
-//! server-side families the run produced.
+//! `POST /query` over keep-alive connections, then scrape `/metrics`
+//! and `/trace` to show the observability surface the run produced.
 //!
 //! ```text
 //! cargo run --release --example serve_demo
@@ -12,7 +12,7 @@
 //! once), the same dual-pool executor binds way masks per job, and the
 //! same registry serves the scrape.
 
-use ccp_server::{fetch, Json, Server, ServerConfig};
+use ccp_server::{fetch, HttpClient, Json, Server, ServerConfig};
 use std::thread;
 
 fn main() {
@@ -30,7 +30,8 @@ fn main() {
 
     // Two clients hammer the server concurrently: a polluting scan stream
     // and a cache-sensitive aggregation stream — the paper's antagonists,
-    // arriving over the wire.
+    // arriving over the wire. Each holds one keep-alive connection for
+    // its whole run, like a real application would.
     let clients: Vec<(&str, &str)> = vec![
         ("scan", r#"{"workload":"q1","threshold":25000}"#),
         ("aggregation", r#"{"workload":"q2","agg":"max"}"#),
@@ -39,9 +40,12 @@ fn main() {
     for (name, body) in clients {
         let body = body.to_string();
         handles.push(thread::spawn(move || {
+            let mut client = HttpClient::connect(addr).expect("connect");
             let mut lines = Vec::new();
             for _ in 0..5 {
-                let resp = fetch(addr, "POST", "/query", Some(&body)).expect("query round-trip");
+                let resp = client
+                    .request("POST", "/query", Some(&body))
+                    .expect("query round-trip");
                 assert_eq!(resp.status, 200, "unexpected response: {}", resp.body);
                 lines.push(resp.body.trim().to_string());
             }
@@ -53,12 +57,18 @@ fn main() {
         println!("── {name} ──");
         for line in &lines {
             let v = Json::parse(line).expect("valid outcome JSON");
+            let queue_us = v
+                .get("breakdown")
+                .and_then(|b| b.get("queue_us"))
+                .and_then(Json::as_u64)
+                .unwrap_or(0);
             println!(
-                "  class={:<10} mask={:<6} rows={:>7} latency={:>8.3} ms  normalized={:.2}",
+                "  class={:<10} mask={:<6} rows={:>7} latency={:>8.3} ms  queued={:>5} us  normalized={:.2}",
                 v.get("class").and_then(Json::as_str).unwrap_or("?"),
                 v.get("mask").and_then(Json::as_str).unwrap_or("?"),
                 v.get("rows").and_then(Json::as_u64).unwrap_or(0),
                 v.get("latency_secs").and_then(Json::as_f64).unwrap_or(0.0) * 1e3,
+                queue_us,
                 v.get("normalized_throughput")
                     .and_then(Json::as_f64)
                     .unwrap_or(0.0),
@@ -83,6 +93,19 @@ fn main() {
     assert!(
         scrape.body.contains("ccp_executor_jobs_total"),
         "scrape must expose the executor families"
+    );
+
+    // The whole run above is also a trace: every query's admission wait,
+    // mask bind and operator spans, ready to drop into Perfetto.
+    let trace = fetch(addr, "GET", "/trace", None).expect("trace");
+    let doc = Json::parse(&trace.body).expect("/trace is valid Chrome JSON");
+    let events = match doc.get("traceEvents") {
+        Some(Json::Arr(events)) => events.len(),
+        _ => panic!("traceEvents missing from /trace"),
+    };
+    println!(
+        "\n/trace → {events} trace events ({} bytes; load in ui.perfetto.dev)",
+        trace.body.len()
     );
 
     server.shutdown();

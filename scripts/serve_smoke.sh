@@ -1,0 +1,106 @@
+#!/usr/bin/env bash
+# End-to-end smoke test for the networked service layer.
+#
+# Starts `ccp serve` on an ephemeral local port, drives it for a couple of
+# seconds with `ccp bench-serve` over real sockets, then scrapes /metrics
+# and /trace and fails on malformed or incomplete output:
+#
+#   * bench-serve must exit 0 (its own error-rate gate);
+#   * /metrics must carry the server families and a per-CUID-class
+#     llc-occupancy gauge for each of polluting/sensitive/mixed;
+#   * /trace must be a valid Chrome trace-event JSON document with a
+#     non-empty traceEvents array.
+#
+# Usage:
+#   scripts/serve_smoke.sh [PORT]          # default: 19090
+#
+# Tunables (environment):
+#   CCP_SMOKE_QPS       offered load (default 40)
+#   CCP_SMOKE_SECS      bench duration in seconds (default 2)
+#   CCP_SMOKE_PROFILE   cargo profile to build/run (default release)
+
+set -euo pipefail
+
+PORT="${1:-19090}"
+ADDR="127.0.0.1:${PORT}"
+QPS="${CCP_SMOKE_QPS:-40}"
+SECS="${CCP_SMOKE_SECS:-2}"
+PROFILE="${CCP_SMOKE_PROFILE:-release}"
+
+cd "$(dirname "$0")/.."
+
+if [[ "$PROFILE" == "release" ]]; then
+  cargo build --release -q --bin ccp
+  CCP=target/release/ccp
+else
+  cargo build -q --bin ccp
+  CCP=target/debug/ccp
+fi
+
+WORK="$(mktemp -d)"
+SERVER_PID=""
+cleanup() {
+  [[ -n "$SERVER_PID" ]] && kill "$SERVER_PID" 2>/dev/null || true
+  [[ -n "$SERVER_PID" ]] && wait "$SERVER_PID" 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+"$CCP" serve --addr "$ADDR" >"$WORK/serve.log" 2>&1 &
+SERVER_PID=$!
+
+# Wait for the listener.
+for _ in $(seq 1 50); do
+  if (exec 3<>"/dev/tcp/127.0.0.1/${PORT}") 2>/dev/null; then
+    break
+  fi
+  if ! kill -0 "$SERVER_PID" 2>/dev/null; then
+    echo "serve exited early:" >&2
+    cat "$WORK/serve.log" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+
+echo "== bench-serve: ${QPS} qps for ${SECS}s against ${ADDR}"
+"$CCP" bench-serve --addr "$ADDR" --qps "$QPS" --duration "$SECS" --concurrency 2
+
+scrape() { # scrape PATH OUTFILE
+  if command -v curl >/dev/null 2>&1; then
+    curl -sf "http://${ADDR}$1" -o "$2"
+  else
+    wget -qO "$2" "http://${ADDR}$1"
+  fi
+}
+
+echo "== scraping /metrics"
+scrape /metrics "$WORK/metrics.txt"
+for needle in \
+  'ccp_server_requests_total' \
+  'ccp_executor_jobs_total' \
+  'ccp_llc_occupancy_bytes{class="polluting"}' \
+  'ccp_llc_occupancy_bytes{class="sensitive"}' \
+  'ccp_llc_occupancy_bytes{class="mixed"}'; do
+  if ! grep -qF "$needle" "$WORK/metrics.txt"; then
+    echo "missing from /metrics: ${needle}" >&2
+    exit 1
+  fi
+done
+echo "   all expected families present ($(wc -l <"$WORK/metrics.txt") lines)"
+
+echo "== scraping /trace"
+scrape /trace "$WORK/trace.json"
+python3 - "$WORK/trace.json" <<'PY'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+events = doc["traceEvents"]
+assert isinstance(events, list) and events, "traceEvents empty"
+cats = {e.get("cat") for e in events if e.get("ph") != "M"}
+for layer in ("server", "admission", "bind", "op", "query"):
+    assert layer in cats, f"no {layer!r} spans in trace (got {sorted(filter(None, cats))})"
+print(f"   valid Chrome trace JSON: {len(events)} events, layers {sorted(filter(None, cats))}")
+PY
+
+echo "serve smoke OK"

@@ -8,6 +8,8 @@
 //!                               # plan co-run waves for a query queue
 //! ccp serve --addr 127.0.0.1:9090
 //!                               # HTTP query admission + Prometheus scrape service
+//! ccp bench-serve --addr 127.0.0.1:9090 --qps 50 --duration 10
+//!                               # drive a running server, report latency percentiles
 //! ccp help
 //! ```
 //!
@@ -17,8 +19,13 @@
 use cache_partitioning::prelude::*;
 use ccp_engine::sim::{classify_operator, AggregationSim, ColumnScanSim, FkJoinSim};
 use ccp_engine::CacheAwareScheduler;
-use ccp_server::{install_sigint_handler, sigint_requested, Server, ServerConfig};
+use ccp_server::{
+    install_sigint_handler, sigint_requested, HttpClient, Json, Server, ServerConfig,
+};
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 /// A named constructor for a simulated operator, used by `classify`.
 type SimOpFactory = Box<dyn Fn(&mut AddrSpace) -> Box<dyn ccp_engine::sim::SimOperator>>;
@@ -31,6 +38,7 @@ fn main() -> ExitCode {
         Some("classify") => reject_extra_args("classify", &args[1..]).unwrap_or_else(classify),
         Some("schedule") => schedule(&args[1..]),
         Some("serve") => serve(&args[1..]),
+        Some("bench-serve") => bench_serve(&args[1..]),
         Some("help") | None => {
             print_help();
             ExitCode::SUCCESS
@@ -64,6 +72,7 @@ fn print_help() {
          classify   probe the paper's operators and derive their CUIDs online\n  \
          schedule   plan cache-aware co-run waves, e.g. `ccp schedule scan agg join:125000`\n  \
          serve      run the HTTP query/metrics service, e.g. `ccp serve --addr 127.0.0.1:9090`\n  \
+         bench-serve  load-test a running server over keep-alive sockets\n  \
          help       this text\n\n\
          SERVE FLAGS:\n  \
          --addr HOST:PORT   bind address        (default 127.0.0.1:9090)\n  \
@@ -72,7 +81,15 @@ fn print_help() {
          --slots N          concurrent queries  (default 2)\n  \
          --queue N          admission queue cap (default 16)\n  \
          --max-conns N      connection cap      (default 64)\n  \
-         --rows N           resident rows       (default 60000)\n\n\
+         --rows N           resident rows       (default 60000)\n  \
+         --queue-deadline-ms N  shed queries queued longer than N ms with 503 (default: off)\n\n\
+         BENCH-SERVE FLAGS:\n  \
+         --addr HOST:PORT   server to drive     (default 127.0.0.1:9090)\n  \
+         --qps N            target request rate (default 50)\n  \
+         --duration SECS    run length          (default 10)\n  \
+         --concurrency N    client connections  (default 4)\n  \
+         --workload KIND    q1|q2|oltp|mix      (default mix)\n  \
+         --max-error-pct N  exit non-zero above this error rate (default 5)\n\n\
          The full experiment suite lives in `cargo bench -p ccp-bench`."
     );
 }
@@ -205,6 +222,11 @@ fn parse_serve_config(args: &[String]) -> Result<ServerConfig, String> {
             "--queue" => config.queue_capacity = parse_count(&value_of("--queue")?)?,
             "--max-conns" => config.max_connections = parse_count(&value_of("--max-conns")?)?,
             "--rows" => config.dataset_rows = parse_count(&value_of("--rows")?)?,
+            "--queue-deadline-ms" => {
+                config.queue_deadline = Some(Duration::from_millis(parse_count(&value_of(
+                    "--queue-deadline-ms",
+                )?)? as u64))
+            }
             other => {
                 return Err(format!(
                     "unknown serve flag {other:?} (see `ccp help` for the flag list)"
@@ -248,13 +270,235 @@ fn serve(args: &[String]) -> ExitCode {
             "no-op allocator (no CAT on this host)"
         }
     );
-    println!("  endpoints: /metrics /healthz /stats POST /query");
+    println!("  endpoints: /metrics /healthz /stats /trace POST /query");
     println!("  ctrl-c to stop");
     while !sigint_requested() && !server.shutdown_requested() {
         std::thread::sleep(std::time::Duration::from_millis(100));
     }
     println!("shutting down…");
     server.shutdown();
+    ExitCode::SUCCESS
+}
+
+/// Tunables of the `bench-serve` load generator.
+struct BenchConfig {
+    addr: String,
+    qps: u64,
+    duration: Duration,
+    concurrency: usize,
+    workload: String,
+    max_error_pct: u64,
+}
+
+fn parse_bench_config(args: &[String]) -> Result<BenchConfig, String> {
+    let mut config = BenchConfig {
+        addr: "127.0.0.1:9090".to_string(),
+        qps: 50,
+        duration: Duration::from_secs(10),
+        concurrency: 4,
+        workload: "mix".to_string(),
+        max_error_pct: 5,
+    };
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value_of = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("flag {name} needs a value"))
+        };
+        match flag.as_str() {
+            "--addr" => config.addr = value_of("--addr")?,
+            "--qps" => config.qps = parse_count(&value_of("--qps")?)? as u64,
+            "--duration" => {
+                config.duration = Duration::from_secs(parse_count(&value_of("--duration")?)? as u64)
+            }
+            "--concurrency" => config.concurrency = parse_count(&value_of("--concurrency")?)?,
+            "--workload" => {
+                let w = value_of("--workload")?;
+                if !["q1", "q2", "oltp", "mix"].contains(&w.as_str()) {
+                    return Err(format!("unknown workload {w:?} (q1, q2, oltp or mix)"));
+                }
+                config.workload = w;
+            }
+            "--max-error-pct" => {
+                config.max_error_pct = value_of("--max-error-pct")?
+                    .parse()
+                    .map_err(|_| "expected a number for --max-error-pct".to_string())?
+            }
+            other => {
+                return Err(format!(
+                    "unknown bench-serve flag {other:?} (see `ccp help`)"
+                ))
+            }
+        }
+    }
+    Ok(config)
+}
+
+/// Request bodies the generator rotates through per workload choice.
+fn bench_bodies(workload: &str) -> Vec<&'static str> {
+    let q1 = r#"{"workload":"q1","threshold":100}"#;
+    let q2 = r#"{"workload":"q2","agg":"sum"}"#;
+    let oltp = r#"{"workload":"oltp","ops":200}"#;
+    match workload {
+        "q1" => vec![q1],
+        "q2" => vec![q2],
+        "oltp" => vec![oltp],
+        _ => vec![q1, q2, oltp],
+    }
+}
+
+/// One finished request: client-observed wall latency plus the server's
+/// own phase breakdown (microseconds each).
+#[derive(Debug, Clone, Copy)]
+struct BenchSample {
+    total_us: u64,
+    queue_us: u64,
+    exec_us: u64,
+}
+
+#[derive(Debug, Default)]
+struct BenchOutcome {
+    samples: Vec<BenchSample>,
+    errors: u64,
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p / 100.0).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn breakdown_us(outcome: &Json, field: &str) -> u64 {
+    outcome
+        .get("breakdown")
+        .and_then(|b| b.get(field))
+        .and_then(Json::as_u64)
+        .unwrap_or(0)
+}
+
+/// Open-loop load generator: `concurrency` keep-alive connections share
+/// one global request schedule at the target QPS (each request has a
+/// fixed start slot, so server slowdowns show up as latency, not as a
+/// silently reduced offered rate).
+fn bench_serve(args: &[String]) -> ExitCode {
+    let config = match parse_bench_config(args) {
+        Ok(c) => c,
+        Err(why) => {
+            eprintln!("{why}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let addr = match std::net::ToSocketAddrs::to_socket_addrs(&config.addr.as_str())
+        .ok()
+        .and_then(|mut addrs| addrs.next())
+    {
+        Some(a) => a,
+        None => {
+            eprintln!("cannot resolve {:?}", config.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    let bodies = bench_bodies(&config.workload);
+    let interval = Duration::from_nanos(1_000_000_000 / config.qps.max(1));
+    let started = Instant::now();
+    let deadline = started + config.duration;
+    let next_slot = Arc::new(AtomicU64::new(0));
+    let outcome = Arc::new(Mutex::new(BenchOutcome::default()));
+
+    println!(
+        "driving {} at {} qps for {:?} over {} connection(s), workload {}…",
+        config.addr, config.qps, config.duration, config.concurrency, config.workload
+    );
+    let mut workers = Vec::new();
+    for _ in 0..config.concurrency {
+        let bodies: Vec<&'static str> = bodies.clone();
+        let next_slot = Arc::clone(&next_slot);
+        let outcome = Arc::clone(&outcome);
+        workers.push(std::thread::spawn(move || {
+            let mut client = match HttpClient::connect(addr) {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("cannot connect to {addr}: {e}");
+                    outcome.lock().unwrap().errors += 1;
+                    return;
+                }
+            };
+            loop {
+                let slot = next_slot.fetch_add(1, Ordering::Relaxed);
+                let at = started + interval * slot as u32;
+                if at >= deadline {
+                    return;
+                }
+                if let Some(wait) = at.checked_duration_since(Instant::now()) {
+                    std::thread::sleep(wait);
+                }
+                let body = bodies[slot as usize % bodies.len()];
+                let sent = Instant::now();
+                match client.request("POST", "/query", Some(body)) {
+                    Ok(resp) if resp.status == 200 => {
+                        let total_us = sent.elapsed().as_micros() as u64;
+                        let (queue_us, exec_us) = Json::parse(resp.body.trim())
+                            .map(|o| (breakdown_us(&o, "queue_us"), breakdown_us(&o, "exec_us")))
+                            .unwrap_or((0, 0));
+                        outcome.lock().unwrap().samples.push(BenchSample {
+                            total_us,
+                            queue_us,
+                            exec_us,
+                        });
+                    }
+                    _ => outcome.lock().unwrap().errors += 1,
+                }
+            }
+        }));
+    }
+    for w in workers {
+        let _ = w.join();
+    }
+
+    let outcome = Arc::try_unwrap(outcome)
+        .map(|m| m.into_inner().unwrap())
+        .unwrap_or_default();
+    let sent = outcome.samples.len() as u64 + outcome.errors;
+    if sent == 0 {
+        eprintln!("no requests were sent");
+        return ExitCode::FAILURE;
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    let error_pct = outcome.errors * 100 / sent;
+    println!(
+        "\n{} requests in {:.1}s ({:.1} achieved qps), {} error(s) ({error_pct}%)",
+        sent,
+        elapsed,
+        outcome.samples.len() as f64 / elapsed,
+        outcome.errors
+    );
+    for (label, pick) in [
+        (
+            "total",
+            (|s: &BenchSample| s.total_us) as fn(&BenchSample) -> u64,
+        ),
+        ("queue", |s| s.queue_us),
+        ("exec", |s| s.exec_us),
+    ] {
+        let mut us: Vec<u64> = outcome.samples.iter().map(pick).collect();
+        us.sort_unstable();
+        println!(
+            "{label:>8} latency  p50 {:>8} us   p95 {:>8} us   p99 {:>8} us",
+            percentile(&us, 50.0),
+            percentile(&us, 95.0),
+            percentile(&us, 99.0),
+        );
+    }
+    if error_pct > config.max_error_pct {
+        eprintln!(
+            "error rate {error_pct}% exceeds --max-error-pct {}",
+            config.max_error_pct
+        );
+        return ExitCode::FAILURE;
+    }
     ExitCode::SUCCESS
 }
 
