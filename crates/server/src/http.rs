@@ -424,6 +424,25 @@ pub struct HttpClient {
     stream: Option<io::BufReader<TcpStream>>,
 }
 
+/// How far a failed exchange got, which decides whether a retry on a
+/// fresh connection can be safe (the server must provably not have
+/// executed the request — or the request must be idempotent).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FailurePoint {
+    /// No request byte was handed to the socket; the server cannot have
+    /// seen the request, so a retry is always safe.
+    PreSend,
+    /// The request was (at least partly) written but the connection
+    /// closed before a single response byte arrived — the classic
+    /// keep-alive idle-close race. The server *probably* never processed
+    /// the request, but only idempotent methods may assume so.
+    NoResponse,
+    /// Failure mid-exchange: bytes partially written with the socket
+    /// still up, a read timeout, a truncated response. The server may
+    /// well be executing (or have executed) the request; never retry.
+    MidExchange,
+}
+
 impl HttpClient {
     /// Creates a client for `addr` and opens the first connection.
     pub fn connect(addr: SocketAddr) -> io::Result<Self> {
@@ -444,8 +463,16 @@ impl HttpClient {
     }
 
     /// Sends one request and reads its response, reusing the persistent
-    /// connection. A dead reused connection (server idle-closed it) is
-    /// reopened and the request retried once.
+    /// connection.
+    ///
+    /// A request on a reused connection that dies is retried once on a
+    /// fresh connection, but only when the server cannot have executed
+    /// it twice: always when no request byte reached the socket, and for
+    /// idempotent methods (`GET`/`HEAD`) also when the connection closed
+    /// before any response byte (the keep-alive idle-close race). A
+    /// non-idempotent request that failed after being sent — say a read
+    /// timeout on a slow `POST /query` — surfaces as an error instead of
+    /// silently running the query a second time.
     pub fn request(
         &mut self,
         method: &str,
@@ -455,14 +482,19 @@ impl HttpClient {
         let reused = self.stream.is_some();
         match self.try_request(method, path, body) {
             Ok(resp) => Ok(resp),
-            Err(_) if reused => {
-                // The reused connection may have died between requests;
-                // one fresh-connection retry is safe for our idempotent
-                // query/scrape traffic.
-                self.stream = None;
-                self.try_request(method, path, body)
+            Err((e, point)) => {
+                let idempotent = matches!(method, "GET" | "HEAD");
+                let retry_is_safe = match point {
+                    FailurePoint::PreSend => true,
+                    FailurePoint::NoResponse => idempotent,
+                    FailurePoint::MidExchange => false,
+                };
+                if reused && retry_is_safe {
+                    self.try_request(method, path, body).map_err(|(e, _)| e)
+                } else {
+                    Err(e)
+                }
             }
-            Err(e) => Err(e),
         }
     }
 
@@ -471,9 +503,10 @@ impl HttpClient {
         method: &str,
         path: &str,
         body: Option<&str>,
-    ) -> io::Result<ClientResponse> {
+    ) -> Result<ClientResponse, (io::Error, FailurePoint)> {
         if self.stream.is_none() {
-            self.stream = Some(Self::open(self.addr)?);
+            self.stream =
+                Some(Self::open(self.addr).map_err(|e| (e, FailurePoint::PreSend))?);
         }
         let reader = self.stream.as_mut().expect("just opened");
         let body = body.unwrap_or("");
@@ -484,11 +517,7 @@ impl HttpClient {
             self.addr,
             body.len()
         );
-        let result = reader
-            .get_mut()
-            .write_all(raw.as_bytes())
-            .and_then(|()| read_client_response(reader));
-        match result {
+        match Self::exchange(reader, raw.as_bytes()) {
             Ok((resp, close)) => {
                 if close {
                     self.stream = None;
@@ -499,6 +528,61 @@ impl HttpClient {
                 self.stream = None;
                 Err(e)
             }
+        }
+    }
+
+    /// Writes one framed request and reads its response, classifying any
+    /// failure by how far the exchange got (see [`FailurePoint`]).
+    fn exchange(
+        reader: &mut io::BufReader<TcpStream>,
+        raw: &[u8],
+    ) -> Result<(ClientResponse, bool), (io::Error, FailurePoint)> {
+        let mut written = 0usize;
+        while written < raw.len() {
+            // `write` rather than `write_all`: distinguishing "the very
+            // first write failed, zero bytes handed to the kernel" (the
+            // only provably-unsent case) from a partial send needs the
+            // byte count at the failure.
+            let at = if written == 0 {
+                FailurePoint::PreSend
+            } else {
+                FailurePoint::MidExchange
+            };
+            match reader.get_mut().write(&raw[written..]) {
+                Ok(0) => {
+                    return Err((
+                        io::Error::new(io::ErrorKind::WriteZero, "socket refused request bytes"),
+                        at,
+                    ))
+                }
+                Ok(n) => written += n,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err((e, at)),
+            }
+        }
+        // Peek at the first response byte before parsing, so "the server
+        // closed or reset without responding at all" is distinguishable
+        // from a failure mid-response.
+        match reader.fill_buf() {
+            Ok([]) => Err((
+                io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed before any response byte",
+                ),
+                FailurePoint::NoResponse,
+            )),
+            Ok(_) => read_client_response(reader).map_err(|e| (e, FailurePoint::MidExchange)),
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::ConnectionReset
+                        | io::ErrorKind::ConnectionAborted
+                        | io::ErrorKind::BrokenPipe
+                ) =>
+            {
+                Err((e, FailurePoint::NoResponse))
+            }
+            Err(e) => Err((e, FailurePoint::MidExchange)),
         }
     }
 }
@@ -706,6 +790,67 @@ mod tests {
         // opens a fresh connection.
         assert_eq!(client.request("GET", "/b", None).unwrap().body, "bye");
         server.join().unwrap();
+    }
+
+    #[test]
+    fn idempotent_get_retries_after_idle_close_race() {
+        use std::net::TcpListener;
+
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            for _ in 0..2 {
+                let (stream, _) = listener.accept().unwrap();
+                let mut reader = BufReader::new(stream);
+                let _ = read_request(&mut reader).unwrap().unwrap();
+                // Respond keep-alive, then close anyway: the next request
+                // on this connection hits the idle-close race.
+                Response::text(200, "ok").write_to(reader.get_mut()).unwrap();
+            }
+        });
+        let mut client = HttpClient::connect(addr).unwrap();
+        assert_eq!(client.request("GET", "/a", None).unwrap().body, "ok");
+        // The server dropped the connection without announcing it; the
+        // GET is idempotent, so the client retries on a fresh connection.
+        assert_eq!(client.request("GET", "/b", None).unwrap().body, "ok");
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn post_is_not_retried_once_the_request_was_sent() {
+        use std::net::TcpListener;
+
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            let mut reader = BufReader::new(stream);
+            let _ = read_request(&mut reader).unwrap().unwrap();
+            Response::text(200, "ok").write_to(reader.get_mut()).unwrap();
+            // Read the second request fully — the server "received" it —
+            // then die without responding.
+            let _ = read_request(&mut reader).unwrap().unwrap();
+            drop(reader);
+            listener
+        });
+        let mut client = HttpClient::connect(addr).unwrap();
+        assert_eq!(
+            client.request("POST", "/query", Some("x")).unwrap().status,
+            200
+        );
+        // The second POST reached the server but got no response: the
+        // client must surface the error, not replay a non-idempotent
+        // request that may already have executed.
+        let err = client.request("POST", "/query", Some("x")).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof, "{err}");
+        // Any (buggy) retry would have reconnected before `request`
+        // returned; the listener must have no pending connection.
+        let listener = server.join().unwrap();
+        listener.set_nonblocking(true).unwrap();
+        match listener.accept() {
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {}
+            other => panic!("unexpected reconnect: {other:?}"),
+        }
     }
 
     #[test]

@@ -455,15 +455,17 @@ fn query_flag(req: &Request, name: &str) -> bool {
         .any(|(k, v)| k == name && (v == "1" || v == "true"))
 }
 
-/// Serves the tracer's Chrome trace-event snapshot. `?clear=1`
-/// additionally resets every ring after the snapshot was taken, so a
-/// scrape-then-clear loop sees each span exactly once.
+/// Serves the tracer's Chrome trace-event snapshot. `?clear=1` hides
+/// exactly the records the snapshot observed — spans recorded while the
+/// scrape was running stay for the next one — so a scrape-then-clear
+/// loop sees each span exactly once.
 fn handle_trace(req: &Request) -> Response {
-    let json = ccp_trace::snapshot().to_chrome_json();
-    if query_flag(req, "clear") {
-        ccp_trace::clear();
-    }
-    Response::json_text(200, json)
+    let snap = if query_flag(req, "clear") {
+        ccp_trace::snapshot_and_clear()
+    } else {
+        ccp_trace::snapshot()
+    };
+    Response::json_text(200, snap.to_chrome_json())
 }
 
 fn not_found() -> Response {

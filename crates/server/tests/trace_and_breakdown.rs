@@ -138,6 +138,42 @@ fn trace_endpoint_covers_all_layers() {
     server.shutdown();
 }
 
+/// Every `Connection: close` client costs the server one short-lived
+/// handler thread; the tracer must recycle those threads' span rings
+/// instead of registering a fresh 256 KiB ring per connection forever
+/// (a scrape loop would otherwise OOM a long-running server).
+#[test]
+fn connection_churn_does_not_accumulate_trace_rings() {
+    let _guard = serial();
+    let mut server = Server::start(config()).expect("start");
+    let addr = server.addr();
+    const CONNS: usize = 40;
+    for _ in 0..CONNS {
+        // `fetch` opens a fresh connection and asks the server to close
+        // it — exactly the per-request-thread churn pattern.
+        let resp = fetch(addr, "GET", "/healthz", None).expect("healthz");
+        assert_eq!(resp.status, 200);
+    }
+    let trace = fetch(addr, "GET", "/trace", None).expect("trace");
+    let doc = Json::parse(&trace.body).expect("valid JSON");
+    let Some(Json::Arr(events)) = doc.get("traceEvents") else {
+        panic!("traceEvents array missing");
+    };
+    // One `thread_name` metadata event per registered ring. Workers,
+    // accept loop and a few overlapping connection handlers are fine;
+    // one ring per connection ever handled is the leak this guards.
+    let rings = events
+        .iter()
+        .filter(|e| e.get("name").and_then(Json::as_str) == Some("thread_name"))
+        .count();
+    assert!(
+        rings < CONNS,
+        "{rings} rings registered after {CONNS} sequential connections — \
+         dead connection threads' rings are not being recycled"
+    );
+    server.shutdown();
+}
+
 /// The background sampler publishes per-CUID-class occupancy gauges into
 /// the same registry `/metrics` scrapes — simulator-backed here, since
 /// CI has no CMT hardware.

@@ -24,6 +24,13 @@
 //! * **Bounded with drop counting.** When a ring wraps, the oldest
 //!   record is overwritten and a drop counter increments; the `/trace`
 //!   snapshot reports the total so truncation is visible, never silent.
+//! * **Bounded across thread churn.** A ring whose owner thread exited
+//!   stays snapshottable (late scrapes still see its final events) until
+//!   the small dead-ring retention budget fills up; after that, each new
+//!   thread recycles the longest-dead ring — its leftover records are
+//!   counted as dropped. Memory is therefore bounded by the peak number
+//!   of *concurrently* traced threads plus that budget, even for servers
+//!   that spawn one short-lived thread per connection.
 //! * **Zero-cost when disabled.** Every recording call first reads one
 //!   process-global relaxed [`AtomicBool`]; when tracing is off nothing
 //!   else happens — no thread-local access, no timestamp, no allocation.
@@ -62,8 +69,8 @@ mod tracer;
 pub use export::{ThreadInfo, TraceEvent, TraceEventKind, TraceSnapshot};
 pub use ring::SpanRing;
 pub use tracer::{
-    clear, disable, dropped, enable, enabled, instant, instant_id, snapshot, span, span_id,
-    SpanGuard, TraceConfig, Tracer,
+    clear, disable, dropped, enable, enabled, instant, instant_id, snapshot, snapshot_and_clear,
+    span, span_id, SpanGuard, TraceConfig, Tracer,
 };
 
 /// Category a trace event belongs to; becomes the Chrome `cat` field so

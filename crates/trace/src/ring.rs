@@ -148,8 +148,10 @@ impl SpanRing {
     }
 
     /// Reads every currently-valid record, skipping torn slots (slots
-    /// the owner is rewriting right now, or has already lapped).
-    pub(crate) fn collect(&self, out: &mut Vec<Record>) {
+    /// the owner is rewriting right now, or has already lapped). Returns
+    /// the head (write index) this snapshot observed, so callers can
+    /// later [`clear_to`](SpanRing::clear_to) exactly what they read.
+    pub(crate) fn collect(&self, out: &mut Vec<Record>) -> u64 {
         let cap = self.slots.len() as u64;
         let head = self.head.load(Ordering::Acquire);
         let floor = self
@@ -185,15 +187,42 @@ impl SpanRing {
                 name: String::from_utf8_lossy(&packed[..name_len.min(MAX_NAME)]).into_owned(),
             });
         }
+        head
     }
 
     /// Hides all current records from future snapshots and rebases the
     /// drop counter. The owner keeps writing unimpeded.
     pub(crate) fn clear(&self) {
-        self.cleared_upto
-            .store(self.head.load(Ordering::Acquire), Ordering::Relaxed);
+        self.clear_to(self.head.load(Ordering::Acquire));
+    }
+
+    /// Hides records below write index `upto` (as previously observed by
+    /// [`collect`](SpanRing::collect)) and rebases the drop counter.
+    /// Records pushed after that observation stay visible, so a
+    /// snapshot-then-clear pair never loses events recorded in between.
+    /// The floor only moves forward.
+    pub(crate) fn clear_to(&self, upto: u64) {
+        self.cleared_upto.fetch_max(upto, Ordering::Relaxed);
         self.dropped_base
             .store(self.dropped.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    /// Reclaims the ring for a new owner thread: the previous owner's
+    /// still-visible records are *counted as dropped* (they are being
+    /// discarded, and the retained-plus-dropped accounting must stay
+    /// exact) and then hidden. `head` keeps rising monotonically, so the
+    /// seqlock generations of already-written slots stay consistent for
+    /// the next owner.
+    pub(crate) fn recycle(&self) {
+        let cap = self.slots.len() as u64;
+        let head = self.head.load(Ordering::Acquire);
+        let floor = self
+            .cleared_upto
+            .load(Ordering::Relaxed)
+            .max(head.saturating_sub(cap));
+        self.dropped
+            .fetch_add(head.saturating_sub(floor), Ordering::Relaxed);
+        self.cleared_upto.fetch_max(head, Ordering::Relaxed);
     }
 }
 
@@ -261,6 +290,47 @@ mod tests {
         ring.collect(&mut out);
         assert!(out.is_empty());
         push_named(&ring, 99, "after");
+        ring.collect(&mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].ts_us, 99);
+    }
+
+    #[test]
+    fn clear_to_keeps_records_pushed_after_the_observed_head() {
+        let ring = SpanRing::new(8);
+        push_named(&ring, 1, "before");
+        let mut out = Vec::new();
+        let head = ring.collect(&mut out);
+        assert_eq!(out.len(), 1);
+        // A record lands between the snapshot and the clear…
+        push_named(&ring, 2, "between");
+        ring.clear_to(head);
+        // …and must survive for the next snapshot.
+        out.clear();
+        ring.collect(&mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].name, "between");
+        // The floor never moves backwards.
+        ring.clear();
+        ring.clear_to(head);
+        out.clear();
+        ring.collect(&mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn recycle_hides_records_and_counts_them_as_dropped() {
+        let ring = SpanRing::new(8);
+        for i in 0..10 {
+            push_named(&ring, i, "e"); // 8 visible, 2 dropped by wrap
+        }
+        assert_eq!(ring.dropped(), 2);
+        ring.recycle();
+        let mut out = Vec::new();
+        ring.collect(&mut out);
+        assert!(out.is_empty(), "old owner's records are hidden");
+        assert_eq!(ring.dropped(), 10, "hidden records count as dropped");
+        push_named(&ring, 99, "next-owner");
         ring.collect(&mut out);
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].ts_us, 99);

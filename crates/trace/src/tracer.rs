@@ -1,7 +1,8 @@
 //! The process-global tracer: enable/disable, per-thread ring
-//! registration, span guards and snapshots.
+//! registration and recycling, span guards and snapshots.
 
-use std::cell::Cell;
+use std::cell::{Cell, OnceCell};
+use std::marker::PhantomData;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
@@ -37,9 +38,15 @@ pub struct Tracer {
     ring_capacity: AtomicU64,
     sample_one_in: AtomicU32,
     next_tid: AtomicU32,
-    /// Every ring ever registered, with its display identity. Entries
-    /// outlive their threads so late snapshots still see final events;
-    /// bounded by the number of distinct threads traced.
+    /// Every live ring plus up to [`DEAD_RING_RETAIN`] rings of
+    /// recently-exited threads (kept so late snapshots still see their
+    /// final events — a query's spans outlive its worker). Beyond that
+    /// budget, a new thread *recycles* the longest-dead ring instead of
+    /// registering a fresh one, so the registry is bounded by the peak
+    /// number of concurrently-traced threads plus the retention budget —
+    /// not by the number of threads ever created (servers churn through
+    /// one short-lived thread per connection). Ordered by registration
+    /// recency: recycled entries move to the back.
     rings: Mutex<Vec<RegisteredRing>>,
     /// Zero point for all timestamps (first use of the tracer).
     epoch: Instant,
@@ -64,52 +71,77 @@ fn global() -> &'static Tracer {
 }
 
 thread_local! {
-    /// This thread's ring, installed on first recorded event. `None`
-    /// until then so threads that never trace pay nothing but the
-    /// enabled check.
-    static LOCAL_RING: Cell<Option<&'static ThreadRing>> = const { Cell::new(None) };
+    /// This thread's ring handle, installed on first recorded event.
+    /// Unset until then so threads that never trace pay nothing but the
+    /// enabled check. Dropped at thread exit, which releases this
+    /// thread's `Arc` clone — the registry detects that (strong count
+    /// back at 1) and eventually hands the ring to a later registering
+    /// thread (see [`register_local_ring`]).
+    static LOCAL_RING: OnceCell<LocalRing> = const { OnceCell::new() };
 }
 
-/// Leaked per-thread handle: one `Arc` clone of the registered ring plus
-/// the thread's sampling counter. Leaking (one small allocation per
-/// traced thread, ever) keeps the hot path free of `RefCell` borrows.
-struct ThreadRing {
+/// Per-thread handle: one `Arc` clone of the registered ring plus the
+/// thread's sampling counter.
+struct LocalRing {
     ring: Arc<SpanRing>,
     sample_tick: Cell<u32>,
 }
 
-// SAFETY-free justification: `ThreadRing` is only ever reached through
-// the thread-local `LOCAL_RING`, so `sample_tick` is single-threaded
-// despite the `&'static` reference.
+/// Runs `f` with this thread's ring handle, registering (or recycling)
+/// a ring on first use. Returns `None` only during thread destruction,
+/// when the thread-local is no longer accessible.
+fn with_local<R>(t: &'static Tracer, f: impl FnOnce(&LocalRing) -> R) -> Option<R> {
+    LOCAL_RING
+        .try_with(|cell| f(cell.get_or_init(|| register_local_ring(t))))
+        .ok()
+}
 
-fn local_ring(t: &'static Tracer) -> &'static ThreadRing {
-    LOCAL_RING.with(|cell| match cell.get() {
-        Some(r) => r,
-        None => {
-            let ring = Arc::new(SpanRing::new(
-                t.ring_capacity.load(Ordering::Relaxed) as usize
-            ));
-            let tid = t.next_tid.fetch_add(1, Ordering::Relaxed);
-            let thread_name = std::thread::current()
-                .name()
-                .map(str::to_owned)
-                .unwrap_or_else(|| format!("thread-{tid}"));
-            t.rings
-                .lock()
-                .expect("tracer registry")
-                .push(RegisteredRing {
-                    ring: Arc::clone(&ring),
-                    tid,
-                    thread_name,
-                });
-            let leaked: &'static ThreadRing = Box::leak(Box::new(ThreadRing {
-                ring,
-                sample_tick: Cell::new(0),
-            }));
-            cell.set(Some(leaked));
-            leaked
-        }
-    })
+/// Dead rings kept snapshottable before new threads start recycling
+/// them. Deep enough that a `/trace` scrape still sees the spans of
+/// query/connection threads that just exited, shallow enough that a
+/// connection-churning server stays at a few MiB of retained rings.
+const DEAD_RING_RETAIN: usize = 8;
+
+/// Registers this thread with the tracer. A ring counts as *dead* when
+/// the registry's `Arc` is the only clone left — the owner's
+/// thread-local (and any span guards) are gone. Dead rings within the
+/// [`DEAD_RING_RETAIN`] budget are left alone so their final events stay
+/// snapshottable; past the budget, the longest-dead ring is recycled for
+/// this thread instead of growing the registry. Dead rings whose
+/// capacity no longer matches the configuration are pruned outright.
+fn register_local_ring(t: &'static Tracer) -> LocalRing {
+    let capacity = (t.ring_capacity.load(Ordering::Relaxed) as usize).max(8);
+    let thread_name = std::thread::current().name().map(str::to_owned);
+    let tid = t.next_tid.fetch_add(1, Ordering::Relaxed);
+    let thread_name = thread_name.unwrap_or_else(|| format!("thread-{tid}"));
+    let mut rings = t.rings.lock().expect("tracer registry");
+    rings.retain(|reg| Arc::strong_count(&reg.ring) > 1 || reg.ring.capacity() == capacity);
+    let dead: Vec<usize> = (0..rings.len())
+        .filter(|&i| Arc::strong_count(&rings[i].ring) == 1)
+        .collect();
+    let ring = if dead.len() >= DEAD_RING_RETAIN {
+        // `dead[0]` is the least recently registered dead entry; move it
+        // to the back so the order keeps tracking recency.
+        let mut reg = rings.remove(dead[0]);
+        reg.ring.recycle();
+        reg.tid = tid;
+        reg.thread_name = thread_name;
+        let ring = Arc::clone(&reg.ring);
+        rings.push(reg);
+        ring
+    } else {
+        let ring = Arc::new(SpanRing::new(capacity));
+        rings.push(RegisteredRing {
+            ring: Arc::clone(&ring),
+            tid,
+            thread_name,
+        });
+        ring
+    };
+    LocalRing {
+        ring,
+        sample_tick: Cell::new(0),
+    }
 }
 
 /// Microseconds since the tracer's epoch.
@@ -156,25 +188,31 @@ pub fn span_id(cat: TraceCat, name: &str, id: u64) -> SpanGuard {
         return SpanGuard::inert();
     }
     let t = global();
-    let local = local_ring(t);
-    let n = t.sample_one_in.load(Ordering::Relaxed);
-    if n > 1 {
-        let tick = local.sample_tick.get().wrapping_add(1);
-        local.sample_tick.set(tick);
-        if !tick.is_multiple_of(n) {
-            return SpanGuard::inert();
+    let Some(ring) = with_local(t, |local| {
+        let n = t.sample_one_in.load(Ordering::Relaxed);
+        if n > 1 {
+            let tick = local.sample_tick.get().wrapping_add(1);
+            local.sample_tick.set(tick);
+            if !tick.is_multiple_of(n) {
+                return None;
+            }
         }
-    }
+        Some(Arc::clone(&local.ring))
+    })
+    .flatten() else {
+        return SpanGuard::inert();
+    };
     let mut name_buf = [0u8; MAX_NAME];
     let stored = crate::ring::truncated_utf8(name);
     name_buf[..stored.len()].copy_from_slice(stored);
     SpanGuard {
-        local: Some(local),
+        ring: Some(ring),
         start_us: now_us(t),
         cat,
         id,
         name: name_buf,
         name_len: stored.len() as u8,
+        _not_send: PhantomData,
     }
 }
 
@@ -189,8 +227,9 @@ pub fn instant_id(cat: TraceCat, name: &str, id: u64) {
         return;
     }
     let t = global();
-    let local = local_ring(t);
-    local.ring.push(now_us(t), 0, KIND_INSTANT, cat, id, name);
+    let _ = with_local(t, |local| {
+        local.ring.push(now_us(t), 0, KIND_INSTANT, cat, id, name);
+    });
 }
 
 /// An in-flight span; writes its record (start timestamp + duration)
@@ -198,41 +237,45 @@ pub fn instant_id(cat: TraceCat, name: &str, id: u64) {
 ///
 /// Dropping on a different thread than the one that created it would
 /// break the single-writer ring protocol, so the guard is deliberately
-/// `!Send` (it holds a thread-local reference).
+/// `!Send`. It holds its own `Arc` clone of the ring, which also keeps
+/// the ring out of the recycler while the span is open.
 pub struct SpanGuard {
     /// `None` for inert guards (tracing disabled / sampled out).
-    local: Option<&'static ThreadRing>,
+    ring: Option<Arc<SpanRing>>,
     start_us: u64,
     cat: TraceCat,
     id: u64,
     name: [u8; MAX_NAME],
     name_len: u8,
+    /// Keeps the guard `!Send` (see the type-level doc).
+    _not_send: PhantomData<*const ()>,
 }
 
 impl SpanGuard {
     fn inert() -> SpanGuard {
         SpanGuard {
-            local: None,
+            ring: None,
             start_us: 0,
             cat: TraceCat::Query,
             id: 0,
             name: [0; MAX_NAME],
             name_len: 0,
+            _not_send: PhantomData,
         }
     }
 
     /// Whether this guard will record on drop.
     pub fn is_recording(&self) -> bool {
-        self.local.is_some()
+        self.ring.is_some()
     }
 }
 
 impl Drop for SpanGuard {
     fn drop(&mut self) {
-        if let Some(local) = self.local {
+        if let Some(ring) = &self.ring {
             let end = now_us(global());
             let name = std::str::from_utf8(&self.name[..self.name_len as usize]).unwrap_or("");
-            local.ring.push(
+            ring.push(
                 self.start_us,
                 end.saturating_sub(self.start_us),
                 KIND_SPAN,
@@ -247,6 +290,18 @@ impl Drop for SpanGuard {
 /// Collects every ring into one snapshot (events sorted per thread by
 /// the exporter, drop totals summed across rings).
 pub fn snapshot() -> TraceSnapshot {
+    snapshot_inner(false)
+}
+
+/// Like [`snapshot`], but additionally hides exactly the records the
+/// snapshot observed (`GET /trace?clear=1`): spans recorded while the
+/// snapshot was being taken stay visible for the next one, so a
+/// scrape-then-clear loop sees each span exactly once.
+pub fn snapshot_and_clear() -> TraceSnapshot {
+    snapshot_inner(true)
+}
+
+fn snapshot_inner(clear: bool) -> TraceSnapshot {
     let t = global();
     let rings = t.rings.lock().expect("tracer registry");
     let mut events = Vec::new();
@@ -254,8 +309,11 @@ pub fn snapshot() -> TraceSnapshot {
     let mut dropped_total = 0u64;
     for reg in rings.iter() {
         let mut records: Vec<Record> = Vec::new();
-        reg.ring.collect(&mut records);
+        let head = reg.ring.collect(&mut records);
         dropped_total += reg.ring.dropped();
+        if clear {
+            reg.ring.clear_to(head);
+        }
         threads.push(ThreadInfo {
             tid: reg.tid,
             name: reg.thread_name.clone(),
@@ -284,8 +342,10 @@ pub fn dropped() -> u64 {
         .sum()
 }
 
-/// Forgets all recorded events (`GET /trace?clear=1`): subsequent
-/// snapshots only contain events recorded after this call.
+/// Forgets all recorded events: subsequent snapshots only contain events
+/// recorded after this call. Prefer [`snapshot_and_clear`] when pairing
+/// with a snapshot — a separate snapshot-then-`clear` sequence silently
+/// hides anything recorded in between.
 pub fn clear() {
     let t = global();
     for reg in t.rings.lock().expect("tracer registry").iter() {

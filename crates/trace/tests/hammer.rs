@@ -8,7 +8,7 @@
 
 use ccp_trace::{self as trace, TraceCat, TraceConfig, TraceEventKind};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Barrier};
 use std::thread;
 
 const WRITERS: usize = 8;
@@ -48,8 +48,14 @@ fn hammered_rings_stay_consistent_and_account_for_drops() {
         })
         .collect();
 
+    // No writer may exit before the others finish: an exited writer's
+    // ring would be recycled by a later-registering thread, which is
+    // exactly the behavior the churn test covers — here it would make
+    // the exact retained/dropped accounting below nondeterministic.
+    let all_done = Arc::new(Barrier::new(WRITERS));
     let writers: Vec<_> = (0..WRITERS)
         .map(|w| {
+            let all_done = Arc::clone(&all_done);
             thread::Builder::new()
                 .name(format!("hammer-{w}"))
                 .spawn(move || {
@@ -60,6 +66,7 @@ fn hammered_rings_stay_consistent_and_account_for_drops() {
                         let id = (i * 1000) + w as u64;
                         let _s = trace::span_id(TraceCat::Op, &format!("w{w}"), id);
                     }
+                    all_done.wait();
                 })
                 .unwrap()
         })

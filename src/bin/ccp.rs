@@ -82,7 +82,7 @@ fn print_help() {
          --queue N          admission queue cap (default 16)\n  \
          --max-conns N      connection cap      (default 64)\n  \
          --rows N           resident rows       (default 60000)\n  \
-         --queue-deadline-ms N  shed queries queued longer than N ms with 503 (default: off)\n\n\
+         --queue-deadline-ms N  shed queries queued longer than N ms with 503 (default 30000, 0 = wait forever)\n\n\
          BENCH-SERVE FLAGS:\n  \
          --addr HOST:PORT   server to drive     (default 127.0.0.1:9090)\n  \
          --qps N            target request rate (default 50)\n  \
@@ -223,9 +223,11 @@ fn parse_serve_config(args: &[String]) -> Result<ServerConfig, String> {
             "--max-conns" => config.max_connections = parse_count(&value_of("--max-conns")?)?,
             "--rows" => config.dataset_rows = parse_count(&value_of("--rows")?)?,
             "--queue-deadline-ms" => {
-                config.queue_deadline = Some(Duration::from_millis(parse_count(&value_of(
-                    "--queue-deadline-ms",
-                )?)? as u64))
+                let ms: u64 = value_of("--queue-deadline-ms")?
+                    .parse()
+                    .map_err(|_| "expected a number for --queue-deadline-ms".to_string())?;
+                // 0 opts out of shedding (wait for a slot indefinitely).
+                config.queue_deadline = (ms > 0).then(|| Duration::from_millis(ms));
             }
             other => {
                 return Err(format!(
