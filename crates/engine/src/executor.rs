@@ -155,6 +155,9 @@ impl JobExecutor {
                             let queue_wait = submitted.elapsed().as_secs_f64();
                             let cuid = job.cuid;
                             let query_id = job.ctx.as_ref().map_or(0, |c| c.id);
+                            // ORDERING: advisory runtime toggle; a stale read
+                            // only delays a worker's rebind by one job, which
+                            // set_partitioning documents as lazy.
                             let want = if shared.partitioning.load(Ordering::Relaxed) {
                                 shared.policy.mask_for(cuid)
                             } else {
@@ -218,11 +221,15 @@ impl JobExecutor {
     /// toggles exactly this). Already-bound workers are rebound lazily on
     /// their next job.
     pub fn set_partitioning(&self, on: bool) {
+        // ORDERING: relaxed store of an independent flag; workers observe
+        // it on their next job and no other state is published with it.
         self.shared.partitioning.store(on, Ordering::Relaxed);
     }
 
     /// Whether partitioning is currently enabled.
     pub fn partitioning(&self) -> bool {
+        // ORDERING: point-in-time read of the toggle; no ordering with
+        // other memory is implied or needed.
         self.shared.partitioning.load(Ordering::Relaxed)
     }
 
@@ -316,12 +323,16 @@ impl JobExecutor {
             let f = f.clone();
             let acc = acc.clone();
             jobs.push(Job::new(format!("{name}[{c}]"), cuid, move || {
+                // ORDERING: relaxed accumulation is fine because run_batch
+                // below synchronizes (channel + condvar) before the read.
                 acc.fetch_add(f(lo..hi), Ordering::Relaxed);
             }));
         }
         // Wait on the batch, not the pool: concurrent operators sharing
         // this executor must not serialize on each other's jobs.
         self.run_batch(jobs);
+        // ORDERING: run_batch's completion handshake already happens-before
+        // this load, so relaxed observes every worker's fetch_add.
         acc.load(Ordering::Relaxed)
     }
 

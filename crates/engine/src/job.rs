@@ -57,11 +57,14 @@ impl QueryCtx {
 
     /// Adds `ns` nanoseconds of mask-bind work attributed to this query.
     pub fn add_bind_ns(&self, ns: u64) {
+        // ORDERING: monotone statistics counter; readers only want an
+        // eventually-consistent total, never cross-field consistency.
         self.bind_ns.fetch_add(ns, Ordering::Relaxed);
     }
 
     /// Total mask-bind nanoseconds accumulated so far.
     pub fn bind_ns(&self) -> u64 {
+        // ORDERING: relaxed snapshot of a monotone counter.
         self.bind_ns.load(Ordering::Relaxed)
     }
 }

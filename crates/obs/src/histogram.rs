@@ -116,15 +116,23 @@ impl Histogram {
             0.0
         };
         let idx = self.inner.bounds.partition_point(|&b| b < v);
+        // ORDERING: the three fields below are independent monotone
+        // statistics; scrapers tolerate (and the exposition format
+        // expects) bucket/count/sum skew of a few in-flight records,
+        // so no release pairing is needed between them.
         self.inner.counts[idx].fetch_add(1, Ordering::Relaxed);
         self.inner.count.fetch_add(1, Ordering::Relaxed);
         // Lock-free f64 accumulation (CAS loop, like Gauge::add).
+        // ORDERING: relaxed CAS is sound because the loop re-reads the
+        // actual value on failure; only atomicity of the f64 add matters.
         let mut cur = self.inner.sum_bits.load(Ordering::Relaxed);
         loop {
             let next = (f64::from_bits(cur) + v).to_bits();
             match self.inner.sum_bits.compare_exchange_weak(
                 cur,
                 next,
+                // ORDERING: success/failure both relaxed — the retry
+                // re-reads the live value, so atomicity is all we need.
                 Ordering::Relaxed,
                 Ordering::Relaxed,
             ) {
@@ -136,11 +144,14 @@ impl Histogram {
 
     /// Total number of observations.
     pub fn count(&self) -> u64 {
+        // ORDERING: relaxed snapshot of a monotone counter.
         self.inner.count.load(Ordering::Relaxed)
     }
 
     /// Sum of all observations.
     pub fn sum(&self) -> f64 {
+        // ORDERING: relaxed read of an independently-updated cell; the
+        // value is complete in one word, so no tearing is possible.
         f64::from_bits(self.inner.sum_bits.load(Ordering::Relaxed))
     }
 
@@ -152,6 +163,8 @@ impl Histogram {
                 .inner
                 .counts
                 .iter()
+                // ORDERING: per-bucket relaxed loads; concurrent observes
+                // may land between buckets, which scrape semantics allow.
                 .map(|c| c.load(Ordering::Relaxed))
                 .collect(),
             sum: self.sum(),

@@ -27,11 +27,14 @@ impl Counter {
 
     /// Adds `n`.
     pub fn add(&self, n: u64) {
+        // ORDERING: monotone statistics counter; no other state is
+        // published alongside it, so relaxed suffices.
         self.value.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Current value.
     pub fn get(&self) -> u64 {
+        // ORDERING: relaxed snapshot of a monotone counter.
         self.value.load(Ordering::Relaxed)
     }
 }
@@ -51,16 +54,22 @@ impl Gauge {
 
     /// Sets the value.
     pub fn set(&self, v: f64) {
+        // ORDERING: last-writer-wins gauge store; readers only want the
+        // latest value, never ordering against other memory.
         self.bits.store(v.to_bits(), Ordering::Relaxed);
     }
 
     /// Adds `delta` (atomic read-modify-write).
     pub fn add(&self, delta: f64) {
+        // ORDERING: relaxed CAS loop; failure re-reads the live value,
+        // so only atomicity of the read-modify-write is required.
         let mut cur = self.bits.load(Ordering::Relaxed);
         loop {
             let next = (f64::from_bits(cur) + delta).to_bits();
             match self
                 .bits
+                // ORDERING: success/failure both relaxed — the retry
+                // re-reads the live value, so atomicity is all we need.
                 .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
             {
                 Ok(_) => return,
@@ -76,6 +85,7 @@ impl Gauge {
 
     /// Current value.
     pub fn get(&self) -> f64 {
+        // ORDERING: single-word relaxed read of the gauge; no tearing.
         f64::from_bits(self.bits.load(Ordering::Relaxed))
     }
 }

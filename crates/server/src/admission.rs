@@ -67,12 +67,41 @@ struct State {
     shutdown: bool,
 }
 
+/// Optional per-class caps on *waiting* queries, layered under the
+/// global `capacity`: a polluter burst then fills at most its own share
+/// of the queue instead of starving sensitive arrivals (the paper's
+/// admission experiments mix exactly such bursts). `None` means the
+/// class is bounded only by the global capacity. A limit of `0` rejects
+/// every arrival of that class that would have to exist in the queue —
+/// mirroring how a global capacity of `0` behaves.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClassQueueLimits {
+    /// Cap for `CacheUsageClass::Polluting` waiters.
+    pub polluting: Option<usize>,
+    /// Cap for `CacheUsageClass::Sensitive` waiters.
+    pub sensitive: Option<usize>,
+    /// Cap for `CacheUsageClass::Mixed` waiters.
+    pub mixed: Option<usize>,
+}
+
+impl ClassQueueLimits {
+    /// The cap that applies to `cuid`, if any.
+    pub fn limit_for(&self, cuid: CacheUsageClass) -> Option<usize> {
+        match class_label(cuid) {
+            "polluting" => self.polluting,
+            "sensitive" => self.sensitive,
+            _ => self.mixed,
+        }
+    }
+}
+
 /// Bounded admission queue in front of the dual-pool executor.
 pub struct AdmissionQueue {
     scheduler: CacheAwareScheduler,
     sched_metrics: SchedulerMetrics,
     server_metrics: ServerMetrics,
     capacity: usize,
+    class_limits: ClassQueueLimits,
     state: Mutex<State>,
     changed: Condvar,
 }
@@ -94,6 +123,7 @@ impl AdmissionQueue {
             sched_metrics,
             server_metrics,
             capacity,
+            class_limits: ClassQueueLimits::default(),
             state: Mutex::new(State {
                 running: Vec::new(),
                 waiting: Vec::new(),
@@ -102,6 +132,18 @@ impl AdmissionQueue {
             }),
             changed: Condvar::new(),
         }
+    }
+
+    /// Layers per-class waiting caps under the global capacity. Call
+    /// before the queue is shared (builder style).
+    pub fn with_class_limits(mut self, limits: ClassQueueLimits) -> Self {
+        self.class_limits = limits;
+        self
+    }
+
+    /// The per-class waiting caps in effect.
+    pub fn class_limits(&self) -> ClassQueueLimits {
+        self.class_limits
     }
 
     fn lock(&self) -> MutexGuard<'_, State> {
@@ -138,6 +180,22 @@ impl AdmissionQueue {
         if st.waiting.len() >= self.capacity {
             self.server_metrics.record_admission_rejection();
             return Err(AdmissionError::QueueFull);
+        }
+        // The class cap counts *other* waiters of the same class — this
+        // arrival has not enqueued yet — so a limit of N admits at most
+        // N simultaneous waiters of the class, independent of how much
+        // global capacity a burst of that class would otherwise grab.
+        if let Some(limit) = self.class_limits.limit_for(cuid) {
+            let label = class_label(cuid);
+            let same_class = st
+                .waiting
+                .iter()
+                .filter(|&&(_, c)| class_label(c) == label)
+                .count();
+            if same_class >= limit {
+                self.server_metrics.record_class_rejection(label);
+                return Err(AdmissionError::QueueFull);
+            }
         }
         // Record the arrival-time decision (admitted vs. deferred) in the
         // scheduler's instruments; re-checks below are not re-counted.
@@ -284,6 +342,22 @@ impl AdmissionQueue {
     /// Arrival-time deferrals recorded so far.
     pub fn deferrals(&self) -> u64 {
         self.sched_metrics.deferrals()
+    }
+
+    /// Count of currently *waiting* queries per CUID class label
+    /// (`polluting` / `sensitive` / `mixed`), for `/stats` next to the
+    /// per-class limits.
+    pub fn waiting_by_class(&self) -> Vec<(&'static str, usize)> {
+        let st = self.lock();
+        let mut counts: Vec<(&'static str, usize)> = Vec::new();
+        for &(_, cuid) in &st.waiting {
+            let label = class_label(cuid);
+            match counts.iter_mut().find(|(l, _)| *l == label) {
+                Some((_, n)) => *n += 1,
+                None => counts.push((label, 1)),
+            }
+        }
+        counts
     }
 
     /// Count of currently *running* queries per CUID class label
@@ -479,6 +553,72 @@ mod tests {
             .acquire_with_deadline(CacheUsageClass::Polluting, Some(Duration::ZERO))
             .unwrap();
         assert!(p.ticket() > 0);
+        drop(p);
+        assert!(q.drain(Duration::from_secs(1)));
+    }
+
+    #[test]
+    fn class_limit_rejects_before_global_capacity() {
+        let cfg = HierarchyConfig::broadwell_e5_2699_v4();
+        let policy = PartitionPolicy::paper_default(cfg.llc, cfg.l2.size_bytes);
+        let registry = Registry::new();
+        let metrics = ServerMetrics::new(&registry);
+        let q = Arc::new(
+            AdmissionQueue::new(
+                CacheAwareScheduler::new(policy, 1),
+                8,
+                SchedulerMetrics::new(),
+                metrics.clone(),
+            )
+            .with_class_limits(ClassQueueLimits {
+                polluting: Some(1),
+                ..ClassQueueLimits::default()
+            }),
+        );
+        let held = q.acquire(CacheUsageClass::Polluting).unwrap();
+        let q2 = Arc::clone(&q);
+        let waiter = thread::spawn(move || q2.acquire(CacheUsageClass::Polluting).map(drop));
+        while q.occupancy().0 < 1 {
+            thread::yield_now();
+        }
+        // Global queue has 7 free slots, but the polluter cap (1) is hit.
+        let err = q.acquire(CacheUsageClass::Polluting).unwrap_err();
+        assert_eq!(err, AdmissionError::QueueFull);
+        assert_eq!(metrics.class_rejections("polluting"), 1);
+        // A sensitive query is not subject to the polluter cap: with the
+        // slot held it waits, so probe with a zero deadline instead.
+        let err = q
+            .acquire_with_deadline(CacheUsageClass::Sensitive, Some(Duration::ZERO))
+            .unwrap_err();
+        assert_eq!(err, AdmissionError::TimedOut, "capped out, not rejected");
+        drop(held);
+        waiter.join().unwrap().unwrap();
+        assert!(q.drain(Duration::from_secs(1)));
+    }
+
+    #[test]
+    fn class_limit_zero_rejects_every_arrival_of_that_class() {
+        let cfg = HierarchyConfig::broadwell_e5_2699_v4();
+        let policy = PartitionPolicy::paper_default(cfg.llc, cfg.l2.size_bytes);
+        let registry = Registry::new();
+        let q = Arc::new(
+            AdmissionQueue::new(
+                CacheAwareScheduler::new(policy, 2),
+                8,
+                SchedulerMetrics::new(),
+                ServerMetrics::new(&registry),
+            )
+            .with_class_limits(ClassQueueLimits {
+                sensitive: Some(0),
+                ..ClassQueueLimits::default()
+            }),
+        );
+        assert_eq!(
+            q.acquire(CacheUsageClass::Sensitive).unwrap_err(),
+            AdmissionError::QueueFull
+        );
+        // Other classes are untouched.
+        let p = q.acquire(CacheUsageClass::Polluting).unwrap();
         drop(p);
         assert!(q.drain(Duration::from_secs(1)));
     }

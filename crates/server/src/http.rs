@@ -505,10 +505,14 @@ impl HttpClient {
         body: Option<&str>,
     ) -> Result<ClientResponse, (io::Error, FailurePoint)> {
         if self.stream.is_none() {
-            self.stream =
-                Some(Self::open(self.addr).map_err(|e| (e, FailurePoint::PreSend))?);
+            self.stream = Some(Self::open(self.addr).map_err(|e| (e, FailurePoint::PreSend))?);
         }
-        let reader = self.stream.as_mut().expect("just opened");
+        let Some(reader) = self.stream.as_mut() else {
+            return Err((
+                io::Error::new(io::ErrorKind::NotConnected, "connection not opened"),
+                FailurePoint::PreSend,
+            ));
+        };
         let body = body.unwrap_or("");
         // One buffer, one write: the request must not straddle TCP
         // segments the peer's delayed ACK would stall on.
@@ -805,7 +809,9 @@ mod tests {
                 let _ = read_request(&mut reader).unwrap().unwrap();
                 // Respond keep-alive, then close anyway: the next request
                 // on this connection hits the idle-close race.
-                Response::text(200, "ok").write_to(reader.get_mut()).unwrap();
+                Response::text(200, "ok")
+                    .write_to(reader.get_mut())
+                    .unwrap();
             }
         });
         let mut client = HttpClient::connect(addr).unwrap();
@@ -826,7 +832,9 @@ mod tests {
             let (stream, _) = listener.accept().unwrap();
             let mut reader = BufReader::new(stream);
             let _ = read_request(&mut reader).unwrap().unwrap();
-            Response::text(200, "ok").write_to(reader.get_mut()).unwrap();
+            Response::text(200, "ok")
+                .write_to(reader.get_mut())
+                .unwrap();
             // Read the second request fully — the server "received" it —
             // then die without responding.
             let _ = read_request(&mut reader).unwrap().unwrap();

@@ -41,7 +41,7 @@ pub mod metrics;
 pub mod query;
 pub mod server;
 
-pub use admission::{AdmissionError, AdmissionQueue, RunPermit};
+pub use admission::{AdmissionError, AdmissionQueue, ClassQueueLimits, RunPermit};
 pub use http::{fetch, ClientResponse, HttpClient, HttpError, Request, Response};
 pub use json::Json;
 pub use metrics::ServerMetrics;

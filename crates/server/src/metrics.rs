@@ -17,6 +17,7 @@ pub struct ServerMetrics {
     requests: Family<Counter>,
     request_latency: Family<Histogram>,
     admission_rejections: Counter,
+    admission_class_rejections: Family<Counter>,
     admission_timeouts: Counter,
     queue_depth: Gauge,
     running_queries: Gauge,
@@ -60,6 +61,10 @@ impl ServerMetrics {
                     "Queries rejected with 429 because the admission queue was full",
                 )
                 .get_or_create(&[]),
+            admission_class_rejections: registry.counter_family(
+                "ccp_server_admission_class_rejections_total",
+                "Queries rejected with 429 because their class hit its queue limit",
+            ),
             admission_timeouts: registry
                 .counter_family(
                     "ccp_admission_timeouts_total",
@@ -111,6 +116,23 @@ impl ServerMetrics {
     /// Records an admission-queue overflow (a 429).
     pub fn record_admission_rejection(&self) {
         self.admission_rejections.inc();
+    }
+
+    /// Records a per-class queue-limit rejection (also a 429). The
+    /// global rejection counter is bumped too, so existing dashboards
+    /// keep seeing every 429 in one series.
+    pub fn record_class_rejection(&self, class: &str) {
+        self.admission_rejections.inc();
+        self.admission_class_rejections
+            .get_or_create(&[("class", class)])
+            .inc();
+    }
+
+    /// Per-class queue-limit rejections so far for `class`.
+    pub fn class_rejections(&self, class: &str) -> u64 {
+        self.admission_class_rejections
+            .get_or_create(&[("class", class)])
+            .get()
     }
 
     /// Publishes the admission queue's current occupancy.

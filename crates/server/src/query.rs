@@ -510,12 +510,17 @@ impl QueryEngine {
                     for &r in rows {
                         sum += *amounts.dict().decode(amounts.code_at(r as usize));
                     }
+                    // ORDERING: the batch wait below synchronizes with the
+                    // worker (channel + condvar), so relaxed stores are
+                    // visible to the post-wait loads without extra fencing.
                     hits2.store(rows.len() as u64, Ordering::Relaxed);
                     total2.store(sum as u64, Ordering::Relaxed);
                 },
             )])
             .wait();
         (
+            // ORDERING: wait() above happens-before these reads; relaxed
+            // is enough to observe the job's stores.
             hits.load(Ordering::Relaxed),
             total.load(Ordering::Relaxed) as i64,
         )

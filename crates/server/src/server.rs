@@ -18,7 +18,7 @@
 //! connection before returning — no `TcpListener` leaks into the next
 //! test's port.
 
-use crate::admission::{AdmissionError, AdmissionQueue};
+use crate::admission::{AdmissionError, AdmissionQueue, ClassQueueLimits};
 use crate::http::{read_request, HttpError, Request, Response};
 use crate::json::Json;
 use crate::metrics::ServerMetrics;
@@ -50,6 +50,10 @@ pub struct ServerConfig {
     pub scheduler_slots: usize,
     /// Queries allowed to *wait* for a slot before `429`.
     pub queue_capacity: usize,
+    /// Optional per-class waiting caps layered under `queue_capacity`
+    /// (`--queue-limit-polluting` etc.); a class at its cap gets `429`
+    /// even while the global queue has room.
+    pub class_queue_limits: ClassQueueLimits,
     /// Concurrent connections before new ones get `503` and close.
     pub max_connections: usize,
     /// Per-connection socket read timeout.
@@ -81,6 +85,7 @@ impl Default for ServerConfig {
             oltp_workers: 1,
             scheduler_slots: 2,
             queue_capacity: 16,
+            class_queue_limits: ClassQueueLimits::default(),
             max_connections: 64,
             read_timeout: Duration::from_secs(5),
             write_timeout: Duration::from_secs(5),
@@ -181,12 +186,15 @@ impl Server {
         let sched_metrics = SchedulerMetrics::new();
         sched_metrics.register_into(&registry);
         let scheduler = CacheAwareScheduler::new(engine.policy(), config.scheduler_slots);
-        let admission = Arc::new(AdmissionQueue::new(
-            scheduler,
-            config.queue_capacity,
-            sched_metrics,
-            metrics.clone(),
-        ));
+        let admission = Arc::new(
+            AdmissionQueue::new(
+                scheduler,
+                config.queue_capacity,
+                sched_metrics,
+                metrics.clone(),
+            )
+            .with_class_limits(config.class_queue_limits),
+        );
 
         let sampler = config.monitor_interval.and_then(|interval| {
             let probe = occupancy_probe(&engine, &admission);
@@ -447,23 +455,50 @@ fn route(shared: &Shared, req: &Request) -> (&'static str, Response) {
 
 /// `true` when the request's query string sets `name=1` or `name=true`.
 fn query_flag(req: &Request, name: &str) -> bool {
-    let Some((_, qs)) = req.target.split_once('?') else {
-        return false;
-    };
+    query_param(req, name).is_some_and(|v| v == "1" || v == "true")
+}
+
+/// The last `name=value` pair in the request's query string, if any.
+fn query_param<'r>(req: &'r Request, name: &str) -> Option<&'r str> {
+    let (_, qs) = req.target.split_once('?')?;
     qs.split('&')
         .filter_map(|pair| pair.split_once('='))
-        .any(|(k, v)| k == name && (v == "1" || v == "true"))
+        .filter(|(k, _)| *k == name)
+        .map(|(_, v)| v)
+        .next_back()
 }
 
 /// Serves the tracer's Chrome trace-event snapshot. `?clear=1` hides
 /// exactly the records the snapshot observed — spans recorded while the
 /// scrape was running stay for the next one — so a scrape-then-clear
-/// loop sees each span exactly once.
+/// loop sees each span exactly once. `?ticket=N` narrows the snapshot
+/// to one query's spans (the ticket `/query` returned); combining it
+/// with `clear=1` still clears the whole observed window, because the
+/// snapshot is taken before the filter is applied.
 fn handle_trace(req: &Request) -> Response {
+    let ticket = match query_param(req, "ticket") {
+        Some(raw) => match raw.parse::<u64>() {
+            Ok(n) => Some(n),
+            Err(_) => {
+                return Response::json(
+                    400,
+                    &Json::obj(vec![(
+                        "error",
+                        Json::str("ticket must be an unsigned integer"),
+                    )]),
+                );
+            }
+        },
+        None => None,
+    };
     let snap = if query_flag(req, "clear") {
         ccp_trace::snapshot_and_clear()
     } else {
         ccp_trace::snapshot()
+    };
+    let snap = match ticket {
+        Some(id) => snap.filter_query(id),
+        None => snap,
     };
     Response::json_text(200, snap.to_chrome_json())
 }
@@ -586,7 +621,13 @@ fn run_query_line(shared: &Shared, line: &str) -> Result<String, QueryLineError>
         exec_us: exec_total_us.saturating_sub(bind_us),
     };
     drop(permit);
-    Ok(outcome.to_json_with(&breakdown).to_string())
+    let mut json = outcome.to_json_with(&breakdown);
+    if let Json::Obj(ref mut fields) = json {
+        // The ticket lets a client pull exactly this query's spans with
+        // `GET /trace?ticket=N`.
+        fields.push(("ticket".to_string(), Json::num(ticket as f64)));
+    }
+    Ok(json.to_string())
 }
 
 fn pool_json(ex: &JobExecutor) -> Json {
@@ -630,6 +671,7 @@ fn stats_json(shared: &Shared) -> Json {
                     Json::num(shared.metrics.admission_timeouts() as f64),
                 ),
                 ("deferrals", Json::num(shared.admission.deferrals() as f64)),
+                ("classes", admission_classes_json(shared)),
             ]),
         ),
         (
@@ -643,6 +685,49 @@ fn stats_json(shared: &Shared) -> Json {
                 ("max", Json::num(shared.config.max_connections as f64)),
             ]),
         ),
+        ("trace", trace_json()),
+    ])
+}
+
+/// Per-class admission view for `/stats`: the configured waiting cap
+/// (`null` = bounded only by the global queue), how many queries of the
+/// class wait right now, and how many were 429'd at the class cap.
+fn admission_classes_json(shared: &Shared) -> Json {
+    let limits = shared.admission.class_limits();
+    let waiting = shared.admission.waiting_by_class();
+    let class = |label: &'static str, limit: Option<usize>| {
+        let waiting_now = waiting
+            .iter()
+            .find(|(l, _)| *l == label)
+            .map_or(0, |&(_, n)| n);
+        (
+            label,
+            Json::obj(vec![
+                ("limit", limit.map_or(Json::Null, |n| Json::num(n as f64))),
+                ("waiting", Json::num(waiting_now as f64)),
+                (
+                    "rejections",
+                    Json::num(shared.metrics.class_rejections(label) as f64),
+                ),
+            ]),
+        )
+    };
+    Json::obj(vec![
+        class("polluting", limits.polluting),
+        class("sensitive", limits.sensitive),
+        class("mixed", limits.mixed),
+    ])
+}
+
+/// Tracer ring health for `/stats`: a rising `dropped` means `/trace`
+/// timelines have holes (scrape with `clear=1` more often or raise the
+/// ring capacity).
+fn trace_json() -> Json {
+    let t = ccp_trace::stats();
+    Json::obj(vec![
+        ("enabled", Json::Bool(t.enabled)),
+        ("rings", Json::num(t.rings as f64)),
+        ("dropped", Json::num(t.dropped as f64)),
     ])
 }
 
@@ -670,6 +755,10 @@ mod sigint {
 
     pub fn install() {
         const SIGINT: i32 = 2;
+        // SAFETY: `signal(2)` is async-signal-safe to install, the handler
+        // only stores to a static atomic (no allocation, locking, or
+        // formatting), and registration happens once from `main` before
+        // any connection threads exist.
         unsafe {
             signal(SIGINT, on_sigint);
         }

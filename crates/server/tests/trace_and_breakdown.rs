@@ -253,3 +253,111 @@ fn deadline_sheds_load_with_retry_after() {
     );
     server.shutdown();
 }
+
+/// `/query` returns the admission ticket, and `/trace?ticket=N` narrows
+/// the trace to exactly that query's spans: every remaining non-metadata
+/// event carries `args.query == N`, and other queries' spans are gone.
+#[test]
+fn trace_ticket_filter_isolates_one_query() {
+    let _guard = serial();
+    let mut server = Server::start(config()).expect("start");
+    let addr = server.addr();
+    // Two queries → two distinct tickets in the rings.
+    let first = fetch(
+        addr,
+        "POST",
+        "/query",
+        Some(r#"{"workload":"q1","threshold":100}"#),
+    )
+    .expect("first query");
+    assert_eq!(first.status, 200);
+    let second = fetch(
+        addr,
+        "POST",
+        "/query",
+        Some(r#"{"workload":"q1","threshold":100}"#),
+    )
+    .expect("second query");
+    let outcome = Json::parse(&second.body).expect("query response is JSON");
+    let ticket = outcome
+        .get("ticket")
+        .and_then(Json::as_u64)
+        .expect("response carries the admission ticket");
+
+    let trace = fetch(addr, "GET", &format!("/trace?ticket={ticket}"), None).expect("trace");
+    assert_eq!(trace.status, 200);
+    let doc = Json::parse(&trace.body).expect("filtered trace is valid JSON");
+    let Some(Json::Arr(events)) = doc.get("traceEvents") else {
+        panic!("traceEvents array missing");
+    };
+    let mut span_events = 0;
+    for ev in events {
+        // `B` and `i` events carry `args.query`; `E` closes its `B` and
+        // `M` is thread metadata — neither repeats the id.
+        if !matches!(ev.get("ph").and_then(Json::as_str), Some("B" | "i")) {
+            continue;
+        }
+        span_events += 1;
+        let id = ev
+            .get("args")
+            .and_then(|a| a.get("query"))
+            .and_then(Json::as_u64);
+        assert_eq!(id, Some(ticket), "foreign event in filtered trace: {ev:?}");
+    }
+    assert!(span_events > 0, "filter kept the query's own spans");
+
+    // A malformed ticket is a clean 400, not a panic or a full dump.
+    let bad = fetch(addr, "GET", "/trace?ticket=abc", None).expect("bad ticket");
+    assert_eq!(bad.status, 400);
+    server.shutdown();
+}
+
+/// `/stats` surfaces tracer ring health (satellite of the verify work:
+/// the drop counter the model checker guards is now observable) and the
+/// per-class admission view with its configured limits.
+#[test]
+fn stats_expose_trace_health_and_class_limits() {
+    let _guard = serial();
+    let mut cfg = config();
+    cfg.class_queue_limits = ccp_server::ClassQueueLimits {
+        polluting: Some(3),
+        ..Default::default()
+    };
+    let mut server = Server::start(cfg).expect("start");
+    let addr = server.addr();
+    let resp = fetch(addr, "GET", "/stats", None).expect("stats");
+    assert_eq!(resp.status, 200);
+    let doc = Json::parse(&resp.body).expect("/stats is valid JSON");
+
+    let trace = doc.get("trace").expect("trace section present");
+    assert!(
+        matches!(trace.get("enabled"), Some(Json::Bool(true))),
+        "tracer on by default: {trace:?}"
+    );
+    assert!(
+        trace.get("rings").and_then(Json::as_u64).is_some(),
+        "ring count numeric"
+    );
+    assert!(
+        trace.get("dropped").and_then(Json::as_u64).is_some(),
+        "drop counter numeric"
+    );
+
+    let classes = doc
+        .get("admission")
+        .and_then(|a| a.get("classes"))
+        .expect("admission.classes present");
+    let polluting = classes.get("polluting").expect("polluting class");
+    assert_eq!(
+        polluting.get("limit").and_then(Json::as_u64),
+        Some(3),
+        "configured cap surfaced"
+    );
+    assert_eq!(polluting.get("rejections").and_then(Json::as_u64), Some(0));
+    let sensitive = classes.get("sensitive").expect("sensitive class");
+    assert!(
+        matches!(sensitive.get("limit"), Some(Json::Null)),
+        "unlimited class renders null, got {sensitive:?}"
+    );
+    server.shutdown();
+}

@@ -77,6 +77,18 @@ pub(crate) fn event_from_record(r: Record, tid: u32) -> TraceEvent {
 }
 
 impl TraceSnapshot {
+    /// Keeps only the events of one query (`GET /trace?ticket=N`): spans
+    /// and instants whose correlation id equals `query_id`, plus the
+    /// thread metadata of the threads that still have events. The drop
+    /// counter is passed through untouched — losses are a property of the
+    /// whole capture, not of one query.
+    pub fn filter_query(mut self, query_id: u64) -> TraceSnapshot {
+        self.events.retain(|e| e.id == query_id);
+        self.threads
+            .retain(|t| self.events.iter().any(|e| e.tid == t.tid));
+        self
+    }
+
     /// Renders the snapshot as Chrome trace-event JSON.
     ///
     /// Per thread, spans are sorted by start time (longest first on

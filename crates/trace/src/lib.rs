@@ -67,10 +67,10 @@ mod ring;
 mod tracer;
 
 pub use export::{ThreadInfo, TraceEvent, TraceEventKind, TraceSnapshot};
-pub use ring::SpanRing;
+pub use ring::{Record, SpanRing};
 pub use tracer::{
     clear, disable, dropped, enable, enabled, instant, instant_id, snapshot, snapshot_and_clear,
-    span, span_id, SpanGuard, TraceConfig, Tracer,
+    span, span_id, stats, SpanGuard, TraceConfig, Tracer, TracerStats,
 };
 
 /// Category a trace event belongs to; becomes the Chrome `cat` field so

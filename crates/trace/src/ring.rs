@@ -50,13 +50,23 @@ impl Slot {
 }
 
 /// A decoded record read back out of a ring.
+///
+/// Public so external harnesses (the `ccp-verify` interleaving checker)
+/// can drive a [`SpanRing`] directly and assert on what
+/// [`collect`](SpanRing::collect) observed.
 #[derive(Debug, Clone)]
-pub(crate) struct Record {
+pub struct Record {
+    /// Start timestamp, microseconds since the tracer epoch.
     pub ts_us: u64,
+    /// Duration in microseconds (`0` for instants).
     pub dur_us: u64,
+    /// Record kind: `0` for spans, `1` for instants.
     pub kind: u8,
+    /// Layer the record came from.
     pub cat: TraceCat,
+    /// Correlation id (query id), `0` if none.
     pub id: u64,
+    /// Event name (truncated to the inline limit).
     pub name: String,
 }
 
@@ -99,9 +109,28 @@ impl SpanRing {
 
     /// Records overwritten by wrap-around since the last clear.
     pub fn dropped(&self) -> u64 {
+        // ORDERING: statistics read of two monotone counters; a stale or
+        // torn pair only misreports a count transiently, no memory is
+        // accessed based on the result (hence saturating_sub).
         self.dropped
             .load(Ordering::Relaxed)
             .saturating_sub(self.dropped_base.load(Ordering::Relaxed))
+    }
+
+    /// Writes one span record (a completed span: start + duration).
+    ///
+    /// Must only be called by the ring's single owner — see
+    /// [`push`](Self::push) for the seqlock contract.
+    pub fn push_span(&self, ts_us: u64, dur_us: u64, cat: TraceCat, id: u64, name: &str) {
+        self.push(ts_us, dur_us, KIND_SPAN, cat, id, name);
+    }
+
+    /// Writes one zero-duration instant record.
+    ///
+    /// Must only be called by the ring's single owner — see
+    /// [`push`](Self::push) for the seqlock contract.
+    pub fn push_instant(&self, ts_us: u64, cat: TraceCat, id: u64, name: &str) {
+        self.push(ts_us, 0, KIND_INSTANT, cat, id, name);
     }
 
     /// Writes one record. Must only be called by the owning thread —
@@ -116,16 +145,24 @@ impl SpanRing {
         name: &str,
     ) {
         let cap = self.slots.len() as u64;
+        // ORDERING: single-writer ring — only the owner mutates `head`, so
+        // a relaxed self-read returns the exact last value it stored.
         let i = self.head.load(Ordering::Relaxed);
         let generation = i / cap + 1;
         let slot = &self.slots[(i % cap) as usize];
 
         // Seqlock write: mark odd, publish fields, mark even.
+        // ORDERING: the odd-seq store may be relaxed because the Release
+        // *fence* right after it orders it before every field store below
+        // for any reader that acquires the final even seq; the field
+        // stores themselves are relaxed for the same reason.
         slot.seq.store(2 * generation - 1, Ordering::Relaxed);
         fence(Ordering::Release);
         let name_bytes = truncated_utf8(name);
         slot.ts_us.store(ts_us, Ordering::Relaxed);
         slot.dur_us.store(dur_us, Ordering::Relaxed);
+        // ORDERING: still inside the seqlock write window — these relaxed
+        // stores are published by the closing Release on `seq`.
         slot.meta.store(
             kind as u64 | (cat as u64) << 8 | (name_bytes.len() as u64) << 16,
             Ordering::Relaxed,
@@ -133,17 +170,33 @@ impl SpanRing {
         slot.id.store(id, Ordering::Relaxed);
         let mut packed = [0u8; MAX_NAME];
         packed[..name_bytes.len()].copy_from_slice(name_bytes);
+        // ORDERING: still inside the odd/even seq window opened above —
+        // relaxed name-word stores are published by the Release below.
         for (w, chunk) in slot.name.iter().zip(packed.chunks_exact(8)) {
             w.store(
                 u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")),
                 Ordering::Relaxed,
             );
         }
+        // ORDERING: Release closes the seqlock write: a reader that
+        // acquire-loads this even seq sees every field store above it.
         slot.seq.store(2 * generation, Ordering::Release);
 
-        if i >= cap {
+        // A wrap only drops a record the world could still see. Slots
+        // below the cleared floor were either delivered to a snapshot
+        // (`clear_to`) or already counted dropped (`recycle`); counting
+        // them again would overstate loss — the ccp-verify recycle
+        // harness found exactly that double-count under the schedule
+        // "11 pushes, recycle, push".
+        // ORDERING: relaxed floor read and counter bump — `dropped` is a
+        // monotone statistic, and `cleared_upto` only ever grows, so a
+        // stale read at worst counts a drop for an already-hidden record.
+        if i >= cap && i - cap >= self.cleared_upto.load(Ordering::Relaxed) {
             self.dropped.fetch_add(1, Ordering::Relaxed);
         }
+        // ORDERING: Release publishes the completed slot (and its even
+        // seq) before the new head; `collect`'s Acquire head-load is the
+        // matching edge that makes index `i` safe to read.
         self.head.store(i + 1, Ordering::Release);
     }
 
@@ -151,9 +204,16 @@ impl SpanRing {
     /// the owner is rewriting right now, or has already lapped). Returns
     /// the head (write index) this snapshot observed, so callers can
     /// later [`clear_to`](SpanRing::clear_to) exactly what they read.
-    pub(crate) fn collect(&self, out: &mut Vec<Record>) -> u64 {
+    ///
+    /// Safe to call from any thread, concurrently with the owner's
+    /// writes.
+    pub fn collect(&self, out: &mut Vec<Record>) -> u64 {
         let cap = self.slots.len() as u64;
+        // ORDERING: Acquire pairs with the writer's Release head-store —
+        // every slot below this head is fully published before we read it.
         let head = self.head.load(Ordering::Acquire);
+        // ORDERING: the floor is advisory (it only hides records); a stale
+        // relaxed read shows at most already-cleared records again.
         let floor = self
             .cleared_upto
             .load(Ordering::Relaxed)
@@ -161,18 +221,26 @@ impl SpanRing {
         for i in floor..head {
             let slot = &self.slots[(i % cap) as usize];
             let expect = 2 * (i / cap + 1);
+            // ORDERING: Acquire on the seq word pairs with the writer's
+            // closing Release, ordering the field loads below after it.
             let s1 = slot.seq.load(Ordering::Acquire);
             if s1 != expect {
                 continue; // being written, or already overwritten
             }
+            // ORDERING: field loads are relaxed; the seqlock re-check
+            // after the Acquire fence below rejects any torn read.
             let ts_us = slot.ts_us.load(Ordering::Relaxed);
             let dur_us = slot.dur_us.load(Ordering::Relaxed);
             let meta = slot.meta.load(Ordering::Relaxed);
             let id = slot.id.load(Ordering::Relaxed);
             let mut packed = [0u8; MAX_NAME];
+            // ORDERING: same seqlock-validated window as the loads above.
             for (w, chunk) in slot.name.iter().zip(packed.chunks_exact_mut(8)) {
                 chunk.copy_from_slice(&w.load(Ordering::Relaxed).to_le_bytes());
             }
+            // ORDERING: the fence orders the field loads above before the
+            // relaxed seq re-load — if the writer touched the slot in
+            // between, the seq changed and the record is discarded.
             fence(Ordering::Acquire);
             if slot.seq.load(Ordering::Relaxed) != s1 {
                 continue; // torn: writer lapped us mid-read
@@ -192,7 +260,9 @@ impl SpanRing {
 
     /// Hides all current records from future snapshots and rebases the
     /// drop counter. The owner keeps writing unimpeded.
-    pub(crate) fn clear(&self) {
+    pub fn clear(&self) {
+        // ORDERING: Acquire matches the writer's Release head-store so the
+        // floor lands at a head whose records are fully published.
         self.clear_to(self.head.load(Ordering::Acquire));
     }
 
@@ -201,7 +271,11 @@ impl SpanRing {
     /// Records pushed after that observation stay visible, so a
     /// snapshot-then-clear pair never loses events recorded in between.
     /// The floor only moves forward.
-    pub(crate) fn clear_to(&self, upto: u64) {
+    pub fn clear_to(&self, upto: u64) {
+        // ORDERING: the floor is a monotone visibility hint (fetch_max
+        // keeps it from moving backwards under racing clears) and the
+        // drop rebase is statistics-only — neither guards other memory,
+        // so relaxed suffices throughout.
         self.cleared_upto.fetch_max(upto, Ordering::Relaxed);
         self.dropped_base
             .store(self.dropped.load(Ordering::Relaxed), Ordering::Relaxed);
@@ -213,13 +287,20 @@ impl SpanRing {
     /// exact) and then hidden. `head` keeps rising monotonically, so the
     /// seqlock generations of already-written slots stay consistent for
     /// the next owner.
-    pub(crate) fn recycle(&self) {
+    pub fn recycle(&self) {
         let cap = self.slots.len() as u64;
+        // ORDERING: Acquire pairs with the writer's Release head-store;
+        // recycle runs when the owner thread is gone, so this head is
+        // final.
         let head = self.head.load(Ordering::Acquire);
+        // ORDERING: floor read, drop accounting, and floor raise are all
+        // statistics/visibility updates with a dead writer — relaxed.
         let floor = self
             .cleared_upto
             .load(Ordering::Relaxed)
             .max(head.saturating_sub(cap));
+        // ORDERING: monotone drop counter and monotone floor — relaxed,
+        // as above.
         self.dropped
             .fetch_add(head.saturating_sub(floor), Ordering::Relaxed);
         self.cleared_upto.fetch_max(head, Ordering::Relaxed);

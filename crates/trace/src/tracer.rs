@@ -110,6 +110,10 @@ const DEAD_RING_RETAIN: usize = 8;
 /// this thread instead of growing the registry. Dead rings whose
 /// capacity no longer matches the configuration are pruned outright.
 fn register_local_ring(t: &'static Tracer) -> LocalRing {
+    // ORDERING: config knob and tid counter — the capacity is a hint
+    // (rings created around a reconfigure may use either value) and the
+    // tid only needs uniqueness, which fetch_add provides at any
+    // strength.
     let capacity = (t.ring_capacity.load(Ordering::Relaxed) as usize).max(8);
     let thread_name = std::thread::current().name().map(str::to_owned);
     let tid = t.next_tid.fetch_add(1, Ordering::Relaxed);
@@ -153,6 +157,9 @@ fn now_us(t: &Tracer) -> u64 {
 /// reconfiguring applies to rings created after the call.
 pub fn enable(config: TraceConfig) {
     let t = global();
+    // ORDERING: independent config cells plus an on/off flag; trace
+    // points that race the enable may record or skip a span either way,
+    // and nothing downstream dereferences memory guarded by the flag.
     t.ring_capacity
         .store(config.ring_capacity.max(8) as u64, Ordering::Relaxed);
     t.sample_one_in
@@ -162,6 +169,8 @@ pub fn enable(config: TraceConfig) {
 
 /// Turns tracing off. Already-recorded events stay snapshottable.
 pub fn disable() {
+    // ORDERING: see `enable` — the flag gates only whether spans are
+    // recorded, never what memory is safe to touch.
     global().enabled.store(false, Ordering::Relaxed);
 }
 
@@ -169,6 +178,8 @@ pub fn disable() {
 /// the entire cost of a disabled trace point).
 #[inline]
 pub fn enabled() -> bool {
+    // ORDERING: advisory flag read on the hot path; a stale value only
+    // delays when trace points notice a toggle.
     global().enabled.load(Ordering::Relaxed)
 }
 
@@ -189,6 +200,8 @@ pub fn span_id(cat: TraceCat, name: &str, id: u64) -> SpanGuard {
     }
     let t = global();
     let Some(ring) = with_local(t, |local| {
+        // ORDERING: sampling knob — a racing reconfigure may sample one
+        // span under the old rate; the tick itself is thread-local.
         let n = t.sample_one_in.load(Ordering::Relaxed);
         if n > 1 {
             let tick = local.sample_tick.get().wrapping_add(1);
@@ -328,6 +341,36 @@ fn snapshot_inner(clear: bool) -> TraceSnapshot {
         events,
         threads,
         dropped: dropped_total,
+    }
+}
+
+/// Point-in-time counters of the process tracer, cheap enough for a
+/// `/stats` poll: how many rings exist (live threads plus retained dead
+/// ones) and how many records were lost to wrap-around or recycling
+/// since the last clear. A rising `dropped` under sustained load means
+/// `/trace` timelines have holes — raise the ring capacity or scrape
+/// (with `clear=1`) more often.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TracerStats {
+    /// Whether tracing is currently enabled.
+    pub enabled: bool,
+    /// Registered rings (one per traced thread, plus retained dead rings).
+    pub rings: usize,
+    /// Records lost to ring wrap-around or recycling since the last clear,
+    /// summed across rings.
+    pub dropped: u64,
+}
+
+/// Snapshot of the tracer's ring/overflow counters (see [`TracerStats`]).
+pub fn stats() -> TracerStats {
+    let t = global();
+    let rings = t.rings.lock().expect("tracer registry");
+    TracerStats {
+        // ORDERING: point-in-time stats read; staleness is inherent to a
+        // scrape.
+        enabled: t.enabled.load(Ordering::Relaxed),
+        rings: rings.len(),
+        dropped: rings.iter().map(|r| r.ring.dropped()).sum(),
     }
 }
 

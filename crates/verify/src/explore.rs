@@ -1,0 +1,459 @@
+//! The controlled scheduler: actors, schedules, exhaustive and random
+//! exploration, and deterministic replay.
+
+use crate::rng::SplitMix64;
+use std::collections::VecDeque;
+
+/// One boxed step of an actor (the unit of atomicity under exploration).
+type Step<S> = Box<dyn FnMut(&mut S)>;
+
+/// The scheduling oracle `run_one` consults: given the decision depth
+/// and the runnable actor indices, picks one (or aborts the run).
+type Decider<'d> = &'d mut dyn FnMut(usize, &[usize]) -> Result<usize, String>;
+
+/// One logical thread of a concurrent test case: a named, fixed sequence
+/// of steps over the shared state `S`. The explorer advances exactly one
+/// actor per scheduling decision, so steps are the preemption points —
+/// everything inside a single step is atomic with respect to the
+/// explored interleavings.
+pub struct Actor<S> {
+    name: String,
+    steps: VecDeque<Step<S>>,
+}
+
+impl<S> Actor<S> {
+    /// Creates an empty actor. Add steps with [`then`](Actor::then).
+    pub fn new(name: impl Into<String>) -> Actor<S> {
+        Actor {
+            name: name.into(),
+            steps: VecDeque::new(),
+        }
+    }
+
+    /// Appends one step. Steps run in the order they were added; actor-
+    /// local state flows between them through captures or through `S`.
+    pub fn then(mut self, f: impl FnMut(&mut S) + 'static) -> Actor<S> {
+        self.steps.push_back(Box::new(f));
+        self
+    }
+
+    /// Steps not yet executed.
+    pub fn remaining(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// The actor's display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// How the explorer picks schedules.
+#[derive(Debug, Clone, Copy)]
+pub enum Mode {
+    /// Depth-first enumeration of every interleaving, up to
+    /// `max_schedules` runs. When the full space fits under the bound the
+    /// result's [`Report::exhausted`] is `true` and the absence of a
+    /// violation is a proof over operation-granularity schedules.
+    Exhaustive {
+        /// Upper bound on schedules to run before giving up on
+        /// exhaustion (the space grows multinomially in actor steps).
+        max_schedules: usize,
+    },
+    /// Seeded pseudo-random schedules — for state spaces too large to
+    /// exhaust. Same seed ⇒ same schedules, so failures stay
+    /// reproducible.
+    Random {
+        /// Seed for the schedule stream.
+        seed: u64,
+        /// Number of schedules to run.
+        schedules: usize,
+    },
+}
+
+/// Successful exploration summary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Report {
+    /// Schedules actually executed.
+    pub schedules: usize,
+    /// Whether the whole interleaving space was covered (exhaustive mode
+    /// under the bound only).
+    pub exhausted: bool,
+}
+
+/// A failed run: the exact schedule (actor index per step) that produced
+/// it, replayable with [`replay`].
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Actor index chosen at each scheduling decision, in order.
+    pub schedule: Vec<usize>,
+    /// What went wrong, prefixed with where (step or final check).
+    pub message: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} [schedule: {:?}]", self.message, self.schedule)
+    }
+}
+
+/// Runs one schedule. `decide` receives the decision depth and the
+/// (ascending) indices of runnable actors and returns the absolute index
+/// of the actor to advance; an `Err` from it aborts the run as a
+/// violation (used by replay and the determinism check).
+fn run_one<S>(
+    build: &impl Fn() -> (S, Vec<Actor<S>>),
+    check_step: &impl Fn(&S) -> Result<(), String>,
+    check_final: &impl Fn(&mut S) -> Result<(), String>,
+    decide: Decider<'_>,
+) -> Result<Vec<usize>, Violation> {
+    let (mut state, mut actors) = build();
+    let mut schedule: Vec<usize> = Vec::new();
+    loop {
+        let runnable: Vec<usize> = actors
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| !a.steps.is_empty())
+            .map(|(i, _)| i)
+            .collect();
+        if runnable.is_empty() {
+            break;
+        }
+        let actor = match decide(schedule.len(), &runnable) {
+            Ok(i) => i,
+            Err(message) => return Err(Violation { schedule, message }),
+        };
+        schedule.push(actor);
+        let Some(step) = actors[actor].steps.pop_front().map(|mut f| f(&mut state)) else {
+            return Err(Violation {
+                schedule,
+                message: format!("scheduler picked finished actor #{actor}"),
+            });
+        };
+        let () = step;
+        if let Err(why) = check_step(&state) {
+            let name = actors[actor].name.clone();
+            let at = schedule.len() - 1;
+            return Err(Violation {
+                schedule,
+                message: format!("invariant broken after step {at} ({name}): {why}"),
+            });
+        }
+    }
+    if let Err(why) = check_final(&mut state) {
+        return Err(Violation {
+            schedule,
+            message: format!("final check failed: {why}"),
+        });
+    }
+    Ok(schedule)
+}
+
+/// Explores interleavings of `build`'s actors over its shared state.
+///
+/// Per schedule, `build` constructs a fresh state and fresh actors; the
+/// explorer then repeatedly picks a runnable actor (per [`Mode`]) and
+/// executes its next step. `check_step` runs after every step,
+/// `check_final` once per schedule after all actors finished (it takes
+/// `&mut S` so harnesses can run a final drain/collect).
+///
+/// Returns the first [`Violation`] found — including the schedule that
+/// triggers it, for [`replay`] — or a [`Report`] when every explored
+/// schedule upheld the invariants.
+///
+/// Determinism contract: `build` must produce actors whose *step counts
+/// and enabledness* depend only on the schedule, not on time, real
+/// parallelism, or ambient randomness. The explorer detects divergence
+/// between runs (a schedule prefix reaching a different runnable-set
+/// width) and reports it as a violation rather than exploring garbage.
+pub fn explore<S>(
+    mode: Mode,
+    build: impl Fn() -> (S, Vec<Actor<S>>),
+    check_step: impl Fn(&S) -> Result<(), String>,
+    check_final: impl Fn(&mut S) -> Result<(), String>,
+) -> Result<Report, Violation> {
+    match mode {
+        Mode::Exhaustive { max_schedules } => {
+            // DFS over decision prefixes: `path` holds (choice, width) per
+            // depth; each iteration replays the prefix and extends it with
+            // first-choice decisions, then the odometer advances.
+            let mut path: Vec<(usize, usize)> = Vec::new();
+            let mut schedules = 0usize;
+            loop {
+                {
+                    let path = &mut path;
+                    run_one(&build, &check_step, &check_final, &mut |depth, runnable| {
+                        if depth < path.len() {
+                            let (choice, width) = path[depth];
+                            if width != runnable.len() {
+                                return Err(format!(
+                                    "non-deterministic harness: depth {depth} had width \
+                                     {width}, now {}",
+                                    runnable.len()
+                                ));
+                            }
+                            Ok(runnable[choice])
+                        } else {
+                            path.push((0, runnable.len()));
+                            Ok(runnable[0])
+                        }
+                    })?;
+                }
+                schedules += 1;
+                // Odometer: advance the deepest decision that still has an
+                // unexplored sibling, dropping everything below it.
+                while let Some((choice, width)) = path.pop() {
+                    if choice + 1 < width {
+                        path.push((choice + 1, width));
+                        break;
+                    }
+                }
+                if path.is_empty() {
+                    return Ok(Report {
+                        schedules,
+                        exhausted: true,
+                    });
+                }
+                if schedules >= max_schedules {
+                    return Ok(Report {
+                        schedules,
+                        exhausted: false,
+                    });
+                }
+            }
+        }
+        Mode::Random { seed, schedules } => {
+            for run in 0..schedules {
+                // Decorrelate per-run streams: feeding `seed + run` into
+                // SplitMix64 is exactly its intended splitting usage.
+                let mut rng = SplitMix64::new(seed.wrapping_add(run as u64));
+                run_one(&build, &check_step, &check_final, &mut |_, runnable| {
+                    Ok(runnable[rng.below(runnable.len())])
+                })?;
+            }
+            Ok(Report {
+                schedules,
+                exhausted: false,
+            })
+        }
+    }
+}
+
+/// Re-executes one recorded schedule (from [`Violation::schedule`])
+/// against a fresh build. Decisions beyond the recorded schedule fall
+/// back to the first runnable actor — a violating schedule always ends
+/// at its violation, so the tail is never reached when reproducing one.
+///
+/// Returns the reproduced violation, or `Ok(())` when the schedule now
+/// passes (e.g. after a fix).
+pub fn replay<S>(
+    schedule: &[usize],
+    build: impl Fn() -> (S, Vec<Actor<S>>),
+    check_step: impl Fn(&S) -> Result<(), String>,
+    check_final: impl Fn(&mut S) -> Result<(), String>,
+) -> Result<(), Violation> {
+    run_one(&build, &check_step, &check_final, &mut |depth, runnable| {
+        let Some(&want) = schedule.get(depth) else {
+            return Ok(runnable[0]);
+        };
+        if runnable.contains(&want) {
+            Ok(want)
+        } else {
+            Err(format!(
+                "schedule picks actor #{want} at depth {depth}, but it has no steps left"
+            ))
+        }
+    })
+    .map(|_| ())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two-step non-atomic increments: the canonical lost update.
+    struct LostUpdate {
+        val: u64,
+        tmp: [u64; 2],
+    }
+
+    fn lost_update_build() -> (LostUpdate, Vec<Actor<LostUpdate>>) {
+        let state = LostUpdate {
+            val: 0,
+            tmp: [0, 0],
+        };
+        let actors = (0..2)
+            .map(|i| {
+                Actor::new(format!("inc-{i}"))
+                    .then(move |s: &mut LostUpdate| s.tmp[i] = s.val)
+                    .then(move |s: &mut LostUpdate| s.val = s.tmp[i] + 1)
+            })
+            .collect();
+        (state, actors)
+    }
+
+    fn lost_update_final(s: &mut LostUpdate) -> Result<(), String> {
+        if s.val == 2 {
+            Ok(())
+        } else {
+            Err(format!("lost update: val={}", s.val))
+        }
+    }
+
+    #[test]
+    fn exhaustive_finds_the_lost_update() {
+        let violation = explore(
+            Mode::Exhaustive {
+                max_schedules: 1_000,
+            },
+            lost_update_build,
+            |_| Ok(()),
+            lost_update_final,
+        )
+        .expect_err("two-step increments must lose an update somewhere");
+        assert!(violation.message.contains("lost update"), "{violation}");
+        // The witness must interleave the reads before both writes.
+        assert_eq!(violation.schedule.len(), 4, "{violation}");
+    }
+
+    #[test]
+    fn exhaustive_passes_single_step_increments_and_exhausts() {
+        let report = explore(
+            Mode::Exhaustive {
+                max_schedules: 1_000,
+            },
+            || {
+                let actors = (0..2)
+                    .map(|i| {
+                        Actor::new(format!("inc-{i}")).then(move |s: &mut LostUpdate| {
+                            // One-step RMW: atomic at this granularity.
+                            s.tmp[i] = s.val;
+                            s.val = s.tmp[i] + 1;
+                        })
+                    })
+                    .collect();
+                (
+                    LostUpdate {
+                        val: 0,
+                        tmp: [0, 0],
+                    },
+                    actors,
+                )
+            },
+            |_| Ok(()),
+            lost_update_final,
+        )
+        .expect("atomic increments never lose updates");
+        assert!(report.exhausted);
+        assert_eq!(report.schedules, 2, "two actors, one step each: 2 orders");
+    }
+
+    #[test]
+    fn violating_schedule_replays_to_the_same_violation() {
+        let violation = explore(
+            Mode::Exhaustive { max_schedules: 100 },
+            lost_update_build,
+            |_| Ok(()),
+            lost_update_final,
+        )
+        .expect_err("must fail");
+        let replayed = replay(
+            &violation.schedule,
+            lost_update_build,
+            |_| Ok(()),
+            lost_update_final,
+        )
+        .expect_err("replay must reproduce");
+        assert_eq!(replayed.message, violation.message);
+        assert_eq!(replayed.schedule, violation.schedule);
+    }
+
+    #[test]
+    fn random_mode_finds_the_lost_update_and_is_deterministic() {
+        let a = explore(
+            Mode::Random {
+                seed: 7,
+                schedules: 200,
+            },
+            lost_update_build,
+            |_| Ok(()),
+            lost_update_final,
+        )
+        .expect_err("200 random schedules of a 2/6-failing space must hit one");
+        let b = explore(
+            Mode::Random {
+                seed: 7,
+                schedules: 200,
+            },
+            lost_update_build,
+            |_| Ok(()),
+            lost_update_final,
+        )
+        .expect_err("same seed, same outcome");
+        assert_eq!(a.schedule, b.schedule);
+    }
+
+    #[test]
+    fn max_schedules_truncation_is_reported() {
+        let report = explore(
+            Mode::Exhaustive { max_schedules: 3 },
+            || {
+                let actors = (0..3)
+                    .map(|i| {
+                        Actor::new(format!("a{i}"))
+                            .then(|_: &mut ()| {})
+                            .then(|_: &mut ()| {})
+                    })
+                    .collect();
+                ((), actors)
+            },
+            |_| Ok(()),
+            |_| Ok(()),
+        )
+        .expect("no invariants to break");
+        assert_eq!(report.schedules, 3);
+        assert!(!report.exhausted, "90-schedule space cut off at 3");
+    }
+
+    #[test]
+    fn step_checks_pinpoint_the_failing_actor() {
+        let violation = explore(
+            Mode::Exhaustive { max_schedules: 10 },
+            || {
+                let actors = vec![
+                    Actor::new("ok").then(|s: &mut u64| *s += 1),
+                    Actor::new("bad").then(|s: &mut u64| *s += 100),
+                ];
+                (0u64, actors)
+            },
+            |s| {
+                if *s < 100 {
+                    Ok(())
+                } else {
+                    Err("state blew past 100".into())
+                }
+            },
+            |_| Ok(()),
+        )
+        .expect_err("step check must fire");
+        assert!(violation.message.contains("(bad)"), "{violation}");
+    }
+
+    #[test]
+    fn replay_rejects_schedules_for_finished_actors() {
+        let err = replay(
+            &[0, 0],
+            || {
+                let actors = vec![
+                    Actor::new("a").then(|s: &mut u64| *s += 1),
+                    Actor::new("b").then(|s: &mut u64| *s += 1),
+                ];
+                (0u64, actors)
+            },
+            |_| Ok(()),
+            |_| Ok(()),
+        )
+        .expect_err("actor 0 has only one step; depth 1 must reject it");
+        assert!(err.message.contains("no steps left"), "{err}");
+    }
+}

@@ -1,0 +1,96 @@
+//! # ccp-verify — deterministic interleaving checking
+//!
+//! The reproduction leans on hand-rolled lock-free code in exactly the
+//! places the paper's claims depend on: the tracer's seqlock span rings
+//! (`ccp-trace`), the observability layer's lock-free histograms
+//! (`ccp-obs`), the scheduler-gated admission queue and the dual-pool
+//! executor (`ccp-server`/`ccp-engine`). An ordering bug in any of them
+//! does not crash — it silently corrupts the numbers the experiments
+//! report. This crate is the checking machinery: a small, std-only,
+//! loom-style **interleaving explorer** plus model-check harnesses (in
+//! `tests/`) that drive the real data structures through every (bounded)
+//! interleaving of their operations and assert linearizability-ish
+//! invariants:
+//!
+//! * **no lost records beyond the dropped counter** — every record
+//!   pushed into a [`ccp_trace::SpanRing`] is eventually observed by a
+//!   snapshot, still visible, or counted as dropped;
+//! * **monotone heads** — a ring's write index never runs backwards,
+//!   under any snapshot/clear/recycle interleaving;
+//! * **conserved queue tickets** — every admission attempt consumes
+//!   exactly one ticket, granted tickets are unique and monotone, and
+//!   the queue drains to empty once all permits drop.
+//!
+//! ## How it works
+//!
+//! There is no way to preempt real threads between two machine
+//! instructions from safe std-only code, so the explorer controls
+//! interleavings at **operation granularity**: a test case is a set of
+//! [`Actor`]s, each a fixed sequence of steps (closures over shared
+//! state `S`), and the [`explore`] driver runs one step at a time,
+//! choosing which actor advances next. Choices come from either
+//!
+//! * [`Mode::Exhaustive`] — a depth-first enumeration of every schedule
+//!   (bounded by `max_schedules`), or
+//! * [`Mode::Random`] — seeded pseudo-random schedules (SplitMix64), for
+//!   state spaces too large to exhaust.
+//!
+//! Every run is **deterministic and replayable**: a failing schedule is
+//! reported as the exact sequence of actor indices that produced it, and
+//! [`replay`] re-executes that sequence for debugging. This is the same
+//! discipline loom applies to memory orderings, scaled down to the
+//! operation interleavings our invariants actually depend on — which is
+//! precisely the granularity at which the PR-3 `/trace?clear=1`
+//! snapshot-vs-clear race lived (see `tests/span_ring.rs`, which
+//! re-finds that bug shape when the `clear_to` guard is reverted).
+//!
+//! ## Example
+//!
+//! The classic lost update: two actors read-modify-write a plain
+//! counter in two separate steps. The explorer finds the interleaving
+//! where one update disappears.
+//!
+//! ```
+//! use ccp_verify::{explore, Actor, Mode};
+//!
+//! struct S {
+//!     val: u64,
+//!     tmp: [u64; 2],
+//! }
+//!
+//! let build = || {
+//!     let state = S { val: 0, tmp: [0, 0] };
+//!     let actors = (0..2)
+//!         .map(|i| {
+//!             Actor::new(format!("inc-{i}"))
+//!                 .then(move |s: &mut S| s.tmp[i] = s.val)
+//!                 .then(move |s: &mut S| s.val = s.tmp[i] + 1)
+//!         })
+//!         .collect();
+//!     (state, actors)
+//! };
+//! let outcome = explore(
+//!     Mode::Exhaustive { max_schedules: 1_000 },
+//!     build,
+//!     |_| Ok(()),
+//!     |s| {
+//!         if s.val == 2 {
+//!             Ok(())
+//!         } else {
+//!             Err(format!("lost update: val={}", s.val))
+//!         }
+//!     },
+//! );
+//! let violation = outcome.expect_err("explorer must find the lost update");
+//! assert!(violation.message.contains("lost update"));
+//! ```
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+#![forbid(unsafe_code)]
+
+mod explore;
+mod rng;
+
+pub use explore::{explore, replay, Actor, Mode, Report, Violation};
+pub use rng::SplitMix64;

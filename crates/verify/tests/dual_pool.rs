@@ -1,0 +1,198 @@
+//! Model checks for the dual-pool handoff ([`ccp_engine::DualPoolExecutor`]):
+//! jobs land in the pool they were submitted to, nothing is lost or run
+//! twice, and the §V-C guarantee — the OLTP pool binds the full cache
+//! mask exactly once per worker, never a partition — holds under every
+//! interleaving of OLAP and OLTP submissions.
+//!
+//! The pools use real worker threads, so the explorer controls the
+//! *submission* interleaving and the invariants are checked after
+//! `wait_idle()` — the handoff (which queue a job enters, which mask its
+//! pool binds) is exactly the part schedule order could plausibly break.
+
+use ccp_engine::{CacheUsageClass, DualPoolExecutor, Job, PartitionPolicy, RecordingAllocator};
+use ccp_verify::{explore, Actor, Mode};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+const PER_POOL: u64 = 3;
+const FULL_MASK: u32 = 0xfffff;
+const POLLUTER_MASK: u32 = 0x3;
+
+struct PoolModel {
+    rec: Arc<RecordingAllocator>,
+    ex: DualPoolExecutor,
+    done: Arc<AtomicU64>,
+    submitted_olap: u64,
+    submitted_oltp: u64,
+}
+
+#[test]
+fn handoff_preserves_jobs_and_oltp_full_cache_under_all_submission_orders() {
+    let build = || {
+        let cfg = ccp_cachesim::HierarchyConfig::broadwell_e5_2699_v4();
+        let rec = Arc::new(RecordingAllocator::new());
+        let ex = DualPoolExecutor::new(
+            1,
+            1,
+            PartitionPolicy::paper_default(cfg.llc, cfg.l2.size_bytes),
+            rec.clone(),
+        );
+        let state = PoolModel {
+            rec,
+            ex,
+            done: Arc::new(AtomicU64::new(0)),
+            submitted_olap: 0,
+            submitted_oltp: 0,
+        };
+        let mut olap = Actor::new("olap-submitter");
+        for i in 0..PER_POOL {
+            olap = olap.then(move |s: &mut PoolModel| {
+                let d = s.done.clone();
+                s.ex.submit_olap(Job::new(
+                    format!("scan-{i}"),
+                    CacheUsageClass::Polluting,
+                    move || {
+                        d.fetch_add(1, Ordering::Relaxed);
+                    },
+                ));
+                s.submitted_olap += 1;
+            });
+        }
+        let mut oltp = Actor::new("oltp-submitter");
+        for i in 0..PER_POOL {
+            oltp = oltp.then(move |s: &mut PoolModel| {
+                let d = s.done.clone();
+                s.ex.submit_oltp(Job::new(
+                    format!("txn-{i}"),
+                    CacheUsageClass::Polluting, // CUID is advisory on OLTP
+                    move || {
+                        d.fetch_add(1, Ordering::Relaxed);
+                    },
+                ));
+                s.submitted_oltp += 1;
+            });
+        }
+        (state, vec![olap, oltp])
+    };
+    let check_final = |s: &mut PoolModel| {
+        s.ex.wait_idle();
+        // Conservation: every submitted job ran exactly once, in the pool
+        // it was handed to.
+        let ran = s.done.load(Ordering::Relaxed);
+        if ran != s.submitted_olap + s.submitted_oltp {
+            return Err(format!(
+                "{ran} jobs ran, {} + {} were submitted",
+                s.submitted_olap, s.submitted_oltp
+            ));
+        }
+        if s.ex.olap().jobs_executed() != s.submitted_olap {
+            return Err(format!(
+                "OLAP pool ran {} of {} OLAP jobs",
+                s.ex.olap().jobs_executed(),
+                s.submitted_olap
+            ));
+        }
+        if s.ex.oltp().jobs_executed() != s.submitted_oltp {
+            return Err(format!(
+                "OLTP pool ran {} of {} OLTP jobs",
+                s.ex.oltp().jobs_executed(),
+                s.submitted_oltp
+            ));
+        }
+        // §V-C: the OLTP pool binds once per worker (1 here), and only
+        // ever the full mask; polluting OLAP jobs bind their partition.
+        let (_, oltp_switches) = s.ex.mask_switches();
+        if oltp_switches > 1 {
+            return Err(format!(
+                "OLTP pool re-bound {oltp_switches} times; must bind once per worker"
+            ));
+        }
+        let masks: Vec<u32> = s.rec.calls().iter().map(|(_, m)| m.bits()).collect();
+        if !masks.iter().all(|&m| m == FULL_MASK || m == POLLUTER_MASK) {
+            return Err(format!("unexpected mask among binds: {masks:x?}"));
+        }
+        if !masks.contains(&FULL_MASK) {
+            return Err("OLTP worker never bound the full mask".into());
+        }
+        if !masks.contains(&POLLUTER_MASK) {
+            return Err("polluting OLAP jobs never bound their partition".into());
+        }
+        Ok(())
+    };
+    let report = explore(
+        Mode::Exhaustive {
+            max_schedules: 1_000,
+        },
+        build,
+        |_| Ok(()),
+        check_final,
+    )
+    .expect("dual-pool handoff must be order-independent");
+    assert!(report.exhausted);
+    // Two 3-step submitters: C(6,3) = 20 interleavings.
+    assert_eq!(report.schedules, 20);
+}
+
+/// Randomized sweep at a larger scale than the exhaustive harness can
+/// afford: 6 jobs per pool, 40 seeded schedules.
+#[test]
+fn handoff_survives_randomized_submission_orders() {
+    let build = || {
+        let cfg = ccp_cachesim::HierarchyConfig::broadwell_e5_2699_v4();
+        let rec = Arc::new(RecordingAllocator::new());
+        let ex = DualPoolExecutor::new(
+            2,
+            2,
+            PartitionPolicy::paper_default(cfg.llc, cfg.l2.size_bytes),
+            rec.clone(),
+        );
+        let state = PoolModel {
+            rec,
+            ex,
+            done: Arc::new(AtomicU64::new(0)),
+            submitted_olap: 0,
+            submitted_oltp: 0,
+        };
+        let mut olap = Actor::new("olap-submitter");
+        let mut oltp = Actor::new("oltp-submitter");
+        for _ in 0..6 {
+            olap = olap.then(|s: &mut PoolModel| {
+                let d = s.done.clone();
+                s.ex.submit_olap(Job::new("scan", CacheUsageClass::Polluting, move || {
+                    d.fetch_add(1, Ordering::Relaxed);
+                }));
+                s.submitted_olap += 1;
+            });
+            oltp = oltp.then(|s: &mut PoolModel| {
+                let d = s.done.clone();
+                s.ex.submit_oltp(Job::unannotated("txn", move || {
+                    d.fetch_add(1, Ordering::Relaxed);
+                }));
+                s.submitted_oltp += 1;
+            });
+        }
+        (state, vec![olap, oltp])
+    };
+    let report = explore(
+        Mode::Random {
+            seed: 0xcc9,
+            schedules: 40,
+        },
+        build,
+        |_| Ok(()),
+        |s: &mut PoolModel| {
+            s.ex.wait_idle();
+            let ran = s.done.load(Ordering::Relaxed);
+            if ran != 12 {
+                return Err(format!("{ran} of 12 jobs ran"));
+            }
+            let (_, oltp_switches) = s.ex.mask_switches();
+            if oltp_switches > 2 {
+                return Err(format!("OLTP re-bound {oltp_switches} times for 2 workers"));
+            }
+            Ok(())
+        },
+    )
+    .expect("randomized submission orders must all conserve jobs");
+    assert_eq!(report.schedules, 40);
+}

@@ -1,0 +1,145 @@
+//! Model checks for the observability layer's lock-free histogram
+//! ([`ccp_obs::Histogram`]): concurrent recording through shared-bucket
+//! clones, snapshot monotonicity, and exact final totals.
+//!
+//! A negative control models the *non-atomic* histogram this design
+//! replaced — bucket increment and sum accumulation as two separate
+//! steps — and shows the explorer catching the torn state a scraper
+//! could then observe.
+
+use ccp_obs::{Histogram, HistogramSnapshot};
+use ccp_verify::{explore, Actor, Mode};
+
+const MODE: Mode = Mode::Exhaustive {
+    max_schedules: 200_000,
+};
+
+struct HistModel {
+    hist: Histogram,
+    /// Observations completed so far (each of a known value).
+    recorded: u64,
+    /// The scraper's snapshots, in the order taken.
+    scrapes: Vec<HistogramSnapshot>,
+}
+
+/// Two recorders (cloned handles onto the same buckets) and a scraper,
+/// fully interleaved. Invariants: a scrape's totals never regress
+/// between scrapes, never exceed what was recorded, and the final
+/// counts/sum are exact.
+#[test]
+fn concurrent_record_and_scrape_stays_consistent() {
+    const VALUE: f64 = 2.0;
+    const PER_RECORDER: usize = 3;
+    let build = || {
+        let hist = Histogram::latency();
+        let state = HistModel {
+            hist: hist.clone(),
+            recorded: 0,
+            scrapes: Vec::new(),
+        };
+        let mut actors = Vec::new();
+        for r in 0..2 {
+            // Clones share the underlying buckets — this is how the
+            // registry hands the same instrument to many threads.
+            let handle = hist.clone();
+            let mut a = Actor::new(format!("recorder-{r}"));
+            for _ in 0..PER_RECORDER {
+                let h = handle.clone();
+                a = a.then(move |s: &mut HistModel| {
+                    h.observe(VALUE);
+                    s.recorded += 1;
+                });
+            }
+            actors.push(a);
+        }
+        let mut scraper = Actor::new("scraper");
+        for _ in 0..2 {
+            scraper = scraper.then(|s: &mut HistModel| s.scrapes.push(s.hist.snapshot()));
+        }
+        actors.push(scraper);
+        (state, actors)
+    };
+    let check_step = |s: &HistModel| {
+        if s.hist.count() > s.recorded {
+            return Err(format!(
+                "count {} exceeds the {} observations made",
+                s.hist.count(),
+                s.recorded
+            ));
+        }
+        for pair in s.scrapes.windows(2) {
+            if pair[1].count() < pair[0].count() {
+                return Err(format!(
+                    "scrape totals regressed: {} then {}",
+                    pair[0].count(),
+                    pair[1].count()
+                ));
+            }
+        }
+        Ok(())
+    };
+    let check_final = |s: &mut HistModel| {
+        let want = 2 * PER_RECORDER as u64;
+        if s.hist.count() != want {
+            return Err(format!("final count {} != {want}", s.hist.count()));
+        }
+        let sum = s.hist.sum();
+        let expect = want as f64 * VALUE;
+        if (sum - expect).abs() > 1e-9 {
+            return Err(format!("final sum {sum} != {expect}"));
+        }
+        let snap = s.hist.snapshot();
+        if snap.count() != want {
+            return Err(format!("snapshot bucket total {} != {want}", snap.count()));
+        }
+        Ok(())
+    };
+    let report =
+        explore(MODE, build, check_step, check_final).expect("shared-bucket recording is atomic");
+    assert!(report.exhausted, "3+3+2 steps must be fully explorable");
+}
+
+/// Negative control: a modeled histogram whose observe is two separate
+/// steps (bucket increment, then sum accumulation). A scraper landing
+/// between them sees `count = 1, sum = 0` — the torn state the real
+/// histogram's single-call observe makes unobservable at this
+/// granularity.
+#[test]
+fn torn_two_step_observe_is_caught() {
+    const VALUE: f64 = 2.0;
+    struct Torn {
+        count: u64,
+        sum: f64,
+        torn_seen: bool,
+    }
+    let build = || {
+        let state = Torn {
+            count: 0,
+            sum: 0.0,
+            torn_seen: false,
+        };
+        let recorder = Actor::new("recorder")
+            .then(|s: &mut Torn| s.count += 1)
+            .then(|s: &mut Torn| s.sum += VALUE);
+        let scraper = Actor::new("scraper").then(|s: &mut Torn| {
+            if (s.sum - s.count as f64 * VALUE).abs() > 1e-9 {
+                s.torn_seen = true;
+            }
+        });
+        (state, vec![recorder, scraper])
+    };
+    let violation = explore(
+        MODE,
+        build,
+        |s: &Torn| {
+            if s.torn_seen {
+                Err(format!("scrape saw count={} but sum={}", s.count, s.sum))
+            } else {
+                Ok(())
+            }
+        },
+        |_| Ok(()),
+    )
+    .expect_err("the scrape-between-steps schedule must be found");
+    assert!(violation.message.contains("count=1"), "{violation}");
+}

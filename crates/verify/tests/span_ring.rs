@@ -1,0 +1,237 @@
+//! Model checks for the tracer's seqlock span ring
+//! ([`ccp_trace::SpanRing`]): snapshot/clear interleavings, recycle
+//! accounting, and head monotonicity.
+//!
+//! The headline harness re-finds the PR-3 `/trace?clear=1` bug shape:
+//! snapshotting a ring and then calling the unconditional `clear()`
+//! loses any record pushed between the two calls. The shipped fix —
+//! `clear_to(head)` with the head the snapshot observed — must survive
+//! the *exhaustive* exploration of the same schedules.
+
+use ccp_trace::{Record, SpanRing, TraceCat};
+use ccp_verify::{explore, replay, Actor, Mode, Violation};
+use std::cell::Cell;
+use std::collections::BTreeSet;
+
+/// How the reader hides what it has read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ClearMode {
+    /// `clear_to(observed_head)` — the PR-3 fix.
+    Guarded,
+    /// Unconditional `clear()` — the PR-3 bug, reverted for the harness.
+    Buggy,
+}
+
+struct RingModel {
+    ring: SpanRing,
+    /// Records pushed so far; record `i` carries `id == i`.
+    pushed: u64,
+    /// Ids any snapshot (or the final sweep) has observed.
+    observed: BTreeSet<u64>,
+    /// Head returned by the previous collect — must never regress.
+    last_head: u64,
+    head_regressed: bool,
+    /// Observed head handed from the reader's collect step to its clear
+    /// step (the window the PR-3 race lives in).
+    snapshot_head: u64,
+}
+
+impl RingModel {
+    fn absorb(&mut self, records: &[Record]) {
+        self.observed.extend(records.iter().map(|r| r.id));
+    }
+}
+
+/// One writer pushing `records` events, one reader doing `cycles`
+/// snapshot-then-clear passes, each split into two steps so the explorer
+/// can interleave a push *between* them.
+fn snapshot_clear_build(
+    mode: ClearMode,
+    records: u64,
+    cycles: usize,
+) -> impl Fn() -> (RingModel, Vec<Actor<RingModel>>) {
+    move || {
+        let state = RingModel {
+            ring: SpanRing::new(8),
+            pushed: 0,
+            observed: BTreeSet::new(),
+            last_head: 0,
+            head_regressed: false,
+            snapshot_head: 0,
+        };
+        let mut writer = Actor::new("writer");
+        for _ in 0..records {
+            writer = writer.then(|s: &mut RingModel| {
+                s.ring.push_instant(s.pushed, TraceCat::Op, s.pushed, "w");
+                s.pushed += 1;
+            });
+        }
+        let mut reader = Actor::new("reader");
+        for _ in 0..cycles {
+            reader = reader
+                .then(|s: &mut RingModel| {
+                    let mut buf = Vec::new();
+                    let head = s.ring.collect(&mut buf);
+                    if head < s.last_head {
+                        s.head_regressed = true;
+                    }
+                    s.last_head = head;
+                    s.absorb(&buf);
+                    s.snapshot_head = head;
+                })
+                .then(move |s: &mut RingModel| match mode {
+                    ClearMode::Guarded => s.ring.clear_to(s.snapshot_head),
+                    ClearMode::Buggy => s.ring.clear(),
+                });
+        }
+        (state, vec![writer, reader])
+    }
+}
+
+fn no_head_regression(s: &RingModel) -> Result<(), String> {
+    if s.head_regressed {
+        Err("collect observed a head lower than a previous snapshot's".into())
+    } else {
+        Ok(())
+    }
+}
+
+/// Every pushed record must be observed by some snapshot or by the final
+/// sweep (capacity 8 > records pushed, so wrap-drop is impossible and
+/// `dropped()` must stay 0 — nothing may vanish unaccounted).
+fn nothing_lost(s: &mut RingModel) -> Result<(), String> {
+    let mut buf = Vec::new();
+    s.ring.collect(&mut buf);
+    let records = buf;
+    s.absorb(&records);
+    if s.ring.dropped() != 0 {
+        return Err(format!(
+            "ring reported {} drops without ever wrapping",
+            s.ring.dropped()
+        ));
+    }
+    let missing: Vec<u64> = (0..s.pushed)
+        .filter(|id| !s.observed.contains(id))
+        .collect();
+    if missing.is_empty() {
+        Ok(())
+    } else {
+        Err(format!(
+            "records never observed and never counted dropped: {missing:?}"
+        ))
+    }
+}
+
+const MODE: Mode = Mode::Exhaustive {
+    max_schedules: 200_000,
+};
+
+fn find_clear_race(mode: ClearMode) -> Result<ccp_verify::Report, Violation> {
+    explore(
+        MODE,
+        snapshot_clear_build(mode, 3, 2),
+        no_head_regression,
+        nothing_lost,
+    )
+}
+
+#[test]
+fn guarded_clear_to_survives_exhaustive_exploration() {
+    let report = find_clear_race(ClearMode::Guarded)
+        .expect("clear_to(observed_head) must never lose a record");
+    assert!(report.exhausted, "state space must be fully covered");
+    // 3 writer steps interleaved with 4 reader steps: C(7,3) = 35.
+    assert_eq!(report.schedules, 35);
+}
+
+#[test]
+fn unguarded_clear_loses_the_record_pushed_between_snapshot_and_clear() {
+    let violation = find_clear_race(ClearMode::Buggy)
+        .expect_err("explorer must rediscover the PR-3 snapshot-vs-clear race");
+    assert!(
+        violation.message.contains("never observed"),
+        "unexpected failure shape: {violation}"
+    );
+}
+
+#[test]
+fn clear_race_witness_replays_and_the_fix_kills_it() {
+    let violation = find_clear_race(ClearMode::Buggy).expect_err("bug must be found");
+    // The witness schedule is deterministic: replaying it reproduces the
+    // exact violation…
+    let replayed = replay(
+        &violation.schedule,
+        snapshot_clear_build(ClearMode::Buggy, 3, 2),
+        no_head_regression,
+        nothing_lost,
+    )
+    .expect_err("witness schedule must reproduce the loss");
+    assert_eq!(replayed.message, violation.message);
+    // …and the same schedule against the guarded clear passes: the fix
+    // addresses precisely this interleaving.
+    replay(
+        &violation.schedule,
+        snapshot_clear_build(ClearMode::Guarded, 3, 2),
+        no_head_regression,
+        nothing_lost,
+    )
+    .expect("clear_to(observed_head) neutralizes the witness schedule");
+}
+
+/// Recycle accounting: `visible + dropped == pushed` at *every* step,
+/// under any interleaving of pushes (with wrap-around) and a recycle.
+struct RecycleModel {
+    ring: SpanRing,
+    pushed: u64,
+    last_head: Cell<u64>,
+}
+
+#[test]
+fn recycle_conserves_records_under_all_interleavings() {
+    let build = || {
+        let state = RecycleModel {
+            ring: SpanRing::new(8),
+            pushed: 0,
+            last_head: Cell::new(0),
+        };
+        // 12 pushes into 8 slots: 4 wrap-drops, wherever the recycle
+        // lands.
+        let mut writer = Actor::new("writer");
+        for _ in 0..12 {
+            writer = writer.then(|s: &mut RecycleModel| {
+                s.ring.push_instant(s.pushed, TraceCat::Op, s.pushed, "w");
+                s.pushed += 1;
+            });
+        }
+        let recycler = Actor::new("recycler").then(|s: &mut RecycleModel| s.ring.recycle());
+        (state, vec![writer, recycler])
+    };
+    let conserved = |s: &RecycleModel| {
+        let mut buf = Vec::new();
+        let head = s.ring.collect(&mut buf);
+        if head < s.last_head.get() {
+            return Err(format!(
+                "head regressed: {} after {}",
+                head,
+                s.last_head.get()
+            ));
+        }
+        s.last_head.set(head);
+        let accounted = buf.len() as u64 + s.ring.dropped();
+        if accounted == s.pushed {
+            Ok(())
+        } else {
+            Err(format!(
+                "pushed {} records but visible ({}) + dropped ({}) = {accounted}",
+                s.pushed,
+                buf.len(),
+                s.ring.dropped()
+            ))
+        }
+    };
+    let report = explore(MODE, build, conserved, |_| Ok(()))
+        .expect("recycle must count every hidden record as dropped");
+    assert!(report.exhausted);
+    // One recycle step anywhere among 12 pushes: 13 schedules.
+    assert_eq!(report.schedules, 13);
+}

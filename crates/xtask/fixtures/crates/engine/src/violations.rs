@@ -1,0 +1,10 @@
+// Seeded `engine-no-sleep` violation: the path mirrors
+// `crates/engine/src`, where blocking a pool worker is forbidden. Never
+// compiled.
+
+pub fn worker_loop() {
+    loop {
+        // Violation: sleeping on an executor worker stalls its pool.
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+}

@@ -1,0 +1,11 @@
+// Seeded `server-no-panic` violations: the path of this fixture mirrors
+// `crates/server/src`, the scope where panicking in the request path is
+// forbidden. Never compiled.
+
+pub fn handle(req: Option<Request>) -> Response {
+    // Violation: unwrap in a request handler.
+    let req = req.unwrap();
+    // Violation: expect with a string message.
+    let body = req.body.expect("body must be present");
+    Response { body }
+}

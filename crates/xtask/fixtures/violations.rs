@@ -1,0 +1,32 @@
+// Seeded lint violations — this file is a test fixture, never compiled
+// (the `fixtures/` directory is not part of any module tree and the
+// default lint walk skips it). `cargo xtask lint crates/xtask/fixtures`
+// must exit non-zero because of this tree; the xtask self-tests assert
+// every rule fires at least once.
+
+// Violation: `unsafe` with no SAFETY comment anywhere near it.
+pub fn signal_install() {
+    unsafe { libc_signal(2, handler as usize) };
+}
+
+// Violation: relaxed atomic ordering with no ORDERING comment.
+pub fn bump(counter: &std::sync::atomic::AtomicU64) {
+    counter.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+}
+
+// Violation: acquire/release pair, still unannotated.
+pub fn publish(flag: &std::sync::atomic::AtomicBool) {
+    flag.store(true, std::sync::atomic::Ordering::Release);
+    let _ = flag.load(std::sync::atomic::Ordering::Acquire);
+}
+
+// Violation: a non-contiguous way-mask literal (CAT rejects 0b101).
+pub fn bad_mask() {
+    let _ = WayMask::new(0x5);
+}
+
+// Violation: an empty mask constant.
+pub const BROKEN_MASK: u32 = 0x0;
+
+fn libc_signal(_: i32, _: usize) {}
+fn handler() {}

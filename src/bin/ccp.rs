@@ -80,6 +80,9 @@ fn print_help() {
          --oltp-workers N   full-cache workers  (default 1)\n  \
          --slots N          concurrent queries  (default 2)\n  \
          --queue N          admission queue cap (default 16)\n  \
+         --queue-limit-polluting N  cap on waiting polluting queries (default: global cap only)\n  \
+         --queue-limit-sensitive N  cap on waiting sensitive queries (default: global cap only)\n  \
+         --queue-limit-mixed N      cap on waiting mixed queries     (default: global cap only)\n  \
          --max-conns N      connection cap      (default 64)\n  \
          --rows N           resident rows       (default 60000)\n  \
          --queue-deadline-ms N  shed queries queued longer than N ms with 503 (default 30000, 0 = wait forever)\n\n\
@@ -220,6 +223,18 @@ fn parse_serve_config(args: &[String]) -> Result<ServerConfig, String> {
             "--oltp-workers" => config.oltp_workers = parse_count(&value_of("--oltp-workers")?)?,
             "--slots" => config.scheduler_slots = parse_count(&value_of("--slots")?)?,
             "--queue" => config.queue_capacity = parse_count(&value_of("--queue")?)?,
+            "--queue-limit-polluting" => {
+                config.class_queue_limits.polluting =
+                    Some(parse_limit(&value_of("--queue-limit-polluting")?)?)
+            }
+            "--queue-limit-sensitive" => {
+                config.class_queue_limits.sensitive =
+                    Some(parse_limit(&value_of("--queue-limit-sensitive")?)?)
+            }
+            "--queue-limit-mixed" => {
+                config.class_queue_limits.mixed =
+                    Some(parse_limit(&value_of("--queue-limit-mixed")?)?)
+            }
             "--max-conns" => config.max_connections = parse_count(&value_of("--max-conns")?)?,
             "--rows" => config.dataset_rows = parse_count(&value_of("--rows")?)?,
             "--queue-deadline-ms" => {
@@ -237,6 +252,13 @@ fn parse_serve_config(args: &[String]) -> Result<ServerConfig, String> {
         }
     }
     Ok(config)
+}
+
+/// Parses a per-class queue cap; unlike [`parse_count`], `0` is legal
+/// (it means "reject every arrival of that class").
+fn parse_limit(s: &str) -> Result<usize, String> {
+    s.parse::<usize>()
+        .map_err(|_| format!("expected a non-negative number, got {s:?}"))
 }
 
 fn parse_count(s: &str) -> Result<usize, String> {
@@ -429,6 +451,8 @@ fn bench_serve(args: &[String]) -> ExitCode {
                 }
             };
             loop {
+                // ORDERING: relaxed ticket counter; each worker only needs
+                // a unique slot number, not ordering with other memory.
                 let slot = next_slot.fetch_add(1, Ordering::Relaxed);
                 let at = started + interval * slot as u32;
                 if at >= deadline {
