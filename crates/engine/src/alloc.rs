@@ -9,10 +9,21 @@
 //! * [`RecordingAllocator`] — test double recording every call.
 
 use ccp_cachesim::WayMask;
-use ccp_resctrl::{CacheController, GroupHandle, ResctrlError};
+use ccp_resctrl::{
+    CacheController, GroupHandle, ResctrlError, ResctrlHealth, RetryPolicy, SupervisedController,
+};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
+
+/// Failpoint name for the executor's bind path (see `ccp-fault`): when
+/// armed, a worker's allocator bind fails before reaching the backend.
+pub const FAULT_BIND: &str = "engine.bind";
+
+/// Consecutive exhausted resctrl operations before the supervised
+/// allocator's circuit breaker trips into degraded mode.
+pub const DEFAULT_TRIP_AFTER: u32 = 3;
 
 /// Errors surfaced by allocator backends.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -48,6 +59,20 @@ pub trait CacheAllocator: Send + Sync {
 
     /// Human-readable backend name for diagnostics.
     fn backend_name(&self) -> &'static str;
+
+    /// The backend's shared health handle, when it has failure modes.
+    /// `None` for backends that cannot fail (noop, recording).
+    fn health(&self) -> Option<Arc<ResctrlHealth>> {
+        None
+    }
+
+    /// Degraded-mode recovery probe: performs one real backend
+    /// operation and reports whether the backend is healthy (clearing
+    /// its breaker on success). Backends without failure modes are
+    /// trivially healthy.
+    fn reprobe(&self) -> bool {
+        true
+    }
 }
 
 /// Partitioning disabled: every bind succeeds and does nothing.
@@ -106,16 +131,35 @@ pub struct ResctrlAllocator {
 }
 
 struct ResctrlInner {
-    ctl: CacheController,
+    ctl: SupervisedController,
     groups: HashMap<u32, GroupHandle>,
 }
 
 impl ResctrlAllocator {
-    /// Wraps an opened controller, programming the given L3 `domains`.
+    /// Wraps an opened controller, programming the given L3 `domains`,
+    /// under the default supervision (3-attempt retry with backoff,
+    /// breaker tripping after [`DEFAULT_TRIP_AFTER`] exhausted ops).
     pub fn new(ctl: CacheController, domains: Vec<u32>) -> Self {
+        Self::supervised(
+            ctl,
+            domains,
+            RetryPolicy::default(),
+            Arc::new(ResctrlHealth::new(DEFAULT_TRIP_AFTER)),
+        )
+    }
+
+    /// Wraps an opened controller with an explicit retry policy and a
+    /// caller-shared health handle (so the server's supervision loop
+    /// observes breaker trips).
+    pub fn supervised(
+        ctl: CacheController,
+        domains: Vec<u32>,
+        policy: RetryPolicy,
+        health: Arc<ResctrlHealth>,
+    ) -> Self {
         ResctrlAllocator {
             inner: Mutex::new(ResctrlInner {
-                ctl,
+                ctl: SupervisedController::new(ctl, policy, health),
                 groups: HashMap::new(),
             }),
             domains,
@@ -161,6 +205,14 @@ impl CacheAllocator for ResctrlAllocator {
 
     fn backend_name(&self) -> &'static str {
         "resctrl"
+    }
+
+    fn health(&self) -> Option<Arc<ResctrlHealth>> {
+        Some(self.inner.lock().ctl.health())
+    }
+
+    fn reprobe(&self) -> bool {
+        self.inner.lock().ctl.probe()
     }
 }
 

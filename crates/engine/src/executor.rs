@@ -169,7 +169,14 @@ impl JobExecutor {
                                 let bind_started = Instant::now();
                                 let bind_span =
                                     ccp_trace::span_id(TraceCat::Bind, "mask_bind", query_id);
-                                match shared.allocator.bind(tid, want) {
+                                let bound = if ccp_fault::should_fail(crate::alloc::FAULT_BIND) {
+                                    Err(crate::alloc::AllocError::Resctrl(
+                                        "injected bind fault (engine.bind)".into(),
+                                    ))
+                                } else {
+                                    shared.allocator.bind(tid, want)
+                                };
+                                match bound {
                                     Ok(()) => {
                                         shared.metrics.record_mask_switch();
                                         current = Some(want);

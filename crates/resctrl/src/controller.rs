@@ -8,6 +8,7 @@
 //! only associates a TID with a new bitmask if really necessary").
 
 use crate::error::ResctrlError;
+use crate::faults;
 use crate::fs::{RealFs, ResctrlFs};
 use crate::metrics::ResctrlMetrics;
 use crate::schemata::Schemata;
@@ -15,6 +16,27 @@ use ccp_cachesim::WayMask;
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::time::Instant;
+
+/// Evaluates the mount-vanished failpoint shared by every operation.
+fn fault_mount_lost() -> Result<(), ResctrlError> {
+    if ccp_fault::should_fail(faults::MOUNT_LOST) {
+        return Err(ResctrlError::NotMounted);
+    }
+    Ok(())
+}
+
+/// Evaluates an I/O failpoint, fabricating the errno-style message a
+/// real kernel failure on `path` would produce.
+fn fault_io(name: &str, path: &Path, op: &'static str, message: &str) -> Result<(), ResctrlError> {
+    if ccp_fault::should_fail(name) {
+        return Err(ResctrlError::Io {
+            path: path.display().to_string(),
+            op,
+            message: message.to_string(),
+        });
+    }
+    Ok(())
+}
 
 /// Static CAT parameters read from `info/L3` at open time.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -156,8 +178,18 @@ impl CacheController {
     /// Maps the kernel's `ENOSPC` to [`ResctrlError::TooManyGroups`].
     pub fn create_group(&mut self, name: &str) -> Result<GroupHandle, ResctrlError> {
         let dir = self.root.join(name);
+        fault_mount_lost()?;
         let started = Instant::now();
-        match self.fs.create_dir(&dir) {
+        // The injected ENOSPC takes the same mapping path below as a
+        // real kernel CLOS exhaustion.
+        let created = fault_io(
+            faults::CREATE_GROUP,
+            &dir,
+            "mkdir",
+            "No space left on device (os error 28)",
+        )
+        .and_then(|()| self.fs.create_dir(&dir));
+        match created {
             Ok(()) => {
                 self.metrics
                     .record_group_create(started.elapsed().as_secs_f64());
@@ -232,12 +264,57 @@ impl CacheController {
             self.metrics.record_skipped_write();
             return Ok(());
         }
+        self.write_schemata(group, domain, mask)
+    }
+
+    /// Like [`set_l3_mask`](Self::set_l3_mask) but always performs the
+    /// kernel write, even when the cached mask is identical. This is the
+    /// supervisor's health probe: after a degradation it must observe a
+    /// *real* write succeeding before declaring resctrl healed, and the
+    /// skip cache would otherwise fake that success.
+    ///
+    /// # Errors
+    /// Same surface as [`set_l3_mask`](Self::set_l3_mask).
+    pub fn rewrite_l3_mask(
+        &mut self,
+        group: &GroupHandle,
+        domain: u32,
+        mask: WayMask,
+    ) -> Result<(), ResctrlError> {
+        if (mask.bits() & !self.info.cbm_mask) != 0 {
+            return Err(ResctrlError::BadMask(format!(
+                "mask {mask} exceeds hardware cbm_mask {:#x}",
+                self.info.cbm_mask
+            )));
+        }
+        if mask.way_count() < self.info.min_cbm_bits {
+            return Err(ResctrlError::BadMask(format!(
+                "mask {mask} has fewer than min_cbm_bits={} ways",
+                self.info.min_cbm_bits
+            )));
+        }
+        self.write_schemata(group, domain, mask)
+    }
+
+    fn write_schemata(
+        &mut self,
+        group: &GroupHandle,
+        domain: u32,
+        mask: WayMask,
+    ) -> Result<(), ResctrlError> {
+        fault_mount_lost()?;
+        fault_io(
+            faults::WRITE_SCHEMATA,
+            &group.dir.join("schemata"),
+            "write",
+            "Device or resource busy (os error 16)",
+        )?;
         let line = format!("L3:{domain}={:x}\n", mask.bits());
         let started = Instant::now();
         self.fs.write(&group.dir.join("schemata"), &line)?;
         self.metrics
             .record_schemata_write(started.elapsed().as_secs_f64());
-        self.mask_cache.insert(key, mask);
+        self.mask_cache.insert((group.name.clone(), domain), mask);
         Ok(())
     }
 
@@ -246,6 +323,13 @@ impl CacheController {
     /// # Errors
     /// Propagates filesystem and parse errors.
     pub fn schemata(&self, group: &GroupHandle) -> Result<Schemata, ResctrlError> {
+        fault_mount_lost()?;
+        fault_io(
+            faults::READ,
+            &group.dir.join("schemata"),
+            "read",
+            "Input/output error (os error 5)",
+        )?;
         Schemata::parse(&self.fs.read(&group.dir.join("schemata"))?)
     }
 
@@ -260,6 +344,13 @@ impl CacheController {
             self.metrics.record_skipped_write();
             return Ok(());
         }
+        fault_mount_lost()?;
+        fault_io(
+            faults::ASSIGN_TASK,
+            &group.dir.join("tasks"),
+            "write",
+            "Device or resource busy (os error 16)",
+        )?;
         let started = Instant::now();
         self.fs.write(&group.dir.join("tasks"), &tid.to_string())?;
         self.metrics
@@ -305,6 +396,13 @@ impl CacheController {
         let dir = group_dir
             .join("mon_data")
             .join(format!("mon_L3_{domain:02}"));
+        fault_mount_lost()?;
+        fault_io(
+            faults::READ,
+            &dir.join("llc_occupancy"),
+            "read",
+            "Input/output error (os error 5)",
+        )?;
         if !self.fs.exists(&dir.join("llc_occupancy")) {
             return Err(ResctrlError::Unsupported(
                 "no mon_data for this group (CMT/MBM unavailable)".into(),

@@ -292,6 +292,13 @@ impl FakeFs {
 
 impl ResctrlFs for FakeFs {
     fn read(&self, path: &Path) -> Result<String, ResctrlError> {
+        if ccp_fault::should_fail(crate::faults::FS_READ) {
+            return Err(ResctrlError::Io {
+                path: path.display().to_string(),
+                op: "read",
+                message: "Input/output error (os error 5)".into(),
+            });
+        }
         let st = self.state.lock();
         st.files.get(path).cloned().ok_or_else(|| ResctrlError::Io {
             path: path.display().to_string(),
@@ -301,6 +308,13 @@ impl ResctrlFs for FakeFs {
     }
 
     fn write(&self, path: &Path, data: &str) -> Result<(), ResctrlError> {
+        if ccp_fault::should_fail(crate::faults::FS_WRITE) {
+            return Err(ResctrlError::Io {
+                path: path.display().to_string(),
+                op: "write",
+                message: "Input/output error (os error 5)".into(),
+            });
+        }
         // Emulate kernel-side validation before taking the lock on state.
         let is_schemata = path.file_name().is_some_and(|n| n == "schemata");
         let canonical = if is_schemata {

@@ -43,10 +43,12 @@
 pub mod controller;
 pub mod detect;
 pub mod error;
+pub mod faults;
 pub mod fs;
 pub mod metrics;
 pub mod monitor;
 pub mod schemata;
+pub mod supervisor;
 
 pub use controller::{CacheController, CatInfo, GroupHandle, MonGroupHandle, MonitoringData};
 pub use detect::{detect, CatSupport};
@@ -56,6 +58,7 @@ pub use monitor::{
     ClassSample, OccupancyProbe, OccupancySampler, ResctrlMonitor, SimClass, SimulatedMonitor,
 };
 pub use schemata::Schemata;
+pub use supervisor::{ResctrlHealth, RetryPolicy, SupervisedController};
 
 /// Conventional mount point of the resctrl filesystem.
 pub const DEFAULT_MOUNT: &str = "/sys/fs/resctrl";

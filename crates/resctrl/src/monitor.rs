@@ -199,10 +199,15 @@ impl OccupancySampler {
                      when hardware monitoring is unavailable)",
                 );
                 loop {
-                    for s in probe.sample() {
-                        let labels = [("class", s.class.as_str())];
-                        occ.get_or_create(&labels).set(s.llc_occupancy_bytes as f64);
-                        mbm.get_or_create(&labels).set(s.mbm_total_bytes as f64);
+                    // A fired probe failpoint models a transient CMT read
+                    // error: nothing publishes this tick, gauges keep
+                    // their previous values.
+                    if !ccp_fault::should_fail(crate::faults::SAMPLER_PROBE) {
+                        for s in probe.sample() {
+                            let labels = [("class", s.class.as_str())];
+                            occ.get_or_create(&labels).set(s.llc_occupancy_bytes as f64);
+                            mbm.get_or_create(&labels).set(s.mbm_total_bytes as f64);
+                        }
                     }
                     let (lock, cv) = &*stop2;
                     let mut stopped = lock.lock();

@@ -1,0 +1,584 @@
+//! Supervised controller: retry with backoff, a circuit breaker, and
+//! the shared health state behind **degraded unpartitioned mode**.
+//!
+//! The paper's contract is that partitioning must never make a workload
+//! *worse* than the unpartitioned baseline. A resctrl tree that starts
+//! failing mid-flight (transient `EBUSY` on schemata writes, the mount
+//! vanishing, CMT read errors) must therefore never take queries down
+//! with it. [`SupervisedController`] wraps every [`CacheController`]
+//! operation with:
+//!
+//! 1. **Retry** — transient errors are retried up to
+//!    [`RetryPolicy::max_attempts`] times with bounded exponential
+//!    backoff plus deterministic jitter (half the delay is fixed, half
+//!    drawn from a seeded SplitMix64 stream, so runs replay exactly).
+//! 2. **Circuit breaker** — [`ResctrlHealth`] counts *consecutive*
+//!    exhausted operations; at [`ResctrlHealth::trip_after`] it flips
+//!    the shared `degraded` flag. The engine observes the flag and
+//!    falls back to full-mask (unpartitioned) execution: queries keep
+//!    succeeding, partitioning is sacrificed.
+//! 3. **Re-probe** — while degraded, a caller-driven [`probe`]
+//!    (`SupervisedController::probe`) replays the last schemata write
+//!    *bypassing* the old-vs-new skip cache; only a real kernel write
+//!    succeeding clears the flag ([`ResctrlHealth::restore`]).
+//!
+//! Deterministic errors — [`ResctrlError::BadMask`],
+//! [`ResctrlError::TooManyGroups`], [`ResctrlError::NoSuchGroup`] — are
+//! neither retried nor counted against the breaker: they indicate a
+//! caller bug or a real resource limit, not a sick resctrl tree.
+
+use crate::controller::{CacheController, CatInfo, GroupHandle};
+use crate::error::ResctrlError;
+use crate::metrics::ResctrlMetrics;
+use crate::schemata::Schemata;
+use ccp_cachesim::WayMask;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+/// Group name used by the health probe when no schemata write has
+/// succeeded yet (created, written, and removed again).
+pub const PROBE_GROUP: &str = "ccp-probe";
+
+/// Retry schedule for transient resctrl failures.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Total attempts per operation (1 = no retry). Default 3.
+    pub max_attempts: u32,
+    /// Delay before the first retry; doubles each further retry.
+    pub base_delay: Duration,
+    /// Upper bound on the exponential delay.
+    pub max_delay: Duration,
+    /// Seed of the jitter stream (deterministic across runs).
+    pub jitter_seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            base_delay: Duration::from_millis(2),
+            max_delay: Duration::from_millis(50),
+            jitter_seed: 0x5eed_cafe,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries (used where latency matters more
+    /// than resilience, and by tests).
+    pub fn no_retry() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            ..Self::default()
+        }
+    }
+}
+
+/// SplitMix64 step, the jitter source (same mixer the failpoint layer
+/// uses; deterministic, no global RNG state).
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Shared health of the resctrl backend: the circuit breaker's state
+/// plus counters for observability. One instance is shared between the
+/// supervised controller (producer), the engine/server supervision loop
+/// (consumer), and `/metrics`.
+#[derive(Debug)]
+pub struct ResctrlHealth {
+    // ORDERING: all counters and the degraded flag use relaxed loads and
+    // stores. They are monotonic event counts and a single advisory
+    // flag; no other memory depends on their ordering, and the
+    // supervision loop that consumes them tolerates reading values a
+    // few events stale.
+    degraded: AtomicBool,
+    consecutive_failures: AtomicU32,
+    trip_after: u32,
+    retries: AtomicU64,
+    failures: AtomicU64,
+    trips: AtomicU64,
+    reprobes: AtomicU64,
+    restores: AtomicU64,
+}
+
+impl ResctrlHealth {
+    /// Breaker tripping after `trip_after` consecutive exhausted
+    /// operations (minimum 1).
+    pub fn new(trip_after: u32) -> Self {
+        ResctrlHealth {
+            degraded: AtomicBool::new(false),
+            consecutive_failures: AtomicU32::new(0),
+            trip_after: trip_after.max(1),
+            retries: AtomicU64::new(0),
+            failures: AtomicU64::new(0),
+            trips: AtomicU64::new(0),
+            reprobes: AtomicU64::new(0),
+            restores: AtomicU64::new(0),
+        }
+    }
+
+    /// Whether the breaker is currently tripped (engine should run
+    /// unpartitioned).
+    pub fn is_degraded(&self) -> bool {
+        // ORDERING: relaxed — advisory flag; see the struct comment.
+        self.degraded.load(Ordering::Relaxed)
+    }
+
+    /// Consecutive failures needed to trip the breaker.
+    pub fn trip_after(&self) -> u32 {
+        self.trip_after
+    }
+
+    /// An operation succeeded: the consecutive-failure streak resets.
+    /// Does *not* clear the degraded flag — only a [`restore`]
+    /// (driven by an explicit re-probe) does that, so a lucky write
+    /// while degraded cannot flap the engine back early.
+    pub fn record_success(&self) {
+        // ORDERING: relaxed — single-writer streak reset; see the struct
+        // comment.
+        self.consecutive_failures.store(0, Ordering::Relaxed);
+    }
+
+    /// One retry attempt was scheduled.
+    pub fn record_retry(&self) {
+        // ORDERING: relaxed — monotone event counter; see the struct
+        // comment.
+        self.retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// An operation exhausted its retries. Returns `true` when this
+    /// failure tripped the breaker (degraded mode begins now).
+    pub fn record_failure(&self) -> bool {
+        // ORDERING: relaxed throughout — monotone counters plus the
+        // advisory degraded flag (see the struct comment); the `swap`
+        // is atomic, which alone guarantees exactly one caller counts
+        // each trip.
+        self.failures.fetch_add(1, Ordering::Relaxed);
+        let streak = self.consecutive_failures.fetch_add(1, Ordering::Relaxed) + 1;
+        if streak >= self.trip_after && !self.degraded.swap(true, Ordering::Relaxed) {
+            self.trips.fetch_add(1, Ordering::Relaxed);
+            return true;
+        }
+        false
+    }
+
+    /// A health re-probe ran (successful or not).
+    pub fn record_reprobe(&self) {
+        // ORDERING: relaxed — monotone event counter; see the struct
+        // comment.
+        self.reprobes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A re-probe observed resctrl healthy again. Returns `true` when
+    /// this call cleared a tripped breaker.
+    pub fn restore(&self) -> bool {
+        // ORDERING: relaxed throughout — see the struct comment; the
+        // `swap` is atomic, so exactly one caller counts each restore.
+        self.consecutive_failures.store(0, Ordering::Relaxed);
+        if self.degraded.swap(false, Ordering::Relaxed) {
+            self.restores.fetch_add(1, Ordering::Relaxed);
+            return true;
+        }
+        false
+    }
+
+    /// Retry attempts scheduled so far.
+    pub fn retries(&self) -> u64 {
+        // ORDERING: relaxed — eventually-consistent counter read; see
+        // the struct comment.
+        self.retries.load(Ordering::Relaxed)
+    }
+
+    /// Operations that exhausted their retries.
+    pub fn failures(&self) -> u64 {
+        // ORDERING: relaxed — eventually-consistent counter read; see
+        // the struct comment.
+        self.failures.load(Ordering::Relaxed)
+    }
+
+    /// Times the breaker tripped (Partitioned → Degraded transitions).
+    pub fn trips(&self) -> u64 {
+        // ORDERING: relaxed — eventually-consistent counter read; see
+        // the struct comment.
+        self.trips.load(Ordering::Relaxed)
+    }
+
+    /// Health probes attempted while degraded.
+    pub fn reprobes(&self) -> u64 {
+        // ORDERING: relaxed — eventually-consistent counter read; see
+        // the struct comment.
+        self.reprobes.load(Ordering::Relaxed)
+    }
+
+    /// Times a probe healed the breaker (Degraded → Partitioned).
+    pub fn restores(&self) -> u64 {
+        // ORDERING: relaxed — eventually-consistent counter read; see
+        // the struct comment.
+        self.restores.load(Ordering::Relaxed)
+    }
+
+    /// Current consecutive-failure streak.
+    pub fn consecutive_failures(&self) -> u32 {
+        // ORDERING: relaxed — eventually-consistent counter read; see
+        // the struct comment.
+        self.consecutive_failures.load(Ordering::Relaxed)
+    }
+}
+
+/// Is this error plausibly transient (worth retrying and counting
+/// against the breaker)?
+fn transient(e: &ResctrlError) -> bool {
+    matches!(
+        e,
+        ResctrlError::Io { .. } | ResctrlError::NotMounted | ResctrlError::RejectedSchemata(_)
+    )
+}
+
+/// A [`CacheController`] wrapped with per-operation retry/backoff and
+/// breaker accounting. See the module docs for the full state machine.
+pub struct SupervisedController {
+    inner: CacheController,
+    policy: RetryPolicy,
+    health: Arc<ResctrlHealth>,
+    jitter: u64,
+    /// Last successfully written `(group, domain, mask)`; the probe
+    /// replays it with the skip cache bypassed.
+    last_write: Option<(GroupHandle, u32, WayMask)>,
+}
+
+impl std::fmt::Debug for SupervisedController {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SupervisedController")
+            .field("degraded", &self.health.is_degraded())
+            .field("policy", &self.policy)
+            .finish_non_exhaustive()
+    }
+}
+
+impl SupervisedController {
+    /// Wraps `inner`, reporting into `health`.
+    pub fn new(inner: CacheController, policy: RetryPolicy, health: Arc<ResctrlHealth>) -> Self {
+        let jitter = policy.jitter_seed;
+        SupervisedController {
+            inner,
+            policy,
+            health,
+            jitter,
+            last_write: None,
+        }
+    }
+
+    /// The shared health handle.
+    pub fn health(&self) -> Arc<ResctrlHealth> {
+        Arc::clone(&self.health)
+    }
+
+    /// CAT parameters of the underlying mount.
+    pub fn info(&self) -> CatInfo {
+        self.inner.info()
+    }
+
+    /// The wrapped controller's instruments.
+    pub fn metrics(&self) -> ResctrlMetrics {
+        self.inner.metrics()
+    }
+
+    /// Kernel writes skipped by the old-vs-new fast path.
+    pub fn skipped_writes(&self) -> u64 {
+        self.inner.skipped_writes()
+    }
+
+    fn backoff_delay(&mut self, attempt: u32) -> Duration {
+        let base = self.policy.base_delay.as_micros().max(1) as u64;
+        let cap = self.policy.max_delay.as_micros().max(1) as u64;
+        let exp = base.saturating_mul(1u64 << attempt.saturating_sub(1).min(20));
+        let capped = exp.min(cap);
+        // Half fixed, half jitter: delay ∈ [capped/2, capped].
+        let jitter = splitmix64(&mut self.jitter) % (capped / 2 + 1);
+        Duration::from_micros(capped / 2 + jitter)
+    }
+
+    fn retry<T>(
+        &mut self,
+        mut op: impl FnMut(&mut CacheController) -> Result<T, ResctrlError>,
+    ) -> Result<T, ResctrlError> {
+        let max_attempts = self.policy.max_attempts.max(1);
+        let mut attempt = 1u32;
+        loop {
+            match op(&mut self.inner) {
+                Ok(v) => {
+                    self.health.record_success();
+                    return Ok(v);
+                }
+                Err(e) if !transient(&e) => return Err(e),
+                Err(e) if attempt >= max_attempts => {
+                    self.health.record_failure();
+                    return Err(e);
+                }
+                Err(_) => {
+                    self.health.record_retry();
+                    let delay = self.backoff_delay(attempt);
+                    thread::sleep(delay);
+                    attempt += 1;
+                }
+            }
+        }
+    }
+
+    /// [`CacheController::create_group`] with retry/breaker accounting.
+    ///
+    /// # Errors
+    /// Same surface as the wrapped call.
+    pub fn create_group(&mut self, name: &str) -> Result<GroupHandle, ResctrlError> {
+        self.retry(|ctl| ctl.create_group(name))
+    }
+
+    /// [`CacheController::existing_group`] (read-only, not retried).
+    ///
+    /// # Errors
+    /// Same surface as the wrapped call.
+    pub fn existing_group(&self, name: &str) -> Result<GroupHandle, ResctrlError> {
+        self.inner.existing_group(name)
+    }
+
+    /// [`CacheController::remove_group`] with retry/breaker accounting.
+    ///
+    /// # Errors
+    /// Same surface as the wrapped call.
+    pub fn remove_group(&mut self, group: GroupHandle) -> Result<(), ResctrlError> {
+        self.retry(|ctl| ctl.remove_group(group.clone()))
+    }
+
+    /// [`CacheController::set_l3_mask`] with retry/breaker accounting.
+    ///
+    /// # Errors
+    /// Same surface as the wrapped call.
+    pub fn set_l3_mask(
+        &mut self,
+        group: &GroupHandle,
+        domain: u32,
+        mask: WayMask,
+    ) -> Result<(), ResctrlError> {
+        self.retry(|ctl| ctl.set_l3_mask(group, domain, mask))?;
+        self.last_write = Some((group.clone(), domain, mask));
+        Ok(())
+    }
+
+    /// [`CacheController::schemata`] with retry/breaker accounting.
+    ///
+    /// # Errors
+    /// Same surface as the wrapped call.
+    pub fn schemata(&mut self, group: &GroupHandle) -> Result<Schemata, ResctrlError> {
+        self.retry(|ctl| ctl.schemata(group))
+    }
+
+    /// [`CacheController::assign_task`] with retry/breaker accounting.
+    ///
+    /// # Errors
+    /// Same surface as the wrapped call.
+    pub fn assign_task(&mut self, group: &GroupHandle, tid: u64) -> Result<(), ResctrlError> {
+        self.retry(|ctl| ctl.assign_task(group, tid))
+    }
+
+    /// Health probe for degraded mode: performs one *real* schemata
+    /// write (the last successful one replayed with the skip cache
+    /// bypassed, or a scratch `ccp-probe` group when none happened yet)
+    /// and, if it succeeds, clears the breaker.
+    ///
+    /// Returns `true` when resctrl is healthy after this probe.
+    pub fn probe(&mut self) -> bool {
+        self.health.record_reprobe();
+        let outcome = match self.last_write.clone() {
+            Some((group, domain, mask)) => {
+                self.retry(|ctl| ctl.rewrite_l3_mask(&group, domain, mask))
+            }
+            None => self.probe_via_scratch_group(),
+        };
+        if outcome.is_ok() {
+            self.health.restore();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn probe_via_scratch_group(&mut self) -> Result<(), ResctrlError> {
+        let full = WayMask::new(self.inner.info().cbm_mask)
+            .map_err(|e| ResctrlError::BadMask(e.to_string()))?;
+        let group = match self.existing_group(PROBE_GROUP) {
+            Ok(g) => g,
+            Err(_) => self.retry(|ctl| ctl.create_group(PROBE_GROUP))?,
+        };
+        let write = self.retry(|ctl| ctl.rewrite_l3_mask(&group, 0, full));
+        // Always try to give the CLOS back, but a cleanup failure does
+        // not veto a successful probe write.
+        let _ = self.retry(|ctl| ctl.remove_group(group.clone()));
+        write
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fs::FakeFs;
+    use std::sync::{Mutex, PoisonError};
+
+    /// Fault plans are process-global; serialize the tests that arm them.
+    static FAULT_GATE: Mutex<()> = Mutex::new(());
+
+    /// Clears the installed plan even when the test panics, so one
+    /// failing test cannot leak an armed failpoint into the next.
+    struct PlanGuard;
+    impl Drop for PlanGuard {
+        fn drop(&mut self) {
+            ccp_fault::clear();
+        }
+    }
+
+    fn supervised(policy: RetryPolicy) -> (Arc<ResctrlHealth>, SupervisedController) {
+        let fs = FakeFs::broadwell();
+        let ctl = CacheController::open_with(Box::new(fs), "/sys/fs/resctrl").unwrap();
+        let health = Arc::new(ResctrlHealth::new(3));
+        let sup = SupervisedController::new(ctl, policy, Arc::clone(&health));
+        (health, sup)
+    }
+
+    fn fast_policy() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 3,
+            base_delay: Duration::from_micros(50),
+            max_delay: Duration::from_micros(200),
+            jitter_seed: 7,
+        }
+    }
+
+    #[test]
+    fn transient_failure_is_retried_to_success() {
+        let _gate = FAULT_GATE.lock().unwrap_or_else(PoisonError::into_inner);
+        let (health, mut sup) = supervised(fast_policy());
+        let g = sup.create_group("g").unwrap();
+        // First two writes fail, third (last allowed attempt) succeeds.
+        let _plan = PlanGuard;
+        ccp_fault::install_str("resctrl.write_schemata=err@1+2").unwrap();
+        sup.set_l3_mask(&g, 0, WayMask::new(0x3).unwrap()).unwrap();
+        assert_eq!(health.retries(), 2);
+        assert_eq!(health.failures(), 0);
+        assert!(!health.is_degraded());
+    }
+
+    #[test]
+    fn breaker_trips_after_consecutive_exhausted_ops_and_probe_heals() {
+        let _gate = FAULT_GATE.lock().unwrap_or_else(PoisonError::into_inner);
+        let (health, mut sup) = supervised(fast_policy());
+        let g = sup.create_group("g").unwrap();
+        let mask = WayMask::new(0x3).unwrap();
+        sup.set_l3_mask(&g, 0, mask).unwrap();
+
+        // 3 ops × 3 attempts: all nine writes fail → breaker trips on
+        // the third exhausted operation. Each op uses a fresh mask so
+        // the old-vs-new skip cache cannot short-circuit the write.
+        let _plan = PlanGuard;
+        ccp_fault::install_str("resctrl.write_schemata=err@1+9").unwrap();
+        for mask in [0x7, 0xf, 0x1f] {
+            let other = WayMask::new(mask).unwrap();
+            assert!(sup.set_l3_mask(&g, 0, other).is_err());
+        }
+        assert!(health.is_degraded(), "breaker must be tripped");
+        assert_eq!(health.trips(), 1);
+
+        // Faults exhausted: the next probe performs a real write and heals.
+        assert!(sup.probe());
+        assert!(!health.is_degraded());
+        assert_eq!(health.restores(), 1);
+        assert!(health.reprobes() >= 1);
+    }
+
+    #[test]
+    fn probe_fails_while_fault_active() {
+        let _gate = FAULT_GATE.lock().unwrap_or_else(PoisonError::into_inner);
+        let (health, mut sup) = supervised(RetryPolicy {
+            max_attempts: 1,
+            ..fast_policy()
+        });
+        let g = sup.create_group("g").unwrap();
+        sup.set_l3_mask(&g, 0, WayMask::new(0x3).unwrap()).unwrap();
+        for _ in 0..3 {
+            health.record_failure();
+        }
+        assert!(health.is_degraded());
+        {
+            let _plan = PlanGuard;
+            ccp_fault::install_str("resctrl.write_schemata=err").unwrap();
+            assert!(!sup.probe(), "probe must not heal while writes still fail");
+        }
+        assert!(health.is_degraded());
+        assert!(sup.probe());
+        assert!(!health.is_degraded());
+    }
+
+    #[test]
+    fn probe_without_prior_write_uses_scratch_group() {
+        let _gate = FAULT_GATE.lock().unwrap_or_else(PoisonError::into_inner);
+        let fs = FakeFs::broadwell();
+        let ctl = CacheController::open_with(Box::new(fs.clone()), "/sys/fs/resctrl").unwrap();
+        let health = Arc::new(ResctrlHealth::new(1));
+        let mut sup = SupervisedController::new(ctl, fast_policy(), Arc::clone(&health));
+        health.record_failure();
+        assert!(health.is_degraded());
+        assert!(sup.probe());
+        assert!(!health.is_degraded());
+        // The scratch group was cleaned up.
+        assert_eq!(fs.group_count(), 0);
+    }
+
+    #[test]
+    fn deterministic_errors_bypass_retry_and_breaker() {
+        let _gate = FAULT_GATE.lock().unwrap_or_else(PoisonError::into_inner);
+        let (health, mut sup) = supervised(fast_policy());
+        let g = sup.create_group("g").unwrap();
+        // 1 way < min_cbm_bits: BadMask, deterministic.
+        assert!(matches!(
+            sup.set_l3_mask(&g, 0, WayMask::new(0x1).unwrap()),
+            Err(ResctrlError::BadMask(_))
+        ));
+        assert_eq!(health.retries(), 0);
+        assert_eq!(health.failures(), 0);
+        assert!(!health.is_degraded());
+    }
+
+    #[test]
+    fn success_resets_streak_but_not_degraded_flag() {
+        let health = ResctrlHealth::new(2);
+        assert!(!health.record_failure());
+        assert!(health.record_failure(), "second failure trips");
+        assert!(health.is_degraded());
+        health.record_success();
+        assert_eq!(health.consecutive_failures(), 0);
+        assert!(
+            health.is_degraded(),
+            "only an explicit restore clears degraded"
+        );
+        assert!(health.restore());
+        assert!(!health.is_degraded());
+        assert!(!health.restore(), "restore is idempotent");
+    }
+
+    #[test]
+    fn backoff_is_bounded_and_deterministic() {
+        let (_, mut a) = supervised(fast_policy());
+        let (_, mut b) = supervised(fast_policy());
+        for attempt in 1..6 {
+            let da = a.backoff_delay(attempt);
+            let db = b.backoff_delay(attempt);
+            assert_eq!(da, db, "same seed, same delays");
+            assert!(da <= Duration::from_micros(200));
+            assert!(da >= Duration::from_micros(25));
+        }
+    }
+}

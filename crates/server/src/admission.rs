@@ -36,6 +36,10 @@ use ccp_trace::TraceCat;
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
+/// Failpoint name (see `ccp-fault`): when armed, admission rejects the
+/// arrival with [`AdmissionError::QueueFull`] before touching the queue.
+pub const FAULT_ADMISSION: &str = "server.admission";
+
 /// Why a query was not admitted.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AdmissionError {
@@ -172,6 +176,10 @@ impl AdmissionQueue {
         cuid: CacheUsageClass,
         deadline: Option<Duration>,
     ) -> Result<RunPermit, AdmissionError> {
+        if ccp_fault::should_fail(FAULT_ADMISSION) {
+            self.server_metrics.record_admission_rejection();
+            return Err(AdmissionError::QueueFull);
+        }
         let enqueued = Instant::now();
         let mut st = self.lock();
         if st.shutdown {

@@ -422,6 +422,26 @@ fn read_client_response<R: BufRead>(r: &mut R) -> io::Result<(ClientResponse, bo
 pub struct HttpClient {
     addr: SocketAddr,
     stream: Option<io::BufReader<TcpStream>>,
+    /// SplitMix64 state for backoff jitter (seeded per client so a
+    /// fleet of bench connections doesn't retry in lockstep).
+    jitter: u64,
+}
+
+/// Total tries per [`HttpClient::request`] (the first attempt plus up
+/// to two safe retries).
+const CLIENT_MAX_ATTEMPTS: u32 = 3;
+/// First-retry backoff; doubles per attempt up to [`CLIENT_MAX_DELAY_MS`].
+const CLIENT_BASE_DELAY_MS: u64 = 10;
+/// Backoff ceiling per retry.
+const CLIENT_MAX_DELAY_MS: u64 = 200;
+
+/// One SplitMix64 step: advances `state` and returns a well-mixed word.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
 }
 
 /// How far a failed exchange got, which decides whether a retry on a
@@ -446,9 +466,13 @@ enum FailurePoint {
 impl HttpClient {
     /// Creates a client for `addr` and opens the first connection.
     pub fn connect(addr: SocketAddr) -> io::Result<Self> {
+        let seed = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map_or(0x5eed, |d| d.as_nanos() as u64);
         Ok(HttpClient {
             addr,
             stream: Some(Self::open(addr)?),
+            jitter: seed,
         })
     }
 
@@ -465,11 +489,15 @@ impl HttpClient {
     /// Sends one request and reads its response, reusing the persistent
     /// connection.
     ///
-    /// A request on a reused connection that dies is retried once on a
-    /// fresh connection, but only when the server cannot have executed
-    /// it twice: always when no request byte reached the socket, and for
-    /// idempotent methods (`GET`/`HEAD`) also when the connection closed
-    /// before any response byte (the keep-alive idle-close race). A
+    /// A failed exchange is retried on a fresh connection — up to
+    /// [`CLIENT_MAX_ATTEMPTS`] tries total, with capped exponential
+    /// backoff plus jitter between them — but only when the server
+    /// cannot have executed the request twice: always when no request
+    /// byte reached the socket, and for idempotent methods
+    /// (`GET`/`HEAD`) also when the connection closed before any
+    /// response byte (the keep-alive idle-close race). That race gets
+    /// its first reconnect immediately, without a backoff sleep, since
+    /// the server is healthy — it merely timed the idle socket out. A
     /// non-idempotent request that failed after being sent — say a read
     /// timeout on a slow `POST /query` — surfaces as an error instead of
     /// silently running the query a second time.
@@ -479,23 +507,39 @@ impl HttpClient {
         path: &str,
         body: Option<&str>,
     ) -> io::Result<ClientResponse> {
-        let reused = self.stream.is_some();
-        match self.try_request(method, path, body) {
-            Ok(resp) => Ok(resp),
-            Err((e, point)) => {
-                let idempotent = matches!(method, "GET" | "HEAD");
-                let retry_is_safe = match point {
-                    FailurePoint::PreSend => true,
-                    FailurePoint::NoResponse => idempotent,
-                    FailurePoint::MidExchange => false,
-                };
-                if reused && retry_is_safe {
-                    self.try_request(method, path, body).map_err(|(e, _)| e)
-                } else {
-                    Err(e)
+        let idempotent = matches!(method, "GET" | "HEAD");
+        let mut attempt = 1u32;
+        loop {
+            let reused = self.stream.is_some();
+            match self.try_request(method, path, body) {
+                Ok(resp) => return Ok(resp),
+                Err((e, point)) => {
+                    let retry_is_safe = match point {
+                        FailurePoint::PreSend => true,
+                        FailurePoint::NoResponse => idempotent,
+                        FailurePoint::MidExchange => false,
+                    };
+                    if !retry_is_safe || attempt >= CLIENT_MAX_ATTEMPTS {
+                        return Err(e);
+                    }
+                    if !(reused && attempt == 1) {
+                        std::thread::sleep(self.backoff_delay(attempt));
+                    }
+                    attempt += 1;
                 }
             }
         }
+    }
+
+    /// Backoff before retry number `attempt`: exponential from
+    /// [`CLIENT_BASE_DELAY_MS`], capped at [`CLIENT_MAX_DELAY_MS`], with
+    /// the upper half jittered so concurrent clients spread out.
+    fn backoff_delay(&mut self, attempt: u32) -> Duration {
+        let exp = CLIENT_BASE_DELAY_MS
+            .saturating_mul(1u64 << (attempt - 1).min(10))
+            .min(CLIENT_MAX_DELAY_MS);
+        let jitter = splitmix64(&mut self.jitter) % (exp / 2 + 1);
+        Duration::from_millis(exp / 2 + jitter)
     }
 
     fn try_request(

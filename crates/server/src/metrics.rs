@@ -7,6 +7,7 @@
 //! scrape shows the whole stack.
 
 use ccp_obs::{unit, Counter, Family, Gauge, Histogram, Registry};
+use ccp_resctrl::ResctrlHealth;
 
 /// Instruments of the HTTP service layer. Cloning shares state.
 #[derive(Clone)]
@@ -21,6 +22,24 @@ pub struct ServerMetrics {
     admission_timeouts: Counter,
     queue_depth: Gauge,
     running_queries: Gauge,
+    resctrl_degraded: Gauge,
+    resctrl_retries: Counter,
+    resctrl_op_failures: Counter,
+    resctrl_breaker_trips: Counter,
+    resctrl_reprobes: Counter,
+    resctrl_restores: Counter,
+}
+
+/// Last [`ResctrlHealth`] counter values already published to the
+/// registry; [`ServerMetrics::sync_resctrl_health`] adds only deltas so
+/// the Prometheus counters stay monotonic.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ResctrlHealthPublished {
+    retries: u64,
+    failures: u64,
+    trips: u64,
+    reprobes: u64,
+    restores: u64,
 }
 
 impl ServerMetrics {
@@ -81,6 +100,43 @@ impl ServerMetrics {
                 .gauge_family(
                     "ccp_server_running_queries",
                     "Queries currently admitted and executing",
+                )
+                .get_or_create(&[]),
+            resctrl_degraded: registry
+                .gauge_family(
+                    "ccp_resctrl_degraded",
+                    "1 while the resctrl circuit breaker is tripped and the engine runs \
+                     unpartitioned (degraded mode), 0 when partitioning is live",
+                )
+                .get_or_create(&[]),
+            resctrl_retries: registry
+                .counter_family(
+                    "ccp_resctrl_retries_total",
+                    "Transient resctrl failures retried by the supervisor",
+                )
+                .get_or_create(&[]),
+            resctrl_op_failures: registry
+                .counter_family(
+                    "ccp_resctrl_op_failures_total",
+                    "resctrl operations that exhausted their retries",
+                )
+                .get_or_create(&[]),
+            resctrl_breaker_trips: registry
+                .counter_family(
+                    "ccp_resctrl_breaker_trips_total",
+                    "Partitioned→Degraded transitions of the resctrl circuit breaker",
+                )
+                .get_or_create(&[]),
+            resctrl_reprobes: registry
+                .counter_family(
+                    "ccp_resctrl_reprobes_total",
+                    "Health probes attempted while degraded",
+                )
+                .get_or_create(&[]),
+            resctrl_restores: registry
+                .counter_family(
+                    "ccp_resctrl_restores_total",
+                    "Degraded→Partitioned transitions (successful re-probes)",
                 )
                 .get_or_create(&[]),
         }
@@ -164,6 +220,44 @@ impl ServerMetrics {
     /// Connections currently active.
     pub fn active_connections(&self) -> f64 {
         self.active_connections.get()
+    }
+
+    /// Publishes the degraded flag (1 = degraded unpartitioned mode).
+    pub fn set_resctrl_degraded(&self, degraded: bool) {
+        self.resctrl_degraded.set(if degraded { 1.0 } else { 0.0 });
+    }
+
+    /// Current value of the degraded gauge.
+    pub fn resctrl_degraded(&self) -> f64 {
+        self.resctrl_degraded.get()
+    }
+
+    /// Publishes `health`'s monotonic counters into the registry,
+    /// adding only what changed since `published` (which is updated).
+    pub fn sync_resctrl_health(
+        &self,
+        health: &ResctrlHealth,
+        published: &mut ResctrlHealthPublished,
+    ) {
+        let (retries, failures) = (health.retries(), health.failures());
+        let (trips, reprobes, restores) = (health.trips(), health.reprobes(), health.restores());
+        self.resctrl_retries
+            .add(retries.saturating_sub(published.retries));
+        self.resctrl_op_failures
+            .add(failures.saturating_sub(published.failures));
+        self.resctrl_breaker_trips
+            .add(trips.saturating_sub(published.trips));
+        self.resctrl_reprobes
+            .add(reprobes.saturating_sub(published.reprobes));
+        self.resctrl_restores
+            .add(restores.saturating_sub(published.restores));
+        *published = ResctrlHealthPublished {
+            retries,
+            failures,
+            trips,
+            reprobes,
+            restores,
+        };
     }
 }
 

@@ -284,6 +284,7 @@ pub struct QueryEngine {
     pools: DualPoolExecutor,
     policy: PartitionPolicy,
     cat_live: bool,
+    allocator: Arc<dyn CacheAllocator>,
     data: Datasets,
     best_rows_per_sec: Mutex<HashMap<String, f64>>,
 }
@@ -309,6 +310,26 @@ impl QueryEngine {
         )
     }
 
+    /// Builds the engine over an in-memory fake resctrl filesystem,
+    /// supervised exactly like the production path. This is the chaos
+    /// harness backend (`ccp serve --fake-resctrl`): `ccp-fault`
+    /// failpoints in the resctrl layer fire as they would on hardware,
+    /// the circuit breaker trips, and degraded mode is reachable in CI
+    /// containers without CAT.
+    pub fn with_fake_resctrl(
+        olap_workers: usize,
+        oltp_workers: usize,
+        dataset_rows: usize,
+    ) -> Self {
+        let fs = ccp_resctrl::fs::FakeFs::broadwell();
+        let allocator: Arc<dyn CacheAllocator> =
+            match ccp_resctrl::CacheController::open_with(Box::new(fs), "/sys/fs/resctrl") {
+                Ok(ctl) => Arc::new(ResctrlAllocator::new(ctl, vec![0])),
+                Err(_) => Arc::new(NoopAllocator),
+            };
+        Self::with_allocator(olap_workers, oltp_workers, dataset_rows, allocator, false)
+    }
+
     /// Builds the engine with an explicit allocator (tests use recording
     /// or no-op allocators).
     pub fn with_allocator(
@@ -321,9 +342,15 @@ impl QueryEngine {
         let cfg = ccp_cachesim::HierarchyConfig::broadwell_e5_2699_v4();
         let policy = PartitionPolicy::paper_default(cfg.llc, cfg.l2.size_bytes);
         QueryEngine {
-            pools: DualPoolExecutor::new(olap_workers, oltp_workers, policy, allocator),
+            pools: DualPoolExecutor::new(
+                olap_workers,
+                oltp_workers,
+                policy,
+                Arc::clone(&allocator),
+            ),
             policy,
             cat_live,
+            allocator,
             data: Datasets::build(dataset_rows),
             best_rows_per_sec: Mutex::new(HashMap::new()),
         }
@@ -332,6 +359,19 @@ impl QueryEngine {
     /// The dual-pool executor (for `/stats` snapshots).
     pub fn pools(&self) -> &DualPoolExecutor {
         &self.pools
+    }
+
+    /// The allocator's shared resctrl health handle (`None` for
+    /// backends without failure modes, e.g. noop).
+    pub fn resctrl_health(&self) -> Option<Arc<ccp_resctrl::ResctrlHealth>> {
+        self.allocator.health()
+    }
+
+    /// Runs one allocator health probe; returns `true` when the
+    /// backend is (or has become) healthy. See
+    /// [`CacheAllocator::reprobe`].
+    pub fn reprobe_resctrl(&self) -> bool {
+        self.allocator.reprobe()
     }
 
     /// The active partition policy.

@@ -75,6 +75,13 @@ pub struct ServerConfig {
     /// How often the background sampler refreshes the per-CUID-class
     /// `ccp_llc_occupancy_bytes` gauges. `None` disables sampling.
     pub monitor_interval: Option<Duration>,
+    /// How often the supervision loop syncs resctrl health counters and,
+    /// while degraded, re-probes the backend for recovery.
+    pub reprobe_interval: Duration,
+    /// Backs the engine with an in-memory fake resctrl filesystem under
+    /// full supervision (the chaos harness; see
+    /// [`QueryEngine::with_fake_resctrl`]).
+    pub fake_resctrl: bool,
 }
 
 impl Default for ServerConfig {
@@ -95,6 +102,8 @@ impl Default for ServerConfig {
             trace: true,
             trace_ring_capacity: 4096,
             monitor_interval: Some(Duration::from_millis(250)),
+            reprobe_interval: Duration::from_millis(200),
+            fake_resctrl: false,
         }
     }
 }
@@ -159,11 +168,35 @@ struct Shared {
     sampler: Mutex<Option<OccupancySampler>>,
 }
 
+/// Stop handle for the background resctrl supervision thread: the loop
+/// that publishes [`ResctrlHealth`](ccp_resctrl::ResctrlHealth) counter
+/// deltas, flips the engine between partitioned and degraded
+/// unpartitioned mode when the circuit breaker trips, and re-probes the
+/// backend while degraded.
+struct SupervisorHandle {
+    stop: Arc<(Mutex<bool>, Condvar)>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl SupervisorHandle {
+    /// Stops the supervision thread promptly (no waiting out the
+    /// interval) and joins it. Idempotent.
+    fn stop(&mut self) {
+        let (lock, cv) = &*self.stop;
+        *lock.lock().unwrap_or_else(PoisonError::into_inner) = true;
+        cv.notify_all();
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
 /// A running server; dropping it shuts the service down gracefully.
 pub struct Server {
     shared: Arc<Shared>,
     addr: SocketAddr,
     accept: Option<std::thread::JoinHandle<()>>,
+    supervise: Option<SupervisorHandle>,
 }
 
 impl Server {
@@ -176,11 +209,19 @@ impl Server {
             });
         }
         let registry = Registry::new();
-        let engine = QueryEngine::new(
-            config.olap_workers,
-            config.oltp_workers,
-            config.dataset_rows,
-        );
+        let engine = if config.fake_resctrl {
+            QueryEngine::with_fake_resctrl(
+                config.olap_workers,
+                config.oltp_workers,
+                config.dataset_rows,
+            )
+        } else {
+            QueryEngine::new(
+                config.olap_workers,
+                config.oltp_workers,
+                config.dataset_rows,
+            )
+        };
         engine.pools().register_metrics(&registry);
         let metrics = ServerMetrics::new(&registry);
         let sched_metrics = SchedulerMetrics::new();
@@ -214,6 +255,21 @@ impl Server {
             started: Instant::now(),
             sampler: Mutex::new(sampler),
         });
+        let supervise = match shared.engine.resctrl_health() {
+            Some(health) => {
+                let stop = Arc::new((Mutex::new(false), Condvar::new()));
+                let loop_shared = Arc::clone(&shared);
+                let loop_stop = Arc::clone(&stop);
+                let thread = std::thread::Builder::new()
+                    .name("ccp-supervise".to_string())
+                    .spawn(move || supervision_loop(&loop_shared, &health, &loop_stop))?;
+                Some(SupervisorHandle {
+                    stop,
+                    thread: Some(thread),
+                })
+            }
+            None => None,
+        };
         let accept_shared = Arc::clone(&shared);
         let accept = std::thread::Builder::new()
             .name("ccp-accept".to_string())
@@ -222,6 +278,7 @@ impl Server {
             shared,
             addr,
             accept: Some(accept),
+            supervise,
         })
     }
 
@@ -251,6 +308,9 @@ impl Server {
     /// finished (bounded by the connection timeouts).
     pub fn shutdown(&mut self) {
         self.shared.shutdown.store(true, Ordering::SeqCst);
+        if let Some(mut supervise) = self.supervise.take() {
+            supervise.stop();
+        }
         if let Some(mut sampler) = self
             .shared
             .sampler
@@ -333,6 +393,68 @@ fn occupancy_probe(
                 .collect()
         }),
     ))
+}
+
+/// The resctrl supervision loop (one thread, started only when the
+/// engine's allocator exposes a health handle).
+///
+/// Every `reprobe_interval` it publishes the supervisor's monotonic
+/// counters into the registry (delta-synced, so the Prometheus series
+/// stay monotonic) and compares the breaker state with what the engine
+/// currently runs in. On a Partitioned→Degraded flip it stops the
+/// executor from binding way masks ([`set_partitioning(false)`]
+/// — queries keep running under the full cache), raises the
+/// `ccp_resctrl_degraded` gauge and drops a `resctrl_degraded` trace
+/// instant; while degraded it re-probes the backend each tick and flips
+/// everything back the moment a probe's *real* schemata write succeeds.
+///
+/// [`set_partitioning(false)`]: ccp_engine::DualPoolExecutor::set_partitioning
+fn supervision_loop(
+    shared: &Shared,
+    health: &ccp_resctrl::ResctrlHealth,
+    stop: &(Mutex<bool>, Condvar),
+) {
+    let mut published = crate::metrics::ResctrlHealthPublished::default();
+    let mut degraded_seen = false;
+    shared.metrics.set_resctrl_degraded(false);
+    loop {
+        shared.metrics.sync_resctrl_health(health, &mut published);
+        let degraded = health.is_degraded();
+        if degraded != degraded_seen {
+            degraded_seen = degraded;
+            shared.metrics.set_resctrl_degraded(degraded);
+            // Partitioning is an optimization, never a gate: degraded
+            // mode just runs every query under the full cache.
+            shared.engine.pools().set_partitioning(!degraded);
+            ccp_trace::instant(
+                TraceCat::Bind,
+                if degraded {
+                    "resctrl_degraded"
+                } else {
+                    "resctrl_restored"
+                },
+            );
+        }
+        if degraded && shared.engine.reprobe_resctrl() {
+            // Healed: loop straight back so the restore (gauge, trace,
+            // re-enabled partitioning) lands without waiting a tick.
+            continue;
+        }
+        let (lock, cv) = stop;
+        let stopped = lock.lock().unwrap_or_else(PoisonError::into_inner);
+        if *stopped {
+            break;
+        }
+        let (stopped, _) = cv
+            .wait_timeout(stopped, shared.config.reprobe_interval)
+            .unwrap_or_else(PoisonError::into_inner);
+        if *stopped {
+            break;
+        }
+    }
+    // Final sync so counters recorded after the last tick (e.g. during
+    // shutdown's drain) still reach the registry.
+    shared.metrics.sync_resctrl_health(health, &mut published);
 }
 
 fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
@@ -685,8 +807,31 @@ fn stats_json(shared: &Shared) -> Json {
                 ("max", Json::num(shared.config.max_connections as f64)),
             ]),
         ),
+        ("resctrl", resctrl_json(shared)),
         ("trace", trace_json()),
     ])
+}
+
+/// Supervisor health for `/stats`: whether the engine currently runs
+/// degraded (unpartitioned) and the supervisor's cumulative counters.
+/// Backends without failure modes (noop, recording) report
+/// `supervised: false` and are never degraded.
+fn resctrl_json(shared: &Shared) -> Json {
+    match shared.engine.resctrl_health() {
+        Some(h) => Json::obj(vec![
+            ("supervised", Json::Bool(true)),
+            ("degraded", Json::Bool(h.is_degraded())),
+            ("retries", Json::num(h.retries() as f64)),
+            ("op_failures", Json::num(h.failures() as f64)),
+            ("breaker_trips", Json::num(h.trips() as f64)),
+            ("reprobes", Json::num(h.reprobes() as f64)),
+            ("restores", Json::num(h.restores() as f64)),
+        ]),
+        None => Json::obj(vec![
+            ("supervised", Json::Bool(false)),
+            ("degraded", Json::Bool(false)),
+        ]),
+    }
 }
 
 /// Per-class admission view for `/stats`: the configured waiting cap
@@ -843,6 +988,7 @@ impl ScrapeServer {
                 shared,
                 addr: bound,
                 accept: Some(accept),
+                supervise: None,
             },
         })
     }

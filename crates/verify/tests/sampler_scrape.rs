@@ -1,0 +1,206 @@
+//! Model checks for the observability lifecycles added with the fault
+//! work: the [`ccp_resctrl::OccupancySampler`] start/sample/stop path
+//! and [`ccp_server::ScrapeServer`] shutdown.
+//!
+//! Both run real background threads, so the explorer interleaves the
+//! *control* operations — waiting for samples, stopping, double-stopping,
+//! dropping, publishing, scraping — and the invariants say the
+//! lifecycles are order-independent: stop is idempotent, a joined
+//! sampler's last publish is never lost (the gauge equals the final
+//! probe reading), nothing samples after the join, and a scrape server
+//! going down can neither lose a registry publish nor serve a torn
+//! scrape.
+
+use ccp_obs::{Counter, Registry};
+use ccp_resctrl::{ClassSample, OccupancyProbe, OccupancySampler};
+use ccp_server::{fetch, ScrapeServer};
+use ccp_verify::{explore, Actor, Mode};
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Deterministic probe: the k-th sample reports `k * 100` occupancy
+/// bytes, so the published gauge encodes exactly which sample it came
+/// from.
+struct CountingProbe {
+    n: Arc<AtomicU64>,
+}
+
+impl OccupancyProbe for CountingProbe {
+    fn sample(&mut self) -> Vec<ClassSample> {
+        let k = self.n.fetch_add(1, Ordering::SeqCst) + 1;
+        vec![ClassSample {
+            class: "polluting".to_string(),
+            llc_occupancy_bytes: k * 100,
+            mbm_total_bytes: k,
+        }]
+    }
+}
+
+struct SamplerModel {
+    registry: Registry,
+    sampler: Option<OccupancySampler>,
+    samples: Arc<AtomicU64>,
+}
+
+#[test]
+fn sampler_stop_is_idempotent_and_never_loses_the_final_publish() {
+    let build = || {
+        let registry = Registry::new();
+        let samples = Arc::new(AtomicU64::new(0));
+        let sampler = OccupancySampler::start(
+            Box::new(CountingProbe {
+                n: Arc::clone(&samples),
+            }),
+            &registry,
+            Duration::from_millis(1),
+        )
+        .expect("sampler start");
+        let state = SamplerModel {
+            registry,
+            sampler: Some(sampler),
+            samples,
+        };
+        // The sampler loop samples once before its first stop check, so
+        // a waiter for >= 1 sample terminates under every interleaving,
+        // even "stop immediately".
+        let waiter = Actor::new("waiter").then(|s: &mut SamplerModel| {
+            while s.samples.load(Ordering::SeqCst) == 0 {
+                std::thread::sleep(Duration::from_micros(200));
+            }
+        });
+        // Two stop calls on the same handle: stop must be idempotent.
+        let stop_step = |s: &mut SamplerModel| {
+            if let Some(sampler) = s.sampler.as_mut() {
+                sampler.stop();
+            }
+        };
+        let stopper = Actor::new("stopper").then(stop_step).then(stop_step);
+        // Dropping is the third way down (Drop also stops).
+        let dropper = Actor::new("dropper").then(|s: &mut SamplerModel| {
+            s.sampler.take();
+        });
+        (state, vec![waiter, stopper, dropper])
+    };
+    let check_final = |s: &mut SamplerModel| {
+        if s.sampler.is_some() {
+            return Err("dropper ran, yet the sampler handle survived".to_string());
+        }
+        let n = s.samples.load(Ordering::SeqCst);
+        if n == 0 {
+            return Err("sampler thread never sampled before stopping".to_string());
+        }
+        // The thread is joined: nothing may sample any more.
+        std::thread::sleep(Duration::from_millis(5));
+        let after = s.samples.load(Ordering::SeqCst);
+        if after != n {
+            return Err(format!("sampling continued after stop: {n} -> {after}"));
+        }
+        // The final publish was not lost: the gauge holds exactly the
+        // last probe reading (publish happens before the loop's stop
+        // check, and stop joins).
+        let gauge = s
+            .registry
+            .gauge_family("ccp_llc_occupancy_bytes", "")
+            .get_or_create(&[("class", "polluting")])
+            .get();
+        if gauge != (n * 100) as f64 {
+            return Err(format!(
+                "gauge {gauge} does not match the last sample ({} expected from {n} samples)",
+                n * 100
+            ));
+        }
+        Ok(())
+    };
+    let report = explore(
+        Mode::Exhaustive {
+            max_schedules: 1_000,
+        },
+        build,
+        |_| Ok(()),
+        check_final,
+    )
+    .expect("sampler lifecycle must be order-independent");
+    assert!(report.exhausted);
+    // waiter(1) + stopper(2) + dropper(1): 4!/(1!·2!·1!) = 12 orders.
+    assert_eq!(report.schedules, 12);
+}
+
+struct ScrapeModel {
+    registry: Registry,
+    hits: Counter,
+    server: Option<ScrapeServer>,
+    addr: SocketAddr,
+    scraped: Option<String>,
+}
+
+#[test]
+fn scrape_server_shutdown_loses_no_publish_and_tolerates_double_stop() {
+    let build = || {
+        let registry = Registry::new();
+        let hits = registry
+            .counter_family("model_final_publish_total", "model publishes")
+            .get_or_create(&[]);
+        let server = ScrapeServer::start(&registry, "127.0.0.1:0").expect("scrape server");
+        let addr = server.addr();
+        let state = ScrapeModel {
+            registry,
+            hits,
+            server: Some(server),
+            addr,
+            scraped: None,
+        };
+        // Publishes racing the shutdown: the registry outlives the
+        // server, so none may be lost whichever side wins.
+        let publish = |s: &mut ScrapeModel| {
+            s.hits.inc();
+        };
+        let publisher = Actor::new("publisher").then(publish).then(publish);
+        let scraper = Actor::new("scraper").then(|s: &mut ScrapeModel| {
+            // Succeeds before shutdown, fails cleanly after — both fine;
+            // a *torn* success is the bug this hunts.
+            if let Ok(resp) = fetch(s.addr, "GET", "/metrics", None) {
+                s.scraped = Some(resp.body);
+            }
+        });
+        let stop_step = |s: &mut ScrapeModel| {
+            if let Some(server) = s.server.as_mut() {
+                server.shutdown();
+            }
+        };
+        let stopper = Actor::new("stopper").then(stop_step).then(stop_step);
+        (state, vec![publisher, scraper, stopper])
+    };
+    let check_final = |s: &mut ScrapeModel| {
+        // Third shutdown via Drop.
+        s.server.take();
+        if s.hits.get() != 2 {
+            return Err(format!("{} of 2 publishes survived", s.hits.get()));
+        }
+        let rendered = s.registry.render_prometheus();
+        if !rendered.contains("model_final_publish_total 2") {
+            return Err(format!(
+                "final publish missing from the registry render: {rendered:?}"
+            ));
+        }
+        if let Some(body) = &s.scraped {
+            if !body.contains("model_final_publish_total") {
+                return Err(format!("successful scrape was torn: {body:?}"));
+            }
+        }
+        Ok(())
+    };
+    let report = explore(
+        Mode::Exhaustive {
+            max_schedules: 1_000,
+        },
+        build,
+        |_| Ok(()),
+        check_final,
+    )
+    .expect("scrape-server shutdown must be order-independent");
+    assert!(report.exhausted);
+    // publisher(2) + scraper(1) + stopper(2): 5!/(2!·1!·2!) = 30 orders.
+    assert_eq!(report.schedules, 30);
+}

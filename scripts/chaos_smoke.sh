@@ -1,0 +1,148 @@
+#!/usr/bin/env bash
+# Chaos smoke gate: the service must degrade gracefully, not fail, when
+# the resctrl backend misbehaves.
+#
+# Starts `ccp serve` with the in-memory fake resctrl backend and an
+# armed fault window (every schemata write fails with EBUSY for the
+# first 80 hits), drives it with `ccp bench-serve`, and asserts:
+#
+#   * >=99% of queries succeed (bench-serve exits 0 with a 1% gate) —
+#     partitioning is an optimization, never a gate;
+#   * the `ccp_resctrl_degraded` gauge flips 0 -> 1 (observed live
+#     mid-run) -> 0 (after the re-probe loop burns through the window),
+#     with breaker-trip and restore counters recording the transitions;
+#   * zero worker panics end to end.
+#
+# Usage:
+#   scripts/chaos_smoke.sh [PORT]          # default: 19191
+#
+# Tunables (environment):
+#   CCP_CHAOS_QPS       offered load (default 40)
+#   CCP_CHAOS_SECS      bench duration in seconds (default 6)
+#   CCP_CHAOS_PROFILE   cargo profile to build/run (default release)
+
+set -euo pipefail
+
+PORT="${1:-19191}"
+ADDR="127.0.0.1:${PORT}"
+QPS="${CCP_CHAOS_QPS:-40}"
+SECS="${CCP_CHAOS_SECS:-6}"
+PROFILE="${CCP_CHAOS_PROFILE:-release}"
+# A bounded window: enough failing writes that the breaker trips (3
+# exhausted ops of 3 attempts each) and degraded mode lasts a couple of
+# seconds of 150ms re-probes, small enough that the run always heals.
+FAULTS="resctrl.write_schemata=err@1+80"
+
+cd "$(dirname "$0")/.."
+
+if [[ "$PROFILE" == "release" ]]; then
+  cargo build --release -q --bin ccp
+  CCP=target/release/ccp
+else
+  cargo build -q --bin ccp
+  CCP=target/debug/ccp
+fi
+
+WORK="$(mktemp -d)"
+SERVER_PID=""
+cleanup() {
+  [[ -n "$SERVER_PID" ]] && kill "$SERVER_PID" 2>/dev/null || true
+  [[ -n "$SERVER_PID" ]] && wait "$SERVER_PID" 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+"$CCP" serve --addr "$ADDR" --fake-resctrl --reprobe-interval-ms 150 \
+  --faults "$FAULTS" >"$WORK/serve.log" 2>&1 &
+SERVER_PID=$!
+
+# Wait for the listener.
+for _ in $(seq 1 50); do
+  if (exec 3<>"/dev/tcp/127.0.0.1/${PORT}") 2>/dev/null; then
+    break
+  fi
+  if ! kill -0 "$SERVER_PID" 2>/dev/null; then
+    echo "serve exited early:" >&2
+    cat "$WORK/serve.log" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+
+scrape() { # scrape PATH OUTFILE
+  if command -v curl >/dev/null 2>&1; then
+    curl -sf "http://${ADDR}$1" -o "$2"
+  else
+    wget -qO "$2" "http://${ADDR}$1"
+  fi
+}
+
+scrape /stats "$WORK/stats.json"
+grep -qF '"supervised":true' "$WORK/stats.json" || {
+  echo "engine is not under resctrl supervision:" >&2
+  cat "$WORK/stats.json" >&2
+  exit 1
+}
+
+echo "== bench-serve under fault plan '${FAULTS}': ${QPS} qps for ${SECS}s"
+"$CCP" bench-serve --addr "$ADDR" --qps "$QPS" --duration "$SECS" \
+  --concurrency 2 --max-error-pct 1 &
+BENCH_PID=$!
+
+# While the bench runs, watch for the degraded gauge going high: the
+# breaker trips within the first few hundred milliseconds of load and
+# degraded mode lasts a couple of seconds, so 100ms polls cannot miss it.
+SAW_DEGRADED=0
+while kill -0 "$BENCH_PID" 2>/dev/null; do
+  if scrape /metrics "$WORK/metrics.txt" 2>/dev/null \
+    && grep -qE '^ccp_resctrl_degraded 1' "$WORK/metrics.txt"; then
+    SAW_DEGRADED=1
+  fi
+  sleep 0.1
+done
+wait "$BENCH_PID" # propagates bench-serve's >=99%-success gate
+
+if [[ "$SAW_DEGRADED" != 1 ]]; then
+  echo "ccp_resctrl_degraded never went high under the fault plan" >&2
+  exit 1
+fi
+echo "   observed degraded mode mid-run"
+
+# The re-probe loop must heal once the fault window is exhausted.
+HEALED=0
+for _ in $(seq 1 100); do
+  scrape /metrics "$WORK/metrics.txt"
+  if grep -qE '^ccp_resctrl_degraded 0' "$WORK/metrics.txt"; then
+    HEALED=1
+    break
+  fi
+  sleep 0.1
+done
+if [[ "$HEALED" != 1 ]]; then
+  echo "server never recovered from degraded mode:" >&2
+  grep '^ccp_resctrl' "$WORK/metrics.txt" >&2 || true
+  exit 1
+fi
+echo "   healed back to partitioned mode"
+
+metric() { # metric NAME -> value (first sample)
+  awk -v name="$1" '$1 == name { print $NF; exit }' "$WORK/metrics.txt"
+}
+
+TRIPS=$(metric ccp_resctrl_breaker_trips_total)
+RESTORES=$(metric ccp_resctrl_restores_total)
+if [[ -z "$TRIPS" || "$TRIPS" == 0 || -z "$RESTORES" || "$RESTORES" == 0 ]]; then
+  echo "transition counters missing the 0->1->0 episode: trips=${TRIPS:-?} restores=${RESTORES:-?}" >&2
+  exit 1
+fi
+echo "   breaker_trips=${TRIPS} restores=${RESTORES}"
+
+PANICKED=$(awk '/^ccp_executor_jobs_panicked_total/ { sum += $NF } END { print sum + 0 }' \
+  "$WORK/metrics.txt")
+if [[ "$PANICKED" != 0 ]]; then
+  echo "jobs_panicked = ${PANICKED} (> 0): worker panics under chaos" >&2
+  exit 1
+fi
+echo "   jobs_panicked = 0"
+
+echo "chaos smoke OK"

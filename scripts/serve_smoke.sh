@@ -88,6 +88,16 @@ for needle in \
 done
 echo "   all expected families present ($(wc -l <"$WORK/metrics.txt") lines)"
 
+# No worker thread may have died serving the load: a panicked job is a
+# bug even when the request that triggered it got an error response.
+PANICKED=$(awk '/^ccp_executor_jobs_panicked_total/ { sum += $NF } END { print sum + 0 }' \
+  "$WORK/metrics.txt")
+if [[ "$PANICKED" != 0 ]]; then
+  echo "jobs_panicked = ${PANICKED} (> 0): worker panics during smoke load" >&2
+  exit 1
+fi
+echo "   jobs_panicked = 0"
+
 echo "== scraping /trace"
 scrape /trace "$WORK/trace.json"
 python3 - "$WORK/trace.json" <<'PY'

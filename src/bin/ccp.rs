@@ -85,7 +85,10 @@ fn print_help() {
          --queue-limit-mixed N      cap on waiting mixed queries     (default: global cap only)\n  \
          --max-conns N      connection cap      (default 64)\n  \
          --rows N           resident rows       (default 60000)\n  \
-         --queue-deadline-ms N  shed queries queued longer than N ms with 503 (default 30000, 0 = wait forever)\n\n\
+         --queue-deadline-ms N  shed queries queued longer than N ms with 503 (default 30000, 0 = wait forever)\n  \
+         --faults PLAN      arm ccp-fault failpoints, e.g. resctrl.write_schemata=err@1+40 (or env CCP_FAULTS)\n  \
+         --fake-resctrl     back the engine with an in-memory resctrl (chaos harness; no CAT needed)\n  \
+         --reprobe-interval-ms N  resctrl health sync / degraded re-probe period (default 200)\n\n\
          BENCH-SERVE FLAGS:\n  \
          --addr HOST:PORT   server to drive     (default 127.0.0.1:9090)\n  \
          --qps N            target request rate (default 50)\n  \
@@ -203,13 +206,16 @@ fn classify() -> ExitCode {
     ExitCode::SUCCESS
 }
 
-/// Parses `serve` flags into a [`ServerConfig`]; any unknown flag,
-/// missing value or unparsable number is a clean failure, never a panic.
-fn parse_serve_config(args: &[String]) -> Result<ServerConfig, String> {
+/// Parses `serve` flags into a [`ServerConfig`] plus an optional
+/// `--faults` plan string (installed by [`serve`], not here — parsing
+/// stays side-effect free); any unknown flag, missing value or
+/// unparsable number is a clean failure, never a panic.
+fn parse_serve_config(args: &[String]) -> Result<(ServerConfig, Option<String>), String> {
     let mut config = ServerConfig {
         addr: "127.0.0.1:9090".to_string(),
         ..ServerConfig::default()
     };
+    let mut faults = None;
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         let mut value_of = |name: &str| {
@@ -244,6 +250,12 @@ fn parse_serve_config(args: &[String]) -> Result<ServerConfig, String> {
                 // 0 opts out of shedding (wait for a slot indefinitely).
                 config.queue_deadline = (ms > 0).then(|| Duration::from_millis(ms));
             }
+            "--faults" => faults = Some(value_of("--faults")?),
+            "--fake-resctrl" => config.fake_resctrl = true,
+            "--reprobe-interval-ms" => {
+                let ms = parse_count(&value_of("--reprobe-interval-ms")?)? as u64;
+                config.reprobe_interval = Duration::from_millis(ms);
+            }
             other => {
                 return Err(format!(
                     "unknown serve flag {other:?} (see `ccp help` for the flag list)"
@@ -251,7 +263,7 @@ fn parse_serve_config(args: &[String]) -> Result<ServerConfig, String> {
             }
         }
     }
-    Ok(config)
+    Ok((config, faults))
 }
 
 /// Parses a per-class queue cap; unlike [`parse_count`], `0` is legal
@@ -270,13 +282,24 @@ fn parse_count(s: &str) -> Result<usize, String> {
 }
 
 fn serve(args: &[String]) -> ExitCode {
-    let config = match parse_serve_config(args) {
+    let (config, faults) = match parse_serve_config(args) {
         Ok(c) => c,
         Err(why) => {
             eprintln!("{why}");
             return ExitCode::FAILURE;
         }
     };
+    // `--faults` wins over the CCP_FAULTS environment variable; either
+    // way a malformed plan is a startup failure naming the bad clause,
+    // not a server that silently runs without its chaos.
+    let installed = match faults {
+        Some(plan) => ccp_fault::install_str(&plan).map(Some),
+        None => ccp_fault::install_from_env(),
+    };
+    if let Err(e) = installed {
+        eprintln!("{e}");
+        return ExitCode::FAILURE;
+    }
     install_sigint_handler();
     let mut server = match Server::start(config) {
         Ok(s) => s,
@@ -295,6 +318,9 @@ fn serve(args: &[String]) -> ExitCode {
         }
     );
     println!("  endpoints: /metrics /healthz /stats /trace POST /query");
+    if let Some(plan) = ccp_fault::active_plan() {
+        println!("  fault plan: {plan}");
+    }
     println!("  ctrl-c to stop");
     while !sigint_requested() && !server.shutdown_requested() {
         std::thread::sleep(std::time::Duration::from_millis(100));
