@@ -52,7 +52,7 @@ pub use cache::{AccessOutcome, ReplacementPolicy, SetAssociativeCache};
 pub use config::{CacheLevelConfig, CostModel, DramConfig, HierarchyConfig};
 pub use dram::DramChannel;
 pub use hierarchy::{AccessKind, MemoryHierarchy, StreamId};
-pub use mask::{MaskError, WayMask};
+pub use mask::{MaskError, WayMask, MAX_WAYS};
 pub use stats::{CacheStats, StreamStats};
 
 /// Size of a cache line in bytes. Fixed at 64 across all modeled levels,

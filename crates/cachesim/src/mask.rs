@@ -121,6 +121,30 @@ impl WayMask {
         Self::from_ways(n.min(ways))
     }
 
+    /// A contiguous run of `len` ways starting at way `lo`.
+    ///
+    /// This is the constructor adaptive repartitioning uses to carve
+    /// non-overlapping regions out of the LLC: polluting classes are
+    /// anchored at way 0 (`from_ways`), sensitive ones at the top end
+    /// (`range(ways - n, n)`), so the two never share fill victims.
+    ///
+    /// # Errors
+    /// Returns [`MaskError::Empty`] when `len` is zero and
+    /// [`MaskError::TooManyWays`] when the run extends past [`MAX_WAYS`].
+    pub fn range(lo: u32, len: u32) -> Result<Self, MaskError> {
+        if len == 0 {
+            return Err(MaskError::Empty);
+        }
+        if lo.saturating_add(len) > MAX_WAYS {
+            return Err(MaskError::TooManyWays {
+                requested: lo.saturating_add(len),
+                available: MAX_WAYS,
+            });
+        }
+        let run = ((1u64 << len) - 1) as u32;
+        Ok(WayMask(run << lo))
+    }
+
     /// The raw bitmask.
     #[inline]
     pub fn bits(self) -> u32 {
@@ -202,6 +226,28 @@ mod tests {
         assert_eq!(WayMask::from_ways(0), Err(MaskError::Empty));
         assert!(matches!(
             WayMask::from_ways(33),
+            Err(MaskError::TooManyWays { .. })
+        ));
+    }
+
+    #[test]
+    fn range_builds_anchored_runs() {
+        assert_eq!(WayMask::range(0, 2).unwrap().bits(), 0x3);
+        assert_eq!(WayMask::range(4, 4).unwrap().bits(), 0xf0);
+        // Top-anchored 4 ways of a 20-way cache.
+        assert_eq!(WayMask::range(16, 4).unwrap().bits(), 0xf0000);
+        assert_eq!(WayMask::range(0, 32).unwrap().bits(), u32::MAX);
+    }
+
+    #[test]
+    fn range_rejects_out_of_range() {
+        assert_eq!(WayMask::range(3, 0), Err(MaskError::Empty));
+        assert!(matches!(
+            WayMask::range(30, 4),
+            Err(MaskError::TooManyWays { .. })
+        ));
+        assert!(matches!(
+            WayMask::range(u32::MAX, 1),
             Err(MaskError::TooManyWays { .. })
         ));
     }

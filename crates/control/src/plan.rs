@@ -1,0 +1,305 @@
+//! Way-target → mask-plan derivation.
+//!
+//! A [`MaskPlan`] is one complete CUID→mask mapping: three contiguous
+//! [`WayMask`]s, one per class. [`derive_masks`] turns per-class way
+//! *targets* into a plan with a fixed geometry that makes exclusivity
+//! structural rather than checked:
+//!
+//! * **polluting** — anchored at way 0, like the paper's `0x3`;
+//! * **sensitive** — anchored at the *top* of the cache;
+//! * **mixed** — also top-anchored (it shares ways with sensitive, as in
+//!   the paper's nested `0xfff` ⊂ `0xfffff`, but never with polluting).
+//!
+//! Clamping guarantees polluting and the top-anchored classes never
+//! overlap: pollution confinement — the paper's core mechanism — is
+//! preserved under every input.
+
+use ccp_cachesim::WayMask;
+
+/// The three CUID classes the controller partitions between. Labels
+/// match the sampler's class labels (`polluting` / `mixed` /
+/// `sensitive`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ClassId {
+    /// Class *i*: scan-like operators that stream without reuse.
+    Polluting,
+    /// Class *iii*: operators whose behavior depends on working-set size.
+    Mixed,
+    /// Class *ii*: reuse-heavy operators (the protected class).
+    Sensitive,
+}
+
+impl ClassId {
+    /// All classes, in mask-layout order (bottom of the cache first).
+    pub const ALL: [ClassId; 3] = [ClassId::Polluting, ClassId::Mixed, ClassId::Sensitive];
+
+    /// The sampler/metrics label for this class.
+    pub fn label(self) -> &'static str {
+        match self {
+            ClassId::Polluting => "polluting",
+            ClassId::Mixed => "mixed",
+            ClassId::Sensitive => "sensitive",
+        }
+    }
+
+    /// Parses a sampler label back into a class; `None` for labels the
+    /// controller does not partition (future classes are ignored, not
+    /// errors).
+    pub fn from_label(label: &str) -> Option<Self> {
+        match label {
+            "polluting" => Some(ClassId::Polluting),
+            "mixed" => Some(ClassId::Mixed),
+            "sensitive" => Some(ClassId::Sensitive),
+            _ => None,
+        }
+    }
+}
+
+/// Per-class way-count targets, the input to [`derive_masks`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClassTargets {
+    /// Target ways for the polluting class.
+    pub polluting: u32,
+    /// Target ways for the mixed class.
+    pub mixed: u32,
+    /// Target ways for the sensitive class.
+    pub sensitive: u32,
+}
+
+impl ClassTargets {
+    /// The target for `class`.
+    pub fn get(&self, class: ClassId) -> u32 {
+        match class {
+            ClassId::Polluting => self.polluting,
+            ClassId::Mixed => self.mixed,
+            ClassId::Sensitive => self.sensitive,
+        }
+    }
+
+    /// Sets the target for `class`.
+    pub fn set(&mut self, class: ClassId, ways: u32) {
+        match class {
+            ClassId::Polluting => self.polluting = ways,
+            ClassId::Mixed => self.mixed = ways,
+            ClassId::Sensitive => self.sensitive = ways,
+        }
+    }
+
+    /// Builds targets from `(class, ways)` pairs in any order; classes
+    /// mentioned more than once take their maximum (a commutative
+    /// reduction, so the result is independent of pair order) and
+    /// unmentioned classes default to `default_ways`.
+    pub fn from_pairs(pairs: &[(ClassId, u32)], default_ways: u32) -> Self {
+        let mut t = ClassTargets {
+            polluting: 0,
+            mixed: 0,
+            sensitive: 0,
+        };
+        let mut seen = [false; 3];
+        for &(class, ways) in pairs {
+            let idx = class as usize;
+            t.set(
+                class,
+                if seen[idx] {
+                    t.get(class).max(ways)
+                } else {
+                    ways
+                },
+            );
+            seen[idx] = true;
+        }
+        for (idx, class) in ClassId::ALL.iter().enumerate() {
+            if !seen[idx] {
+                t.set(*class, default_ways);
+            }
+        }
+        t
+    }
+}
+
+/// One complete CUID→mask mapping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MaskPlan {
+    /// Mask for the polluting class.
+    pub polluting: WayMask,
+    /// Mask for the mixed class (when in its sensitive regime).
+    pub mixed: WayMask,
+    /// Mask for the sensitive class.
+    pub sensitive: WayMask,
+}
+
+impl MaskPlan {
+    /// Bundles three masks into a plan.
+    pub fn new(polluting: WayMask, mixed: WayMask, sensitive: WayMask) -> Self {
+        MaskPlan {
+            polluting,
+            mixed,
+            sensitive,
+        }
+    }
+
+    /// The mask for `class`.
+    pub fn get(&self, class: ClassId) -> WayMask {
+        match class {
+            ClassId::Polluting => self.polluting,
+            ClassId::Mixed => self.mixed,
+            ClassId::Sensitive => self.sensitive,
+        }
+    }
+
+    /// `(class, way count)` for every class, in layout order.
+    pub fn way_counts(&self) -> [(ClassId, u32); 3] {
+        [
+            (ClassId::Polluting, self.polluting.way_count()),
+            (ClassId::Mixed, self.mixed.way_count()),
+            (ClassId::Sensitive, self.sensitive.way_count()),
+        ]
+    }
+
+    /// Total way-count movement between two plans — the change magnitude
+    /// the hysteresis threshold compares against.
+    pub fn delta_ways(&self, other: &MaskPlan) -> u32 {
+        ClassId::ALL
+            .iter()
+            .map(|&c| self.get(c).way_count().abs_diff(other.get(c).way_count()))
+            .sum()
+    }
+
+    /// Whether the polluting class is isolated from both top-anchored
+    /// classes — the confinement property adaptive plans guarantee.
+    /// (The paper's *static* plan intentionally violates this: its
+    /// nested masks give sensitive operators the polluter's ways too.)
+    pub fn polluter_isolated(&self) -> bool {
+        self.polluting.bits() & self.sensitive.bits() == 0
+            && self.polluting.bits() & self.mixed.bits() == 0
+    }
+}
+
+/// Derives a [`MaskPlan`] from per-class way targets on a `ways`-way
+/// cache, guaranteeing every mask is non-empty, contiguous, within
+/// capacity, at least `min_ways` wide, and — whenever the cache is big
+/// enough to split (`ways >= 2 * min_ways`) — that the polluting mask
+/// never overlaps the sensitive or mixed masks.
+///
+/// Degenerate caches (`ways < 2 * min_ways`) cannot host a disjoint
+/// pair, so every class shares the full cache — partitioning there is a
+/// no-op, exactly like the static policy on a tiny LLC.
+pub fn derive_masks(targets: &ClassTargets, ways: u32, min_ways: u32) -> MaskPlan {
+    let ways = ways.clamp(1, ccp_cachesim::MAX_WAYS);
+    let min_ways = min_ways.clamp(1, ways);
+    let full = WayMask::full(ways).expect("ways validated in range");
+    if ways < min_ways * 2 {
+        return MaskPlan::new(full, full, full);
+    }
+    // Bottom-anchored polluting region, clamped so at least `min_ways`
+    // remain above it for the protected classes.
+    let p = targets.polluting.clamp(min_ways, ways - min_ways);
+    // Top-anchored protected regions, clamped to the space above the
+    // polluting region — structural exclusivity.
+    let s = targets.sensitive.clamp(min_ways, ways - p);
+    let m = targets.mixed.clamp(min_ways, ways - p);
+    MaskPlan::new(
+        WayMask::from_ways(p).expect("p in [1, ways]"),
+        WayMask::range(ways - m, m).expect("m in [1, ways - p]"),
+        WayMask::range(ways - s, s).expect("s in [1, ways - p]"),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_round_trip() {
+        for c in ClassId::ALL {
+            assert_eq!(ClassId::from_label(c.label()), Some(c));
+        }
+        assert_eq!(ClassId::from_label("oltp"), None);
+    }
+
+    #[test]
+    fn derive_anchors_polluter_low_and_sensitive_high() {
+        let plan = derive_masks(
+            &ClassTargets {
+                polluting: 2,
+                mixed: 4,
+                sensitive: 6,
+            },
+            20,
+            2,
+        );
+        assert_eq!(plan.polluting.bits(), 0x3);
+        assert_eq!(plan.sensitive.bits(), 0xfc000); // top 6 ways
+        assert_eq!(plan.mixed.bits(), 0xf0000); // top 4 ways
+        assert!(plan.polluter_isolated());
+    }
+
+    #[test]
+    fn oversized_targets_are_clamped_to_capacity() {
+        let plan = derive_masks(
+            &ClassTargets {
+                polluting: 50,
+                mixed: 50,
+                sensitive: 50,
+            },
+            20,
+            2,
+        );
+        // Polluter capped so the protected classes keep min_ways...
+        assert_eq!(plan.polluting.way_count(), 18);
+        // ...and the protected classes fill whatever remains above it.
+        assert_eq!(plan.sensitive.way_count(), 2);
+        assert!(plan.polluter_isolated());
+    }
+
+    #[test]
+    fn degenerate_cache_shares_everything() {
+        let plan = derive_masks(
+            &ClassTargets {
+                polluting: 1,
+                mixed: 1,
+                sensitive: 1,
+            },
+            3,
+            2,
+        );
+        assert_eq!(plan.polluting.bits(), 0x7);
+        assert_eq!(plan.sensitive.bits(), 0x7);
+        assert!(!plan.polluter_isolated());
+    }
+
+    #[test]
+    fn delta_ways_sums_per_class_movement() {
+        let a = derive_masks(
+            &ClassTargets {
+                polluting: 2,
+                mixed: 12,
+                sensitive: 18,
+            },
+            20,
+            2,
+        );
+        let b = derive_masks(
+            &ClassTargets {
+                polluting: 2,
+                mixed: 12,
+                sensitive: 4,
+            },
+            20,
+            2,
+        );
+        assert_eq!(a.delta_ways(&b), 14);
+        assert_eq!(a.delta_ways(&a), 0);
+    }
+
+    #[test]
+    fn from_pairs_is_order_independent() {
+        let fwd = ClassTargets::from_pairs(&[(ClassId::Sensitive, 6), (ClassId::Polluting, 2)], 3);
+        let rev = ClassTargets::from_pairs(&[(ClassId::Polluting, 2), (ClassId::Sensitive, 6)], 3);
+        assert_eq!(fwd, rev);
+        assert_eq!(fwd.mixed, 3); // unmentioned -> default
+                                  // Duplicates reduce via max, which commutes.
+        let dup = ClassTargets::from_pairs(&[(ClassId::Mixed, 4), (ClassId::Mixed, 9)], 1);
+        assert_eq!(dup.mixed, 9);
+    }
+}

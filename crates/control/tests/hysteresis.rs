@@ -1,0 +1,261 @@
+//! Hysteresis unit suite: dwell windows, the change-magnitude
+//! threshold, and the stale-reading/degraded clamps.
+
+use ccp_cachesim::WayMask;
+use ccp_control::{
+    ClassId, ClassReading, ControlConfig, Controller, Decision, HoldReason, MaskPlan, RevertReason,
+    TickInput,
+};
+
+const LLC: u64 = 55 * 1024 * 1024;
+const WAYS: u32 = 20;
+
+fn paper_static_plan() -> MaskPlan {
+    MaskPlan::new(
+        WayMask::new(0x3).unwrap(),
+        WayMask::new(0xfff).unwrap(),
+        WayMask::new(0xfffff).unwrap(),
+    )
+}
+
+fn controller() -> Controller {
+    Controller::new(ControlConfig::paper_default(WAYS, LLC), paper_static_plan())
+}
+
+/// Readings where the sensitive working set has shrunk to ~12 % of the
+/// LLC — the canonical "repartition downward" signal.
+fn shrink_readings(tick: u64) -> Vec<ClassReading> {
+    let frac = |f: f64| (f * LLC as f64) as u64;
+    vec![
+        ClassReading {
+            class: ClassId::Polluting,
+            occupancy_bytes: frac(0.08),
+            mbm_total_bytes: frac(0.08) * tick,
+        },
+        ClassReading {
+            class: ClassId::Mixed,
+            occupancy_bytes: 0,
+            mbm_total_bytes: 0,
+        },
+        ClassReading {
+            class: ClassId::Sensitive,
+            occupancy_bytes: frac(0.12),
+            mbm_total_bytes: frac(0.12) * tick,
+        },
+    ]
+}
+
+fn tick(c: &mut Controller, seq: u64, readings: &[ClassReading], degraded: bool) -> Decision {
+    c.tick(&TickInput {
+        seq,
+        readings,
+        degraded,
+    })
+}
+
+#[test]
+fn warmup_dwell_holds_before_the_first_decision() {
+    let mut c = controller();
+    for t in 1..=3 {
+        let r = shrink_readings(t);
+        assert_eq!(
+            tick(&mut c, t, &r, false),
+            Decision::Hold(HoldReason::Dwell),
+            "tick {t} should still be in warm-up dwell"
+        );
+    }
+    let r = shrink_readings(4);
+    let d = tick(&mut c, 4, &r, false);
+    let Decision::Repartition(plan) = d else {
+        panic!("expected a repartition after warm-up, got {d:?}");
+    };
+    assert!(plan.sensitive.way_count() < 20, "sensitive should shrink");
+    assert!(plan.polluter_isolated());
+    assert_eq!(c.counters().repartitions, 1);
+    assert_eq!(c.counters().holds, 3);
+}
+
+#[test]
+fn post_repartition_dwell_holds_even_under_big_signal_changes() {
+    let mut c = controller();
+    for t in 1..=4 {
+        let r = shrink_readings(t);
+        tick(&mut c, t, &r, false);
+    }
+    assert_eq!(c.counters().repartitions, 1);
+    // A violent signal swing right after the repartition: starve the
+    // sensitive class completely. The dwell window must hold it.
+    let starved: Vec<ClassReading> = shrink_readings(5)
+        .into_iter()
+        .map(|mut r| {
+            if r.class == ClassId::Sensitive {
+                r.occupancy_bytes = LLC;
+            }
+            r
+        })
+        .collect();
+    for t in 5..=7 {
+        assert_eq!(
+            tick(&mut c, t, &starved, false),
+            Decision::Hold(HoldReason::Dwell),
+            "tick {t} inside the post-repartition dwell window"
+        );
+    }
+    // Once the window expires the starved signal goes through.
+    assert!(matches!(
+        tick(&mut c, 8, &starved, false),
+        Decision::Repartition(_)
+    ));
+}
+
+#[test]
+fn sub_threshold_deltas_are_held() {
+    let mut c = controller();
+    let mut t = 1;
+    // Drive to a steady adaptive plan.
+    loop {
+        let r = shrink_readings(t);
+        if matches!(tick(&mut c, t, &r, false), Decision::Repartition(_)) {
+            break;
+        }
+        t += 1;
+        assert!(t < 20, "never repartitioned");
+    }
+    let plan = *c.current_plan();
+    // Burn the dwell window, then keep feeding the same signal: the
+    // re-derived plan equals the current one (delta 0 < threshold 2).
+    for _ in 0..10 {
+        t += 1;
+        let r = shrink_readings(t);
+        let d = tick(&mut c, t, &r, false);
+        assert!(
+            matches!(
+                d,
+                Decision::Hold(HoldReason::Dwell) | Decision::Hold(HoldReason::BelowThreshold)
+            ),
+            "steady signal must not move the plan, got {d:?}"
+        );
+    }
+    assert_eq!(*c.current_plan(), plan);
+    assert_eq!(c.counters().repartitions, 1, "no thrashing");
+}
+
+#[test]
+fn stale_readings_clamp_to_the_static_plan() {
+    let mut c = controller();
+    let mut t = 1;
+    loop {
+        let r = shrink_readings(t);
+        if matches!(tick(&mut c, t, &r, false), Decision::Repartition(_)) {
+            break;
+        }
+        t += 1;
+        assert!(t < 20);
+    }
+    assert_ne!(*c.current_plan(), paper_static_plan());
+    // The sequence stops advancing: after stale_after_ticks the
+    // controller must revert to static and report itself clamped.
+    let frozen = shrink_readings(t);
+    let mut reverted = false;
+    for _ in 0..ControlConfig::paper_default(WAYS, LLC).stale_after_ticks + 1 {
+        match tick(&mut c, t, &frozen, false) {
+            Decision::Revert {
+                reason: RevertReason::StaleReadings,
+                plan,
+            } => {
+                assert_eq!(plan, paper_static_plan());
+                reverted = true;
+                break;
+            }
+            Decision::Hold(_) => {}
+            d => panic!("unexpected decision while going stale: {d:?}"),
+        }
+    }
+    assert!(reverted, "controller never clamped on stale readings");
+    assert!(c.is_clamped());
+    assert_eq!(*c.current_plan(), paper_static_plan());
+    // Still stale: holds in place, no repeated reverts.
+    assert_eq!(
+        tick(&mut c, t, &frozen, false),
+        Decision::Hold(HoldReason::Clamped)
+    );
+    assert_eq!(c.counters().reverts, 1);
+}
+
+#[test]
+fn degraded_health_clamps_immediately_and_recovers() {
+    let mut c = controller();
+    let mut t = 1;
+    loop {
+        let r = shrink_readings(t);
+        if matches!(tick(&mut c, t, &r, false), Decision::Repartition(_)) {
+            break;
+        }
+        t += 1;
+        assert!(t < 20);
+    }
+    t += 1;
+    let r = shrink_readings(t);
+    assert!(matches!(
+        tick(&mut c, t, &r, true),
+        Decision::Revert {
+            reason: RevertReason::Degraded,
+            ..
+        }
+    ));
+    assert!(c.is_clamped());
+    // Health restored: after the revert's dwell window the controller
+    // re-derives the adaptive plan.
+    let mut repartitioned = false;
+    for _ in 0..10 {
+        t += 1;
+        let r = shrink_readings(t);
+        if matches!(tick(&mut c, t, &r, false), Decision::Repartition(_)) {
+            repartitioned = true;
+            break;
+        }
+    }
+    assert!(repartitioned, "controller never resumed after recovery");
+    assert!(!c.is_clamped());
+    assert_eq!(c.counters().reverts, 1);
+    assert_eq!(c.counters().repartitions, 2);
+}
+
+#[test]
+fn no_data_holds_without_reverting() {
+    let mut c = controller();
+    for _ in 0..5 {
+        assert_eq!(
+            tick(&mut c, 0, &[], false),
+            Decision::Hold(HoldReason::NoData)
+        );
+    }
+    assert_eq!(c.counters().reverts, 0);
+    assert_eq!(*c.current_plan(), paper_static_plan());
+}
+
+#[test]
+fn apply_failure_reverts_and_redwells() {
+    let mut c = controller();
+    let mut t = 1;
+    loop {
+        let r = shrink_readings(t);
+        if matches!(tick(&mut c, t, &r, false), Decision::Repartition(_)) {
+            break;
+        }
+        t += 1;
+        assert!(t < 20);
+    }
+    // The server failed to write the new schemata mid-repartition.
+    let fallback = c.note_apply_failed();
+    assert_eq!(fallback, paper_static_plan());
+    assert_eq!(*c.current_plan(), paper_static_plan());
+    assert_eq!(c.counters().reverts, 1);
+    // Dwell restarts: the immediate next ticks hold.
+    t += 1;
+    let r = shrink_readings(t);
+    assert_eq!(
+        tick(&mut c, t, &r, false),
+        Decision::Hold(HoldReason::Dwell)
+    );
+}

@@ -1,0 +1,104 @@
+//! Property tests for mask derivation: whatever targets the classifier
+//! produces, the derived plan must be legal CAT state.
+
+use ccp_control::{derive_masks, ClassId, ClassTargets};
+use proptest::prelude::*;
+
+proptest! {
+    /// Every derived mask is non-empty, contiguous (guaranteed by the
+    /// WayMask type — spot-checked anyway) and within the cache's
+    /// capacity, for any targets whatsoever.
+    #[test]
+    fn derived_masks_are_always_legal(
+        ways in 2u32..=32,
+        min_ways in 1u32..=3,
+        polluting in 0u32..=40,
+        mixed in 0u32..=40,
+        sensitive in 0u32..=40,
+    ) {
+        let t = ClassTargets { polluting, mixed, sensitive };
+        let plan = derive_masks(&t, ways, min_ways);
+        for class in ClassId::ALL {
+            let m = plan.get(class);
+            prop_assert!(m.way_count() >= 1, "{class:?} mask empty");
+            prop_assert!(m.check_fits(ways).is_ok(),
+                "{class:?} mask {m} exceeds {ways} ways");
+            let bits = m.bits();
+            let shifted = bits >> bits.trailing_zeros();
+            prop_assert_eq!(shifted & shifted.wrapping_add(1), 0);
+        }
+    }
+
+    /// Whenever the cache is big enough to split, each class gets at
+    /// least `min_ways` and the polluter is isolated from both
+    /// protected classes.
+    #[test]
+    fn splittable_caches_confine_the_polluter(
+        ways in 4u32..=32,
+        min_ways in 1u32..=2,
+        polluting in 0u32..=40,
+        mixed in 0u32..=40,
+        sensitive in 0u32..=40,
+    ) {
+        let t = ClassTargets { polluting, mixed, sensitive };
+        let plan = derive_masks(&t, ways, min_ways);
+        for class in ClassId::ALL {
+            prop_assert!(plan.get(class).way_count() >= min_ways);
+        }
+        prop_assert!(plan.polluter_isolated(),
+            "polluter overlaps a protected class: {plan:?}");
+    }
+
+    /// Derivation is stable under permuted class order: building the
+    /// same targets from pairs in any order yields the identical plan.
+    #[test]
+    fn derivation_is_stable_under_permuted_class_order(
+        perm in 0usize..6,
+        polluting in 0u32..=40,
+        mixed in 0u32..=40,
+        sensitive in 0u32..=40,
+    ) {
+        let pairs = [
+            (ClassId::Polluting, polluting),
+            (ClassId::Mixed, mixed),
+            (ClassId::Sensitive, sensitive),
+        ];
+        // One of the 3! orderings, picked by `perm`.
+        let orders = [
+            [0, 1, 2], [0, 2, 1], [1, 0, 2], [1, 2, 0], [2, 0, 1], [2, 1, 0],
+        ];
+        let permuted: Vec<(ClassId, u32)> =
+            orders[perm].iter().map(|&i| pairs[i]).collect();
+        let canonical = ClassTargets::from_pairs(&pairs, 2);
+        let shuffled = ClassTargets::from_pairs(&permuted, 2);
+        prop_assert_eq!(canonical, shuffled);
+        prop_assert_eq!(
+            derive_masks(&canonical, 20, 2),
+            derive_masks(&shuffled, 20, 2)
+        );
+    }
+
+    /// Derivation is idempotent: feeding a plan's own way counts back
+    /// in reproduces the plan exactly (no drift from clamping).
+    #[test]
+    fn derivation_is_idempotent(
+        ways in 4u32..=32,
+        polluting in 0u32..=40,
+        mixed in 0u32..=40,
+        sensitive in 0u32..=40,
+    ) {
+        let first = derive_masks(
+            &ClassTargets { polluting, mixed, sensitive }, ways, 2);
+        let counts = first.way_counts();
+        let again = derive_masks(
+            &ClassTargets {
+                polluting: counts[0].1,
+                mixed: counts[1].1,
+                sensitive: counts[2].1,
+            },
+            ways,
+            2,
+        );
+        prop_assert_eq!(first, again);
+    }
+}

@@ -57,6 +57,22 @@ pub trait CacheAllocator: Send + Sync {
     /// job but not the engine.
     fn bind(&self, tid: u64, mask: WayMask) -> Result<(), AllocError>;
 
+    /// Eagerly materializes the backend state behind `mask` — group
+    /// creation plus schemata writes — without binding any thread.
+    ///
+    /// This is the control loop's repartition path: a new plan's masks
+    /// are prepared up front so a failing schemata rewrite surfaces as a
+    /// controller revert instead of as per-job bind failures. Backends
+    /// without kernel state accept any mask.
+    ///
+    /// # Errors
+    /// Backend-specific failures; the caller is expected to fall back to
+    /// the previous (static) mapping.
+    fn prepare(&self, mask: WayMask) -> Result<(), AllocError> {
+        let _ = mask;
+        Ok(())
+    }
+
     /// Human-readable backend name for diagnostics.
     fn backend_name(&self) -> &'static str;
 
@@ -135,6 +151,25 @@ struct ResctrlInner {
     groups: HashMap<u32, GroupHandle>,
 }
 
+impl ResctrlInner {
+    /// Group for `mask`, created and programmed on first use.
+    fn ensure_group(&mut self, domains: &[u32], mask: WayMask) -> Result<GroupHandle, AllocError> {
+        if let Some(g) = self.groups.get(&mask.bits()) {
+            return Ok(g.clone());
+        }
+        let name = format!("ccp-{:x}", mask.bits());
+        let g = match self.ctl.existing_group(&name) {
+            Ok(g) => g,
+            Err(_) => self.ctl.create_group(&name)?,
+        };
+        for &d in domains {
+            self.ctl.set_l3_mask(&g, d, mask)?;
+        }
+        self.groups.insert(mask.bits(), g.clone());
+        Ok(g)
+    }
+}
+
 impl ResctrlAllocator {
     /// Wraps an opened controller, programming the given L3 `domains`,
     /// under the default supervision (3-attempt retry with backoff,
@@ -183,23 +218,21 @@ impl ResctrlAllocator {
 impl CacheAllocator for ResctrlAllocator {
     fn bind(&self, tid: u64, mask: WayMask) -> Result<(), AllocError> {
         let mut inner = self.inner.lock();
-        let inner = &mut *inner;
-        let group = match inner.groups.get(&mask.bits()) {
-            Some(g) => g.clone(),
-            None => {
-                let name = format!("ccp-{:x}", mask.bits());
-                let g = match inner.ctl.existing_group(&name) {
-                    Ok(g) => g,
-                    Err(_) => inner.ctl.create_group(&name)?,
-                };
-                for &d in &self.domains {
-                    inner.ctl.set_l3_mask(&g, d, mask)?;
-                }
-                inner.groups.insert(mask.bits(), g.clone());
-                g
-            }
-        };
+        let group = inner.ensure_group(&self.domains, mask)?;
         inner.ctl.assign_task(&group, tid)?;
+        Ok(())
+    }
+
+    fn prepare(&self, mask: WayMask) -> Result<(), AllocError> {
+        let mut inner = self.inner.lock();
+        let group = inner.ensure_group(&self.domains, mask)?;
+        // Re-assert the schemata even for a cached group so a drifted or
+        // faulted kernel state surfaces here, on the control path, rather
+        // than at the next worker bind. The controller's own old-vs-new
+        // write cache keeps the repeat case cheap.
+        for &d in &self.domains {
+            inner.ctl.set_l3_mask(&group, d, mask)?;
+        }
         Ok(())
     }
 
@@ -304,6 +337,24 @@ mod tests {
             .read(std::path::Path::new("/sys/fs/resctrl/ccp-fff/schemata"))
             .unwrap();
         assert_eq!(s, "L3:0=fff\n");
+    }
+
+    #[test]
+    fn prepare_creates_group_without_binding_tasks() {
+        let (fs, a) = fake_allocator();
+        a.prepare(WayMask::new(0xf0000).unwrap()).unwrap();
+        assert_eq!(fs.group_count(), 1);
+        use ccp_resctrl::fs::ResctrlFs;
+        let s = fs
+            .read(std::path::Path::new("/sys/fs/resctrl/ccp-f0000/schemata"))
+            .unwrap();
+        assert_eq!(s, "L3:0=f0000\n");
+        assert!(fs
+            .tasks_of(std::path::Path::new("/sys/fs/resctrl/ccp-f0000"))
+            .is_empty());
+        // A later bind to the same mask reuses the prepared group.
+        a.bind(7, WayMask::new(0xf0000).unwrap()).unwrap();
+        assert_eq!(fs.group_count(), 1);
     }
 
     #[test]

@@ -68,6 +68,13 @@ impl DualPoolExecutor {
         self.oltp.submit(job);
     }
 
+    /// The OLAP pool's live mask table — the handle adaptive control
+    /// publishes repartitions through. The OLTP pool has no table to
+    /// speak of: it binds the full mask regardless.
+    pub fn live_masks(&self) -> Arc<crate::masks::LiveMasks> {
+        self.olap.live_masks()
+    }
+
     /// Enables/disables partitioning on the OLAP side only (the paper's
     /// evaluation toggle); the OLTP pool is unaffected by design.
     pub fn set_partitioning(&self, on: bool) {

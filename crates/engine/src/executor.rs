@@ -11,6 +11,7 @@
 
 use crate::alloc::{current_tid, CacheAllocator};
 use crate::job::Job;
+use crate::masks::LiveMasks;
 use crate::metrics::ExecutorMetrics;
 use crate::partition::PartitionPolicy;
 use ccp_cachesim::WayMask;
@@ -107,6 +108,7 @@ impl Drop for BatchGuard {
 struct Shared {
     policy: PartitionPolicy,
     allocator: Arc<dyn CacheAllocator>,
+    live: Arc<LiveMasks>,
     partitioning: AtomicBool,
     metrics: ExecutorMetrics,
     pending: Mutex<usize>,
@@ -132,9 +134,11 @@ impl JobExecutor {
     ) -> Self {
         assert!(n_workers > 0, "executor needs at least one worker");
         let (tx, rx) = unbounded::<(Job, Instant)>();
+        let live = Arc::new(LiveMasks::from_policy(&policy));
         let shared = Arc::new(Shared {
             policy,
             allocator,
+            live,
             partitioning: AtomicBool::new(true),
             metrics: ExecutorMetrics::new(),
             pending: Mutex::new(0),
@@ -159,7 +163,11 @@ impl JobExecutor {
                             // only delays a worker's rebind by one job, which
                             // set_partitioning documents as lazy.
                             let want = if shared.partitioning.load(Ordering::Relaxed) {
-                                shared.policy.mask_for(cuid)
+                                // The live table (seeded from the policy,
+                                // rewritten by adaptive control) is read
+                                // once per job: repartitions take effect
+                                // on the next bind, never mid-query.
+                                shared.live.mask_for(cuid, &shared.policy)
                             } else {
                                 full
                             };
@@ -231,6 +239,13 @@ impl JobExecutor {
         // ORDERING: relaxed store of an independent flag; workers observe
         // it on their next job and no other state is published with it.
         self.shared.partitioning.store(on, Ordering::Relaxed);
+    }
+
+    /// The live CUID→mask table this pool binds from. Adaptive control
+    /// publishes repartitions through this handle; workers pick them up
+    /// on their next bind.
+    pub fn live_masks(&self) -> Arc<LiveMasks> {
+        self.shared.live.clone()
     }
 
     /// Whether partitioning is currently enabled.
@@ -498,6 +513,24 @@ mod tests {
         ]);
         let masks: Vec<u32> = rec.calls().iter().map(|(_, m)| m.bits()).collect();
         assert_eq!(masks, vec![0x3, 0xfff]);
+    }
+
+    #[test]
+    fn live_mask_updates_apply_on_the_next_bind() {
+        let rec = Arc::new(RecordingAllocator::new());
+        let ex = JobExecutor::new(1, policy(), rec.clone());
+        ex.run_jobs(vec![Job::new("agg0", CacheUsageClass::Sensitive, || {})]);
+        // An adaptive repartition shrinks the sensitive class to the top
+        // four ways; the already-idle worker rebinds on its next job.
+        let live = ex.live_masks();
+        live.set_masks(
+            WayMask::new(0x3).unwrap(),
+            WayMask::range(16, 4).unwrap(),
+            WayMask::range(16, 4).unwrap(),
+        );
+        ex.run_jobs(vec![Job::new("agg1", CacheUsageClass::Sensitive, || {})]);
+        let masks: Vec<u32> = rec.calls().iter().map(|(_, m)| m.bits()).collect();
+        assert_eq!(masks, vec![0xfffff, 0xf0000]);
     }
 
     #[test]

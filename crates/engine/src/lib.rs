@@ -39,6 +39,7 @@ pub mod alloc;
 pub mod dual_pool;
 pub mod executor;
 pub mod job;
+pub mod masks;
 pub mod metrics;
 pub mod ops;
 pub mod partition;
@@ -49,6 +50,7 @@ pub use alloc::{AllocError, CacheAllocator, NoopAllocator, RecordingAllocator, R
 pub use dual_pool::DualPoolExecutor;
 pub use executor::{BatchHandle, JobExecutor};
 pub use job::{current_query_ctx, with_query_ctx, CacheUsageClass, Job, QueryCtx};
+pub use masks::LiveMasks;
 pub use metrics::{class_label, ExecutorMetrics, SchedulerMetrics};
 pub use partition::{PartitionPolicy, PAPER_POLLUTER_MASK, PAPER_SHARED_MASK};
 pub use scheduler::{Admission, CacheAwareScheduler};

@@ -1,0 +1,185 @@
+//! The live mask table: the executor's view of the *current* CUID→mask
+//! mapping.
+//!
+//! The paper's mapping is static — [`PartitionPolicy`] computes the same
+//! mask for a class forever. Adaptive control (the `ccp-control` crate)
+//! re-derives masks online and publishes them here; workers read the
+//! table once per job at bind time, so a repartition is observed on the
+//! **next bind**, never mid-query. The table always starts out equal to
+//! the static policy mapping, which keeps every static-mode code path
+//! byte-for-byte identical to the pre-adaptive behavior.
+//!
+//! Concurrency model: one writer (the control loop) and many readers
+//! (workers). Each class's bits are an independent `AtomicU32`; a plan is
+//! *not* applied atomically across classes, which is safe because a bind
+//! consults exactly one class entry and every intermediate state is a set
+//! of individually-valid masks.
+
+use crate::job::CacheUsageClass;
+use crate::partition::PartitionPolicy;
+use ccp_cachesim::WayMask;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// Published per-class way masks, updated in place by the controller and
+/// consulted by workers on every bind decision.
+#[derive(Debug)]
+pub struct LiveMasks {
+    polluting: AtomicU32,
+    mixed: AtomicU32,
+    sensitive: AtomicU32,
+}
+
+impl LiveMasks {
+    /// A table seeded with the policy's static mapping (polluting mask,
+    /// the mixed-in-sensitive-regime mask, and the full sensitive mask).
+    pub fn from_policy(policy: &PartitionPolicy) -> Self {
+        let mixed_static = policy.mask_for(CacheUsageClass::Mixed {
+            hot_bytes: policy.llc.size_bytes,
+        });
+        LiveMasks {
+            polluting: AtomicU32::new(policy.mask_for(CacheUsageClass::Polluting).bits()),
+            mixed: AtomicU32::new(mixed_static.bits()),
+            sensitive: AtomicU32::new(policy.mask_for(CacheUsageClass::Sensitive).bits()),
+        }
+    }
+
+    /// The current mask for `cuid`. Mixed classes are resolved the same
+    /// way the static policy resolves them — a working set that is not
+    /// LLC-comparable pollutes and gets the polluting entry — but against
+    /// the *live* per-class bits.
+    ///
+    /// Defensive: if a published entry ever fails mask validation the
+    /// static policy mapping is used instead, so a torn or buggy publish
+    /// can never produce an illegal CBM at bind time.
+    pub fn mask_for(&self, cuid: CacheUsageClass, policy: &PartitionPolicy) -> WayMask {
+        let bits = match cuid {
+            // ORDERING: (all loads below) each class entry is independent
+            // and self-contained; a stale read only delays a rebind by
+            // one job, matching the documented next-bind semantics.
+            CacheUsageClass::Polluting => self.polluting.load(Ordering::Relaxed),
+            CacheUsageClass::Sensitive => self.sensitive.load(Ordering::Relaxed),
+            CacheUsageClass::Mixed { hot_bytes } => {
+                if policy.is_llc_comparable(hot_bytes) {
+                    self.mixed.load(Ordering::Relaxed)
+                } else {
+                    // ORDERING: same independent-entry argument as above.
+                    self.polluting.load(Ordering::Relaxed)
+                }
+            }
+        };
+        WayMask::new(bits).unwrap_or_else(|_| policy.mask_for(cuid))
+    }
+
+    /// Publishes a full plan. Per-class stores are independent; readers
+    /// may observe a mix of old and new entries, each individually valid.
+    pub fn set_masks(&self, polluting: WayMask, mixed: WayMask, sensitive: WayMask) {
+        // ORDERING: see `mask_for` — independent advisory entries.
+        self.polluting.store(polluting.bits(), Ordering::Relaxed);
+        self.mixed.store(mixed.bits(), Ordering::Relaxed);
+        self.sensitive.store(sensitive.bits(), Ordering::Relaxed);
+    }
+
+    /// Reverts the table to the policy's static mapping.
+    pub fn reset_to(&self, policy: &PartitionPolicy) {
+        let mixed_static = policy.mask_for(CacheUsageClass::Mixed {
+            hot_bytes: policy.llc.size_bytes,
+        });
+        self.set_masks(
+            policy.mask_for(CacheUsageClass::Polluting),
+            mixed_static,
+            policy.mask_for(CacheUsageClass::Sensitive),
+        );
+    }
+
+    /// Raw bits of the polluting entry.
+    pub fn polluting_bits(&self) -> u32 {
+        // ORDERING: point-in-time read for reporting; no ordering implied.
+        self.polluting.load(Ordering::Relaxed)
+    }
+
+    /// Raw bits of the mixed (sensitive-regime) entry.
+    pub fn mixed_bits(&self) -> u32 {
+        // ORDERING: point-in-time read for reporting; no ordering implied.
+        self.mixed.load(Ordering::Relaxed)
+    }
+
+    /// Raw bits of the sensitive entry.
+    pub fn sensitive_bits(&self) -> u32 {
+        // ORDERING: point-in-time read for reporting; no ordering implied.
+        self.sensitive.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccp_cachesim::HierarchyConfig;
+
+    fn policy() -> PartitionPolicy {
+        let cfg = HierarchyConfig::broadwell_e5_2699_v4();
+        PartitionPolicy::paper_default(cfg.llc, cfg.l2.size_bytes)
+    }
+
+    #[test]
+    fn defaults_match_static_policy() {
+        let p = policy();
+        let live = LiveMasks::from_policy(&p);
+        for cuid in [
+            CacheUsageClass::Polluting,
+            CacheUsageClass::Sensitive,
+            CacheUsageClass::Mixed { hot_bytes: 125_000 },
+            CacheUsageClass::Mixed {
+                hot_bytes: 12_500_000,
+            },
+        ] {
+            assert_eq!(live.mask_for(cuid, &p), p.mask_for(cuid));
+        }
+    }
+
+    #[test]
+    fn published_plan_is_observed_and_reset_reverts() {
+        let p = policy();
+        let live = LiveMasks::from_policy(&p);
+        let pol = WayMask::new(0x3).unwrap();
+        let mix = WayMask::range(18, 2).unwrap();
+        let sen = WayMask::range(16, 4).unwrap();
+        live.set_masks(pol, mix, sen);
+        assert_eq!(
+            live.mask_for(CacheUsageClass::Sensitive, &p).bits(),
+            0xf0000
+        );
+        assert_eq!(
+            live.mask_for(
+                CacheUsageClass::Mixed {
+                    hot_bytes: 12_500_000
+                },
+                &p
+            )
+            .bits(),
+            0xc0000
+        );
+        // Non-LLC-comparable mixed working sets still pollute.
+        assert_eq!(
+            live.mask_for(CacheUsageClass::Mixed { hot_bytes: 125_000 }, &p)
+                .bits(),
+            0x3
+        );
+        live.reset_to(&p);
+        assert_eq!(
+            live.mask_for(CacheUsageClass::Sensitive, &p),
+            p.mask_for(CacheUsageClass::Sensitive)
+        );
+    }
+
+    #[test]
+    fn invalid_published_bits_fall_back_to_policy() {
+        let p = policy();
+        let live = LiveMasks::from_policy(&p);
+        // Bypass the typed setter to simulate a corrupt publish.
+        live.sensitive.store(0, Ordering::Relaxed);
+        assert_eq!(
+            live.mask_for(CacheUsageClass::Sensitive, &p),
+            p.mask_for(CacheUsageClass::Sensitive)
+        );
+    }
+}

@@ -55,7 +55,8 @@ pub use detect::{detect, CatSupport};
 pub use error::ResctrlError;
 pub use metrics::ResctrlMetrics;
 pub use monitor::{
-    ClassSample, OccupancyProbe, OccupancySampler, ResctrlMonitor, SimClass, SimulatedMonitor,
+    ClassSample, OccupancyProbe, OccupancySampler, ReadingsHub, ResctrlMonitor, SimClass,
+    SimulatedMonitor,
 };
 pub use schemata::Schemata;
 pub use supervisor::{ResctrlHealth, RetryPolicy, SupervisedController};

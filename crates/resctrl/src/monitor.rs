@@ -140,10 +140,15 @@ impl OccupancyProbe for SimulatedMonitor {
                 .map_or(0.0, |&(_, v)| v)
                 .clamp(0.0, 1.0);
             let target = class.llc_share * load * self.llc_bytes as f64;
-            self.occupancy[i] += (target - self.occupancy[i]) * 0.5;
-            // MBM counters are cumulative: busy classes stream roughly
-            // their reachable share of the cache per tick.
-            self.traffic[i] += target;
+            let before = self.occupancy[i];
+            self.occupancy[i] += (target - before) * 0.5;
+            // MBM counters are cumulative. Modeled bandwidth is the fill
+            // traffic (occupancy movement = cold/capacity misses) plus a
+            // small steady-state miss stream while the class is loaded —
+            // a converged, reuse-heavy class mostly hits in cache, so
+            // its MBM slope flattens instead of streaming its whole
+            // share every tick.
+            self.traffic[i] += (self.occupancy[i] - before).abs() + 0.05 * target;
             out.push(ClassSample {
                 class: class.label.clone(),
                 llc_occupancy_bytes: self.occupancy[i] as u64,
@@ -151,6 +156,45 @@ impl OccupancyProbe for SimulatedMonitor {
             });
         }
         out
+    }
+}
+
+/// Shared mailbox between the sampler thread and consumers of raw
+/// readings (the adaptive controller, primarily).
+///
+/// The sampler publishes each *successful* probe here with a
+/// monotonically increasing sequence number; a consumer that sees the
+/// sequence stop advancing knows its readings have gone stale (probe
+/// failpoints, hung backend) and can clamp to a safe configuration.
+#[derive(Debug, Default)]
+pub struct ReadingsHub {
+    inner: Mutex<HubInner>,
+}
+
+#[derive(Debug, Default)]
+struct HubInner {
+    seq: u64,
+    samples: Vec<ClassSample>,
+}
+
+impl ReadingsHub {
+    /// An empty hub: sequence 0, no samples.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Publishes one probe's worth of samples, bumping the sequence.
+    pub fn publish(&self, samples: Vec<ClassSample>) {
+        let mut inner = self.inner.lock();
+        inner.seq += 1;
+        inner.samples = samples;
+    }
+
+    /// The latest `(sequence, samples)` pair. Sequence 0 means nothing
+    /// has been published yet.
+    pub fn snapshot(&self) -> (u64, Vec<ClassSample>) {
+        let inner = self.inner.lock();
+        (inner.seq, inner.samples.clone())
     }
 }
 
@@ -178,9 +222,25 @@ impl OccupancySampler {
     /// # Errors
     /// Propagates thread-spawn failure.
     pub fn start(
+        probe: Box<dyn OccupancyProbe>,
+        registry: &Registry,
+        interval: Duration,
+    ) -> Result<Self, ResctrlError> {
+        Self::start_with_hub(probe, registry, interval, None)
+    }
+
+    /// Like [`start`](Self::start), additionally publishing every
+    /// successful probe into `hub` for raw-reading consumers. Failed or
+    /// fault-skipped probes do not touch the hub, so its sequence number
+    /// doubles as a staleness signal.
+    ///
+    /// # Errors
+    /// Propagates thread-spawn failure.
+    pub fn start_with_hub(
         mut probe: Box<dyn OccupancyProbe>,
         registry: &Registry,
         interval: Duration,
+        hub: Option<Arc<ReadingsHub>>,
     ) -> Result<Self, ResctrlError> {
         let registry = registry.clone();
         let stop = Arc::new((Mutex::new(false), Condvar::new()));
@@ -203,10 +263,14 @@ impl OccupancySampler {
                     // error: nothing publishes this tick, gauges keep
                     // their previous values.
                     if !ccp_fault::should_fail(crate::faults::SAMPLER_PROBE) {
-                        for s in probe.sample() {
+                        let samples = probe.sample();
+                        for s in &samples {
                             let labels = [("class", s.class.as_str())];
                             occ.get_or_create(&labels).set(s.llc_occupancy_bytes as f64);
                             mbm.get_or_create(&labels).set(s.mbm_total_bytes as f64);
+                        }
+                        if let Some(hub) = &hub {
+                            hub.publish(samples);
                         }
                     }
                     let (lock, cv) = &*stop2;
@@ -311,6 +375,56 @@ mod tests {
         }
         let drained = probe.sample();
         assert!(drained[0].llc_occupancy_bytes < 1024);
+    }
+
+    #[test]
+    fn hub_sequences_publishes_and_snapshots() {
+        let hub = ReadingsHub::new();
+        assert_eq!(hub.snapshot(), (0, vec![]));
+        hub.publish(vec![ClassSample {
+            class: "sensitive".into(),
+            llc_occupancy_bytes: 7,
+            mbm_total_bytes: 9,
+        }]);
+        let (seq, samples) = hub.snapshot();
+        assert_eq!(seq, 1);
+        assert_eq!(samples.len(), 1);
+        hub.publish(vec![]);
+        assert_eq!(hub.snapshot().0, 2);
+    }
+
+    #[test]
+    fn sampler_feeds_hub_on_successful_probes() {
+        let registry = Registry::new();
+        struct Fixed;
+        impl OccupancyProbe for Fixed {
+            fn sample(&mut self) -> Vec<ClassSample> {
+                vec![ClassSample {
+                    class: "polluting".into(),
+                    llc_occupancy_bytes: 55,
+                    mbm_total_bytes: 1,
+                }]
+            }
+        }
+        let hub = Arc::new(ReadingsHub::new());
+        let mut sampler = OccupancySampler::start_with_hub(
+            Box::new(Fixed),
+            &registry,
+            Duration::from_millis(5),
+            Some(Arc::clone(&hub)),
+        )
+        .unwrap();
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        loop {
+            let (seq, samples) = hub.snapshot();
+            if seq >= 2 {
+                assert_eq!(samples[0].llc_occupancy_bytes, 55);
+                break;
+            }
+            assert!(std::time::Instant::now() < deadline, "hub never advanced");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        sampler.stop();
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! scheduler and resctrl layers already publish to, so one `/metrics`
 //! scrape shows the whole stack.
 
+use ccp_control::ControlCounters;
 use ccp_obs::{unit, Counter, Family, Gauge, Histogram, Registry};
 use ccp_resctrl::ResctrlHealth;
 
@@ -28,6 +29,11 @@ pub struct ServerMetrics {
     resctrl_breaker_trips: Counter,
     resctrl_reprobes: Counter,
     resctrl_restores: Counter,
+    control_decisions: Counter,
+    control_repartitions: Counter,
+    control_holds: Counter,
+    control_reverts: Counter,
+    control_mask_ways: Family<Gauge>,
 }
 
 /// Last [`ResctrlHealth`] counter values already published to the
@@ -40,6 +46,14 @@ pub struct ResctrlHealthPublished {
     trips: u64,
     reprobes: u64,
     restores: u64,
+}
+
+/// Last [`ControlCounters`] values already published to the registry;
+/// [`ServerMetrics::sync_control`] adds only deltas so the Prometheus
+/// counters stay monotonic across control ticks.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ControlPublished {
+    counters: ControlCounters,
 }
 
 impl ServerMetrics {
@@ -139,6 +153,35 @@ impl ServerMetrics {
                     "Degraded→Partitioned transitions (successful re-probes)",
                 )
                 .get_or_create(&[]),
+            control_decisions: registry
+                .counter_family(
+                    "ccp_control_decisions_total",
+                    "Adaptive control ticks evaluated",
+                )
+                .get_or_create(&[]),
+            control_repartitions: registry
+                .counter_family(
+                    "ccp_control_repartitions_total",
+                    "Adaptive mask plans derived and applied",
+                )
+                .get_or_create(&[]),
+            control_holds: registry
+                .counter_family(
+                    "ccp_control_holds_total",
+                    "Control ticks that held the current plan (dwell, threshold, clamp, no data)",
+                )
+                .get_or_create(&[]),
+            control_reverts: registry
+                .counter_family(
+                    "ccp_control_reverts_total",
+                    "Falls back to the static paper plan (degraded health, stale readings, or a \
+                     failed apply)",
+                )
+                .get_or_create(&[]),
+            control_mask_ways: registry.gauge_family(
+                "ccp_control_mask_ways",
+                "LLC ways currently granted to each CUID class by the live mask table",
+            ),
         }
     }
 
@@ -259,6 +302,48 @@ impl ServerMetrics {
             restores,
         };
     }
+
+    /// Publishes the controller's monotonic counters, adding only what
+    /// changed since `published` (which is updated).
+    pub fn sync_control(&self, counters: ControlCounters, published: &mut ControlPublished) {
+        let last = published.counters;
+        self.control_decisions
+            .add(counters.decisions.saturating_sub(last.decisions));
+        self.control_repartitions
+            .add(counters.repartitions.saturating_sub(last.repartitions));
+        self.control_holds
+            .add(counters.holds.saturating_sub(last.holds));
+        self.control_reverts
+            .add(counters.reverts.saturating_sub(last.reverts));
+        published.counters = counters;
+    }
+
+    /// Publishes one class's live way count.
+    pub fn set_control_mask_ways(&self, class: &str, ways: u32) {
+        self.control_mask_ways
+            .get_or_create(&[("class", class)])
+            .set(f64::from(ways));
+    }
+
+    /// Adaptive repartitions so far.
+    pub fn control_repartitions(&self) -> u64 {
+        self.control_repartitions.get()
+    }
+
+    /// Control-loop decisions so far.
+    pub fn control_decisions(&self) -> u64 {
+        self.control_decisions.get()
+    }
+
+    /// Control-loop holds so far.
+    pub fn control_holds(&self) -> u64 {
+        self.control_holds.get()
+    }
+
+    /// Control-loop reverts to the static plan so far.
+    pub fn control_reverts(&self) -> u64 {
+        self.control_reverts.get()
+    }
 }
 
 #[cfg(test)]
@@ -285,6 +370,50 @@ mod tests {
         assert!(text.contains("ccp_admission_timeouts_total 1"));
         assert!(text.contains("ccp_server_admission_queue_depth 3.0"));
         assert!(text.contains("ccp_server_running_queries 2.0"));
+    }
+
+    #[test]
+    fn control_counters_delta_sync_and_gauges_render() {
+        let registry = Registry::new();
+        let m = ServerMetrics::new(&registry);
+        let mut published = ControlPublished::default();
+        m.sync_control(
+            ControlCounters {
+                decisions: 5,
+                repartitions: 2,
+                holds: 3,
+                reverts: 1,
+            },
+            &mut published,
+        );
+        // Re-syncing the same snapshot adds nothing; a moved snapshot
+        // adds only the delta.
+        m.sync_control(
+            ControlCounters {
+                decisions: 5,
+                repartitions: 2,
+                holds: 3,
+                reverts: 1,
+            },
+            &mut published,
+        );
+        m.sync_control(
+            ControlCounters {
+                decisions: 7,
+                repartitions: 3,
+                holds: 3,
+                reverts: 1,
+            },
+            &mut published,
+        );
+        m.set_control_mask_ways("sensitive", 4);
+        assert_eq!(m.control_decisions(), 7);
+        assert_eq!(m.control_repartitions(), 3);
+        assert_eq!(m.control_holds(), 3);
+        assert_eq!(m.control_reverts(), 1);
+        let text = registry.render_prometheus();
+        assert!(text.contains("ccp_control_repartitions_total 3"));
+        assert!(text.contains("ccp_control_mask_ways{class=\"sensitive\"} 4.0"));
     }
 
     #[test]

@@ -406,12 +406,27 @@ impl QueryEngine {
         }
     }
 
-    /// The way mask jobs of this workload bind (OLTP: always full cache).
+    /// The way mask jobs of this workload bind (OLTP: always full
+    /// cache). OLAP masks come from the *live* table, so with adaptive
+    /// control on, the reported mask is the one the next bind will use.
     pub fn mask_bits(&self, spec: &WorkloadSpec, cuid: CacheUsageClass) -> u32 {
         match spec {
             WorkloadSpec::Oltp { .. } => self.policy.mask_for(CacheUsageClass::Sensitive).bits(),
-            _ => self.policy.mask_for(cuid).bits(),
+            _ => self.pools.live_masks().mask_for(cuid, &self.policy).bits(),
         }
+    }
+
+    /// The live mask table the OLAP workers consult on every bind — the
+    /// adaptive controller's publication target.
+    pub fn live_masks(&self) -> Arc<ccp_engine::LiveMasks> {
+        self.pools.live_masks()
+    }
+
+    /// Pre-creates (or re-asserts) the resctrl group for `mask` without
+    /// binding any task, so a repartition's schemata writes happen — and
+    /// fail — on the control path rather than on a worker's bind path.
+    pub fn prepare_mask(&self, mask: ccp_cachesim::WayMask) -> Result<(), ccp_engine::AllocError> {
+        self.allocator.prepare(mask)
     }
 
     /// Executes `spec` on the appropriate pool and reports the outcome.

@@ -21,14 +21,18 @@
 use crate::admission::{AdmissionError, AdmissionQueue, ClassQueueLimits};
 use crate::http::{read_request, HttpError, Request, Response};
 use crate::json::Json;
-use crate::metrics::ServerMetrics;
+use crate::metrics::{ControlPublished, ServerMetrics};
 use crate::query::{parse_query, Breakdown, QueryEngine};
+use ccp_control::{
+    ClassId, ClassReading, ControlConfig, Controller, Decision, MaskPlan, ScriptedTrace, TickInput,
+};
 use ccp_engine::{
     with_query_ctx, CacheAwareScheduler, CacheUsageClass, JobExecutor, QueryCtx, SchedulerMetrics,
 };
 use ccp_obs::Registry;
 use ccp_resctrl::{
-    CacheController, OccupancyProbe, OccupancySampler, ResctrlMonitor, SimClass, SimulatedMonitor,
+    CacheController, OccupancyProbe, OccupancySampler, ReadingsHub, ResctrlMonitor, SimClass,
+    SimulatedMonitor,
 };
 use ccp_trace::TraceCat;
 use std::io::BufReader;
@@ -82,6 +86,17 @@ pub struct ServerConfig {
     /// full supervision (the chaos harness; see
     /// [`QueryEngine::with_fake_resctrl`]).
     pub fake_resctrl: bool,
+    /// Enables the closed-loop adaptive controller: occupancy readings
+    /// drive online repartitions of the live mask table, clamped back to
+    /// the paper's static mapping whenever resctrl health degrades or
+    /// readings go stale. Requires `monitor_interval` to be set.
+    pub adaptive: bool,
+    /// How often the adaptive controller evaluates one tick.
+    pub control_interval: Duration,
+    /// Replaces the occupancy probe with a deterministic scripted trace
+    /// (see [`ScriptedTrace`] for the grammar) — the CI harness for
+    /// driving the controller through a chosen scenario.
+    pub occupancy_script: Option<String>,
 }
 
 impl Default for ServerConfig {
@@ -104,6 +119,9 @@ impl Default for ServerConfig {
             monitor_interval: Some(Duration::from_millis(250)),
             reprobe_interval: Duration::from_millis(200),
             fake_resctrl: false,
+            adaptive: false,
+            control_interval: Duration::from_millis(100),
+            occupancy_script: None,
         }
     }
 }
@@ -154,6 +172,18 @@ impl ConnTracker {
     }
 }
 
+/// Failpoint name: an adaptive repartition's apply step. Arming it
+/// (e.g. `control.apply=err@1+1`) makes the control loop treat the
+/// repartition as failed, exercising the revert-to-static path.
+pub const FAULT_CONTROL_APPLY: &str = "control.apply";
+
+/// Live view of the adaptive controller, published by the control loop
+/// for `/stats`.
+struct ControlState {
+    clamped: AtomicBool,
+    last_decision: Mutex<&'static str>,
+}
+
 struct Shared {
     config: ServerConfig,
     registry: Registry,
@@ -166,6 +196,8 @@ struct Shared {
     /// Background occupancy sampler, if enabled; taken (and stopped) once
     /// at shutdown.
     sampler: Mutex<Option<OccupancySampler>>,
+    /// Adaptive-control view for `/stats`; `None` in static mode.
+    control: Option<Arc<ControlState>>,
 }
 
 /// Stop handle for the background resctrl supervision thread: the loop
@@ -197,6 +229,7 @@ pub struct Server {
     addr: SocketAddr,
     accept: Option<std::thread::JoinHandle<()>>,
     supervise: Option<SupervisorHandle>,
+    control: Option<SupervisorHandle>,
 }
 
 impl Server {
@@ -237,9 +270,30 @@ impl Server {
             .with_class_limits(config.class_queue_limits),
         );
 
-        let sampler = config.monitor_interval.and_then(|interval| {
-            let probe = occupancy_probe(&engine, &admission);
-            OccupancySampler::start(probe, &registry, interval).ok()
+        // Adaptive control needs the sampler's readings delivered as a
+        // sequenced stream, not just gauge updates: the hub's sequence
+        // number is how the controller detects stale data.
+        let hub = (config.adaptive && config.monitor_interval.is_some())
+            .then(|| Arc::new(ReadingsHub::new()));
+        let sampler = match config.monitor_interval {
+            Some(interval) => {
+                let probe: Box<dyn OccupancyProbe> = match &config.occupancy_script {
+                    Some(spec) => Box::new(
+                        ScriptedTrace::parse(spec, engine.policy().llc.size_bytes).map_err(
+                            |why| std::io::Error::new(std::io::ErrorKind::InvalidInput, why),
+                        )?,
+                    ),
+                    None => occupancy_probe(&engine, &admission),
+                };
+                OccupancySampler::start_with_hub(probe, &registry, interval, hub.clone()).ok()
+            }
+            None => None,
+        };
+        let control_state = hub.as_ref().map(|_| {
+            Arc::new(ControlState {
+                clamped: AtomicBool::new(false),
+                last_decision: Mutex::new("none"),
+            })
         });
 
         let listener = TcpListener::bind(&config.addr)?;
@@ -254,6 +308,7 @@ impl Server {
             conns: ConnTracker::new(),
             started: Instant::now(),
             sampler: Mutex::new(sampler),
+            control: control_state,
         });
         let supervise = match shared.engine.resctrl_health() {
             Some(health) => {
@@ -270,6 +325,22 @@ impl Server {
             }
             None => None,
         };
+        let control = match (hub, shared.control.as_ref()) {
+            (Some(hub), Some(state)) => {
+                let stop = Arc::new((Mutex::new(false), Condvar::new()));
+                let loop_shared = Arc::clone(&shared);
+                let loop_state = Arc::clone(state);
+                let loop_stop = Arc::clone(&stop);
+                let thread = std::thread::Builder::new()
+                    .name("ccp-control".to_string())
+                    .spawn(move || control_loop(&loop_shared, &hub, &loop_state, &loop_stop))?;
+                Some(SupervisorHandle {
+                    stop,
+                    thread: Some(thread),
+                })
+            }
+            _ => None,
+        };
         let accept_shared = Arc::clone(&shared);
         let accept = std::thread::Builder::new()
             .name("ccp-accept".to_string())
@@ -279,6 +350,7 @@ impl Server {
             addr,
             accept: Some(accept),
             supervise,
+            control,
         })
     }
 
@@ -308,6 +380,12 @@ impl Server {
     /// finished (bounded by the connection timeouts).
     pub fn shutdown(&mut self) {
         self.shared.shutdown.store(true, Ordering::SeqCst);
+        // The control loop consumes the sampler's hub and writes the live
+        // mask table; stop it before the sampler and the supervisor so no
+        // repartition races the teardown.
+        if let Some(mut control) = self.control.take() {
+            control.stop();
+        }
         if let Some(mut supervise) = self.supervise.take() {
             supervise.stop();
         }
@@ -455,6 +533,129 @@ fn supervision_loop(
     // Final sync so counters recorded after the last tick (e.g. during
     // shutdown's drain) still reach the registry.
     shared.metrics.sync_resctrl_health(health, &mut published);
+}
+
+/// The static paper plan the controller clamps to: the polluter mask,
+/// the mixed-in-sensitive-regime mask, and the full sensitive mask.
+fn static_mask_plan(engine: &QueryEngine) -> MaskPlan {
+    let policy = engine.policy();
+    MaskPlan::new(
+        policy.mask_for(CacheUsageClass::Polluting),
+        policy.mask_for(CacheUsageClass::Mixed {
+            hot_bytes: policy.llc.size_bytes,
+        }),
+        policy.mask_for(CacheUsageClass::Sensitive),
+    )
+}
+
+/// Applies a repartition to the resctrl backend: pre-creates (or
+/// re-asserts) the group for each class mask so the schemata writes
+/// happen here, on the control path — a failure leaves the live table
+/// untouched and turns into a revert, never a broken bind.
+fn apply_plan(shared: &Shared, plan: &MaskPlan) -> Result<(), ()> {
+    if ccp_fault::should_fail(FAULT_CONTROL_APPLY) {
+        return Err(());
+    }
+    for mask in [plan.polluting, plan.mixed, plan.sensitive] {
+        shared.engine.prepare_mask(mask).map_err(|_| ())?;
+    }
+    Ok(())
+}
+
+/// The adaptive control loop (one thread, started only with
+/// `--adaptive` and an active monitor).
+///
+/// Every `control_interval` it snapshots the sampler's latest readings,
+/// feeds them (plus the supervisor's degraded flag) to the
+/// [`Controller`], and acts on the decision: a repartition is applied to
+/// the resctrl backend first and published to the live mask table only
+/// on success — workers observe it on their next bind; a revert
+/// republishes the static plan. Counters, per-class way-count gauges and
+/// the `/stats` view are refreshed every tick.
+fn control_loop(
+    shared: &Shared,
+    hub: &ReadingsHub,
+    state: &ControlState,
+    stop: &(Mutex<bool>, Condvar),
+) {
+    let policy = shared.engine.policy();
+    let control_ms = shared.config.control_interval.as_millis().max(1) as u64;
+    let monitor_ms = shared
+        .config
+        .monitor_interval
+        .map_or(control_ms, |d| d.as_millis().max(1) as u64);
+    let cfg = ControlConfig::paper_default(policy.llc.ways, policy.llc.size_bytes)
+        .with_intervals(control_ms, monitor_ms);
+    let mut controller = Controller::new(cfg, static_mask_plan(&shared.engine));
+    let mut published = ControlPublished::default();
+    let live = shared.engine.live_masks();
+    loop {
+        let (seq, samples) = hub.snapshot();
+        let readings: Vec<ClassReading> = samples
+            .iter()
+            .filter_map(|s| {
+                ClassId::from_label(&s.class).map(|class| ClassReading {
+                    class,
+                    occupancy_bytes: s.llc_occupancy_bytes,
+                    mbm_total_bytes: s.mbm_total_bytes,
+                })
+            })
+            .collect();
+        let degraded = shared
+            .engine
+            .resctrl_health()
+            .is_some_and(|h| h.is_degraded());
+        let decision = controller.tick(&TickInput {
+            seq,
+            readings: &readings,
+            degraded,
+        });
+        match decision {
+            Decision::Repartition(plan) => {
+                if apply_plan(shared, &plan).is_ok() {
+                    live.set_masks(plan.polluting, plan.mixed, plan.sensitive);
+                    ccp_trace::instant(TraceCat::Bind, "control_repartition");
+                } else {
+                    let fallback = controller.note_apply_failed();
+                    live.set_masks(fallback.polluting, fallback.mixed, fallback.sensitive);
+                    ccp_trace::instant(TraceCat::Bind, "control_revert");
+                }
+            }
+            Decision::Revert { plan, .. } => {
+                live.set_masks(plan.polluting, plan.mixed, plan.sensitive);
+                ccp_trace::instant(TraceCat::Bind, "control_revert");
+            }
+            Decision::Hold(_) => {}
+        }
+        shared
+            .metrics
+            .sync_control(controller.counters(), &mut published);
+        for (class, ways) in controller.current_plan().way_counts() {
+            shared.metrics.set_control_mask_ways(class.label(), ways);
+        }
+        // ORDERING: a point-in-time flag for `/stats`; no ordering needed.
+        state
+            .clamped
+            .store(controller.is_clamped(), Ordering::Relaxed);
+        *state
+            .last_decision
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner) = controller.last_decision();
+        let (lock, cv) = stop;
+        let stopped = lock.lock().unwrap_or_else(PoisonError::into_inner);
+        if *stopped {
+            break;
+        }
+        let (stopped, _) = cv
+            .wait_timeout(stopped, shared.config.control_interval)
+            .unwrap_or_else(PoisonError::into_inner);
+        if *stopped {
+            break;
+        }
+    }
+    // Leave the table on the static mapping so a restart (or the
+    // remaining drain) runs the paper's well-understood configuration.
+    live.reset_to(&policy);
 }
 
 fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
@@ -808,7 +1009,61 @@ fn stats_json(shared: &Shared) -> Json {
             ]),
         ),
         ("resctrl", resctrl_json(shared)),
+        ("control", control_json(shared)),
         ("trace", trace_json()),
+    ])
+}
+
+/// Adaptive-control view for `/stats`: whether the loop runs, whether it
+/// is currently clamped to the static plan, its last decision, the
+/// cumulative decision counters and the live per-class way counts.
+fn control_json(shared: &Shared) -> Json {
+    let Some(state) = shared.control.as_ref() else {
+        return Json::obj(vec![("enabled", Json::Bool(false))]);
+    };
+    let live = shared.engine.live_masks();
+    let ways = |bits: u32| Json::num(f64::from(bits.count_ones()));
+    Json::obj(vec![
+        ("enabled", Json::Bool(true)),
+        (
+            "interval_ms",
+            Json::num(shared.config.control_interval.as_millis() as f64),
+        ),
+        (
+            "clamped",
+            // ORDERING: point-in-time snapshot for reporting.
+            Json::Bool(state.clamped.load(Ordering::Relaxed)),
+        ),
+        (
+            "last_decision",
+            Json::str(
+                *state
+                    .last_decision
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner),
+            ),
+        ),
+        (
+            "decisions",
+            Json::num(shared.metrics.control_decisions() as f64),
+        ),
+        (
+            "repartitions",
+            Json::num(shared.metrics.control_repartitions() as f64),
+        ),
+        ("holds", Json::num(shared.metrics.control_holds() as f64)),
+        (
+            "reverts",
+            Json::num(shared.metrics.control_reverts() as f64),
+        ),
+        (
+            "mask_ways",
+            Json::obj(vec![
+                ("polluting", ways(live.polluting_bits())),
+                ("mixed", ways(live.mixed_bits())),
+                ("sensitive", ways(live.sensitive_bits())),
+            ]),
+        ),
     ])
 }
 
@@ -978,6 +1233,7 @@ impl ScrapeServer {
             conns: ConnTracker::new(),
             started: Instant::now(),
             sampler: Mutex::new(None),
+            control: None,
         });
         let accept_shared = Arc::clone(&shared);
         let accept = std::thread::Builder::new()
@@ -989,6 +1245,7 @@ impl ScrapeServer {
                 addr: bound,
                 accept: Some(accept),
                 supervise: None,
+                control: None,
             },
         })
     }

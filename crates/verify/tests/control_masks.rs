@@ -1,0 +1,235 @@
+//! Model-checks the adaptive controller's mask publication against the
+//! supervisor's degradation breaker and concurrent bind-time readers.
+//!
+//! The real system publishes a repartition one class entry at a time
+//! ([`ccp_engine::LiveMasks`] stores are independent atomics), while the
+//! supervisor may trip resctrl health at any point and workers keep
+//! binding jobs throughout. The invariant under *every* interleaving:
+//! no class entry is ever empty, non-contiguous, or wider than the
+//! cache, and the run always settles on a *complete* plan — the full
+//! adaptive plan (with the polluter exclusively confined) or the full
+//! static plan — never a torn mixture.
+
+use ccp_cachesim::{HierarchyConfig, WayMask};
+use ccp_control::{derive_masks, ClassTargets, MaskPlan};
+use ccp_engine::{CacheUsageClass, LiveMasks, PartitionPolicy};
+use ccp_verify::{explore, Actor, Mode};
+use std::sync::Arc;
+
+const WAYS: u32 = 20;
+
+struct ControlModel {
+    policy: PartitionPolicy,
+    live: Arc<LiveMasks>,
+    adaptive: MaskPlan,
+    static_plan: MaskPlan,
+    /// Supervisor breaker: set when resctrl health trips mid-run.
+    degraded: bool,
+    /// Controller observed a failure (apply fault or degraded health)
+    /// and reverted the whole table to the static plan.
+    reverted: bool,
+}
+
+impl ControlModel {
+    fn live_entry(&self, idx: usize) -> u32 {
+        match idx {
+            0 => self.live.polluting_bits(),
+            1 => self.live.mixed_bits(),
+            _ => self.live.sensitive_bits(),
+        }
+    }
+
+    /// Publishes class entry `idx` of the adaptive plan, leaving the
+    /// other two entries untouched — exactly the per-class store
+    /// granularity of `LiveMasks::set_masks`.
+    fn publish_class(&self, idx: usize) {
+        let pick = |i: usize| {
+            if i == idx {
+                match i {
+                    0 => self.adaptive.polluting,
+                    1 => self.adaptive.mixed,
+                    _ => self.adaptive.sensitive,
+                }
+            } else {
+                WayMask::new(self.live_entry(i)).expect("live entry stays valid")
+            }
+        };
+        self.live.set_masks(pick(0), pick(1), pick(2));
+    }
+
+    fn revert(&mut self) {
+        self.live.reset_to(&self.policy);
+        self.reverted = true;
+    }
+}
+
+fn paper_policy() -> PartitionPolicy {
+    let cfg = HierarchyConfig::broadwell_e5_2699_v4();
+    PartitionPolicy::paper_default(cfg.llc, cfg.l2.size_bytes)
+}
+
+fn static_plan(policy: &PartitionPolicy) -> MaskPlan {
+    MaskPlan::new(
+        policy.mask_for(CacheUsageClass::Polluting),
+        policy.mask_for(CacheUsageClass::Mixed {
+            hot_bytes: policy.llc.size_bytes,
+        }),
+        policy.mask_for(CacheUsageClass::Sensitive),
+    )
+}
+
+/// Builds the model: a controller applying a shrink repartition one
+/// class per step (failing at step `fail_at`, if any), a supervisor
+/// that trips the health breaker at an arbitrary point, and a worker
+/// reading bind-time masks throughout.
+fn build(
+    fail_at: Option<usize>,
+    trip_health: bool,
+) -> impl Fn() -> (ControlModel, Vec<Actor<ControlModel>>) {
+    move || {
+        let policy = paper_policy();
+        let live = Arc::new(LiveMasks::from_policy(&policy));
+        // The canonical "sensitive shrinks" repartition.
+        let adaptive = derive_masks(
+            &ClassTargets {
+                polluting: 2,
+                mixed: 3,
+                sensitive: 4,
+            },
+            WAYS,
+            2,
+        );
+        let state = ControlModel {
+            static_plan: static_plan(&policy),
+            policy,
+            live,
+            adaptive,
+            degraded: false,
+            reverted: false,
+        };
+
+        let mut controller = Actor::new("controller");
+        for idx in 0..3 {
+            controller = controller.then(move |s: &mut ControlModel| {
+                if s.reverted {
+                    return; // gave up earlier; remaining applies are no-ops
+                }
+                if s.degraded || fail_at == Some(idx) {
+                    // Degraded health observed mid-apply, or the
+                    // schemata write faulted: abort and revert whole.
+                    s.revert();
+                    return;
+                }
+                s.publish_class(idx);
+            });
+        }
+        // The next control tick: a clamp check after the applies. This
+        // is where a breaker that tripped *after* the last apply gets
+        // observed.
+        controller = controller.then(|s: &mut ControlModel| {
+            if s.degraded && !s.reverted {
+                s.revert();
+            }
+        });
+
+        let supervisor = Actor::new("supervisor").then(move |s: &mut ControlModel| {
+            if trip_health {
+                s.degraded = true;
+            }
+        });
+
+        // A worker binding jobs mid-repartition: every read must be a
+        // valid mask no matter where the publishes stand.
+        let mut worker = Actor::new("worker");
+        for cuid in [
+            CacheUsageClass::Sensitive,
+            CacheUsageClass::Mixed {
+                hot_bytes: 12_500_000,
+            },
+            CacheUsageClass::Polluting,
+        ] {
+            worker = worker.then(move |s: &mut ControlModel| {
+                let m = s.live.mask_for(cuid, &s.policy);
+                assert!(m.way_count() >= 1, "bind read an empty mask for {cuid:?}");
+                assert!(m.check_fits(WAYS).is_ok());
+            });
+        }
+
+        (state, vec![controller, supervisor, worker])
+    }
+}
+
+fn check_step(s: &ControlModel) -> Result<(), String> {
+    for (idx, name) in [(0, "polluting"), (1, "mixed"), (2, "sensitive")] {
+        let bits = s.live_entry(idx);
+        let mask = WayMask::new(bits)
+            .map_err(|e| format!("{name} entry 0x{bits:x} invalid mid-run: {e}"))?;
+        mask.check_fits(WAYS)
+            .map_err(|e| format!("{name} entry {mask} exceeds the cache: {e}"))?;
+    }
+    Ok(())
+}
+
+fn check_final(s: &mut ControlModel) -> Result<(), String> {
+    let settled = MaskPlan::new(
+        WayMask::new(s.live.polluting_bits()).map_err(|e| format!("final polluting: {e}"))?,
+        WayMask::new(s.live.mixed_bits()).map_err(|e| format!("final mixed: {e}"))?,
+        WayMask::new(s.live.sensitive_bits()).map_err(|e| format!("final sensitive: {e}"))?,
+    );
+    if s.reverted {
+        if settled != s.static_plan {
+            return Err(format!(
+                "reverted run did not settle on the static plan: {settled:?}"
+            ));
+        }
+        return Ok(());
+    }
+    if settled == s.adaptive {
+        if !settled.polluter_isolated() {
+            return Err(format!(
+                "adaptive plan leaves the polluter shared: {settled:?}"
+            ));
+        }
+        return Ok(());
+    }
+    Err(format!(
+        "torn final table (neither static nor adaptive): {settled:?}"
+    ))
+}
+
+fn explore_case(fail_at: Option<usize>, trip_health: bool) {
+    let report = explore(
+        Mode::Exhaustive {
+            max_schedules: 100_000,
+        },
+        build(fail_at, trip_health),
+        check_step,
+        check_final,
+    )
+    .unwrap_or_else(|v| panic!("fail_at={fail_at:?} trip_health={trip_health}: {v}"));
+    assert!(report.exhausted, "interleaving space not fully covered");
+}
+
+#[test]
+fn clean_repartitions_never_tear_under_any_interleaving() {
+    explore_case(None, false);
+}
+
+#[test]
+fn supervisor_degradation_at_any_point_settles_on_a_complete_plan() {
+    explore_case(None, true);
+}
+
+#[test]
+fn apply_faults_at_every_class_revert_to_static() {
+    for fail_at in [0, 1, 2] {
+        explore_case(Some(fail_at), false);
+    }
+}
+
+#[test]
+fn faults_and_degradation_together_still_settle_cleanly() {
+    for fail_at in [0, 1, 2] {
+        explore_case(Some(fail_at), true);
+    }
+}

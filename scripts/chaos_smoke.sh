@@ -17,9 +17,11 @@
 #   scripts/chaos_smoke.sh [PORT]          # default: 19191
 #
 # Tunables (environment):
-#   CCP_CHAOS_QPS       offered load (default 40)
-#   CCP_CHAOS_SECS      bench duration in seconds (default 6)
-#   CCP_CHAOS_PROFILE   cargo profile to build/run (default release)
+#   CCP_CHAOS_QPS        offered load (default 40)
+#   CCP_CHAOS_SECS       bench duration in seconds (default 6)
+#   CCP_CHAOS_PROFILE    cargo profile to build/run (default release)
+#   CCP_SMOKE_ARTIFACTS  directory to receive server log + final
+#                        /metrics when the script fails (for CI uploads)
 
 set -euo pipefail
 
@@ -34,50 +36,15 @@ PROFILE="${CCP_CHAOS_PROFILE:-release}"
 FAULTS="resctrl.write_schemata=err@1+80"
 
 cd "$(dirname "$0")/.."
+. scripts/lib.sh
 
-if [[ "$PROFILE" == "release" ]]; then
-  cargo build --release -q --bin ccp
-  CCP=target/release/ccp
-else
-  cargo build -q --bin ccp
-  CCP=target/debug/ccp
-fi
+ccp_build "$PROFILE"
+ccp_init
 
-WORK="$(mktemp -d)"
-SERVER_PID=""
-cleanup() {
-  [[ -n "$SERVER_PID" ]] && kill "$SERVER_PID" 2>/dev/null || true
-  [[ -n "$SERVER_PID" ]] && wait "$SERVER_PID" 2>/dev/null || true
-  rm -rf "$WORK"
-}
-trap cleanup EXIT
+ccp_launch_server serve "$ADDR" --fake-resctrl --reprobe-interval-ms 150 \
+  --faults "$FAULTS"
 
-"$CCP" serve --addr "$ADDR" --fake-resctrl --reprobe-interval-ms 150 \
-  --faults "$FAULTS" >"$WORK/serve.log" 2>&1 &
-SERVER_PID=$!
-
-# Wait for the listener.
-for _ in $(seq 1 50); do
-  if (exec 3<>"/dev/tcp/127.0.0.1/${PORT}") 2>/dev/null; then
-    break
-  fi
-  if ! kill -0 "$SERVER_PID" 2>/dev/null; then
-    echo "serve exited early:" >&2
-    cat "$WORK/serve.log" >&2
-    exit 1
-  fi
-  sleep 0.1
-done
-
-scrape() { # scrape PATH OUTFILE
-  if command -v curl >/dev/null 2>&1; then
-    curl -sf "http://${ADDR}$1" -o "$2"
-  else
-    wget -qO "$2" "http://${ADDR}$1"
-  fi
-}
-
-scrape /stats "$WORK/stats.json"
+ccp_scrape "$ADDR" /stats "$WORK/stats.json"
 grep -qF '"supervised":true' "$WORK/stats.json" || {
   echo "engine is not under resctrl supervision:" >&2
   cat "$WORK/stats.json" >&2
@@ -94,7 +61,7 @@ BENCH_PID=$!
 # degraded mode lasts a couple of seconds, so 100ms polls cannot miss it.
 SAW_DEGRADED=0
 while kill -0 "$BENCH_PID" 2>/dev/null; do
-  if scrape /metrics "$WORK/metrics.txt" 2>/dev/null \
+  if ccp_scrape "$ADDR" /metrics "$WORK/metrics.txt" 2>/dev/null \
     && grep -qE '^ccp_resctrl_degraded 1' "$WORK/metrics.txt"; then
     SAW_DEGRADED=1
   fi
@@ -111,7 +78,7 @@ echo "   observed degraded mode mid-run"
 # The re-probe loop must heal once the fault window is exhausted.
 HEALED=0
 for _ in $(seq 1 100); do
-  scrape /metrics "$WORK/metrics.txt"
+  ccp_scrape "$ADDR" /metrics "$WORK/metrics.txt"
   if grep -qE '^ccp_resctrl_degraded 0' "$WORK/metrics.txt"; then
     HEALED=1
     break
@@ -125,24 +92,15 @@ if [[ "$HEALED" != 1 ]]; then
 fi
 echo "   healed back to partitioned mode"
 
-metric() { # metric NAME -> value (first sample)
-  awk -v name="$1" '$1 == name { print $NF; exit }' "$WORK/metrics.txt"
-}
-
-TRIPS=$(metric ccp_resctrl_breaker_trips_total)
-RESTORES=$(metric ccp_resctrl_restores_total)
+TRIPS=$(ccp_metric "$WORK/metrics.txt" ccp_resctrl_breaker_trips_total)
+RESTORES=$(ccp_metric "$WORK/metrics.txt" ccp_resctrl_restores_total)
 if [[ -z "$TRIPS" || "$TRIPS" == 0 || -z "$RESTORES" || "$RESTORES" == 0 ]]; then
   echo "transition counters missing the 0->1->0 episode: trips=${TRIPS:-?} restores=${RESTORES:-?}" >&2
   exit 1
 fi
 echo "   breaker_trips=${TRIPS} restores=${RESTORES}"
 
-PANICKED=$(awk '/^ccp_executor_jobs_panicked_total/ { sum += $NF } END { print sum + 0 }' \
-  "$WORK/metrics.txt")
-if [[ "$PANICKED" != 0 ]]; then
-  echo "jobs_panicked = ${PANICKED} (> 0): worker panics under chaos" >&2
-  exit 1
-fi
+ccp_assert_no_panics "$WORK/metrics.txt"
 echo "   jobs_panicked = 0"
 
 echo "chaos smoke OK"

@@ -1,0 +1,111 @@
+# shellcheck shell=bash
+# Shared helpers for the smoke-test scripts (serve_smoke, chaos_smoke,
+# adaptive_smoke, chaos_soak). Source this file after `set -euo pipefail`,
+# then call `ccp_build` and `ccp_init`.
+#
+# Contract:
+#   * ccp_init installs a single EXIT trap that kills every server
+#     launched through ccp_launch_server and removes $WORK;
+#   * when the script fails AND CCP_SMOKE_ARTIFACTS is set, the trap
+#     first copies each server's log and a final /metrics scrape into
+#     that directory, so CI uploads show what the server was doing.
+
+# Builds the ccp binary for the requested cargo profile (default:
+# release) and sets $CCP to its path.
+ccp_build() {
+  local profile="${1:-release}"
+  if [[ "$profile" == "release" ]]; then
+    cargo build --release -q --bin ccp
+    CCP=target/release/ccp
+  else
+    cargo build -q --bin ccp
+    CCP=target/debug/ccp
+  fi
+}
+
+# Creates $WORK, initializes the server registry and installs the
+# cleanup trap. Call once, after cd'ing to the repo root.
+ccp_init() {
+  WORK="$(mktemp -d)"
+  CCP_SERVER_PIDS=()
+  CCP_SERVER_LOGS=()
+  CCP_SERVER_ADDRS=()
+  trap ccp_cleanup EXIT
+}
+
+ccp_cleanup() {
+  local status=$?
+  if [[ $status -ne 0 && -n "${CCP_SMOKE_ARTIFACTS:-}" ]]; then
+    mkdir -p "$CCP_SMOKE_ARTIFACTS"
+    local i name
+    for i in ${CCP_SERVER_LOGS[@]+"${!CCP_SERVER_LOGS[@]}"}; do
+      name="$(basename "${CCP_SERVER_LOGS[$i]}" .log)"
+      cp "${CCP_SERVER_LOGS[$i]}" "$CCP_SMOKE_ARTIFACTS/${name}.log" 2>/dev/null || true
+      ccp_scrape "${CCP_SERVER_ADDRS[$i]}" /metrics \
+        "$CCP_SMOKE_ARTIFACTS/${name}.metrics.txt" 2>/dev/null || true
+    done
+  fi
+  local pid
+  for pid in ${CCP_SERVER_PIDS[@]+"${CCP_SERVER_PIDS[@]}"}; do
+    kill "$pid" 2>/dev/null || true
+    wait "$pid" 2>/dev/null || true
+  done
+  rm -rf "$WORK"
+  exit "$status"
+}
+
+# ccp_launch_server NAME ADDR [serve flags...]
+# Starts `ccp serve` in the background, logging to $WORK/NAME.log, and
+# waits for the listener to come up (failing fast, with the log dumped,
+# if the process exits first).
+ccp_launch_server() {
+  local name="$1" addr="$2"
+  shift 2
+  local port="${addr##*:}"
+  local log="$WORK/${name}.log"
+  "$CCP" serve --addr "$addr" "$@" >"$log" 2>&1 &
+  local pid=$!
+  CCP_SERVER_PIDS+=("$pid")
+  CCP_SERVER_LOGS+=("$log")
+  CCP_SERVER_ADDRS+=("$addr")
+  local _i
+  for _i in $(seq 1 100); do
+    if (exec 3<>"/dev/tcp/127.0.0.1/${port}") 2>/dev/null; then
+      return 0
+    fi
+    if ! kill -0 "$pid" 2>/dev/null; then
+      echo "serve (${name}) exited early:" >&2
+      cat "$log" >&2
+      return 1
+    fi
+    sleep 0.1
+  done
+  echo "serve (${name}) never started listening on ${addr}" >&2
+  return 1
+}
+
+# ccp_scrape ADDR PATH OUTFILE — fetch an endpoint with curl or wget.
+ccp_scrape() {
+  local addr="$1" path="$2" out="$3"
+  if command -v curl >/dev/null 2>&1; then
+    curl -sf "http://${addr}${path}" -o "$out"
+  else
+    wget -qO "$out" "http://${addr}${path}"
+  fi
+}
+
+# ccp_metric FILE NAME — first sample value of a metric (NAME may carry
+# a label set, e.g. 'ccp_control_mask_ways{class="sensitive"}').
+ccp_metric() {
+  awk -v name="$2" '$1 == name { print $NF; exit }' "$1"
+}
+
+# ccp_assert_no_panics METRICS_FILE — no worker thread may have died.
+ccp_assert_no_panics() {
+  local panicked
+  panicked=$(awk '/^ccp_executor_jobs_panicked_total/ { sum += $NF } END { print sum + 0 }' "$1")
+  if [[ "$panicked" != 0 ]]; then
+    echo "jobs_panicked = ${panicked} (> 0): worker panics during smoke load" >&2
+    return 1
+  fi
+}

@@ -56,9 +56,23 @@ run_bench() { # run_bench <tree-dir> <json-out>
     done
 }
 
+# Anything written here lands in the GitHub Actions job summary; local
+# runs just drop it.
+SUMMARY="${GITHUB_STEP_SUMMARY:-/dev/null}"
+
 echo "== perf gate: current tree vs $BASE_REF (runs=$RUNS, threshold=${THRESHOLD}%) =="
 echo "-- benchmarking current tree"
 run_bench "$REPO_ROOT" "$PR_JSON"
+
+if [[ ! -s "$PR_JSON" ]]; then
+    # A silently-empty measurement file must never read as "no
+    # regression": it means the bench harness itself broke.
+    echo "perf gate: no CCP_BENCH_JSON lines from the current tree — the" >&2
+    echo "vendored criterion stand-in emitted no measurements (is the" >&2
+    echo "micro_alloc bench still wired to CCP_BENCH_JSON?)" >&2
+    echo "### Perf gate (micro_alloc): FAILED — no measurements from the current tree" >>"$SUMMARY"
+    exit 1
+fi
 
 echo "-- benchmarking base ($BASE_REF)"
 git worktree add --detach "$BASE_TREE" "$BASE_REF" >/dev/null
@@ -68,16 +82,23 @@ if [[ ! -s "$BASE_JSON" ]]; then
     # The base ref predates CCP_BENCH_JSON support in the vendored
     # criterion stand-in; there is nothing to compare against yet.
     echo "-- base produced no measurements; gate passes vacuously"
+    {
+        echo "### Perf gate (micro_alloc)"
+        echo
+        echo "Vacuous pass: base \`${BASE_REF}\` produced no CCP_BENCH_JSON measurements."
+    } >>"$SUMMARY"
     exit 0
 fi
 
-python3 - "$PR_JSON" "$BASE_JSON" "$THRESHOLD" $GATE_IDS <<'PY'
+STATUS=0
+python3 - "$PR_JSON" "$BASE_JSON" "$THRESHOLD" "$WORK_DIR/summary.md" $GATE_IDS <<'PY' || STATUS=$?
 import json
 import statistics
 import sys
 
 pr_path, base_path, threshold = sys.argv[1], sys.argv[2], float(sys.argv[3])
-gate_ids = sys.argv[4:]
+summary_path = sys.argv[4]
+gate_ids = sys.argv[5:]
 
 
 def medians(path):
@@ -94,23 +115,41 @@ def medians(path):
 
 pr, base = medians(pr_path), medians(base_path)
 failed = False
+rows = []
 for bench in gate_ids:
     if bench not in pr:
         print(f"FAIL {bench}: missing from current-tree measurements")
+        rows.append((bench, "—", "—", "—", "FAIL (not measured)"))
         failed = True
         continue
     if bench not in base:
         print(f"skip {bench}: not measured on base (new benchmark)")
+        rows.append((bench, "—", f"{pr[bench]:.1f}", "—", "skip (new)"))
         continue
     delta = (pr[bench] - base[bench]) / base[bench] * 100.0
-    verdict = "FAIL" if delta > threshold else "ok  "
+    verdict = "FAIL" if delta > threshold else "ok"
     print(
-        f"{verdict} {bench}: base {base[bench]:10.1f} ns  "
+        f"{verdict:4s} {bench}: base {base[bench]:10.1f} ns  "
         f"pr {pr[bench]:10.1f} ns  delta {delta:+6.1f}%"
+    )
+    rows.append(
+        (bench, f"{base[bench]:.1f}", f"{pr[bench]:.1f}", f"{delta:+.1f}%", verdict)
     )
     if delta > threshold:
         failed = True
 
+with open(summary_path, "w") as f:
+    f.write("### Perf gate (micro_alloc)\n\n")
+    f.write(f"Threshold: {threshold:.0f}% slowdown on medians.\n\n")
+    f.write("| benchmark | base (ns/iter) | pr (ns/iter) | delta | verdict |\n")
+    f.write("|---|---:|---:|---:|---|\n")
+    for row in rows:
+        f.write("| " + " | ".join(row) + " |\n")
+
 sys.exit(1 if failed else 0)
 PY
+cat "$WORK_DIR/summary.md" >>"$SUMMARY"
+if [[ $STATUS -ne 0 ]]; then
+    exit "$STATUS"
+fi
 echo "== perf gate passed =="

@@ -15,9 +15,11 @@
 #   scripts/serve_smoke.sh [PORT]          # default: 19090
 #
 # Tunables (environment):
-#   CCP_SMOKE_QPS       offered load (default 40)
-#   CCP_SMOKE_SECS      bench duration in seconds (default 2)
-#   CCP_SMOKE_PROFILE   cargo profile to build/run (default release)
+#   CCP_SMOKE_QPS        offered load (default 40)
+#   CCP_SMOKE_SECS       bench duration in seconds (default 2)
+#   CCP_SMOKE_PROFILE    cargo profile to build/run (default release)
+#   CCP_SMOKE_ARTIFACTS  directory to receive server log + final
+#                        /metrics when the script fails (for CI uploads)
 
 set -euo pipefail
 
@@ -28,53 +30,18 @@ SECS="${CCP_SMOKE_SECS:-2}"
 PROFILE="${CCP_SMOKE_PROFILE:-release}"
 
 cd "$(dirname "$0")/.."
+. scripts/lib.sh
 
-if [[ "$PROFILE" == "release" ]]; then
-  cargo build --release -q --bin ccp
-  CCP=target/release/ccp
-else
-  cargo build -q --bin ccp
-  CCP=target/debug/ccp
-fi
+ccp_build "$PROFILE"
+ccp_init
 
-WORK="$(mktemp -d)"
-SERVER_PID=""
-cleanup() {
-  [[ -n "$SERVER_PID" ]] && kill "$SERVER_PID" 2>/dev/null || true
-  [[ -n "$SERVER_PID" ]] && wait "$SERVER_PID" 2>/dev/null || true
-  rm -rf "$WORK"
-}
-trap cleanup EXIT
-
-"$CCP" serve --addr "$ADDR" >"$WORK/serve.log" 2>&1 &
-SERVER_PID=$!
-
-# Wait for the listener.
-for _ in $(seq 1 50); do
-  if (exec 3<>"/dev/tcp/127.0.0.1/${PORT}") 2>/dev/null; then
-    break
-  fi
-  if ! kill -0 "$SERVER_PID" 2>/dev/null; then
-    echo "serve exited early:" >&2
-    cat "$WORK/serve.log" >&2
-    exit 1
-  fi
-  sleep 0.1
-done
+ccp_launch_server serve "$ADDR"
 
 echo "== bench-serve: ${QPS} qps for ${SECS}s against ${ADDR}"
 "$CCP" bench-serve --addr "$ADDR" --qps "$QPS" --duration "$SECS" --concurrency 2
 
-scrape() { # scrape PATH OUTFILE
-  if command -v curl >/dev/null 2>&1; then
-    curl -sf "http://${ADDR}$1" -o "$2"
-  else
-    wget -qO "$2" "http://${ADDR}$1"
-  fi
-}
-
 echo "== scraping /metrics"
-scrape /metrics "$WORK/metrics.txt"
+ccp_scrape "$ADDR" /metrics "$WORK/metrics.txt"
 for needle in \
   'ccp_server_requests_total' \
   'ccp_executor_jobs_total' \
@@ -90,16 +57,11 @@ echo "   all expected families present ($(wc -l <"$WORK/metrics.txt") lines)"
 
 # No worker thread may have died serving the load: a panicked job is a
 # bug even when the request that triggered it got an error response.
-PANICKED=$(awk '/^ccp_executor_jobs_panicked_total/ { sum += $NF } END { print sum + 0 }' \
-  "$WORK/metrics.txt")
-if [[ "$PANICKED" != 0 ]]; then
-  echo "jobs_panicked = ${PANICKED} (> 0): worker panics during smoke load" >&2
-  exit 1
-fi
+ccp_assert_no_panics "$WORK/metrics.txt"
 echo "   jobs_panicked = 0"
 
 echo "== scraping /trace"
-scrape /trace "$WORK/trace.json"
+ccp_scrape "$ADDR" /trace "$WORK/trace.json"
 python3 - "$WORK/trace.json" <<'PY'
 import json, sys
 

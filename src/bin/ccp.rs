@@ -88,14 +88,20 @@ fn print_help() {
          --queue-deadline-ms N  shed queries queued longer than N ms with 503 (default 30000, 0 = wait forever)\n  \
          --faults PLAN      arm ccp-fault failpoints, e.g. resctrl.write_schemata=err@1+40 (or env CCP_FAULTS)\n  \
          --fake-resctrl     back the engine with an in-memory resctrl (chaos harness; no CAT needed)\n  \
-         --reprobe-interval-ms N  resctrl health sync / degraded re-probe period (default 200)\n\n\
+         --reprobe-interval-ms N  resctrl health sync / degraded re-probe period (default 200)\n  \
+         --adaptive         close the loop: occupancy readings repartition the LLC online\n  \
+         --control-interval-ms N  adaptive controller tick period (default 100)\n  \
+         --monitor-interval-ms N  occupancy sampler period (default 250)\n  \
+         --occupancy-script SPEC  scripted occupancy trace for CI, e.g. 'sensitive:0.95x6,0.12;polluting:0.08'\n\n\
          BENCH-SERVE FLAGS:\n  \
          --addr HOST:PORT   server to drive     (default 127.0.0.1:9090)\n  \
          --qps N            target request rate (default 50)\n  \
          --duration SECS    run length          (default 10)\n  \
          --concurrency N    client connections  (default 4)\n  \
          --workload KIND    q1|q2|oltp|mix      (default mix)\n  \
-         --max-error-pct N  exit non-zero above this error rate (default 5)\n\n\
+         --max-error-pct N  exit non-zero above this error rate (default 5)\n  \
+         --ab-addr HOST:PORT  second server for an A/B run (phase A on --addr, phase B here)\n  \
+         --json-out FILE    write the phase summaries as JSON\n\n\
          The full experiment suite lives in `cargo bench -p ccp-bench`."
     );
 }
@@ -256,6 +262,16 @@ fn parse_serve_config(args: &[String]) -> Result<(ServerConfig, Option<String>),
                 let ms = parse_count(&value_of("--reprobe-interval-ms")?)? as u64;
                 config.reprobe_interval = Duration::from_millis(ms);
             }
+            "--adaptive" => config.adaptive = true,
+            "--control-interval-ms" => {
+                let ms = parse_count(&value_of("--control-interval-ms")?)? as u64;
+                config.control_interval = Duration::from_millis(ms);
+            }
+            "--monitor-interval-ms" => {
+                let ms = parse_count(&value_of("--monitor-interval-ms")?)? as u64;
+                config.monitor_interval = Some(Duration::from_millis(ms));
+            }
+            "--occupancy-script" => config.occupancy_script = Some(value_of("--occupancy-script")?),
             other => {
                 return Err(format!(
                     "unknown serve flag {other:?} (see `ccp help` for the flag list)"
@@ -338,6 +354,11 @@ struct BenchConfig {
     concurrency: usize,
     workload: String,
     max_error_pct: u64,
+    /// Second server for an A/B comparison: phase A ("static") drives
+    /// `addr`, phase B ("adaptive") drives this one.
+    ab_addr: Option<String>,
+    /// Write the phase summaries as JSON to this file.
+    json_out: Option<String>,
 }
 
 fn parse_bench_config(args: &[String]) -> Result<BenchConfig, String> {
@@ -348,6 +369,8 @@ fn parse_bench_config(args: &[String]) -> Result<BenchConfig, String> {
         concurrency: 4,
         workload: "mix".to_string(),
         max_error_pct: 5,
+        ab_addr: None,
+        json_out: None,
     };
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -375,6 +398,8 @@ fn parse_bench_config(args: &[String]) -> Result<BenchConfig, String> {
                     .parse()
                     .map_err(|_| "expected a number for --max-error-pct".to_string())?
             }
+            "--ab-addr" => config.ab_addr = Some(value_of("--ab-addr")?),
+            "--json-out" => config.json_out = Some(value_of("--json-out")?),
             other => {
                 return Err(format!(
                     "unknown bench-serve flag {other:?} (see `ccp help`)"
@@ -429,28 +454,51 @@ fn breakdown_us(outcome: &Json, field: &str) -> u64 {
         .unwrap_or(0)
 }
 
-/// Open-loop load generator: `concurrency` keep-alive connections share
-/// one global request schedule at the target QPS (each request has a
-/// fixed start slot, so server slowdowns show up as latency, not as a
-/// silently reduced offered rate).
-fn bench_serve(args: &[String]) -> ExitCode {
-    let config = match parse_bench_config(args) {
-        Ok(c) => c,
-        Err(why) => {
-            eprintln!("{why}");
-            return ExitCode::FAILURE;
-        }
-    };
-    let addr = match std::net::ToSocketAddrs::to_socket_addrs(&config.addr.as_str())
+/// One phase's percentile summary (all values microseconds).
+struct PhaseSummary {
+    addr: String,
+    sent: u64,
+    errors: u64,
+    error_pct: u64,
+    achieved_qps: f64,
+    /// p50/p95/p99 of client-observed wall latency.
+    total: [u64; 3],
+    /// p50/p95/p99 of server-reported queue time.
+    queue: [u64; 3],
+    /// p50/p95/p99 of server-reported execution time.
+    exec: [u64; 3],
+}
+
+impl PhaseSummary {
+    fn to_json(&self) -> Json {
+        let trio = |v: &[u64; 3]| {
+            Json::obj(vec![
+                ("p50_us", Json::num(v[0] as f64)),
+                ("p95_us", Json::num(v[1] as f64)),
+                ("p99_us", Json::num(v[2] as f64)),
+            ])
+        };
+        Json::obj(vec![
+            ("addr", Json::str(&self.addr)),
+            ("sent", Json::num(self.sent as f64)),
+            ("errors", Json::num(self.errors as f64)),
+            ("achieved_qps", Json::num(self.achieved_qps)),
+            ("total", trio(&self.total)),
+            ("queue", trio(&self.queue)),
+            ("exec", trio(&self.exec)),
+        ])
+    }
+}
+
+/// Open-loop load generator for one server: `concurrency` keep-alive
+/// connections share one global request schedule at the target QPS
+/// (each request has a fixed start slot, so server slowdowns show up as
+/// latency, not as a silently reduced offered rate).
+fn run_phase(label: &str, addr_str: &str, config: &BenchConfig) -> Result<PhaseSummary, String> {
+    let addr = std::net::ToSocketAddrs::to_socket_addrs(&addr_str)
         .ok()
         .and_then(|mut addrs| addrs.next())
-    {
-        Some(a) => a,
-        None => {
-            eprintln!("cannot resolve {:?}", config.addr);
-            return ExitCode::FAILURE;
-        }
-    };
+        .ok_or_else(|| format!("cannot resolve {addr_str:?}"))?;
     let bodies = bench_bodies(&config.workload);
     let interval = Duration::from_nanos(1_000_000_000 / config.qps.max(1));
     let started = Instant::now();
@@ -459,8 +507,8 @@ fn bench_serve(args: &[String]) -> ExitCode {
     let outcome = Arc::new(Mutex::new(BenchOutcome::default()));
 
     println!(
-        "driving {} at {} qps for {:?} over {} connection(s), workload {}…",
-        config.addr, config.qps, config.duration, config.concurrency, config.workload
+        "[{label}] driving {} at {} qps for {:?} over {} connection(s), workload {}…",
+        addr_str, config.qps, config.duration, config.concurrency, config.workload
     );
     let mut workers = Vec::new();
     for _ in 0..config.concurrency {
@@ -515,43 +563,134 @@ fn bench_serve(args: &[String]) -> ExitCode {
         .unwrap_or_default();
     let sent = outcome.samples.len() as u64 + outcome.errors;
     if sent == 0 {
-        eprintln!("no requests were sent");
-        return ExitCode::FAILURE;
+        return Err(format!("[{label}] no requests were sent"));
     }
     let elapsed = started.elapsed().as_secs_f64();
     let error_pct = outcome.errors * 100 / sent;
     println!(
-        "\n{} requests in {:.1}s ({:.1} achieved qps), {} error(s) ({error_pct}%)",
+        "[{label}] {} requests in {:.1}s ({:.1} achieved qps), {} error(s) ({error_pct}%)",
         sent,
         elapsed,
         outcome.samples.len() as f64 / elapsed,
         outcome.errors
     );
-    for (label, pick) in [
+    let mut percentiles = [[0u64; 3]; 3];
+    for (i, (part, pick)) in [
         (
             "total",
             (|s: &BenchSample| s.total_us) as fn(&BenchSample) -> u64,
         ),
         ("queue", |s| s.queue_us),
         ("exec", |s| s.exec_us),
-    ] {
+    ]
+    .into_iter()
+    .enumerate()
+    {
         let mut us: Vec<u64> = outcome.samples.iter().map(pick).collect();
         us.sort_unstable();
-        println!(
-            "{label:>8} latency  p50 {:>8} us   p95 {:>8} us   p99 {:>8} us",
+        percentiles[i] = [
             percentile(&us, 50.0),
             percentile(&us, 95.0),
             percentile(&us, 99.0),
+        ];
+        println!(
+            "{part:>8} latency  p50 {:>8} us   p95 {:>8} us   p99 {:>8} us",
+            percentiles[i][0], percentiles[i][1], percentiles[i][2],
         );
     }
-    if error_pct > config.max_error_pct {
-        eprintln!(
-            "error rate {error_pct}% exceeds --max-error-pct {}",
-            config.max_error_pct
-        );
-        return ExitCode::FAILURE;
+    Ok(PhaseSummary {
+        addr: addr_str.to_string(),
+        sent,
+        errors: outcome.errors,
+        error_pct,
+        achieved_qps: outcome.samples.len() as f64 / elapsed,
+        total: percentiles[0],
+        queue: percentiles[1],
+        exec: percentiles[2],
+    })
+}
+
+/// `bench-serve`: one load phase against `--addr`, or an A/B comparison
+/// (`--ab-addr`) that drives a second — typically `--adaptive` — server
+/// with the identical schedule and reports the p95 ratio between them.
+fn bench_serve(args: &[String]) -> ExitCode {
+    let config = match parse_bench_config(args) {
+        Ok(c) => c,
+        Err(why) => {
+            eprintln!("{why}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let first_label = if config.ab_addr.is_some() {
+        "static"
+    } else {
+        "bench"
+    };
+    let first = match run_phase(first_label, &config.addr, &config) {
+        Ok(s) => s,
+        Err(why) => {
+            eprintln!("{why}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let second = match &config.ab_addr {
+        Some(addr) => match run_phase("adaptive", addr, &config) {
+            Ok(s) => Some(s),
+            Err(why) => {
+                eprintln!("{why}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
+
+    let mut failed = false;
+    for (label, phase) in
+        std::iter::once((first_label, &first)).chain(second.iter().map(|s| ("adaptive", s)))
+    {
+        if phase.error_pct > config.max_error_pct {
+            eprintln!(
+                "[{label}] error rate {}% exceeds --max-error-pct {}",
+                phase.error_pct, config.max_error_pct
+            );
+            failed = true;
+        }
     }
-    ExitCode::SUCCESS
+
+    let report = match &second {
+        Some(adaptive) => {
+            let p95_ratio = if first.total[1] == 0 {
+                1.0
+            } else {
+                adaptive.total[1] as f64 / first.total[1] as f64
+            };
+            println!(
+                "\nA/B: static p95 {} us, adaptive p95 {} us, ratio {p95_ratio:.3}",
+                first.total[1], adaptive.total[1]
+            );
+            Json::obj(vec![
+                ("mode", Json::str("ab")),
+                ("static", first.to_json()),
+                ("adaptive", adaptive.to_json()),
+                ("p95_ratio", Json::num(p95_ratio)),
+            ])
+        }
+        None => Json::obj(vec![
+            ("mode", Json::str("single")),
+            ("bench", first.to_json()),
+        ]),
+    };
+    if let Some(path) = &config.json_out {
+        if let Err(e) = std::fs::write(path, format!("{report}\n")) {
+            eprintln!("cannot write {path}: {e}");
+            failed = true;
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
 }
 
 fn schedule(specs: &[String]) -> ExitCode {
