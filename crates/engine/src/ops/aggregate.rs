@@ -9,9 +9,11 @@
 
 use crate::executor::JobExecutor;
 use crate::job::{CacheUsageClass, Job};
+use ccp_reuse::{Artifact, Begin, ReuseHandle, ReuseStatus};
 use ccp_storage::{AggHashTable, Aggregate, DictColumn};
 use parking_lot::Mutex;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Rows per aggregation job.
 const CHUNK_ROWS: usize = 64 * 1024;
@@ -78,6 +80,44 @@ pub fn grouped_aggregate(
         global.merge(local);
     }
     global
+}
+
+/// [`grouped_aggregate`] with optional artifact reuse: when `reuse` is
+/// bound and the merged hash table for this key is already resident, the
+/// whole two-phase aggregation collapses into a lookup. On a miss the
+/// table is built normally and published with its measured build cost
+/// (the denominator of the cache's `bytes / rebuild_cost` eviction
+/// score). Concurrent identical queries coalesce onto one builder.
+pub fn grouped_aggregate_cached(
+    ex: &JobExecutor,
+    v_col: &Arc<DictColumn<i64>>,
+    g_col: &Arc<DictColumn<i64>>,
+    agg: Aggregate,
+    reuse: Option<&ReuseHandle>,
+) -> (Arc<AggHashTable>, ReuseStatus) {
+    let Some(handle) = reuse else {
+        return (
+            Arc::new(grouped_aggregate(ex, v_col, g_col, agg)),
+            ReuseStatus::Bypass,
+        );
+    };
+    match handle.begin() {
+        Begin::Hit(artifact) => match artifact.agg_table() {
+            Some(table) => (table, ReuseStatus::Hit),
+            // Artifact/key type mismatch: treat as uncacheable rather
+            // than serving the wrong structure.
+            None => (
+                Arc::new(grouped_aggregate(ex, v_col, g_col, agg)),
+                ReuseStatus::Miss,
+            ),
+        },
+        Begin::Build(guard) => {
+            let start = Instant::now();
+            let table = Arc::new(grouped_aggregate(ex, v_col, g_col, agg));
+            guard.publish(Artifact::AggTable(Arc::clone(&table)), start.elapsed());
+            (table, ReuseStatus::Miss)
+        }
+    }
 }
 
 #[cfg(test)]
@@ -147,6 +187,34 @@ mod tests {
         );
         assert_eq!(result.len(), 1);
         assert_eq!(result.get(0), Some(5050));
+    }
+
+    #[test]
+    fn cached_aggregate_hits_on_repeat_and_matches_uncached() {
+        let v = gen::uniform_ints(100_000, 5_000, 31);
+        let g = gen::uniform_ints(100_000, 64, 32);
+        let v_col = Arc::new(DictColumn::build(&v));
+        let g_col = Arc::new(DictColumn::build(&g));
+        let ex = executor();
+        let cache = ccp_reuse::ReuseCache::new(ccp_reuse::ReuseConfig::with_budget(1 << 20));
+        let handle = ReuseHandle::new(cache.clone(), cache.key("q2", "agg=sum"));
+
+        let (first, st1) =
+            grouped_aggregate_cached(&ex, &v_col, &g_col, Aggregate::Sum, Some(&handle));
+        assert_eq!(st1, ReuseStatus::Miss);
+        let (second, st2) =
+            grouped_aggregate_cached(&ex, &v_col, &g_col, Aggregate::Sum, Some(&handle));
+        assert_eq!(st2, ReuseStatus::Hit);
+        assert!(Arc::ptr_eq(&first, &second), "hit returns the cached table");
+
+        let reference = grouped_aggregate(&ex, &v_col, &g_col, Aggregate::Sum);
+        assert_eq!(second.len(), reference.len());
+        for code in 0..reference.len() as u32 {
+            assert_eq!(second.get(code), reference.get(code));
+        }
+
+        let (_, st3) = grouped_aggregate_cached(&ex, &v_col, &g_col, Aggregate::Sum, None);
+        assert_eq!(st3, ReuseStatus::Bypass);
     }
 
     #[test]

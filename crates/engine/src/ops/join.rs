@@ -9,11 +9,58 @@
 
 use crate::executor::JobExecutor;
 use crate::job::CacheUsageClass;
+use ccp_reuse::{Artifact, Begin, ReuseHandle, ReuseStatus};
 use ccp_storage::{BitVec, DictColumn};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Rows per probe job.
 const CHUNK_ROWS: usize = 64 * 1024;
+
+/// Build phase of Query 3: the bit vector over the primary-key domain.
+/// The dictionary of a primary-key column is the sorted key set itself;
+/// the largest key bounds the bit-vector length. This is the artifact
+/// the reuse cache memoizes — probing is cheap, building is the
+/// per-query random-write pass worth skipping.
+///
+/// # Panics
+/// Panics when a primary key is non-positive (the paper's keys are
+/// `1..=N`).
+pub fn fk_bit_vector(pk_col: &Arc<DictColumn<i64>>) -> BitVec {
+    let _span = super::op_span("join_build");
+    let max_key = pk_col.dict().iter().next_back().copied().unwrap_or(0);
+    assert!(max_key >= 0, "primary keys must be positive");
+    let mut bv = BitVec::zeros(max_key as u64 + 1);
+    for i in 0..pk_col.len() {
+        let key = *pk_col.value_at(i);
+        assert!(key >= 1, "primary keys must be positive, got {key}");
+        bv.set(key as u64);
+    }
+    bv
+}
+
+/// Probe phase of Query 3: one bit test per foreign key, parallel over
+/// chunks. The CUID is derived from the bit vector's size, exactly as
+/// when the vector was freshly built — a reused vector pollutes (or
+/// doesn't) the same way.
+pub fn fk_probe_count(ex: &JobExecutor, bv: Arc<BitVec>, fk_col: &Arc<DictColumn<i64>>) -> u64 {
+    let cuid = CacheUsageClass::Mixed {
+        hot_bytes: bv.size_bytes(),
+    };
+    let n = fk_col.len();
+    let chunks = n.div_ceil(CHUNK_ROWS).max(1);
+    let fk_col = fk_col.clone();
+    ex.parallel_sum("fk_join_probe", cuid, n, chunks, move |rows| {
+        let mut matches = 0u64;
+        for row in rows {
+            let key = *fk_col.value_at(row);
+            if key >= 0 && (key as u64) < bv.len() && bv.get(key as u64) {
+                matches += 1;
+            }
+        }
+        matches
+    })
+}
 
 /// Runs Query 3: `SELECT COUNT(*) FROM R, S WHERE R.P = S.F`.
 ///
@@ -29,37 +76,39 @@ pub fn fk_join_count(
     fk_col: &Arc<DictColumn<i64>>,
 ) -> u64 {
     let _span = super::op_span("fk_join");
-    // Build phase: the dictionary of a primary-key column is the sorted key
-    // set itself; the largest key bounds the bit-vector length.
-    let build_span = super::op_span("join_build");
-    let max_key = pk_col.dict().iter().next_back().copied().unwrap_or(0);
-    assert!(max_key >= 0, "primary keys must be positive");
-    let mut bv = BitVec::zeros(max_key as u64 + 1);
-    for i in 0..pk_col.len() {
-        let key = *pk_col.value_at(i);
-        assert!(key >= 1, "primary keys must be positive, got {key}");
-        bv.set(key as u64);
-    }
-    let bv = Arc::new(bv);
-    drop(build_span);
-    let cuid = CacheUsageClass::Mixed {
-        hot_bytes: bv.size_bytes(),
-    };
+    let bv = Arc::new(fk_bit_vector(pk_col));
+    fk_probe_count(ex, bv, fk_col)
+}
 
-    // Probe phase: one bit test per foreign key, parallel over chunks.
-    let n = fk_col.len();
-    let chunks = n.div_ceil(CHUNK_ROWS).max(1);
-    let fk_col = fk_col.clone();
-    ex.parallel_sum("fk_join_probe", cuid, n, chunks, move |rows| {
-        let mut matches = 0u64;
-        for row in rows {
-            let key = *fk_col.value_at(row);
-            if key >= 0 && (key as u64) < bv.len() && bv.get(key as u64) {
-                matches += 1;
+/// [`fk_join_count`] with optional build-side reuse: a hit skips the
+/// bit-vector construction pass and probes the cached vector (the probe
+/// itself always runs — its result depends on `fk_col`). A miss builds
+/// and publishes the vector with its measured build cost.
+pub fn fk_join_count_cached(
+    ex: &JobExecutor,
+    pk_col: &Arc<DictColumn<i64>>,
+    fk_col: &Arc<DictColumn<i64>>,
+    reuse: Option<&ReuseHandle>,
+) -> (u64, ReuseStatus) {
+    let Some(handle) = reuse else {
+        return (fk_join_count(ex, pk_col, fk_col), ReuseStatus::Bypass);
+    };
+    let _span = super::op_span("fk_join");
+    match handle.begin() {
+        Begin::Hit(artifact) => match artifact.join_bits() {
+            Some(bv) => (fk_probe_count(ex, bv, fk_col), ReuseStatus::Hit),
+            None => {
+                let bv = Arc::new(fk_bit_vector(pk_col));
+                (fk_probe_count(ex, bv, fk_col), ReuseStatus::Miss)
             }
+        },
+        Begin::Build(guard) => {
+            let start = Instant::now();
+            let bv = Arc::new(fk_bit_vector(pk_col));
+            guard.publish(Artifact::JoinBits(Arc::clone(&bv)), start.elapsed());
+            (fk_probe_count(ex, bv, fk_col), ReuseStatus::Miss)
         }
-        matches
-    })
+    }
 }
 
 #[cfg(test)]
@@ -108,6 +157,27 @@ mod tests {
         let fk = Arc::new(DictColumn::build(&gen::foreign_keys(5000, 1000, 4)));
         fk_join_count(&ex, &pk, &fk);
         assert!(rec.calls().iter().all(|(_, m)| m.bits() == 0x3));
+    }
+
+    #[test]
+    fn cached_join_reuses_build_side_but_still_probes() {
+        let pks: Vec<i64> = (1..=1000).filter(|k| k % 2 == 0).collect();
+        let pk = Arc::new(DictColumn::build(&pks));
+        let fk_a = Arc::new(DictColumn::build(&(1..=1000).collect::<Vec<i64>>()));
+        let fk_b = Arc::new(DictColumn::build(&(1..=500).collect::<Vec<i64>>()));
+        let ex = executor(Arc::new(NoopAllocator));
+        let cache = ccp_reuse::ReuseCache::new(ccp_reuse::ReuseConfig::with_budget(1 << 20));
+        let handle = ReuseHandle::new(cache.clone(), cache.key("q3", ""));
+
+        let (count, st) = fk_join_count_cached(&ex, &pk, &fk_a, Some(&handle));
+        assert_eq!((count, st), (500, ReuseStatus::Miss));
+        // Same build side, different probe side: hit, fresh probe result.
+        let (count, st) = fk_join_count_cached(&ex, &pk, &fk_b, Some(&handle));
+        assert_eq!((count, st), (250, ReuseStatus::Hit));
+        assert_eq!(cache.stats().hits, 1);
+
+        let (count, st) = fk_join_count_cached(&ex, &pk, &fk_a, None);
+        assert_eq!((count, st), (500, ReuseStatus::Bypass));
     }
 
     #[test]

@@ -45,5 +45,7 @@ pub use admission::{AdmissionError, AdmissionQueue, ClassQueueLimits, RunPermit}
 pub use http::{fetch, ClientResponse, HttpClient, HttpError, Request, Response};
 pub use json::Json;
 pub use metrics::ServerMetrics;
-pub use query::{parse_query, Breakdown, QueryEngine, QueryOutcome, WorkloadSpec};
+pub use query::{
+    parse_query, Breakdown, QueryEngine, QueryOutcome, WorkloadSpec, DEFAULT_REUSE_BUDGET_BYTES,
+};
 pub use server::{install_sigint_handler, sigint_requested, ScrapeServer, Server, ServerConfig};

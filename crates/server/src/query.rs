@@ -15,6 +15,7 @@ use ccp_engine::alloc::{CacheAllocator, NoopAllocator, ResctrlAllocator};
 use ccp_engine::ops::{aggregate, join, scan};
 use ccp_engine::{class_label, CacheUsageClass, DualPoolExecutor, Job, PartitionPolicy};
 use ccp_resctrl::{detect, CatSupport};
+use ccp_reuse::{Artifact, Begin, ResultSet, ReuseCache, ReuseHandle, ReuseStatus};
 use ccp_storage::{gen, Aggregate, DictColumn, InvertedIndex, Table};
 use ccp_tpch::queries::PhaseSpec;
 use std::collections::HashMap;
@@ -154,6 +155,8 @@ pub struct QueryOutcome {
     /// Throughput normalized to the best run of the same workload seen by
     /// this server (1.0 = fastest so far; lower = slowed by co-runners).
     pub normalized_throughput: f64,
+    /// How the reuse cache served this query (`hit`/`miss`/`bypass`).
+    pub reuse: &'static str,
 }
 
 /// Per-query latency breakdown in microseconds, assembled by the HTTP
@@ -212,6 +215,7 @@ impl QueryOutcome {
                 "normalized_throughput",
                 Json::num(self.normalized_throughput),
             ),
+            ("reuse", Json::str(self.reuse)),
         ])
     }
 }
@@ -287,7 +291,12 @@ pub struct QueryEngine {
     allocator: Arc<dyn CacheAllocator>,
     data: Datasets,
     best_rows_per_sec: Mutex<HashMap<String, f64>>,
+    /// Artifact reuse cache; `None` disables reuse entirely (`--no-reuse`).
+    reuse: Option<ReuseCache>,
 }
+
+/// Default reuse-cache budget when the server does not override it.
+pub const DEFAULT_REUSE_BUDGET_BYTES: u64 = 64 << 20;
 
 impl QueryEngine {
     /// Builds the engine, partitioning through real CAT when the host
@@ -353,7 +362,23 @@ impl QueryEngine {
             allocator,
             data: Datasets::build(dataset_rows),
             best_rows_per_sec: Mutex::new(HashMap::new()),
+            reuse: Some(ReuseCache::new(ccp_reuse::ReuseConfig::with_budget(
+                DEFAULT_REUSE_BUDGET_BYTES,
+            ))),
         }
+    }
+
+    /// Replaces (or disables, with `None`) the reuse cache. The server
+    /// calls this once at startup from `--reuse-budget-mb`/`--no-reuse`,
+    /// before the engine serves any query.
+    pub fn configure_reuse(&mut self, cache: Option<ReuseCache>) {
+        self.reuse = cache;
+    }
+
+    /// The reuse cache, when enabled (for metrics registration, stats
+    /// and `/data/bump`).
+    pub fn reuse_cache(&self) -> Option<&ReuseCache> {
+        self.reuse.as_ref()
     }
 
     /// The dual-pool executor (for `/stats` snapshots).
@@ -406,6 +431,30 @@ impl QueryEngine {
         }
     }
 
+    /// Classifies for *admission*, consulting the reuse cache first: a
+    /// workload whose artifact is predicted resident is admitted under
+    /// the non-polluting class — a scan that will be served from its
+    /// memoized result cannot pollute, so holding it back behind the
+    /// polluter limits would waste a co-run slot. Returns the admitted
+    /// CUID plus whether a hit was predicted (the caller counts a
+    /// misprediction when the entry has vanished by execution time).
+    pub fn classify_for_admission(&self, spec: &WorkloadSpec) -> (CacheUsageClass, bool) {
+        let base = self.classify(spec);
+        let Some(cache) = self.reuse.as_ref() else {
+            return (base, false);
+        };
+        let Some((qid, pred)) = reuse_key_parts(spec) else {
+            return (base, false);
+        };
+        if !cache.predict(&cache.key(&qid, &pred)) {
+            return (base, false);
+        }
+        // A predicted hit skips the build work; what remains (probe,
+        // lookup, render) is footprint-light. Sensitive rather than a
+        // new class keeps the scheduler's co-run table unchanged.
+        (CacheUsageClass::Sensitive, true)
+    }
+
     /// The way mask jobs of this workload bind (OLTP: always full
     /// cache). OLAP masks come from the *live* table, so with adaptive
     /// control on, the reported mask is the one the next bind will use.
@@ -431,9 +480,16 @@ impl QueryEngine {
 
     /// Executes `spec` on the appropriate pool and reports the outcome.
     pub fn execute(&self, spec: &WorkloadSpec) -> QueryOutcome {
-        let cuid = self.classify(spec);
+        self.execute_admitted(spec, self.classify(spec))
+    }
+
+    /// Executes `spec` under an already-admitted CUID (the class the
+    /// admission queue actually used, possibly shifted by a predicted
+    /// reuse hit), so the reported class and mask match the admission
+    /// decision rather than re-deriving the static taxonomy.
+    pub fn execute_admitted(&self, spec: &WorkloadSpec, cuid: CacheUsageClass) -> QueryOutcome {
         let started = Instant::now();
-        let (rows, result) = self.run(spec);
+        let (rows, result, reuse) = self.run(spec);
         let latency = started.elapsed();
         let latency_secs = latency.as_secs_f64().max(1e-9);
         let rows_per_sec = rows as f64 / latency_secs;
@@ -448,6 +504,7 @@ impl QueryEngine {
             latency_secs,
             rows_per_sec,
             normalized_throughput: normalized,
+            reuse: reuse.label(),
         }
     }
 
@@ -468,33 +525,60 @@ impl QueryEngine {
         }
     }
 
-    fn run(&self, spec: &WorkloadSpec) -> (u64, i64) {
+    /// The reuse handle for `spec`, when reuse is enabled and the
+    /// workload is cacheable.
+    fn reuse_handle(&self, spec: &WorkloadSpec) -> Option<ReuseHandle> {
+        let cache = self.reuse.as_ref()?;
+        let (qid, pred) = reuse_key_parts(spec)?;
+        Some(ReuseHandle::new(cache.clone(), cache.key(&qid, &pred)))
+    }
+
+    fn run(&self, spec: &WorkloadSpec) -> (u64, i64, ReuseStatus) {
         let d = &self.data;
         match spec {
+            // Selective scans memoize their full result: the cached form
+            // of the paper's polluter streams nothing through the LLC.
             WorkloadSpec::Q1 { threshold } => {
-                let matches = scan::column_scan(self.pools.olap(), &d.amounts, *threshold);
-                (d.amounts.len() as u64, matches as i64)
+                let threshold = *threshold;
+                memoized(self.reuse_handle(spec), || {
+                    let matches = scan::column_scan(self.pools.olap(), &d.amounts, threshold);
+                    (d.amounts.len() as u64, matches as i64)
+                })
             }
             WorkloadSpec::Q2 { agg } => {
-                let table =
-                    aggregate::grouped_aggregate(self.pools.olap(), &d.amounts, &d.regions, *agg);
-                (d.amounts.len() as u64, table.len() as i64)
+                let handle = self.reuse_handle(spec);
+                let (table, status) = aggregate::grouped_aggregate_cached(
+                    self.pools.olap(),
+                    &d.amounts,
+                    &d.regions,
+                    *agg,
+                    handle.as_ref(),
+                );
+                (d.amounts.len() as u64, table.len() as i64, status)
             }
             WorkloadSpec::Q3 => {
-                let matches = join::fk_join_count(self.pools.olap(), &d.pk, &d.fk);
-                (d.fk.len() as u64, matches as i64)
+                let handle = self.reuse_handle(spec);
+                let (matches, status) =
+                    join::fk_join_count_cached(self.pools.olap(), &d.pk, &d.fk, handle.as_ref());
+                (d.fk.len() as u64, matches as i64, status)
             }
-            WorkloadSpec::Tpch { id: 1 } => {
+            WorkloadSpec::Tpch { id: 1 } => memoized(self.reuse_handle(spec), || {
                 let groups = ccp_tpch::q1_pricing_summary(self.pools.olap(), &d.lineitem);
                 (d.lineitem.row_count() as u64, groups.len() as i64)
-            }
-            WorkloadSpec::Tpch { id: 6 } => {
+            }),
+            WorkloadSpec::Tpch { id: 6 } => memoized(self.reuse_handle(spec), || {
                 let revenue =
                     ccp_tpch::q6_forecast_revenue(self.pools.olap(), &d.lineitem, 24, 4..=6);
                 (d.lineitem.row_count() as u64, revenue)
+            }),
+            WorkloadSpec::Tpch { id } => {
+                let id = *id;
+                memoized(self.reuse_handle(spec), || self.run_profile_phases(id))
             }
-            WorkloadSpec::Tpch { id } => self.run_profile_phases(*id),
-            WorkloadSpec::Oltp { key } => self.run_point_select(*key),
+            WorkloadSpec::Oltp { key } => {
+                let (rows, result) = self.run_point_select(*key);
+                (rows, result, ReuseStatus::Bypass)
+            }
             WorkloadSpec::Sleep { ms } => {
                 let pause = Duration::from_millis(*ms);
                 self.pools
@@ -505,7 +589,7 @@ impl QueryEngine {
                         move || std::thread::sleep(pause),
                     )])
                     .wait();
-                (0, *ms as i64)
+                (0, *ms as i64, ReuseStatus::Bypass)
             }
         }
     }
@@ -579,6 +663,61 @@ impl QueryEngine {
             hits.load(Ordering::Relaxed),
             total.load(Ordering::Relaxed) as i64,
         )
+    }
+}
+
+/// The reuse-key identity of a workload: `(query_id, raw predicate)`.
+/// `None` marks the workload uncacheable — OLTP point selects (cheap,
+/// write-adjacent) and the debug sleep always bypass the cache. The
+/// predicate strings deliberately vary spelling-agnostic parameters
+/// only; [`ccp_reuse::canonicalize_predicate`] normalizes them.
+fn reuse_key_parts(spec: &WorkloadSpec) -> Option<(String, String)> {
+    match spec {
+        WorkloadSpec::Q1 { threshold } => Some(("q1".into(), format!("threshold < {threshold}"))),
+        WorkloadSpec::Q2 { agg } => Some(("q2".into(), format!("agg = {}", agg_label(*agg)))),
+        WorkloadSpec::Q3 => Some(("q3".into(), String::new())),
+        WorkloadSpec::Tpch { id } => Some((format!("tpch-{id}"), String::new())),
+        WorkloadSpec::Oltp { .. } | WorkloadSpec::Sleep { .. } => None,
+    }
+}
+
+fn agg_label(agg: Aggregate) -> &'static str {
+    match agg {
+        Aggregate::Max => "max",
+        Aggregate::Min => "min",
+        Aggregate::Sum => "sum",
+        Aggregate::Count => "count",
+    }
+}
+
+/// Full result memoization: a hit returns the cached `(rows, result)`
+/// pair without running anything; a miss runs `run` and publishes its
+/// outcome with the measured cost.
+fn memoized(
+    handle: Option<ReuseHandle>,
+    run: impl FnOnce() -> (u64, i64),
+) -> (u64, i64, ReuseStatus) {
+    let Some(handle) = handle else {
+        let (rows, result) = run();
+        return (rows, result, ReuseStatus::Bypass);
+    };
+    match handle.begin() {
+        Begin::Hit(artifact) => match artifact.result_set() {
+            Some(rs) => (rs.rows, rs.result, ReuseStatus::Hit),
+            None => {
+                let (rows, result) = run();
+                (rows, result, ReuseStatus::Miss)
+            }
+        },
+        Begin::Build(guard) => {
+            let started = Instant::now();
+            let (rows, result) = run();
+            guard.publish(
+                Artifact::ResultSet(Arc::new(ResultSet { rows, result })),
+                started.elapsed(),
+            );
+            (rows, result, ReuseStatus::Miss)
+        }
     }
 }
 
@@ -737,6 +876,60 @@ mod tests {
             .unwrap()
             .starts_with("0x"));
         assert!(parsed.get("latency_secs").unwrap().as_f64().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn repeated_query_hits_and_shifts_admission_class() {
+        let en = engine();
+        let spec = WorkloadSpec::Q1 { threshold: 25_000 };
+        // Cold: no prediction, the scan admits as the polluter it is.
+        let (cuid, predicted) = en.classify_for_admission(&spec);
+        assert_eq!(cuid, CacheUsageClass::Polluting);
+        assert!(!predicted);
+        let first = en.execute(&spec);
+        assert_eq!(first.reuse, "miss");
+        // Warm: predicted hit -> admitted sensitive-light, served cached.
+        let (cuid, predicted) = en.classify_for_admission(&spec);
+        assert_eq!(cuid, CacheUsageClass::Sensitive);
+        assert!(predicted);
+        let second = en.execute_admitted(&spec, cuid);
+        assert_eq!(second.reuse, "hit");
+        assert_eq!(second.class, "sensitive");
+        assert_eq!((second.rows, second.result), (first.rows, first.result));
+        // A different threshold is a different key: miss again.
+        let other = en.execute(&WorkloadSpec::Q1 { threshold: 10 });
+        assert_eq!(other.reuse, "miss");
+    }
+
+    #[test]
+    fn version_bump_invalidates_and_recovers() {
+        let en = engine();
+        let spec = WorkloadSpec::Q2 {
+            agg: Aggregate::Sum,
+        };
+        assert_eq!(en.execute(&spec).reuse, "miss");
+        assert_eq!(en.execute(&spec).reuse, "hit");
+        en.reuse_cache()
+            .expect("reuse on by default")
+            .bump_version();
+        let (cuid, predicted) = en.classify_for_admission(&spec);
+        assert_eq!(cuid, CacheUsageClass::Sensitive, "q2 stays sensitive");
+        assert!(!predicted, "bumped entry no longer predicts");
+        assert_eq!(en.execute(&spec).reuse, "miss", "rebuilt after bump");
+        assert_eq!(en.execute(&spec).reuse, "hit", "cache refills");
+    }
+
+    #[test]
+    fn oltp_bypasses_and_disabling_reuse_bypasses_everything() {
+        let mut en = engine();
+        assert_eq!(en.execute(&WorkloadSpec::Oltp { key: 7 }).reuse, "bypass");
+        en.configure_reuse(None);
+        let spec = WorkloadSpec::Q1 { threshold: 25_000 };
+        assert_eq!(en.execute(&spec).reuse, "bypass");
+        assert_eq!(en.execute(&spec).reuse, "bypass");
+        let (cuid, predicted) = en.classify_for_admission(&spec);
+        assert_eq!(cuid, CacheUsageClass::Polluting);
+        assert!(!predicted);
     }
 
     #[test]

@@ -12,6 +12,7 @@
 //! | `/stats` | GET | JSON snapshot of executor/scheduler/admission state |
 //! | `/query` | POST | NDJSON workloads in, NDJSON outcomes out |
 //! | `/trace` | GET | Chrome trace-event JSON (`?clear=1` resets the rings) |
+//! | `/data/bump` | POST | bumps the data-version epoch, invalidating reuse entries |
 //!
 //! Shutdown is cooperative: a flag flips, a self-connection unblocks
 //! `accept`, the admission queue drains, and the handle joins every
@@ -97,6 +98,11 @@ pub struct ServerConfig {
     /// (see [`ScriptedTrace`] for the grammar) — the CI harness for
     /// driving the controller through a chosen scenario.
     pub occupancy_script: Option<String>,
+    /// Reuse-cache byte budget in MiB (`--reuse-budget-mb`).
+    pub reuse_budget_mb: usize,
+    /// Disables the reuse cache entirely (`--no-reuse`): every query
+    /// reports `"reuse":"bypass"` and admission never predicts hits.
+    pub no_reuse: bool,
 }
 
 impl Default for ServerConfig {
@@ -122,6 +128,8 @@ impl Default for ServerConfig {
             adaptive: false,
             control_interval: Duration::from_millis(100),
             occupancy_script: None,
+            reuse_budget_mb: 64,
+            no_reuse: false,
         }
     }
 }
@@ -242,7 +250,7 @@ impl Server {
             });
         }
         let registry = Registry::new();
-        let engine = if config.fake_resctrl {
+        let mut engine = if config.fake_resctrl {
             QueryEngine::with_fake_resctrl(
                 config.olap_workers,
                 config.oltp_workers,
@@ -255,6 +263,14 @@ impl Server {
                 config.dataset_rows,
             )
         };
+        engine.configure_reuse((!config.no_reuse).then(|| {
+            ccp_reuse::ReuseCache::new(ccp_reuse::ReuseConfig::with_budget(
+                (config.reuse_budget_mb as u64) << 20,
+            ))
+        }));
+        if let Some(cache) = engine.reuse_cache() {
+            cache.register_into(&registry);
+        }
         engine.pools().register_metrics(&registry);
         let metrics = ServerMetrics::new(&registry);
         let sched_metrics = SchedulerMetrics::new();
@@ -764,8 +780,9 @@ fn route(shared: &Shared, req: &Request) -> (&'static str, Response) {
         ("GET", "/stats") => ("/stats", Response::json(200, &stats_json(shared))),
         ("GET", "/trace") => ("/trace", handle_trace(req)),
         ("POST", "/query") => ("/query", handle_query(shared, req)),
+        ("POST", "/data/bump") => ("/data/bump", handle_data_bump(shared)),
         ("GET" | "HEAD", _) => ("other", not_found()),
-        (_, "/metrics" | "/healthz" | "/stats" | "/query" | "/trace") => (
+        (_, "/metrics" | "/healthz" | "/stats" | "/query" | "/trace" | "/data/bump") => (
             "other",
             Response::json(
                 405,
@@ -828,10 +845,17 @@ fn handle_trace(req: &Request) -> Response {
 
 fn not_found() -> Response {
     let endpoints = Json::Arr(
-        ["/metrics", "/healthz", "/stats", "/query", "/trace"]
-            .iter()
-            .map(|e| Json::str(*e))
-            .collect(),
+        [
+            "/metrics",
+            "/healthz",
+            "/stats",
+            "/query",
+            "/trace",
+            "/data/bump",
+        ]
+        .iter()
+        .map(|e| Json::str(*e))
+        .collect(),
     );
     Response::json(
         404,
@@ -840,6 +864,29 @@ fn not_found() -> Response {
             ("endpoints", endpoints),
         ]),
     )
+}
+
+/// `POST /data/bump`: advances the data-version epoch, so every cached
+/// artifact built against the old version is (lazily) invalidated. This
+/// is the server's stand-in for a data modification — the moment the
+/// resident columns would change, memoized results must stop matching.
+fn handle_data_bump(shared: &Shared) -> Response {
+    match shared.engine.reuse_cache() {
+        Some(cache) => {
+            let version = cache.bump_version();
+            Response::json(
+                200,
+                &Json::obj(vec![
+                    ("status", Json::str("ok")),
+                    ("data_version", Json::num(version as f64)),
+                ]),
+            )
+        }
+        None => Response::json(
+            409,
+            &Json::obj(vec![("error", Json::str("reuse cache disabled"))]),
+        ),
+    }
 }
 
 /// Executes the NDJSON query body line by line.
@@ -921,7 +968,10 @@ fn run_query_line(shared: &Shared, line: &str) -> Result<String, QueryLineError>
     let value = Json::parse(line).map_err(|e| QueryLineError::Parse(format!("bad JSON: {e}")))?;
     let spec =
         parse_query(&value, shared.config.enable_sleep_workload).map_err(QueryLineError::Parse)?;
-    let cuid = shared.engine.classify(&spec);
+    // Reuse is consulted *before* classification: a scan whose memoized
+    // result is resident is admitted as sensitive-light, not held back
+    // behind the polluter limits it no longer deserves.
+    let (cuid, predicted_hit) = shared.engine.classify_for_admission(&spec);
     let permit = shared
         .admission
         .acquire_with_deadline(cuid, shared.config.queue_deadline)
@@ -933,7 +983,18 @@ fn run_query_line(shared: &Shared, line: &str) -> Result<String, QueryLineError>
     let name = spec.name();
     let query_span = ccp_trace::span_id(TraceCat::Query, &name, ticket);
     let exec_started = Instant::now();
-    let outcome = with_query_ctx(Arc::clone(&ctx), || shared.engine.execute(&spec));
+    let outcome = with_query_ctx(Arc::clone(&ctx), || {
+        shared.engine.execute_admitted(&spec, cuid)
+    });
+    if predicted_hit && outcome.reuse != "hit" {
+        // The entry vanished (eviction, version bump, fault) between
+        // admission and execution: the query ran under a class it no
+        // longer earned. Counted so the CI gate can see how often the
+        // prediction lies.
+        if let Some(cache) = shared.engine.reuse_cache() {
+            cache.note_misprediction();
+        }
+    }
     let exec_total_us = exec_started.elapsed().as_micros() as u64;
     drop(query_span);
     let bind_us = ctx.bind_ns() / 1_000;
@@ -1010,7 +1071,32 @@ fn stats_json(shared: &Shared) -> Json {
         ),
         ("resctrl", resctrl_json(shared)),
         ("control", control_json(shared)),
+        ("reuse", reuse_json(shared)),
         ("trace", trace_json()),
+    ])
+}
+
+/// Reuse-cache view for `/stats`: budget and residency, the hit/miss
+/// counters (including coalesced single-flight waits), invalidation and
+/// misprediction totals, and the current data-version epoch.
+fn reuse_json(shared: &Shared) -> Json {
+    let Some(cache) = shared.engine.reuse_cache() else {
+        return Json::obj(vec![("enabled", Json::Bool(false))]);
+    };
+    let s = cache.stats();
+    Json::obj(vec![
+        ("enabled", Json::Bool(true)),
+        ("budget_bytes", Json::num(s.budget_bytes as f64)),
+        ("bytes", Json::num(s.bytes as f64)),
+        ("entries", Json::num(s.entries as f64)),
+        ("data_version", Json::num(s.data_version as f64)),
+        ("hits", Json::num(s.hits as f64)),
+        ("misses", Json::num(s.misses as f64)),
+        ("inserts", Json::num(s.inserts as f64)),
+        ("evictions", Json::num(s.evictions as f64)),
+        ("invalidations", Json::num(s.invalidations as f64)),
+        ("coalesced", Json::num(s.coalesced as f64)),
+        ("mispredictions", Json::num(s.mispredictions as f64)),
     ])
 }
 

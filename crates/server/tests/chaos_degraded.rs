@@ -46,6 +46,10 @@ fn write_faults_trip_degraded_mode_and_reprobe_heals() {
         fake_resctrl: true,
         reprobe_interval: Duration::from_millis(20),
         monitor_interval: None,
+        // The repeated q1 must actually scan (and bind) every time;
+        // with reuse on, repeats would be served from the cache and
+        // the bind-fault window would never be consumed.
+        no_reuse: true,
         ..ServerConfig::default()
     })
     .expect("start");

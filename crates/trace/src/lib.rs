@@ -91,6 +91,8 @@ pub enum TraceCat {
     Op = 4,
     /// Whole-query envelope spans.
     Query = 5,
+    /// Reuse cache: artifact hit/miss/install/evict instants.
+    Reuse = 6,
 }
 
 impl TraceCat {
@@ -103,6 +105,7 @@ impl TraceCat {
             TraceCat::Bind => "bind",
             TraceCat::Op => "op",
             TraceCat::Query => "query",
+            TraceCat::Reuse => "reuse",
         }
     }
 
@@ -113,7 +116,8 @@ impl TraceCat {
             2 => TraceCat::Sched,
             3 => TraceCat::Bind,
             4 => TraceCat::Op,
-            _ => TraceCat::Query,
+            5 => TraceCat::Query,
+            _ => TraceCat::Reuse,
         }
     }
 }

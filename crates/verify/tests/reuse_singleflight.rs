@@ -1,0 +1,226 @@
+//! Model checks for the reuse cache's single-flight protocol
+//! ([`ccp_reuse::ReuseCache`]): at most one builder per key, no torn
+//! artifacts, and counter conservation (`hits + misses == resolved
+//! lookups`) under every interleaving of lookups, publishes and a
+//! concurrent data-version bump.
+//!
+//! The harness stays single-threaded by stepping the cache through its
+//! non-blocking [`TryBegin`] API: each `try_begin` / `publish` /
+//! `bump_version` call is one atomic step, and the explorer owns the
+//! order. `Pending` outcomes (another builder holds the key) are
+//! *unresolved* lookups — the cache counts neither a hit nor a miss for
+//! them, and the conservation equation accounts for that.
+
+use ccp_reuse::{Artifact, BuildGuard, ResultSet, ReuseCache, ReuseConfig, ReuseKey, TryBegin};
+use ccp_verify::{explore, Actor, Mode};
+use std::sync::Arc;
+use std::time::Duration;
+
+const MODE: Mode = Mode::Exhaustive {
+    max_schedules: 200_000,
+};
+
+/// The canonical artifact every builder publishes: a hit observing any
+/// other `(rows, result)` pair means a torn or fabricated entry.
+const ROWS: u64 = 7;
+const RESULT: i64 = 42;
+
+fn artifact() -> Artifact {
+    Artifact::ResultSet(Arc::new(ResultSet {
+        rows: ROWS,
+        result: RESULT,
+    }))
+}
+
+struct ReuseModel {
+    cache: ReuseCache,
+    /// Build guards claimed by worker actors, by actor index.
+    guards: Vec<Option<BuildGuard>>,
+    /// Lookups that resolved as hits / build claims; `Pending` retries
+    /// resolve later or never (both are fine for conservation).
+    resolved_hits: u64,
+    resolved_builds: u64,
+    unresolved: u64,
+}
+
+impl ReuseModel {
+    fn new(workers: usize, budget: u64) -> ReuseModel {
+        ReuseModel {
+            cache: ReuseCache::new(ReuseConfig::with_budget(budget)),
+            guards: (0..workers).map(|_| None).collect(),
+            resolved_hits: 0,
+            resolved_builds: 0,
+            unresolved: 0,
+        }
+    }
+
+    /// One lookup step: record the outcome and hold any claimed guard
+    /// in the actor's slot (publishing is a *separate* step, so the
+    /// explorer can interleave other lookups into the build window).
+    fn lookup(&mut self, actor: usize, key: &ReuseKey) {
+        match self.cache.try_begin(key) {
+            TryBegin::Hit(a) => {
+                let r = a.result_set().expect("published artifact is a result set");
+                assert_eq!((r.rows, r.result), (ROWS, RESULT), "torn artifact");
+                self.resolved_hits += 1;
+            }
+            TryBegin::Build(guard) => {
+                self.resolved_builds += 1;
+                self.guards[actor] = Some(guard);
+            }
+            TryBegin::Pending => self.unresolved += 1,
+        }
+    }
+
+    /// One publish step: a no-op unless this actor's lookup claimed the
+    /// build (the explorer schedules it regardless, keeping the step
+    /// count schedule-independent as the determinism contract requires).
+    fn publish(&mut self, actor: usize) {
+        if let Some(guard) = self.guards[actor].take() {
+            guard.publish(artifact(), Duration::from_micros(100));
+        }
+    }
+
+    fn outstanding_builders(&self) -> usize {
+        self.guards.iter().filter(|g| g.is_some()).count()
+    }
+}
+
+/// Budget and byte-accounting checks, valid regardless of key layout.
+fn step_invariants(s: &ReuseModel) -> Result<(), String> {
+    let stats = s.cache.stats();
+    if stats.bytes > stats.budget_bytes {
+        return Err(format!(
+            "cache holds {} bytes over the {}-byte budget",
+            stats.bytes, stats.budget_bytes
+        ));
+    }
+    // Every resident artifact in this harness is a 32-byte result set.
+    if stats.bytes != stats.entries * 32 {
+        return Err(format!(
+            "byte accounting drifted: {} entries but {} bytes",
+            stats.entries, stats.bytes
+        ));
+    }
+    Ok(())
+}
+
+fn final_invariants(s: &mut ReuseModel) -> Result<(), String> {
+    let stats = s.cache.stats();
+    if stats.hits != s.resolved_hits || stats.misses != s.resolved_builds {
+        return Err(format!(
+            "counter conservation broken: cache says {} hits + {} misses, \
+             harness resolved {} hits + {} builds ({} unresolved)",
+            stats.hits, stats.misses, s.resolved_hits, s.resolved_builds, s.unresolved
+        ));
+    }
+    // Abandon any still-held guard and confirm the key is buildable
+    // again (an abandoned claim must not wedge the slot).
+    for slot in &mut s.guards {
+        *slot = None;
+    }
+    let key = s.cache.key("q1", "t < 5");
+    match s.cache.try_begin(&key) {
+        TryBegin::Pending => Err("key wedged: no builder alive yet lookup is Pending".into()),
+        _ => Ok(()),
+    }
+}
+
+/// Three workers race lookup→publish→lookup on the same key while a
+/// fourth actor bumps the data version somewhere in the middle. Across
+/// all 16 800 interleavings: exactly one builder at a time, no torn
+/// artifacts, byte accounting exact, and the hit/miss counters conserve.
+#[test]
+fn single_flight_conserves_counters_under_all_interleavings_with_a_bump() {
+    const WORKERS: usize = 3;
+    let build = || {
+        let state = ReuseModel::new(WORKERS, 1 << 20);
+        let shared_key = state.cache.key("q1", "t < 5");
+        let mut actors: Vec<Actor<ReuseModel>> = (0..WORKERS)
+            .map(|i| {
+                let key = shared_key.clone();
+                let again = shared_key.clone();
+                Actor::new(format!("worker-{i}"))
+                    .then(move |s: &mut ReuseModel| s.lookup(i, &key))
+                    .then(move |s: &mut ReuseModel| s.publish(i))
+                    // The retry uses the key captured at version 0: after
+                    // the bump it misses (purged) and the fresh build is
+                    // discarded stale at publish — both still conserve.
+                    .then(move |s: &mut ReuseModel| {
+                        s.lookup(i, &again);
+                        s.publish(i);
+                    })
+            })
+            .collect();
+        actors.push(Actor::new("bump").then(|s: &mut ReuseModel| {
+            s.cache.bump_version();
+        }));
+        (state, actors)
+    };
+    let single_key_step = |s: &ReuseModel| {
+        // All workers contend on ONE key, so single-flight means at
+        // most one outstanding build guard across the whole model. (A
+        // stale build claimed for a pre-bump key counts too: the claim
+        // survives the purge and is discarded at publish, never
+        // duplicated.)
+        if s.outstanding_builders() > 1 {
+            return Err(format!(
+                "{} concurrent builders for one key — single-flight broken",
+                s.outstanding_builders()
+            ));
+        }
+        step_invariants(s)
+    };
+    let report = explore(MODE, build, single_key_step, final_invariants)
+        .expect("single-flight invariants must hold on every schedule");
+    assert!(report.exhausted, "10-step space must be fully covered");
+}
+
+/// Two workers build *different* keys under a budget that fits only one
+/// 32-byte entry: every publish beyond the first must evict (never
+/// overrun), and the accounting stays exact through evictions and a
+/// concurrent bump.
+#[test]
+fn tiny_budget_never_overruns_across_interleavings() {
+    const WORKERS: usize = 2;
+    let build = || {
+        let state = ReuseModel::new(WORKERS, 40);
+        let keys: Vec<ReuseKey> = (0..WORKERS)
+            .map(|i| state.cache.key(&format!("q{i}"), "t < 5"))
+            .collect();
+        let mut actors: Vec<Actor<ReuseModel>> = keys
+            .iter()
+            .enumerate()
+            .map(|(i, key)| {
+                let key = key.clone();
+                let again = key.clone();
+                Actor::new(format!("worker-{i}"))
+                    .then(move |s: &mut ReuseModel| s.lookup(i, &key))
+                    .then(move |s: &mut ReuseModel| s.publish(i))
+                    .then(move |s: &mut ReuseModel| {
+                        s.lookup(i, &again);
+                        s.publish(i);
+                    })
+            })
+            .collect();
+        actors.push(Actor::new("bump").then(|s: &mut ReuseModel| {
+            s.cache.bump_version();
+        }));
+        (state, actors)
+    };
+    let report = explore(MODE, build, step_invariants, |s: &mut ReuseModel| {
+        let stats = s.cache.stats();
+        if stats.hits != s.resolved_hits || stats.misses != s.resolved_builds {
+            return Err(format!(
+                "conservation broken: {stats:?} vs {} hits + {} builds",
+                s.resolved_hits, s.resolved_builds
+            ));
+        }
+        if stats.entries > 1 {
+            return Err(format!("40-byte budget holds {} entries", stats.entries));
+        }
+        Ok(())
+    })
+    .expect("budget invariants must hold on every schedule");
+    assert!(report.exhausted, "7-step space must be fully covered");
+}

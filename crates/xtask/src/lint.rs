@@ -13,7 +13,8 @@
 //!   `ORDERING:` comment explaining why that strength suffices. `SeqCst`
 //!   is exempt: it is the conservative default, the others are claims.
 //! * `server-no-panic` — no `.unwrap()` / `.expect("…")` in
-//!   `crates/server/src` (the request path): a panic there kills a
+//!   `crates/server/src` (the request path) or `crates/reuse/src` (the
+//!   reuse cache runs inside that path): a panic there kills a
 //!   connection handler, not a test.
 //! * `engine-no-sleep` — no `thread::sleep` in `crates/engine/src` hot
 //!   paths; blocking a pool worker stalls a whole partition.
@@ -162,7 +163,9 @@ fn mask_is_contiguous(bits: u64) -> bool {
 pub fn lint_file(path: &str, scan_result: &FileScan) -> Vec<Finding> {
     let mut findings = Vec::new();
     let norm = path.replace('\\', "/");
-    let in_server_src = norm.contains("crates/server/src");
+    // The reuse cache executes inside the server's request path, so it
+    // inherits the same no-panic discipline.
+    let in_server_src = norm.contains("crates/server/src") || norm.contains("crates/reuse/src");
     let in_engine_src = norm.contains("crates/engine/src");
     let finding = |rule, line, message: String| Finding {
         rule,
@@ -369,6 +372,15 @@ mod tests {
         let src = "let v = m.lock().unwrap();\n";
         assert_eq!(lint_src("crates/server/src/a.rs", src).len(), 1);
         assert!(lint_src("crates/engine/src/a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn reuse_src_inherits_the_no_panic_rule() {
+        // The reuse cache runs inside the server's request path.
+        let src = "let v = m.lock().unwrap();\n";
+        let f = lint_src("crates/reuse/src/cache.rs", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "server-no-panic");
     }
 
     #[test]

@@ -94,6 +94,17 @@ ccp_scrape() {
   fi
 }
 
+# ccp_post ADDR PATH BODY OUTFILE — POST to an endpoint with curl or
+# wget (BODY may be empty for body-less endpoints like /data/bump).
+ccp_post() {
+  local addr="$1" path="$2" body="$3" out="$4"
+  if command -v curl >/dev/null 2>&1; then
+    curl -sf -X POST --data "$body" "http://${addr}${path}" -o "$out"
+  else
+    wget -qO "$out" --post-data="$body" "http://${addr}${path}"
+  fi
+}
+
 # ccp_metric FILE NAME — first sample value of a metric (NAME may carry
 # a label set, e.g. 'ccp_control_mask_ways{class="sensitive"}').
 ccp_metric() {

@@ -1,0 +1,119 @@
+#!/usr/bin/env bash
+# Reuse-cache gate: drives a server with a repeated-query mix and
+# asserts the artifact cache actually pays for itself.
+#
+# Phase 1 (warm): `ccp bench-serve` fires the identical q1 at the
+# server; everything after the first scan must be a cache hit.
+# Asserts from the bench's --json-out and a /metrics scrape:
+#
+#   * server-side reuse hit rate >= CCP_REUSE_MIN_HIT_RATE (default 0.5);
+#   * client p95 over hit responses <= 0.5 x p95 over miss responses
+#     (a hit must skip the scan, not just relabel it);
+#   * ccp_reuse_bytes <= the configured budget.
+#
+# Phase 2 (invalidate): `POST /data/bump` advances the data version;
+# the next q1 must rebuild (reuse=miss), the one after must hit again,
+# and ccp_reuse_invalidations_total must have moved.
+#
+# Zero worker panics throughout.
+#
+# Usage:
+#   scripts/reuse_smoke.sh [PORT]      # default 19390
+#
+# Tunables (environment):
+#   CCP_REUSE_QPS           offered load in phase 1 (default 100)
+#   CCP_REUSE_SECS          phase-1 duration in seconds (default 3)
+#   CCP_REUSE_PROFILE       cargo profile to build/run (default release)
+#   CCP_REUSE_MIN_HIT_RATE  server hit-rate floor (default 0.5)
+#   CCP_REUSE_BUDGET_MB     server cache budget in MiB (default 8)
+#   CCP_SMOKE_ARTIFACTS     directory to receive server logs + final
+#                           /metrics when the script fails
+
+set -euo pipefail
+
+PORT="${1:-19390}"
+QPS="${CCP_REUSE_QPS:-100}"
+SECS="${CCP_REUSE_SECS:-3}"
+PROFILE="${CCP_REUSE_PROFILE:-release}"
+MIN_HIT_RATE="${CCP_REUSE_MIN_HIT_RATE:-0.5}"
+BUDGET_MB="${CCP_REUSE_BUDGET_MB:-8}"
+
+cd "$(dirname "$0")/.."
+. scripts/lib.sh
+
+ccp_build "$PROFILE"
+ccp_init
+
+ADDR="127.0.0.1:${PORT}"
+# A big enough table that a real scan is clearly slower than a cache
+# hit — the hit-vs-miss latency gate depends on that separation.
+ccp_launch_server reuse "$ADDR" --rows 2000000 --reuse-budget-mb "$BUDGET_MB"
+
+echo "== warm phase: identical q1 at ${QPS} qps for ${SECS}s"
+"$CCP" bench-serve --addr "$ADDR" --qps "$QPS" --duration "$SECS" \
+  --concurrency 2 --workload q1 --max-error-pct 1 \
+  --json-out "$WORK/warm.json"
+
+echo "== reuse gates (hit rate >= ${MIN_HIT_RATE}, hit p95 <= 0.5 x miss p95)"
+python3 - "$WORK/warm.json" "$MIN_HIT_RATE" <<'PY'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+reuse = doc["bench"]["reuse"]
+rate = reuse["server_hit_rate"]
+assert rate is not None, "server exposed no reuse counters: is the cache on?"
+floor = float(sys.argv[2])
+assert rate >= floor, f"server hit rate {rate:.3f} below the {floor} floor"
+hits, misses = reuse["hits"], reuse["misses"]
+assert hits > 0 and misses > 0, f"need both outcomes to compare ({reuse})"
+hit_p95, miss_p95 = reuse["hit_p95_us"], reuse["miss_p95_us"]
+assert hit_p95 * 2 <= miss_p95, (
+    f"hit p95 {hit_p95}us not under half of miss p95 {miss_p95}us — "
+    "hits are not skipping the scan"
+)
+print(f"   hit rate {rate:.3f}, hit p95 {hit_p95}us, miss p95 {miss_p95}us "
+      f"({hits} hits / {misses} misses)")
+PY
+
+ccp_scrape "$ADDR" /metrics "$WORK/warm.metrics.txt"
+BYTES=$(ccp_metric "$WORK/warm.metrics.txt" ccp_reuse_bytes)
+awk -v b="$BYTES" -v mb="$BUDGET_MB" 'BEGIN {
+  budget = mb * 1024 * 1024
+  if (b == "" || b > budget) {
+    print "ccp_reuse_bytes " b " exceeds the " budget "-byte budget" > "/dev/stderr"
+    exit 1
+  }
+}'
+echo "   ccp_reuse_bytes=${BYTES} within ${BUDGET_MB}MiB"
+
+echo "== bump phase: /data/bump invalidates, next q1 rebuilds, then hits"
+ccp_post "$ADDR" /data/bump "" "$WORK/bump.json"
+grep -qF '"status":"ok"' "$WORK/bump.json" || {
+  echo "bump failed: $(cat "$WORK/bump.json")" >&2
+  exit 1
+}
+Q1='{"workload":"q1","threshold":100}'
+ccp_post "$ADDR" /query "$Q1" "$WORK/rebuild.json"
+grep -qF '"reuse":"miss"' "$WORK/rebuild.json" || {
+  echo "post-bump q1 did not rebuild: $(cat "$WORK/rebuild.json")" >&2
+  exit 1
+}
+ccp_post "$ADDR" /query "$Q1" "$WORK/refill.json"
+grep -qF '"reuse":"hit"' "$WORK/refill.json" || {
+  echo "post-rebuild q1 did not hit: $(cat "$WORK/refill.json")" >&2
+  exit 1
+}
+ccp_scrape "$ADDR" /metrics "$WORK/final.metrics.txt"
+INVALIDATIONS=$(ccp_metric "$WORK/final.metrics.txt" ccp_reuse_invalidations_total)
+if [[ -z "$INVALIDATIONS" || "$INVALIDATIONS" == 0 ]]; then
+  echo "bump never invalidated anything (ccp_reuse_invalidations_total=${INVALIDATIONS})" >&2
+  grep '^ccp_reuse' "$WORK/final.metrics.txt" >&2 || true
+  exit 1
+fi
+echo "   invalidations=${INVALIDATIONS}, rebuild->hit recovery confirmed"
+
+ccp_assert_no_panics "$WORK/final.metrics.txt"
+echo "   jobs_panicked = 0"
+
+echo "reuse smoke OK"

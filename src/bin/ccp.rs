@@ -20,7 +20,7 @@ use cache_partitioning::prelude::*;
 use ccp_engine::sim::{classify_operator, AggregationSim, ColumnScanSim, FkJoinSim};
 use ccp_engine::CacheAwareScheduler;
 use ccp_server::{
-    install_sigint_handler, sigint_requested, HttpClient, Json, Server, ServerConfig,
+    fetch, install_sigint_handler, sigint_requested, HttpClient, Json, Server, ServerConfig,
 };
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -92,8 +92,10 @@ fn print_help() {
          --adaptive         close the loop: occupancy readings repartition the LLC online\n  \
          --control-interval-ms N  adaptive controller tick period (default 100)\n  \
          --monitor-interval-ms N  occupancy sampler period (default 250)\n  \
-         --occupancy-script SPEC  scripted occupancy trace for CI, e.g. 'sensitive:0.95x6,0.12;polluting:0.08'\n\n\
-         BENCH-SERVE FLAGS:\n  \
+         --occupancy-script SPEC  scripted occupancy trace for CI, e.g. 'sensitive:0.95x6,0.12;polluting:0.08'\n  \
+         --reuse-budget-mb N  reuse-cache byte budget in MiB (default 64)\n  \
+         --no-reuse         disable the artifact reuse cache (every query reports reuse=bypass)\n\n\
+         BENCH-SERVE FLAGS:\n\
          --addr HOST:PORT   server to drive     (default 127.0.0.1:9090)\n  \
          --qps N            target request rate (default 50)\n  \
          --duration SECS    run length          (default 10)\n  \
@@ -272,6 +274,10 @@ fn parse_serve_config(args: &[String]) -> Result<(ServerConfig, Option<String>),
                 config.monitor_interval = Some(Duration::from_millis(ms));
             }
             "--occupancy-script" => config.occupancy_script = Some(value_of("--occupancy-script")?),
+            "--reuse-budget-mb" => {
+                config.reuse_budget_mb = parse_count(&value_of("--reuse-budget-mb")?)?
+            }
+            "--no-reuse" => config.no_reuse = true,
             other => {
                 return Err(format!(
                     "unknown serve flag {other:?} (see `ccp help` for the flag list)"
@@ -333,7 +339,7 @@ fn serve(args: &[String]) -> ExitCode {
             "no-op allocator (no CAT on this host)"
         }
     );
-    println!("  endpoints: /metrics /healthz /stats /trace POST /query");
+    println!("  endpoints: /metrics /healthz /stats /trace POST /query POST /data/bump");
     if let Some(plan) = ccp_fault::active_plan() {
         println!("  fault plan: {plan}");
     }
@@ -430,6 +436,26 @@ struct BenchSample {
     total_us: u64,
     queue_us: u64,
     exec_us: u64,
+    reuse: ReuseMark,
+}
+
+/// The `"reuse"` field of a `/query` response, as seen by the client.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ReuseMark {
+    Hit,
+    Miss,
+    /// `bypass`, a pre-reuse server, or an unparsable response.
+    Other,
+}
+
+impl ReuseMark {
+    fn of(outcome: &Json) -> ReuseMark {
+        match outcome.get("reuse").and_then(Json::as_str) {
+            Some("hit") => ReuseMark::Hit,
+            Some("miss") => ReuseMark::Miss,
+            _ => ReuseMark::Other,
+        }
+    }
 }
 
 #[derive(Debug, Default)]
@@ -454,6 +480,52 @@ fn breakdown_us(outcome: &Json, field: &str) -> u64 {
         .unwrap_or(0)
 }
 
+/// Scrapes the server's cumulative reuse counters from `/metrics`.
+/// Returns `None` when the scrape fails or the metrics are absent
+/// (reuse disabled with `--no-reuse`, or a pre-reuse server).
+fn reuse_counters(addr: std::net::SocketAddr) -> Option<(f64, f64)> {
+    let scrape = fetch(addr, "GET", "/metrics", None).ok()?.body;
+    let sample = |name: &str| -> Option<f64> {
+        scrape
+            .lines()
+            .find_map(|l| l.strip_prefix(name))
+            .and_then(|v| v.trim().parse().ok())
+    };
+    Some((
+        sample("ccp_reuse_hits_total ")?,
+        sample("ccp_reuse_misses_total ")?,
+    ))
+}
+
+/// Reuse-cache view of one phase: what the client observed per response
+/// plus the server's own counter delta over the phase (cumulative
+/// counters survive earlier phases, so only the delta is this phase's).
+struct ReusePhase {
+    hits: u64,
+    misses: u64,
+    /// p95 of client wall latency over hit responses (0 if none).
+    hit_p95_us: u64,
+    /// p95 of client wall latency over miss responses (0 if none).
+    miss_p95_us: u64,
+    /// `Δhits / (Δhits + Δmisses)` from `/metrics`, when scrapable.
+    server_hit_rate: Option<f64>,
+}
+
+impl ReusePhase {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("hits", Json::num(self.hits as f64)),
+            ("misses", Json::num(self.misses as f64)),
+            ("hit_p95_us", Json::num(self.hit_p95_us as f64)),
+            ("miss_p95_us", Json::num(self.miss_p95_us as f64)),
+            (
+                "server_hit_rate",
+                self.server_hit_rate.map_or(Json::Null, Json::num),
+            ),
+        ])
+    }
+}
+
 /// One phase's percentile summary (all values microseconds).
 struct PhaseSummary {
     addr: String,
@@ -467,6 +539,7 @@ struct PhaseSummary {
     queue: [u64; 3],
     /// p50/p95/p99 of server-reported execution time.
     exec: [u64; 3],
+    reuse: ReusePhase,
 }
 
 impl PhaseSummary {
@@ -486,6 +559,7 @@ impl PhaseSummary {
             ("total", trio(&self.total)),
             ("queue", trio(&self.queue)),
             ("exec", trio(&self.exec)),
+            ("reuse", self.reuse.to_json()),
         ])
     }
 }
@@ -501,6 +575,7 @@ fn run_phase(label: &str, addr_str: &str, config: &BenchConfig) -> Result<PhaseS
         .ok_or_else(|| format!("cannot resolve {addr_str:?}"))?;
     let bodies = bench_bodies(&config.workload);
     let interval = Duration::from_nanos(1_000_000_000 / config.qps.max(1));
+    let counters_before = reuse_counters(addr);
     let started = Instant::now();
     let deadline = started + config.duration;
     let next_slot = Arc::new(AtomicU64::new(0));
@@ -540,13 +615,20 @@ fn run_phase(label: &str, addr_str: &str, config: &BenchConfig) -> Result<PhaseS
                 match client.request("POST", "/query", Some(body)) {
                     Ok(resp) if resp.status == 200 => {
                         let total_us = sent.elapsed().as_micros() as u64;
-                        let (queue_us, exec_us) = Json::parse(resp.body.trim())
-                            .map(|o| (breakdown_us(&o, "queue_us"), breakdown_us(&o, "exec_us")))
-                            .unwrap_or((0, 0));
+                        let (queue_us, exec_us, reuse) = Json::parse(resp.body.trim())
+                            .map(|o| {
+                                (
+                                    breakdown_us(&o, "queue_us"),
+                                    breakdown_us(&o, "exec_us"),
+                                    ReuseMark::of(&o),
+                                )
+                            })
+                            .unwrap_or((0, 0, ReuseMark::Other));
                         outcome.lock().unwrap().samples.push(BenchSample {
                             total_us,
                             queue_us,
                             exec_us,
+                            reuse,
                         });
                     }
                     _ => outcome.lock().unwrap().errors += 1,
@@ -598,6 +680,41 @@ fn run_phase(label: &str, addr_str: &str, config: &BenchConfig) -> Result<PhaseS
             percentiles[i][0], percentiles[i][1], percentiles[i][2],
         );
     }
+    let mark_p95 = |mark: ReuseMark| {
+        let mut us: Vec<u64> = outcome
+            .samples
+            .iter()
+            .filter(|s| s.reuse == mark)
+            .map(|s| s.total_us)
+            .collect();
+        us.sort_unstable();
+        (us.len() as u64, percentile(&us, 95.0))
+    };
+    let (hits, hit_p95_us) = mark_p95(ReuseMark::Hit);
+    let (misses, miss_p95_us) = mark_p95(ReuseMark::Miss);
+    // Reuse counters are cumulative across phases, so the server's hit
+    // rate for *this* phase is the delta between the two scrapes.
+    let server_hit_rate =
+        counters_before
+            .zip(reuse_counters(addr))
+            .and_then(|((h0, m0), (h1, m1))| {
+                let (dh, dm) = (h1 - h0, m1 - m0);
+                (dh + dm > 0.0).then(|| dh / (dh + dm))
+            });
+    let reuse = ReusePhase {
+        hits,
+        misses,
+        hit_p95_us,
+        miss_p95_us,
+        server_hit_rate,
+    };
+    match reuse.server_hit_rate {
+        Some(rate) => println!(
+            "   reuse  server hit rate {:.1}%   client hits {hits} (p95 {hit_p95_us} us)   misses {misses} (p95 {miss_p95_us} us)",
+            rate * 100.0
+        ),
+        None => println!("   reuse  no server reuse counters (disabled or unscrapable)"),
+    }
     Ok(PhaseSummary {
         addr: addr_str.to_string(),
         sent,
@@ -607,6 +724,7 @@ fn run_phase(label: &str, addr_str: &str, config: &BenchConfig) -> Result<PhaseS
         total: percentiles[0],
         queue: percentiles[1],
         exec: percentiles[2],
+        reuse,
     })
 }
 
