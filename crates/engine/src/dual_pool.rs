@@ -38,8 +38,8 @@ impl DualPoolExecutor {
         policy: PartitionPolicy,
         allocator: Arc<dyn CacheAllocator>,
     ) -> Self {
-        let olap = JobExecutor::new(olap_workers, policy, allocator.clone());
-        let oltp = JobExecutor::new(oltp_workers, policy, allocator);
+        let olap = JobExecutor::with_pool_name(olap_workers, policy, allocator.clone(), "olap");
+        let oltp = JobExecutor::with_pool_name(oltp_workers, policy, allocator, "oltp");
         // The OLTP pool never partitions: with partitioning disabled, every
         // job binds the full mask, and the per-worker fast path makes that
         // a one-time cost per worker thread.

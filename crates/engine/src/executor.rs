@@ -132,6 +132,21 @@ impl JobExecutor {
         policy: PartitionPolicy,
         allocator: Arc<dyn CacheAllocator>,
     ) -> Self {
+        Self::with_pool_name(n_workers, policy, allocator, "job")
+    }
+
+    /// Spawns `n_workers` job workers with threads named
+    /// `{pool}-worker-{i}`, so profiler output and thread listings are
+    /// keyed by pool (`olap-worker-3`, `oltp-worker-0`).
+    ///
+    /// # Panics
+    /// Panics when `n_workers` is zero.
+    pub fn with_pool_name(
+        n_workers: usize,
+        policy: PartitionPolicy,
+        allocator: Arc<dyn CacheAllocator>,
+        pool: &str,
+    ) -> Self {
         assert!(n_workers > 0, "executor needs at least one worker");
         let (tx, rx) = unbounded::<(Job, Instant)>();
         let live = Arc::new(LiveMasks::from_policy(&policy));
@@ -149,8 +164,9 @@ impl JobExecutor {
                 let rx = rx.clone();
                 let shared = shared.clone();
                 std::thread::Builder::new()
-                    .name(format!("job-worker-{i}"))
+                    .name(format!("{pool}-worker-{i}"))
                     .spawn(move || {
+                        ccp_flight::register_current_thread();
                         let tid = current_tid();
                         let full =
                             WayMask::full(shared.policy.llc.ways).expect("validated LLC way count");

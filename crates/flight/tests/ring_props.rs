@@ -1,0 +1,113 @@
+//! Property tests for the flight recorder's retention rings.
+//!
+//! The invariants here are the recorder's promises to `/timeline`
+//! consumers: sequences come back strictly increasing with no gaps
+//! inside the raw window, the two-tier merge never duplicates a
+//! sequence, downsampled points are exact window means, incremental
+//! `since` cursors lose nothing, and memory stays fixed no matter how
+//! many points flow through.
+
+use ccp_flight::{Downsample, Series, SeriesRing};
+use proptest::prelude::*;
+
+proptest! {
+    /// Everything still in the window reads back strictly increasing
+    /// and gap-free: exactly the last `min(n, cap)` sequences.
+    #[test]
+    fn raw_window_is_gap_free(cap in 1usize..40, n in 0u64..200) {
+        let r = SeriesRing::new(cap);
+        for seq in 1..=n {
+            r.push(seq, seq as f64 * 0.5);
+        }
+        let pts = r.since(0);
+        let expect_first = n.saturating_sub(cap as u64) + 1;
+        let seqs: Vec<u64> = pts.iter().map(|&(s, _)| s).collect();
+        let want: Vec<u64> = (expect_first..=n).collect();
+        prop_assert_eq!(seqs, want);
+        for (seq, v) in pts {
+            prop_assert_eq!(v, seq as f64 * 0.5);
+        }
+    }
+
+    /// An incremental reader that always passes its last seen sequence
+    /// misses nothing the window still holds, and never sees a
+    /// sequence twice.
+    #[test]
+    fn since_cursor_never_duplicates(cap in 2usize..20, batches in proptest::collection::vec(1u64..8, 1..20)) {
+        let r = SeriesRing::new(cap);
+        let mut cursor = 0u64;
+        let mut seq = 0u64;
+        let mut seen: Vec<u64> = Vec::new();
+        for batch in batches {
+            for _ in 0..batch {
+                seq += 1;
+                r.push(seq, seq as f64);
+            }
+            let pts = r.since(cursor);
+            for &(s, _) in &pts {
+                prop_assert!(s > cursor, "resurfaced sequence {}", s);
+                seen.push(s);
+            }
+            if let Some(&(last, _)) = pts.last() {
+                cursor = last;
+            }
+            // The reader keeping up within one window never misses: the
+            // batch was at most `cap`, so its tail is still resident.
+            prop_assert_eq!(cursor, seq);
+        }
+        let mut sorted = seen.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), seen.len(), "duplicate sequences surfaced");
+    }
+
+    /// Two-tier merge: strictly increasing, no sequence appears in both
+    /// tiers, raw values exact, history points are exact window means.
+    #[test]
+    fn two_tier_merge_is_consistent(
+        raw_cap in 1usize..16,
+        hist_cap in 1usize..16,
+        every in 1u64..6,
+        n in 0u64..120,
+    ) {
+        let s = Series::new(raw_cap, hist_cap, every);
+        let mut ds = Downsample::default();
+        let value = |seq: u64| (seq % 7) as f64 + 0.25;
+        for seq in 1..=n {
+            s.raw().push(seq, value(seq));
+            ds.record(&s, seq, value(seq));
+        }
+        let pts = s.points_since(0);
+        let seqs: Vec<u64> = pts.iter().map(|&(q, _)| q).collect();
+        prop_assert!(seqs.windows(2).all(|w| w[0] < w[1]), "not strictly increasing: {:?}", seqs);
+        let raw_first = n.saturating_sub(raw_cap as u64) + 1;
+        for (seq, v) in pts {
+            if seq >= raw_first && n > 0 {
+                // Raw tier: exact value.
+                prop_assert_eq!(v, value(seq));
+            } else {
+                // History tier: mean of its `every`-point window, which
+                // ends at `seq` by construction.
+                prop_assert_eq!(seq % every, 0);
+                let window: f64 = (seq - every + 1..=seq).map(value).sum();
+                prop_assert!((v - window / every as f64).abs() < 1e-9);
+            }
+        }
+    }
+
+    /// Point storage never grows past the construction-time bound, no
+    /// matter how many points flow through.
+    #[test]
+    fn memory_is_bounded_by_construction(raw_cap in 1usize..64, hist_cap in 1usize..64, n in 0u64..500) {
+        let s = Series::new(raw_cap, hist_cap, 4);
+        let bound = s.bytes();
+        let mut ds = Downsample::default();
+        for seq in 1..=n {
+            s.raw().push(seq, 1.0);
+            ds.record(&s, seq, 1.0);
+        }
+        prop_assert_eq!(s.bytes(), bound);
+        prop_assert!(s.points_since(0).len() <= raw_cap + hist_cap);
+        prop_assert_eq!(bound, (raw_cap + hist_cap) * 16);
+    }
+}

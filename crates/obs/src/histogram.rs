@@ -218,6 +218,31 @@ impl HistogramSnapshot {
         }
     }
 
+    /// The observations recorded in `self` but not yet in `prev`:
+    /// per-bucket saturating subtraction plus a clamped sum delta.
+    ///
+    /// This is the windowed view a periodic sampler needs — two
+    /// cumulative snapshots of the *same* histogram bracket an interval,
+    /// and the delta's [`quantile`](Self::quantile) describes only the
+    /// observations that landed inside it. Snapshots with a different
+    /// bucket layout (a histogram replaced under the same name) fall
+    /// back to `self` unchanged, treating everything as new.
+    pub fn delta_since(&self, prev: &HistogramSnapshot) -> HistogramSnapshot {
+        if self.bounds != prev.bounds || self.counts.len() != prev.counts.len() {
+            return self.clone();
+        }
+        HistogramSnapshot {
+            bounds: self.bounds.clone(),
+            counts: self
+                .counts
+                .iter()
+                .zip(&prev.counts)
+                .map(|(now, then)| now.saturating_sub(*then))
+                .collect(),
+            sum: (self.sum - prev.sum).max(0.0),
+        }
+    }
+
     /// Quantile estimate (`q` in `0..=1`) by linear interpolation inside
     /// the bucket holding the target rank. Returns 0 on an empty
     /// histogram; the overflow bucket reports its lower bound.
@@ -317,6 +342,112 @@ mod tests {
         let h = Histogram::latency();
         assert_eq!(h.quantile(0.99), 0.0);
         assert_eq!(h.snapshot().mean(), 0.0);
+    }
+
+    /// With `s` subdivisions per octave, a bucket spans at most a factor
+    /// of `(1 + 1/s)` in value, so a quantile estimate can be off by at
+    /// most that relative factor (plus rank granularity on small n).
+    fn assert_close(est: f64, truth: f64, subdivisions: u32, what: &str) {
+        let rel = 1.0 / f64::from(subdivisions);
+        assert!(
+            (est - truth).abs() <= rel * truth + f64::EPSILON,
+            "{what}: estimate {est} vs truth {truth} (allowed rel {rel})"
+        );
+    }
+
+    #[test]
+    fn quantiles_match_exponential_distribution() {
+        // Deterministic exponential stream via the inverse CDF:
+        // x_i = -mean * ln(1 - u_i) for u_i uniform on (0, 1).
+        let spec = BucketSpec {
+            min_exp: -10,
+            max_exp: 10,
+            subdivisions: 8,
+        };
+        let h = Histogram::new(spec);
+        let mean = 2.0;
+        let n = 20_000;
+        for i in 0..n {
+            let u = (i as f64 + 0.5) / n as f64;
+            h.observe(-mean * (1.0 - u).ln());
+        }
+        let s = h.snapshot();
+        // Exponential quantile function: Q(q) = -mean * ln(1 - q).
+        for q in [0.5f64, 0.9, 0.95, 0.99] {
+            let truth = -mean * (1.0 - q).ln();
+            assert_close(s.quantile(q), truth, spec.subdivisions, "exponential");
+        }
+    }
+
+    #[test]
+    fn quantiles_match_deterministic_uniform_stream() {
+        let spec = BucketSpec {
+            min_exp: -4,
+            max_exp: 12,
+            subdivisions: 8,
+        };
+        let h = Histogram::new(spec);
+        for i in 1..=10_000 {
+            h.observe(i as f64 / 10.0); // uniform on (0, 1000]
+        }
+        let s = h.snapshot();
+        for (q, truth) in [(0.25, 250.0), (0.5, 500.0), (0.75, 750.0), (0.99, 990.0)] {
+            assert_close(s.quantile(q), truth, spec.subdivisions, "uniform");
+        }
+        // Extremes stay inside the observed range.
+        assert!(s.quantile(0.0) >= 0.0);
+        assert!(s.quantile(1.0) <= 1000.0 * (1.0 + 1.0 / 8.0));
+    }
+
+    #[test]
+    fn delta_since_isolates_the_window() {
+        let spec = BucketSpec {
+            min_exp: -10,
+            max_exp: 10,
+            subdivisions: 8,
+        };
+        let h = Histogram::new(spec);
+        // Phase A: slow observations around 4.0.
+        for _ in 0..1000 {
+            h.observe(4.0);
+        }
+        let prev = h.snapshot();
+        // Phase B: fast observations around 0.25.
+        for _ in 0..1000 {
+            h.observe(0.25);
+        }
+        let delta = h.snapshot().delta_since(&prev);
+        assert_eq!(delta.count(), 1000);
+        assert!((delta.sum() - 250.0).abs() < 1e-6);
+        // The windowed p95 sees only phase B, not the slow history.
+        assert_close(delta.quantile(0.95), 0.25, spec.subdivisions, "delta p95");
+        // The cumulative snapshot still reflects both phases.
+        assert!(h.quantile(0.95) > 3.0);
+    }
+
+    #[test]
+    fn delta_since_empty_window_is_empty() {
+        let h = Histogram::latency();
+        h.observe(0.5);
+        let prev = h.snapshot();
+        let delta = h.snapshot().delta_since(&prev);
+        assert_eq!(delta.count(), 0);
+        assert_eq!(delta.sum(), 0.0);
+        assert_eq!(delta.quantile(0.95), 0.0);
+    }
+
+    #[test]
+    fn delta_since_layout_mismatch_falls_back_to_self() {
+        let a = Histogram::new(BucketSpec {
+            min_exp: 0,
+            max_exp: 3,
+            subdivisions: 2,
+        });
+        let b = Histogram::latency();
+        a.observe(1.0);
+        a.observe(2.0);
+        let delta = a.snapshot().delta_since(&b.snapshot());
+        assert_eq!(delta.count(), 2);
     }
 
     #[test]

@@ -53,5 +53,5 @@ mod timer;
 
 pub use histogram::{unit, BucketSpec, Histogram, HistogramSnapshot};
 pub use metrics::{Counter, Gauge};
-pub use registry::{Family, Labels, Registry};
+pub use registry::{Family, FamilySample, Labels, MetricSample, Registry};
 pub use timer::ScopedTimer;

@@ -11,7 +11,7 @@
 //! private counters) can be attached under a label set with
 //! [`Family::register`] — the registry then renders the live handle.
 
-use crate::histogram::{BucketSpec, Histogram};
+use crate::histogram::{BucketSpec, Histogram, HistogramSnapshot};
 use crate::metrics::{Counter, Gauge};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -114,6 +114,32 @@ enum AnyFamily {
     Counter(Family<Counter>),
     Gauge(Family<Gauge>),
     Histogram(Family<Histogram>),
+}
+
+/// One sampled metric value, as captured by [`Registry::sample_all`].
+///
+/// Counters keep their integer nature, gauges their float one, and
+/// histograms carry the full bucket snapshot so consumers can take
+/// windowed deltas ([`HistogramSnapshot::delta_since`]) and proper
+/// quantiles ([`HistogramSnapshot::quantile`]) instead of re-deriving
+/// them from rendered text.
+#[derive(Debug, Clone)]
+pub enum MetricSample {
+    /// A monotone counter's current value.
+    Counter(u64),
+    /// A gauge's point-in-time value.
+    Gauge(f64),
+    /// A histogram's full bucket snapshot.
+    Histogram(HistogramSnapshot),
+}
+
+/// All label sets of one family, sampled at one instant.
+#[derive(Debug, Clone)]
+pub struct FamilySample {
+    /// The metric family name.
+    pub name: String,
+    /// `(labels, value)` pairs, sorted by label set.
+    pub samples: Vec<(Labels, MetricSample)>,
 }
 
 impl AnyFamily {
@@ -219,6 +245,41 @@ impl Registry {
             },
             "histogram",
         )
+    }
+
+    /// Samples every family programmatically, in name order — the
+    /// machine-readable sibling of [`render_prometheus`]
+    /// (`Self::render_prometheus`). This is what a periodic recorder
+    /// (the `ccp-flight` ring TSDB) consumes: typed values instead of
+    /// text, with histogram snapshots intact for windowed quantiles.
+    pub fn sample_all(&self) -> Vec<FamilySample> {
+        let families: Vec<(String, AnyFamily)> = lock(&self.families)
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect();
+        families
+            .into_iter()
+            .map(|(name, fam)| {
+                let samples = match fam {
+                    AnyFamily::Counter(f) => f
+                        .collect()
+                        .into_iter()
+                        .map(|(l, c)| (l, MetricSample::Counter(c.get())))
+                        .collect(),
+                    AnyFamily::Gauge(f) => f
+                        .collect()
+                        .into_iter()
+                        .map(|(l, g)| (l, MetricSample::Gauge(g.get())))
+                        .collect(),
+                    AnyFamily::Histogram(f) => f
+                        .collect()
+                        .into_iter()
+                        .map(|(l, h)| (l, MetricSample::Histogram(h.snapshot())))
+                        .collect(),
+                };
+                FamilySample { name, samples }
+            })
+            .collect()
     }
 
     /// Renders every family in the Prometheus text exposition format
@@ -428,6 +489,35 @@ mod tests {
                 .bounds()
                 .len()
         );
+    }
+
+    #[test]
+    fn sample_all_returns_typed_values() {
+        let r = Registry::new();
+        r.counter_family("jobs_total", "J")
+            .get_or_create(&[("class", "polluting")])
+            .add(7);
+        r.gauge_family("depth", "D").get_or_create(&[]).set(3.5);
+        let h = r.histogram_family("lat_seconds", "L").get_or_create(&[]);
+        h.observe(0.01);
+        h.observe(0.02);
+        let samples = r.sample_all();
+        let names: Vec<&str> = samples.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, ["depth", "jobs_total", "lat_seconds"]);
+        match &samples[1].samples[0] {
+            (labels, MetricSample::Counter(7)) => {
+                assert_eq!(labels[0], ("class".to_string(), "polluting".to_string()));
+            }
+            other => panic!("unexpected counter sample: {other:?}"),
+        }
+        match &samples[0].samples[0].1 {
+            MetricSample::Gauge(v) => assert_eq!(*v, 3.5),
+            other => panic!("unexpected gauge sample: {other:?}"),
+        }
+        match &samples[2].samples[0].1 {
+            MetricSample::Histogram(snap) => assert_eq!(snap.count(), 2),
+            other => panic!("unexpected histogram sample: {other:?}"),
+        }
     }
 
     #[test]

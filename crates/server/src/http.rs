@@ -215,6 +215,7 @@ pub fn reason(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        409 => "Conflict",
         413 => "Payload Too Large",
         429 => "Too Many Requests",
         500 => "Internal Server Error",
@@ -244,6 +245,17 @@ impl Response {
         Response {
             status,
             content_type: "text/plain; charset=utf-8",
+            body: body.into(),
+            close: false,
+            retry_after_secs: None,
+        }
+    }
+
+    /// A `text/html` response (the self-contained dashboard).
+    pub fn html(status: u16, body: impl Into<Vec<u8>>) -> Self {
+        Response {
+            status,
+            content_type: "text/html; charset=utf-8",
             body: body.into(),
             close: false,
             retry_after_secs: None,
@@ -610,16 +622,25 @@ impl HttpClient {
         }
         // Peek at the first response byte before parsing, so "the server
         // closed or reset without responding at all" is distinguishable
-        // from a failure mid-response.
-        match reader.fill_buf() {
-            Ok([]) => Err((
+        // from a failure mid-response. `fill_buf` (unlike `read_until` /
+        // `read_exact`) surfaces EINTR, which profiling-signal delivery
+        // makes routine — retry it here.
+        let peeked = loop {
+            match reader.fill_buf() {
+                Ok(buf) => break Ok(buf.is_empty()),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => break Err(e),
+            }
+        };
+        match peeked {
+            Ok(true) => Err((
                 io::Error::new(
                     io::ErrorKind::UnexpectedEof,
                     "connection closed before any response byte",
                 ),
                 FailurePoint::NoResponse,
             )),
-            Ok(_) => read_client_response(reader).map_err(|e| (e, FailurePoint::MidExchange)),
+            Ok(false) => read_client_response(reader).map_err(|e| (e, FailurePoint::MidExchange)),
             Err(e)
                 if matches!(
                     e.kind(),

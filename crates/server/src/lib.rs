@@ -35,6 +35,7 @@
 #![deny(rustdoc::broken_intra_doc_links)]
 
 pub mod admission;
+pub mod dashboard;
 pub mod http;
 pub mod json;
 pub mod metrics;

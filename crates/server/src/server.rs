@@ -13,6 +13,10 @@
 //! | `/query` | POST | NDJSON workloads in, NDJSON outcomes out |
 //! | `/trace` | GET | Chrome trace-event JSON (`?clear=1` resets the rings) |
 //! | `/data/bump` | POST | bumps the data-version epoch, invalidating reuse entries |
+//! | `/timeline` | GET | flight-recorder series + events (`?since=seq`, `?series=prefix`) |
+//! | `/dashboard` | GET | self-contained HTML/SVG overlay of the timeline |
+//! | `/profile` | GET | SIGPROF sampling for `?seconds=N`, collapsed stacks out |
+//! | `/version` | GET | build provenance (version, git SHA, profile) |
 //!
 //! Shutdown is cooperative: a flag flips, a self-connection unblocks
 //! `accept`, the admission queue drains, and the handle joins every
@@ -30,6 +34,7 @@ use ccp_control::{
 use ccp_engine::{
     with_query_ctx, CacheAwareScheduler, CacheUsageClass, JobExecutor, QueryCtx, SchedulerMetrics,
 };
+use ccp_flight::{FlightHandle, FlightRecorder, RecorderConfig};
 use ccp_obs::Registry;
 use ccp_resctrl::{
     CacheController, OccupancyProbe, OccupancySampler, ReadingsHub, ResctrlMonitor, SimClass,
@@ -103,6 +108,11 @@ pub struct ServerConfig {
     /// Disables the reuse cache entirely (`--no-reuse`): every query
     /// reports `"reuse":"bypass"` and admission never predicts hits.
     pub no_reuse: bool,
+    /// Runs the flight recorder (`/timeline`, `/dashboard`); off with
+    /// `--no-flight`, e.g. for overhead A/B runs.
+    pub flight: bool,
+    /// Flight-recorder sampling interval (`--flight-interval-ms`).
+    pub flight_interval: Duration,
 }
 
 impl Default for ServerConfig {
@@ -130,6 +140,8 @@ impl Default for ServerConfig {
             occupancy_script: None,
             reuse_budget_mb: 64,
             no_reuse: false,
+            flight: true,
+            flight_interval: Duration::from_millis(250),
         }
     }
 }
@@ -206,6 +218,16 @@ struct Shared {
     sampler: Mutex<Option<OccupancySampler>>,
     /// Adaptive-control view for `/stats`; `None` in static mode.
     control: Option<Arc<ControlState>>,
+    /// Flight-recorder handle for `/timeline`, `/dashboard` and event
+    /// emission; `None` with `--no-flight`.
+    flight: Option<FlightHandle>,
+}
+
+/// Emits a flight-recorder event when the recorder is running.
+fn emit_event(shared: &Shared, kind: &'static str, detail: String) {
+    if let Some(flight) = &shared.flight {
+        flight.emit(kind, detail);
+    }
 }
 
 /// Stop handle for the background resctrl supervision thread: the loop
@@ -238,6 +260,7 @@ pub struct Server {
     accept: Option<std::thread::JoinHandle<()>>,
     supervise: Option<SupervisorHandle>,
     control: Option<SupervisorHandle>,
+    recorder: Option<FlightRecorder>,
 }
 
 impl Server {
@@ -250,6 +273,7 @@ impl Server {
             });
         }
         let registry = Registry::new();
+        register_build_info(&registry);
         let mut engine = if config.fake_resctrl {
             QueryEngine::with_fake_resctrl(
                 config.olap_workers,
@@ -312,6 +336,20 @@ impl Server {
             })
         });
 
+        // The recorder snapshots the registry *after* every family above
+        // is registered, so the first tick already carries the full set.
+        let recorder = if config.flight {
+            Some(FlightRecorder::spawn(
+                &registry,
+                RecorderConfig {
+                    interval: config.flight_interval,
+                    ..RecorderConfig::default()
+                },
+            )?)
+        } else {
+            None
+        };
+
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
         let shared = Arc::new(Shared {
@@ -325,6 +363,7 @@ impl Server {
             started: Instant::now(),
             sampler: Mutex::new(sampler),
             control: control_state,
+            flight: recorder.as_ref().map(FlightRecorder::handle),
         });
         let supervise = match shared.engine.resctrl_health() {
             Some(health) => {
@@ -333,7 +372,10 @@ impl Server {
                 let loop_stop = Arc::clone(&stop);
                 let thread = std::thread::Builder::new()
                     .name("ccp-supervise".to_string())
-                    .spawn(move || supervision_loop(&loop_shared, &health, &loop_stop))?;
+                    .spawn(move || {
+                        ccp_flight::register_current_thread();
+                        supervision_loop(&loop_shared, &health, &loop_stop)
+                    })?;
                 Some(SupervisorHandle {
                     stop,
                     thread: Some(thread),
@@ -349,7 +391,10 @@ impl Server {
                 let loop_stop = Arc::clone(&stop);
                 let thread = std::thread::Builder::new()
                     .name("ccp-control".to_string())
-                    .spawn(move || control_loop(&loop_shared, &hub, &loop_state, &loop_stop))?;
+                    .spawn(move || {
+                        ccp_flight::register_current_thread();
+                        control_loop(&loop_shared, &hub, &loop_state, &loop_stop)
+                    })?;
                 Some(SupervisorHandle {
                     stop,
                     thread: Some(thread),
@@ -360,13 +405,17 @@ impl Server {
         let accept_shared = Arc::clone(&shared);
         let accept = std::thread::Builder::new()
             .name("ccp-accept".to_string())
-            .spawn(move || accept_loop(listener, accept_shared))?;
+            .spawn(move || {
+                ccp_flight::register_current_thread();
+                accept_loop(listener, accept_shared)
+            })?;
         Ok(Server {
             shared,
             addr,
             accept: Some(accept),
             supervise,
             control,
+            recorder,
         })
     }
 
@@ -413,6 +462,11 @@ impl Server {
             .take()
         {
             sampler.stop();
+        }
+        // Recorder last among the background samplers, so the loops'
+        // final events still land in the timeline before it stops.
+        if let Some(mut recorder) = self.recorder.take() {
+            recorder.stop();
         }
         self.shared.admission.shutdown();
         // The accept loop blocks in `accept`; a throwaway self-connection
@@ -510,9 +564,19 @@ fn supervision_loop(
 ) {
     let mut published = crate::metrics::ResctrlHealthPublished::default();
     let mut degraded_seen = false;
+    let mut trips_seen = health.trips();
     shared.metrics.set_resctrl_degraded(false);
     loop {
         shared.metrics.sync_resctrl_health(health, &mut published);
+        let trips = health.trips();
+        if trips != trips_seen {
+            emit_event(
+                shared,
+                "breaker_trip",
+                format!("circuit breaker trips: {trips_seen} -> {trips}"),
+            );
+            trips_seen = trips;
+        }
         let degraded = health.is_degraded();
         if degraded != degraded_seen {
             degraded_seen = degraded;
@@ -528,6 +592,19 @@ fn supervision_loop(
                     "resctrl_restored"
                 },
             );
+            if degraded {
+                emit_event(
+                    shared,
+                    "degraded",
+                    "resctrl breaker open; partitioning off".into(),
+                );
+            } else {
+                emit_event(
+                    shared,
+                    "restored",
+                    "resctrl healed; partitioning back on".into(),
+                );
+            }
         }
         if degraded && shared.engine.reprobe_resctrl() {
             // Healed: loop straight back so the restore (gauge, trace,
@@ -561,6 +638,16 @@ fn static_mask_plan(engine: &QueryEngine) -> MaskPlan {
             hot_bytes: policy.llc.size_bytes,
         }),
         policy.mask_for(CacheUsageClass::Sensitive),
+    )
+}
+
+/// Human-readable way-count summary of a mask plan, for event details.
+fn plan_detail(plan: &MaskPlan) -> String {
+    format!(
+        "ways polluting={} mixed={} sensitive={}",
+        plan.polluting.way_count(),
+        plan.mixed.way_count(),
+        plan.sensitive.way_count()
     )
 }
 
@@ -605,6 +692,7 @@ fn control_loop(
     let mut controller = Controller::new(cfg, static_mask_plan(&shared.engine));
     let mut published = ControlPublished::default();
     let live = shared.engine.live_masks();
+    let mut last_emitted = "";
     loop {
         let (seq, samples) = hub.snapshot();
         let readings: Vec<ClassReading> = samples
@@ -631,17 +719,33 @@ fn control_loop(
                 if apply_plan(shared, &plan).is_ok() {
                     live.set_masks(plan.polluting, plan.mixed, plan.sensitive);
                     ccp_trace::instant(TraceCat::Bind, "control_repartition");
+                    emit_event(shared, "repartition", plan_detail(&plan));
                 } else {
                     let fallback = controller.note_apply_failed();
                     live.set_masks(fallback.polluting, fallback.mixed, fallback.sensitive);
                     ccp_trace::instant(TraceCat::Bind, "control_revert");
+                    emit_event(
+                        shared,
+                        "revert",
+                        format!("apply failed; back to {}", plan_detail(&fallback)),
+                    );
                 }
+                last_emitted = "repartition";
             }
             Decision::Revert { plan, .. } => {
                 live.set_masks(plan.polluting, plan.mixed, plan.sensitive);
                 ccp_trace::instant(TraceCat::Bind, "control_revert");
+                emit_event(shared, "revert", plan_detail(&plan));
+                last_emitted = "revert";
             }
-            Decision::Hold(_) => {}
+            Decision::Hold(_) => {
+                // One event per run of holds, not one per tick: the
+                // interesting moment is the *transition* to holding.
+                if last_emitted != "hold" {
+                    emit_event(shared, "hold", "controller holding current plan".into());
+                    last_emitted = "hold";
+                }
+            }
         }
         shared
             .metrics
@@ -779,10 +883,18 @@ fn route(shared: &Shared, req: &Request) -> (&'static str, Response) {
         ),
         ("GET", "/stats") => ("/stats", Response::json(200, &stats_json(shared))),
         ("GET", "/trace") => ("/trace", handle_trace(req)),
+        ("GET", "/timeline") => ("/timeline", handle_timeline(shared, req)),
+        ("GET", "/dashboard") => ("/dashboard", handle_dashboard(shared)),
+        ("GET", "/profile") => ("/profile", handle_profile(req)),
+        ("GET", "/version") => ("/version", Response::json(200, &build_info_json())),
         ("POST", "/query") => ("/query", handle_query(shared, req)),
         ("POST", "/data/bump") => ("/data/bump", handle_data_bump(shared)),
         ("GET" | "HEAD", _) => ("other", not_found()),
-        (_, "/metrics" | "/healthz" | "/stats" | "/query" | "/trace" | "/data/bump") => (
+        (
+            _,
+            "/metrics" | "/healthz" | "/stats" | "/query" | "/trace" | "/data/bump" | "/timeline"
+            | "/dashboard" | "/profile" | "/version",
+        ) => (
             "other",
             Response::json(
                 405,
@@ -843,6 +955,163 @@ fn handle_trace(req: &Request) -> Response {
     Response::json_text(200, snap.to_chrome_json())
 }
 
+/// Version string baked in at compile time.
+const BUILD_VERSION: &str = env!("CARGO_PKG_VERSION");
+/// Short git SHA captured by `build.rs` ("unknown" outside a checkout).
+const BUILD_GIT_SHA: &str = env!("CCP_GIT_SHA");
+/// Cargo profile the binary was built under.
+const BUILD_PROFILE: &str = env!("CCP_BUILD_PROFILE");
+
+/// Registers the `ccp_build_info` gauge: constant 1 with the build
+/// provenance in the labels, the Prometheus idiom for metadata.
+fn register_build_info(registry: &Registry) {
+    registry
+        .gauge_family(
+            "ccp_build_info",
+            "Build provenance; the value is always 1, the labels carry version, git SHA and \
+             cargo profile",
+        )
+        .get_or_create(&[
+            ("version", BUILD_VERSION),
+            ("git_sha", BUILD_GIT_SHA),
+            ("profile", BUILD_PROFILE),
+        ])
+        .set(1.0);
+}
+
+/// `GET /version` body; bench reports embed it so every number is
+/// traceable to the build that produced it.
+fn build_info_json() -> Json {
+    Json::obj(vec![
+        ("version", Json::str(BUILD_VERSION)),
+        ("git_sha", Json::str(BUILD_GIT_SHA)),
+        ("profile", Json::str(BUILD_PROFILE)),
+    ])
+}
+
+/// `GET /timeline`: the flight recorder's retained series and events.
+/// `?since=seq` returns only points/events newer than `seq` (incremental
+/// pulls); `?series=prefix` filters series by name prefix.
+fn handle_timeline(shared: &Shared, req: &Request) -> Response {
+    let Some(flight) = &shared.flight else {
+        return Response::json(
+            404,
+            &Json::obj(vec![(
+                "error",
+                Json::str("flight recorder disabled (--no-flight)"),
+            )]),
+        );
+    };
+    let since = match query_param(req, "since") {
+        Some(raw) => match raw.parse::<u64>() {
+            Ok(n) => n,
+            Err(_) => {
+                return Response::json(
+                    400,
+                    &Json::obj(vec![(
+                        "error",
+                        Json::str("since must be an unsigned integer"),
+                    )]),
+                );
+            }
+        },
+        None => 0,
+    };
+    let timeline = flight.timeline(since, query_param(req, "series"));
+    Response::json(200, &timeline_json(&timeline))
+}
+
+fn timeline_json(tl: &ccp_flight::Timeline) -> Json {
+    let series = Json::Obj(
+        tl.series
+            .iter()
+            .map(|(name, pts)| {
+                (
+                    name.clone(),
+                    Json::Arr(
+                        pts.iter()
+                            .map(|&(seq, v)| Json::Arr(vec![Json::num(seq as f64), Json::num(v)]))
+                            .collect(),
+                    ),
+                )
+            })
+            .collect(),
+    );
+    let events = Json::Arr(
+        tl.events
+            .iter()
+            .map(|e| {
+                Json::obj(vec![
+                    ("seq", Json::num(e.seq as f64)),
+                    ("t_ms", Json::num(e.t_ms as f64)),
+                    ("kind", Json::str(e.kind)),
+                    ("detail", Json::str(&e.detail)),
+                ])
+            })
+            .collect(),
+    );
+    Json::obj(vec![
+        ("tick", Json::num(tl.tick as f64)),
+        ("interval_ms", Json::num(tl.interval_ms as f64)),
+        ("now_ms", Json::num(tl.now_ms as f64)),
+        ("started_unix_ms", Json::num(tl.started_unix_ms as f64)),
+        ("dropped_series", Json::num(tl.dropped_series as f64)),
+        ("dropped_events", Json::num(tl.dropped_events as f64)),
+        ("events", events),
+        ("series", series),
+    ])
+}
+
+/// `GET /dashboard`: the timeline rendered as one self-contained HTML
+/// page (inline SVG, zero external assets — it must work from an
+/// air-gapped artifact store).
+fn handle_dashboard(shared: &Shared) -> Response {
+    let Some(flight) = &shared.flight else {
+        return Response::json(
+            404,
+            &Json::obj(vec![(
+                "error",
+                Json::str("flight recorder disabled (--no-flight)"),
+            )]),
+        );
+    };
+    let timeline = flight.timeline(0, None);
+    Response::html(200, crate::dashboard::render(&timeline))
+}
+
+/// `GET /profile?seconds=N` (default 2, cap 30): runs one SIGPROF
+/// sampling window over every registered thread and returns collapsed
+/// stacks (`thread;root;…;leaf count`), ready for `flamegraph.pl`.
+/// Concurrent sessions get `409`.
+fn handle_profile(req: &Request) -> Response {
+    let seconds = match query_param(req, "seconds") {
+        Some(raw) => match raw.parse::<u64>() {
+            Ok(n) if (1..=30).contains(&n) => n,
+            _ => {
+                return Response::json(
+                    400,
+                    &Json::obj(vec![(
+                        "error",
+                        Json::str("seconds must be an integer in 1..=30"),
+                    )]),
+                );
+            }
+        },
+        None => 2,
+    };
+    match ccp_flight::profile(Duration::from_secs(seconds)) {
+        Ok(report) => Response::text(200, report.collapsed),
+        Err(ccp_flight::ProfileError::Busy) => Response::json(
+            409,
+            &Json::obj(vec![(
+                "error",
+                Json::str("a profiling session is already running"),
+            )]),
+        ),
+        Err(err) => Response::json(500, &Json::obj(vec![("error", Json::str(err.to_string()))])),
+    }
+}
+
 fn not_found() -> Response {
     let endpoints = Json::Arr(
         [
@@ -852,6 +1121,10 @@ fn not_found() -> Response {
             "/query",
             "/trace",
             "/data/bump",
+            "/timeline",
+            "/dashboard",
+            "/profile",
+            "/version",
         ]
         .iter()
         .map(|e| Json::str(*e))
@@ -874,6 +1147,7 @@ fn handle_data_bump(shared: &Shared) -> Response {
     match shared.engine.reuse_cache() {
         Some(cache) => {
             let version = cache.bump_version();
+            emit_event(shared, "epoch_bump", format!("data version -> {version}"));
             Response::json(
                 200,
                 &Json::obj(vec![
@@ -1320,6 +1594,7 @@ impl ScrapeServer {
             started: Instant::now(),
             sampler: Mutex::new(None),
             control: None,
+            flight: None,
         });
         let accept_shared = Arc::clone(&shared);
         let accept = std::thread::Builder::new()
@@ -1332,6 +1607,7 @@ impl ScrapeServer {
                 accept: Some(accept),
                 supervise: None,
                 control: None,
+                recorder: None,
             },
         })
     }

@@ -1,0 +1,25 @@
+// Seeded `signal-safe` violations: the path of this fixture mirrors
+// `crates/flight/src`, the scope where every `extern "C" fn` is held to
+// async-signal-safety. Never compiled.
+
+// Violation: no `// ASYNC-SIGNAL-SAFE:` annotation on the handler.
+extern "C" fn on_signal_unannotated(sig: i32) {
+    record(sig);
+}
+
+// ASYNC-SIGNAL-SAFE: it is not — the body allocates and locks, and the
+// lint must catch each token.
+extern "C" fn on_signal_allocating(sig: i32) {
+    // Violation: format! allocates.
+    let msg = format!("caught {sig}");
+    // Violation: .lock( can deadlock against the interrupted thread.
+    let guard = SAMPLES.lock();
+    // Violation: .unwrap() can panic in signal context.
+    guard.push(msg).unwrap();
+}
+
+fn after_the_handler_normal_code_is_fine() {
+    // Same tokens outside a handler body are out of the rule's scope.
+    let ok = format!("not a signal context");
+    drop(ok);
+}

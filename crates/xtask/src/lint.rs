@@ -1,6 +1,6 @@
 //! The workspace lint rules.
 //!
-//! Five concurrency-hygiene checks over the scanner's per-line
+//! Six concurrency-hygiene checks over the scanner's per-line
 //! code/comment streams (see `scan.rs`); `#[cfg(test)] mod` regions and
 //! `tests/` / `benches/` trees are exempt. Findings are machine-readable
 //! (`--format json`) and any finding fails the run — the rules encode
@@ -21,6 +21,11 @@
 //! * `contiguous-mask` — every literal way-mask (`WayMask::new(0x…)` or
 //!   a `const …MASK… = 0x…`) is non-empty and contiguous, the CAT
 //!   hardware constraint `schemata` writes must satisfy.
+//! * `signal-safe` — every `extern "C" fn` in `crates/flight/src` (the
+//!   SIGPROF handler and anything shaped like one) carries an
+//!   `// ASYNC-SIGNAL-SAFE:` comment, and its body is free of tokens
+//!   that allocate, lock or panic (`format!`, `Box::new`, `.lock(`,
+//!   `.unwrap()`, …) — none of which are async-signal-safe.
 
 use crate::scan::{scan, FileScan};
 use std::fmt;
@@ -159,6 +164,93 @@ fn mask_is_contiguous(bits: u64) -> bool {
     shifted & (shifted + 1) == 0
 }
 
+/// Tokens forbidden inside a signal-handler body: each one allocates,
+/// takes a lock, or can panic — all undefined behaviour (or a deadlock
+/// waiting to happen) when the interrupted thread holds the allocator
+/// or a mutex the handler then re-enters.
+const SIGNAL_UNSAFE_TOKENS: &[&str] = &[
+    "format!",
+    "println!",
+    "eprintln!",
+    "panic!",
+    "String::",
+    ".to_string(",
+    "Vec::",
+    "vec!",
+    "Box::new",
+    ".lock(",
+    ".unwrap()",
+    ".expect(\"",
+    "Mutex",
+    "RwLock",
+];
+
+/// The `signal-safe` rule: every `extern "C" fn` in the flight crate
+/// must be annotated `// ASYNC-SIGNAL-SAFE:` (stating the argument for
+/// why every operation in it is safe in signal context), and its body —
+/// tracked by brace depth from the signature to the matching close —
+/// must not contain any [`SIGNAL_UNSAFE_TOKENS`].
+fn signal_safe_findings(path: &str, scan_result: &FileScan) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let mut line = 0;
+    while line < scan_result.lines() {
+        let code = &scan_result.code[line];
+        // The scanner blanks string contents, so `extern "C" fn` (or any
+        // other ABI string) appears as `extern "" fn` in the code stream.
+        if scan_result.in_test[line] || !code.contains("extern \"\" fn") {
+            line += 1;
+            continue;
+        }
+        if !annotated(scan_result, line, "ASYNC-SIGNAL-SAFE:") {
+            findings.push(Finding {
+                rule: "signal-safe",
+                file: path.to_string(),
+                line: line + 1,
+                message: "`extern \"C\" fn` without an `// ASYNC-SIGNAL-SAFE:` comment arguing \
+                          every operation is legal in signal context"
+                    .into(),
+            });
+        }
+        // Walk the handler body: from the signature line to the brace
+        // that closes it, every line is signal context.
+        let mut depth = 0usize;
+        let mut entered = false;
+        let mut l = line;
+        while l < scan_result.lines() {
+            let body = &scan_result.code[l];
+            for tok in SIGNAL_UNSAFE_TOKENS {
+                if body.contains(tok) {
+                    findings.push(Finding {
+                        rule: "signal-safe",
+                        file: path.to_string(),
+                        line: l + 1,
+                        message: format!(
+                            "`{tok}` inside a signal handler — allocation, locking and \
+                             panicking are not async-signal-safe"
+                        ),
+                    });
+                }
+            }
+            for ch in body.chars() {
+                match ch {
+                    '{' => {
+                        depth += 1;
+                        entered = true;
+                    }
+                    '}' => depth = depth.saturating_sub(1),
+                    _ => {}
+                }
+            }
+            if entered && depth == 0 {
+                break;
+            }
+            l += 1;
+        }
+        line = l + 1;
+    }
+    findings
+}
+
 /// Runs every rule over one scanned file. `path` decides rule scope.
 pub fn lint_file(path: &str, scan_result: &FileScan) -> Vec<Finding> {
     let mut findings = Vec::new();
@@ -167,6 +259,9 @@ pub fn lint_file(path: &str, scan_result: &FileScan) -> Vec<Finding> {
     // inherits the same no-panic discipline.
     let in_server_src = norm.contains("crates/server/src") || norm.contains("crates/reuse/src");
     let in_engine_src = norm.contains("crates/engine/src");
+    if norm.contains("crates/flight/src") {
+        findings.extend(signal_safe_findings(path, scan_result));
+    }
     let finding = |rule, line, message: String| Finding {
         rule,
         file: path.to_string(),
@@ -439,6 +534,42 @@ mod tests {
     }
 
     #[test]
+    fn unannotated_signal_handler_is_flagged_in_flight_src_only() {
+        let src = "extern \"C\" fn on_sig(sig: i32) {\n    count(sig);\n}\n";
+        let f = lint_src("crates/flight/src/profiler.rs", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "signal-safe");
+        assert!(f[0].message.contains("ASYNC-SIGNAL-SAFE"));
+        // The rule is scoped: the same code elsewhere is fine.
+        assert!(lint_src("crates/engine/src/a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn annotated_clean_handler_passes() {
+        let src = "// ASYNC-SIGNAL-SAFE: only atomic stores and TLS reads.\n\
+                   extern \"C\" fn on_sig(sig: i32) {\n    HITS.fetch_add(1, SeqCst);\n}\n";
+        let f = lint_src("crates/flight/src/profiler.rs", src);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn allocation_inside_handler_body_is_flagged() {
+        let src = "// ASYNC-SIGNAL-SAFE: it is not, and the lint must say so.\n\
+                   extern \"C\" fn on_sig(sig: i32) {\n\
+                   \x20   let msg = format!(\"sig {sig}\");\n\
+                   \x20   QUEUE.lock(msg);\n\
+                   }\n\
+                   fn after() { let ok = format!(\"outside\"); }\n";
+        let f = lint_src("crates/flight/src/profiler.rs", src);
+        // format! and .lock( inside the body fire; the format! *after*
+        // the closing brace does not.
+        assert_eq!(f.len(), 2, "{f:?}");
+        assert!(f.iter().all(|v| v.rule == "signal-safe"));
+        assert_eq!(f[0].line, 3);
+        assert_eq!(f[1].line, 4);
+    }
+
+    #[test]
     fn test_regions_are_exempt() {
         let src =
             "#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); y.load(Ordering::Relaxed); }\n}\n";
@@ -477,6 +608,7 @@ mod tests {
             "server-no-panic",
             "engine-no-sleep",
             "contiguous-mask",
+            "signal-safe",
         ] {
             assert!(
                 rules.contains(&rule),

@@ -43,6 +43,10 @@ ccp_cleanup() {
       cp "${CCP_SERVER_LOGS[$i]}" "$CCP_SMOKE_ARTIFACTS/${name}.log" 2>/dev/null || true
       ccp_scrape "${CCP_SERVER_ADDRS[$i]}" /metrics \
         "$CCP_SMOKE_ARTIFACTS/${name}.metrics.txt" 2>/dev/null || true
+      # The flight recorder's black box: what every series and control
+      # event looked like in the run-up to the failure.
+      ccp_scrape "${CCP_SERVER_ADDRS[$i]}" /timeline \
+        "$CCP_SMOKE_ARTIFACTS/${name}.timeline.json" 2>/dev/null || true
     done
   fi
   local pid

@@ -94,7 +94,9 @@ fn print_help() {
          --monitor-interval-ms N  occupancy sampler period (default 250)\n  \
          --occupancy-script SPEC  scripted occupancy trace for CI, e.g. 'sensitive:0.95x6,0.12;polluting:0.08'\n  \
          --reuse-budget-mb N  reuse-cache byte budget in MiB (default 64)\n  \
-         --no-reuse         disable the artifact reuse cache (every query reports reuse=bypass)\n\n\
+         --no-reuse         disable the artifact reuse cache (every query reports reuse=bypass)\n  \
+         --no-flight        disable the flight recorder (/timeline and /dashboard return 404)\n  \
+         --flight-interval-ms N  flight recorder snapshot period (default 250)\n\n\
          BENCH-SERVE FLAGS:\n\
          --addr HOST:PORT   server to drive     (default 127.0.0.1:9090)\n  \
          --qps N            target request rate (default 50)\n  \
@@ -103,7 +105,8 @@ fn print_help() {
          --workload KIND    q1|q2|oltp|mix      (default mix)\n  \
          --max-error-pct N  exit non-zero above this error rate (default 5)\n  \
          --ab-addr HOST:PORT  second server for an A/B run (phase A on --addr, phase B here)\n  \
-         --json-out FILE    write the phase summaries as JSON\n\n\
+         --json-out FILE    write the phase summaries as JSON (includes the server's build info)\n  \
+         --timeline-out FILE  save the server's /timeline after the run (flight-recorder black box)\n\n\
          The full experiment suite lives in `cargo bench -p ccp-bench`."
     );
 }
@@ -278,6 +281,11 @@ fn parse_serve_config(args: &[String]) -> Result<(ServerConfig, Option<String>),
                 config.reuse_budget_mb = parse_count(&value_of("--reuse-budget-mb")?)?
             }
             "--no-reuse" => config.no_reuse = true,
+            "--no-flight" => config.flight = false,
+            "--flight-interval-ms" => {
+                let ms = parse_count(&value_of("--flight-interval-ms")?)? as u64;
+                config.flight_interval = Duration::from_millis(ms);
+            }
             other => {
                 return Err(format!(
                     "unknown serve flag {other:?} (see `ccp help` for the flag list)"
@@ -339,7 +347,10 @@ fn serve(args: &[String]) -> ExitCode {
             "no-op allocator (no CAT on this host)"
         }
     );
-    println!("  endpoints: /metrics /healthz /stats /trace POST /query POST /data/bump");
+    println!(
+        "  endpoints: /metrics /healthz /stats /trace /timeline /dashboard /profile /version \
+         POST /query POST /data/bump"
+    );
     if let Some(plan) = ccp_fault::active_plan() {
         println!("  fault plan: {plan}");
     }
@@ -365,6 +376,9 @@ struct BenchConfig {
     ab_addr: Option<String>,
     /// Write the phase summaries as JSON to this file.
     json_out: Option<String>,
+    /// Save the driven server's `/timeline` here after the run (the
+    /// phase-B server in an A/B run — the one whose story matters).
+    timeline_out: Option<String>,
 }
 
 fn parse_bench_config(args: &[String]) -> Result<BenchConfig, String> {
@@ -377,6 +391,7 @@ fn parse_bench_config(args: &[String]) -> Result<BenchConfig, String> {
         max_error_pct: 5,
         ab_addr: None,
         json_out: None,
+        timeline_out: None,
     };
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -406,6 +421,7 @@ fn parse_bench_config(args: &[String]) -> Result<BenchConfig, String> {
             }
             "--ab-addr" => config.ab_addr = Some(value_of("--ab-addr")?),
             "--json-out" => config.json_out = Some(value_of("--json-out")?),
+            "--timeline-out" => config.timeline_out = Some(value_of("--timeline-out")?),
             other => {
                 return Err(format!(
                     "unknown bench-serve flag {other:?} (see `ccp help`)"
@@ -728,6 +744,23 @@ fn run_phase(label: &str, addr_str: &str, config: &BenchConfig) -> Result<PhaseS
     })
 }
 
+/// Resolves `host:port` for the ad-hoc fetches around a bench run.
+fn resolve_bench_addr(addr_str: &str) -> Option<std::net::SocketAddr> {
+    std::net::ToSocketAddrs::to_socket_addrs(&addr_str)
+        .ok()
+        .and_then(|mut addrs| addrs.next())
+}
+
+/// The driven server's `GET /version` build info, so a saved bench
+/// report names the exact build that produced its numbers.
+fn server_build_info(addr_str: &str) -> Option<Json> {
+    let addr = resolve_bench_addr(addr_str)?;
+    let resp = fetch(addr, "GET", "/version", None).ok()?;
+    (resp.status == 200)
+        .then(|| Json::parse(&resp.body).ok())
+        .flatten()
+}
+
 /// `bench-serve`: one load phase against `--addr`, or an A/B comparison
 /// (`--ab-addr`) that drives a second — typically `--adaptive` — server
 /// with the identical schedule and reports the p95 ratio between them.
@@ -775,6 +808,7 @@ fn bench_serve(args: &[String]) -> ExitCode {
         }
     }
 
+    let build = server_build_info(&config.addr).unwrap_or(Json::Null);
     let report = match &second {
         Some(adaptive) => {
             let p95_ratio = if first.total[1] == 0 {
@@ -788,6 +822,7 @@ fn bench_serve(args: &[String]) -> ExitCode {
             );
             Json::obj(vec![
                 ("mode", Json::str("ab")),
+                ("build", build),
                 ("static", first.to_json()),
                 ("adaptive", adaptive.to_json()),
                 ("p95_ratio", Json::num(p95_ratio)),
@@ -795,6 +830,7 @@ fn bench_serve(args: &[String]) -> ExitCode {
         }
         None => Json::obj(vec![
             ("mode", Json::str("single")),
+            ("build", build),
             ("bench", first.to_json()),
         ]),
     };
@@ -802,6 +838,26 @@ fn bench_serve(args: &[String]) -> ExitCode {
         if let Err(e) = std::fs::write(path, format!("{report}\n")) {
             eprintln!("cannot write {path}: {e}");
             failed = true;
+        }
+    }
+    // Save the flight recorder's story of the run — the phase-B server
+    // in an A/B comparison (the adaptive one), else the only server.
+    if let Some(path) = &config.timeline_out {
+        let target = config.ab_addr.as_deref().unwrap_or(&config.addr);
+        let timeline = resolve_bench_addr(target)
+            .and_then(|addr| fetch(addr, "GET", "/timeline", None).ok())
+            .filter(|resp| resp.status == 200);
+        match timeline {
+            Some(resp) => {
+                if let Err(e) = std::fs::write(path, format!("{}\n", resp.body)) {
+                    eprintln!("cannot write {path}: {e}");
+                    failed = true;
+                }
+            }
+            None => {
+                eprintln!("cannot save timeline: {target} did not serve /timeline (--no-flight?)");
+                failed = true;
+            }
         }
     }
     if failed {
