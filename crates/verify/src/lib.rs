@@ -31,9 +31,17 @@
 //! choosing which actor advances next. Choices come from either
 //!
 //! * [`Mode::Exhaustive`] — a depth-first enumeration of every schedule
-//!   (bounded by `max_schedules`), or
+//!   (bounded by `max_schedules`),
 //! * [`Mode::Random`] — seeded pseudo-random schedules (SplitMix64), for
-//!   state spaces too large to exhaust.
+//!   state spaces too large to exhaust, or
+//! * [`Mode::Dpor`] — dynamic partial-order reduction (sleep sets +
+//!   Flanagan–Godefroid backtrack sets over the dependency relation
+//!   declared by [`Actor::then_accessing`] access annotations): visits
+//!   at least one representative schedule per Mazurkiewicz trace
+//!   instead of every interleaving, and reports how much it pruned
+//!   ([`Report::reduction_ratio`]). Optional state fingerprinting
+//!   ([`explore_with_fingerprint`] / [`explore_hashed`]) additionally
+//!   prunes converged states.
 //!
 //! Every run is **deterministic and replayable**: a failing schedule is
 //! reported as the exact sequence of actor indices that produced it, and
@@ -89,8 +97,14 @@
 #![deny(rustdoc::broken_intra_doc_links)]
 #![forbid(unsafe_code)]
 
+mod dpor;
 mod explore;
 mod rng;
+mod stats;
 
-pub use explore::{explore, replay, Actor, Mode, Report, Violation};
+pub use explore::{
+    explore, explore_hashed, explore_with_fingerprint, replay, Access, Actor, Mode, Report,
+    Violation,
+};
 pub use rng::SplitMix64;
+pub use stats::{budget, deep, emit_stats};

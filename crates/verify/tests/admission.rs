@@ -12,9 +12,9 @@
 use ccp_engine::{CacheAwareScheduler, CacheUsageClass, PartitionPolicy, SchedulerMetrics};
 use ccp_obs::Registry;
 use ccp_server::{AdmissionError, AdmissionQueue, RunPermit, ServerMetrics};
-use ccp_verify::{explore, Actor, Mode};
+use ccp_verify::{explore, Access, Actor, Mode};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 const MODE: Mode = Mode::Exhaustive {
     max_schedules: 200_000,
@@ -124,10 +124,15 @@ fn final_invariants(s: &mut QueueModel) -> Result<(), String> {
     Ok(())
 }
 
-/// Two sensitive queries, one polluter, two releases — every order. The
-/// scheduler must serialize the sensitive pair, the polluter may co-run
-/// with either, and ticket/occupancy accounting must balance in all 2 520
-/// interleavings.
+/// Two sensitive queries, one polluter, one mixed-class FK join, two
+/// releases — every order (360 interleavings). The scheduler must
+/// serialize the sensitive pair, the polluter and the mixed query may
+/// co-run with either, and ticket/occupancy accounting must balance.
+///
+/// Every step is an RMW on the one shared queue (annotated as such):
+/// there is no independence to reduce, and the per-step checks read the
+/// queue's global occupancy — the omniscient-observer shape that needs
+/// [`Mode::Exhaustive`], per DESIGN.md §8.
 #[test]
 fn tickets_conserved_and_sensitives_serialized_under_all_interleavings() {
     const SLOTS: usize = 2;
@@ -144,32 +149,50 @@ fn tickets_conserved_and_sensitives_serialized_under_all_interleavings() {
             CacheUsageClass::Sensitive,
             CacheUsageClass::Sensitive,
             CacheUsageClass::Polluting,
+            // The paper's third class: an FK join whose bit vector is
+            // big enough to matter but not to classify as sensitive.
+            CacheUsageClass::Mixed { hot_bytes: 1 << 20 },
         ];
         let mut actors: Vec<Actor<QueueModel>> = classes
             .iter()
             .enumerate()
             .map(|(i, &cuid)| {
-                Actor::new(format!("query-{i}")).then(move |s: &mut QueueModel| {
-                    s.try_acquire(cuid);
-                })
+                Actor::new(format!("query-{i}")).then_accessing(
+                    move |s: &mut QueueModel| {
+                        s.try_acquire(cuid);
+                    },
+                    &[Access::AcqRel("queue")],
+                )
             })
             .collect();
         // Two releases of the oldest held permit, schedulable anywhere —
         // including before anything was granted (then they no-op).
         let mut releaser = Actor::new("releaser");
         for _ in 0..2 {
-            releaser = releaser.then(|s: &mut QueueModel| {
-                if !s.held.is_empty() {
-                    s.held.remove(0);
-                }
-            });
+            releaser = releaser.then_accessing(
+                |s: &mut QueueModel| {
+                    if !s.held.is_empty() {
+                        s.held.remove(0);
+                    }
+                },
+                &[Access::Write("queue")],
+            );
         }
         actors.push(releaser);
         (state, actors)
     };
+    let start = Instant::now();
     let report = explore(MODE, build, step_invariants(SLOTS), final_invariants)
         .expect("admission invariants must hold on every schedule");
-    assert!(report.exhausted, "5-step space must be fully covered");
+    ccp_verify::emit_stats(
+        "admission/four_classes",
+        "exhaustive",
+        &report,
+        start.elapsed(),
+    );
+    assert!(report.exhausted, "6-step space must be fully covered");
+    // 4 single-step queries + 2 releaser steps: 6!/2! = 360.
+    assert_eq!(report.schedules, 360);
 }
 
 /// With zero waiting capacity every acquire that cannot run immediately
@@ -189,16 +212,22 @@ fn zero_capacity_queue_rejects_without_consuming_tickets() {
         };
         let mut actors: Vec<Actor<QueueModel>> = (0..3)
             .map(|i| {
-                Actor::new(format!("query-{i}")).then(|s: &mut QueueModel| {
-                    s.try_acquire(CacheUsageClass::Polluting);
-                })
+                Actor::new(format!("query-{i}")).then_accessing(
+                    |s: &mut QueueModel| {
+                        s.try_acquire(CacheUsageClass::Polluting);
+                    },
+                    &[Access::AcqRel("queue")],
+                )
             })
             .collect();
-        actors.push(Actor::new("releaser").then(|s: &mut QueueModel| {
-            if !s.held.is_empty() {
-                s.held.remove(0);
-            }
-        }));
+        actors.push(Actor::new("releaser").then_accessing(
+            |s: &mut QueueModel| {
+                if !s.held.is_empty() {
+                    s.held.remove(0);
+                }
+            },
+            &[Access::Write("queue")],
+        ));
         (state, actors)
     };
     let report = explore(MODE, build, step_invariants(SLOTS), |s: &mut QueueModel| {

@@ -13,8 +13,9 @@
 use ccp_cachesim::{HierarchyConfig, WayMask};
 use ccp_control::{derive_masks, ClassTargets, MaskPlan};
 use ccp_engine::{CacheUsageClass, LiveMasks, PartitionPolicy};
-use ccp_verify::{explore, Actor, Mode};
+use ccp_verify::{explore, Access, Actor, Mode};
 use std::sync::Arc;
+use std::time::Instant;
 
 const WAYS: u32 = 20;
 
@@ -110,33 +111,44 @@ fn build(
 
         let mut controller = Actor::new("controller");
         for idx in 0..3 {
-            controller = controller.then(move |s: &mut ControlModel| {
-                if s.reverted {
-                    return; // gave up earlier; remaining applies are no-ops
-                }
-                if s.degraded || fail_at == Some(idx) {
-                    // Degraded health observed mid-apply, or the
-                    // schemata write faulted: abort and revert whole.
-                    s.revert();
-                    return;
-                }
-                s.publish_class(idx);
-            });
+            // Each apply reads the breaker and rewrites the whole live
+            // table (publish_class re-stores the untouched entries too).
+            controller = controller.then_accessing(
+                move |s: &mut ControlModel| {
+                    if s.reverted {
+                        return; // gave up earlier; remaining applies are no-ops
+                    }
+                    if s.degraded || fail_at == Some(idx) {
+                        // Degraded health observed mid-apply, or the
+                        // schemata write faulted: abort and revert whole.
+                        s.revert();
+                        return;
+                    }
+                    s.publish_class(idx);
+                },
+                &[Access::Read("breaker"), Access::Write("masks")],
+            );
         }
         // The next control tick: a clamp check after the applies. This
         // is where a breaker that tripped *after* the last apply gets
         // observed.
-        controller = controller.then(|s: &mut ControlModel| {
-            if s.degraded && !s.reverted {
-                s.revert();
-            }
-        });
+        controller = controller.then_accessing(
+            |s: &mut ControlModel| {
+                if s.degraded && !s.reverted {
+                    s.revert();
+                }
+            },
+            &[Access::Read("breaker"), Access::Write("masks")],
+        );
 
-        let supervisor = Actor::new("supervisor").then(move |s: &mut ControlModel| {
-            if trip_health {
-                s.degraded = true;
-            }
-        });
+        let supervisor = Actor::new("supervisor").then_accessing(
+            move |s: &mut ControlModel| {
+                if trip_health {
+                    s.degraded = true;
+                }
+            },
+            &[Access::Write("breaker")],
+        );
 
         // A worker binding jobs mid-repartition: every read must be a
         // valid mask no matter where the publishes stand.
@@ -148,11 +160,14 @@ fn build(
             },
             CacheUsageClass::Polluting,
         ] {
-            worker = worker.then(move |s: &mut ControlModel| {
-                let m = s.live.mask_for(cuid, &s.policy);
-                assert!(m.way_count() >= 1, "bind read an empty mask for {cuid:?}");
-                assert!(m.check_fits(WAYS).is_ok());
-            });
+            worker = worker.then_accessing(
+                move |s: &mut ControlModel| {
+                    let m = s.live.mask_for(cuid, &s.policy);
+                    assert!(m.way_count() >= 1, "bind read an empty mask for {cuid:?}");
+                    assert!(m.check_fits(WAYS).is_ok());
+                },
+                &[Access::Read("masks")],
+            );
         }
 
         (state, vec![controller, supervisor, worker])
@@ -197,7 +212,7 @@ fn check_final(s: &mut ControlModel) -> Result<(), String> {
     ))
 }
 
-fn explore_case(fail_at: Option<usize>, trip_health: bool) {
+fn explore_case(fail_at: Option<usize>, trip_health: bool) -> ccp_verify::Report {
     let report = explore(
         Mode::Exhaustive {
             max_schedules: 100_000,
@@ -208,11 +223,19 @@ fn explore_case(fail_at: Option<usize>, trip_health: bool) {
     )
     .unwrap_or_else(|v| panic!("fail_at={fail_at:?} trip_health={trip_health}: {v}"));
     assert!(report.exhausted, "interleaving space not fully covered");
+    report
 }
 
 #[test]
 fn clean_repartitions_never_tear_under_any_interleaving() {
-    explore_case(None, false);
+    let start = Instant::now();
+    let report = explore_case(None, false);
+    ccp_verify::emit_stats(
+        "control_masks/clean",
+        "exhaustive",
+        &report,
+        start.elapsed(),
+    );
 }
 
 #[test]

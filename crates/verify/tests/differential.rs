@@ -1,0 +1,320 @@
+//! Differential tests: on seeded-bug fixtures, [`Mode::Dpor`] and
+//! [`Mode::Exhaustive`] must agree — both find a violation on the buggy
+//! variant, both exhaust the clean variant cleanly, and any DPOR-found
+//! witness schedule replays to the identical violation. This is the
+//! soundness contract of the reduction: pruning interleavings may never
+//! prune a bug.
+//!
+//! The fixtures reproduce the two real bugs this repo's harnesses have
+//! caught: the PR-3 `/trace?clear=1` snapshot-vs-clear race (via the
+//! real [`ccp_trace::SpanRing`] with the guard reverted) and the PR-4
+//! recycle drop-accounting double-count (as a model, since the shipped
+//! ring carries the `i - cap >= cleared_upto` fix), plus the classic
+//! two-step lost update as a baseline.
+
+use ccp_trace::{SpanRing, TraceCat};
+use ccp_verify::{explore, replay, Access, Actor, Mode, Violation};
+use std::collections::BTreeSet;
+
+const BUDGET: usize = 200_000;
+
+/// Run one fixture under both modes and check the differential
+/// contract. `needle` must appear in every violation message so we know
+/// both modes found the *same bug*, not merely *a* bug.
+fn assert_modes_agree<S>(
+    label: &str,
+    build: impl Fn() -> (S, Vec<Actor<S>>),
+    check_step: impl Fn(&S) -> Result<(), String>,
+    check_final: impl Fn(&mut S) -> Result<(), String>,
+    needle: Option<&str>,
+) {
+    let exhaustive = explore(
+        Mode::Exhaustive {
+            max_schedules: BUDGET,
+        },
+        &build,
+        &check_step,
+        &check_final,
+    );
+    let dpor = explore(
+        Mode::Dpor {
+            max_schedules: BUDGET,
+        },
+        &build,
+        &check_step,
+        &check_final,
+    );
+    match needle {
+        Some(needle) => {
+            let ev = exhaustive.expect_err(&format!("{label}: exhaustive must find the bug"));
+            let dv = dpor.expect_err(&format!("{label}: DPOR must find the bug"));
+            for (mode, v) in [("exhaustive", &ev), ("dpor", &dv)] {
+                assert!(
+                    v.message.contains(needle),
+                    "{label}/{mode} found a different bug: {v}"
+                );
+            }
+            // The DPOR witness replays mode-independently to the same
+            // violation — replay() has no notion of the finding mode.
+            let replayed = replay(&dv.schedule, &build, &check_step, &check_final)
+                .expect_err(&format!("{label}: DPOR witness must reproduce"));
+            assert_eq!(replayed.message, dv.message, "{label}: replay diverged");
+            let replayed = replay(&ev.schedule, &build, &check_step, &check_final)
+                .expect_err(&format!("{label}: exhaustive witness must reproduce"));
+            assert_eq!(replayed.message, ev.message, "{label}: replay diverged");
+        }
+        None => {
+            let er = exhaustive.unwrap_or_else(|v: Violation| {
+                panic!("{label}: exhaustive flagged the clean fixture: {v}")
+            });
+            let dr =
+                dpor.unwrap_or_else(|v| panic!("{label}: DPOR flagged the clean fixture: {v}"));
+            assert!(er.exhausted, "{label}: exhaustive did not close the space");
+            assert!(dr.exhausted, "{label}: DPOR did not close the space");
+            assert_eq!(
+                er.interleavings, dr.interleavings,
+                "{label}: modes disagree on the space size"
+            );
+            assert!(
+                dr.schedules <= er.schedules,
+                "{label}: DPOR ran more schedules ({}) than exhaustive ({})",
+                dr.schedules,
+                er.schedules
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fixture 1: the classic lost update (baseline).
+// ---------------------------------------------------------------------
+
+struct Counter {
+    val: u64,
+    tmp: [u64; 2],
+}
+
+/// Two actors read-modify-write a counter. `racy` splits the RMW into
+/// two steps (the bug); the clean variant does it atomically in one.
+fn counter_build(racy: bool) -> impl Fn() -> (Counter, Vec<Actor<Counter>>) {
+    move || {
+        let state = Counter {
+            val: 0,
+            tmp: [0, 0],
+        };
+        let actors = (0..2)
+            .map(|i| {
+                let a = Actor::new(format!("inc-{i}"));
+                if racy {
+                    a.then_accessing(
+                        move |s: &mut Counter| s.tmp[i] = s.val,
+                        &[Access::Read("val")],
+                    )
+                    .then_accessing(
+                        move |s: &mut Counter| s.val = s.tmp[i] + 1,
+                        &[Access::Write("val")],
+                    )
+                } else {
+                    a.then_accessing(|s: &mut Counter| s.val += 1, &[Access::AcqRel("val")])
+                }
+            })
+            .collect();
+        (state, actors)
+    }
+}
+
+fn counter_final(s: &mut Counter) -> Result<(), String> {
+    if s.val == 2 {
+        Ok(())
+    } else {
+        Err(format!("lost update: val={}", s.val))
+    }
+}
+
+#[test]
+fn lost_update_found_by_both_modes_and_clean_variant_passes_both() {
+    assert_modes_agree(
+        "lost-update/buggy",
+        counter_build(true),
+        |_| Ok(()),
+        counter_final,
+        Some("lost update"),
+    );
+    assert_modes_agree(
+        "lost-update/clean",
+        counter_build(false),
+        |_| Ok(()),
+        counter_final,
+        None,
+    );
+}
+
+// ---------------------------------------------------------------------
+// Fixture 2: the PR-3 snapshot-vs-clear race, on the real SpanRing.
+// ---------------------------------------------------------------------
+
+struct RingModel {
+    ring: SpanRing,
+    pushed: u64,
+    observed: BTreeSet<u64>,
+    snapshot_head: u64,
+}
+
+/// One writer, one snapshot-then-clear reader. `guarded` selects the
+/// shipped `clear_to(observed_head)` fix; the buggy variant reverts to
+/// the unconditional `clear()` that lost records pushed between the
+/// snapshot and the clear.
+fn pr3_build(guarded: bool) -> impl Fn() -> (RingModel, Vec<Actor<RingModel>>) {
+    move || {
+        let state = RingModel {
+            ring: SpanRing::new(8),
+            pushed: 0,
+            observed: BTreeSet::new(),
+            snapshot_head: 0,
+        };
+        let mut writer = Actor::new("writer");
+        for _ in 0..3 {
+            writer = writer.then_accessing(
+                |s: &mut RingModel| {
+                    s.ring.push_instant(s.pushed, TraceCat::Op, s.pushed, "w");
+                    s.pushed += 1;
+                },
+                &[Access::Write("ring")],
+            );
+        }
+        let reader = Actor::new("reader")
+            .then_accessing(
+                |s: &mut RingModel| {
+                    let mut buf = Vec::new();
+                    s.snapshot_head = s.ring.collect(&mut buf);
+                    s.observed.extend(buf.iter().map(|r| r.id));
+                },
+                &[Access::Read("ring")],
+            )
+            .then_accessing(
+                move |s: &mut RingModel| {
+                    if guarded {
+                        s.ring.clear_to(s.snapshot_head);
+                    } else {
+                        s.ring.clear();
+                    }
+                },
+                &[Access::Write("ring")],
+            );
+        (state, vec![writer, reader])
+    }
+}
+
+fn pr3_final(s: &mut RingModel) -> Result<(), String> {
+    let mut buf = Vec::new();
+    s.ring.collect(&mut buf);
+    s.observed.extend(buf.iter().map(|r| r.id));
+    let missing: Vec<u64> = (0..s.pushed)
+        .filter(|id| !s.observed.contains(id))
+        .collect();
+    if missing.is_empty() {
+        Ok(())
+    } else {
+        Err(format!("records never observed: {missing:?}"))
+    }
+}
+
+#[test]
+fn pr3_clear_race_found_by_both_modes_and_fix_passes_both() {
+    assert_modes_agree(
+        "pr3/buggy",
+        pr3_build(false),
+        |_| Ok(()),
+        pr3_final,
+        Some("never observed"),
+    );
+    assert_modes_agree("pr3/fixed", pr3_build(true), |_| Ok(()), pr3_final, None);
+}
+
+// ---------------------------------------------------------------------
+// Fixture 3: the PR-4 recycle drop-accounting double-count, as a model.
+// ---------------------------------------------------------------------
+
+/// Miniature of the span ring's drop accounting. The shipped
+/// `SpanRing::recycle` carries the `i - cap >= cleared_upto` guard, so
+/// the bug is reproduced here in model form: `recycle()` counts every
+/// still-visible record as dropped, and a wrapping push counts its
+/// victim — the bug was counting victims that recycle had *already*
+/// counted, inflating `dropped` past conservation.
+struct MiniRing {
+    cap: u64,
+    head: u64,
+    cleared_upto: u64,
+    dropped: u64,
+    buggy: bool,
+}
+
+impl MiniRing {
+    fn push(&mut self) {
+        if self.head >= self.cap {
+            let victim = self.head - self.cap;
+            if victim >= self.cleared_upto || self.buggy {
+                self.dropped += 1;
+            }
+        }
+        self.head += 1;
+    }
+
+    fn recycle(&mut self) {
+        let oldest_live = self.cleared_upto.max(self.head.saturating_sub(self.cap));
+        self.dropped += self.head - oldest_live;
+        self.cleared_upto = self.head;
+    }
+
+    fn visible(&self) -> u64 {
+        self.head - self.cleared_upto.max(self.head.saturating_sub(self.cap))
+    }
+}
+
+fn pr4_build(buggy: bool) -> impl Fn() -> (MiniRing, Vec<Actor<MiniRing>>) {
+    move || {
+        let state = MiniRing {
+            cap: 4,
+            head: 0,
+            cleared_upto: 0,
+            dropped: 0,
+            buggy,
+        };
+        // 6 pushes into 4 slots wrap twice; one recycle lands anywhere
+        // among them. The double count needs a wrap *after* the recycle
+        // has hidden the victim — only some interleavings trigger it,
+        // which is exactly what makes it a race.
+        let mut writer = Actor::new("writer");
+        for _ in 0..6 {
+            writer = writer.then_accessing(|s: &mut MiniRing| s.push(), &[Access::Write("ring")]);
+        }
+        let recycler = Actor::new("recycler")
+            .then_accessing(|s: &mut MiniRing| s.recycle(), &[Access::Write("ring")]);
+        (state, vec![writer, recycler])
+    }
+}
+
+fn pr4_final(s: &mut MiniRing) -> Result<(), String> {
+    if s.visible() + s.dropped == s.head {
+        Ok(())
+    } else {
+        Err(format!(
+            "drop accounting broke conservation: visible {} + dropped {} != pushed {}",
+            s.visible(),
+            s.dropped,
+            s.head
+        ))
+    }
+}
+
+#[test]
+fn pr4_drop_double_count_found_by_both_modes_and_fix_passes_both() {
+    assert_modes_agree(
+        "pr4/buggy",
+        pr4_build(true),
+        |_| Ok(()),
+        pr4_final,
+        Some("conservation"),
+    );
+    assert_modes_agree("pr4/fixed", pr4_build(false), |_| Ok(()), pr4_final, None);
+}

@@ -10,11 +10,12 @@
 //! pool binds) is exactly the part schedule order could plausibly break.
 
 use ccp_engine::{CacheUsageClass, DualPoolExecutor, Job, PartitionPolicy, RecordingAllocator};
-use ccp_verify::{explore, Actor, Mode};
+use ccp_verify::{explore, Access, Actor, Mode};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
-const PER_POOL: u64 = 3;
+const PER_POOL: u64 = 4;
 const FULL_MASK: u32 = 0xfffff;
 const POLLUTER_MASK: u32 = 0x3;
 
@@ -44,33 +45,42 @@ fn handoff_preserves_jobs_and_oltp_full_cache_under_all_submission_orders() {
             submitted_olap: 0,
             submitted_oltp: 0,
         };
+        // The two submitters touch disjoint queues, and every check runs
+        // after wait_idle() — so the submission orders are genuinely
+        // independent and DPOR collapses the space to one trace.
         let mut olap = Actor::new("olap-submitter");
         for i in 0..PER_POOL {
-            olap = olap.then(move |s: &mut PoolModel| {
-                let d = s.done.clone();
-                s.ex.submit_olap(Job::new(
-                    format!("scan-{i}"),
-                    CacheUsageClass::Polluting,
-                    move || {
-                        d.fetch_add(1, Ordering::Relaxed);
-                    },
-                ));
-                s.submitted_olap += 1;
-            });
+            olap = olap.then_accessing(
+                move |s: &mut PoolModel| {
+                    let d = s.done.clone();
+                    s.ex.submit_olap(Job::new(
+                        format!("scan-{i}"),
+                        CacheUsageClass::Polluting,
+                        move || {
+                            d.fetch_add(1, Ordering::Relaxed);
+                        },
+                    ));
+                    s.submitted_olap += 1;
+                },
+                &[Access::Write("olap-q")],
+            );
         }
         let mut oltp = Actor::new("oltp-submitter");
         for i in 0..PER_POOL {
-            oltp = oltp.then(move |s: &mut PoolModel| {
-                let d = s.done.clone();
-                s.ex.submit_oltp(Job::new(
-                    format!("txn-{i}"),
-                    CacheUsageClass::Polluting, // CUID is advisory on OLTP
-                    move || {
-                        d.fetch_add(1, Ordering::Relaxed);
-                    },
-                ));
-                s.submitted_oltp += 1;
-            });
+            oltp = oltp.then_accessing(
+                move |s: &mut PoolModel| {
+                    let d = s.done.clone();
+                    s.ex.submit_oltp(Job::new(
+                        format!("txn-{i}"),
+                        CacheUsageClass::Polluting, // CUID is advisory on OLTP
+                        move || {
+                            d.fetch_add(1, Ordering::Relaxed);
+                        },
+                    ));
+                    s.submitted_oltp += 1;
+                },
+                &[Access::Write("oltp-q")],
+            );
         }
         (state, vec![olap, oltp])
     };
@@ -119,8 +129,9 @@ fn handoff_preserves_jobs_and_oltp_full_cache_under_all_submission_orders() {
         }
         Ok(())
     };
+    let start = Instant::now();
     let report = explore(
-        Mode::Exhaustive {
+        Mode::Dpor {
             max_schedules: 1_000,
         },
         build,
@@ -129,8 +140,11 @@ fn handoff_preserves_jobs_and_oltp_full_cache_under_all_submission_orders() {
     )
     .expect("dual-pool handoff must be order-independent");
     assert!(report.exhausted);
-    // Two 3-step submitters: C(6,3) = 20 interleavings.
-    assert_eq!(report.schedules, 20);
+    // Two 4-step submitters into disjoint pools: C(8,4) = 70
+    // interleavings, all Mazurkiewicz-equivalent — one representative run.
+    assert_eq!(report.interleavings, 70);
+    assert_eq!(report.traces_explored, 1);
+    ccp_verify::emit_stats("dual_pool/handoff", "dpor", &report, start.elapsed());
 }
 
 /// Randomized sweep at a larger scale than the exhaustive harness can
@@ -156,20 +170,26 @@ fn handoff_survives_randomized_submission_orders() {
         let mut olap = Actor::new("olap-submitter");
         let mut oltp = Actor::new("oltp-submitter");
         for _ in 0..6 {
-            olap = olap.then(|s: &mut PoolModel| {
-                let d = s.done.clone();
-                s.ex.submit_olap(Job::new("scan", CacheUsageClass::Polluting, move || {
-                    d.fetch_add(1, Ordering::Relaxed);
-                }));
-                s.submitted_olap += 1;
-            });
-            oltp = oltp.then(|s: &mut PoolModel| {
-                let d = s.done.clone();
-                s.ex.submit_oltp(Job::unannotated("txn", move || {
-                    d.fetch_add(1, Ordering::Relaxed);
-                }));
-                s.submitted_oltp += 1;
-            });
+            olap = olap.then_accessing(
+                |s: &mut PoolModel| {
+                    let d = s.done.clone();
+                    s.ex.submit_olap(Job::new("scan", CacheUsageClass::Polluting, move || {
+                        d.fetch_add(1, Ordering::Relaxed);
+                    }));
+                    s.submitted_olap += 1;
+                },
+                &[Access::Write("olap-q")],
+            );
+            oltp = oltp.then_accessing(
+                |s: &mut PoolModel| {
+                    let d = s.done.clone();
+                    s.ex.submit_oltp(Job::unannotated("txn", move || {
+                        d.fetch_add(1, Ordering::Relaxed);
+                    }));
+                    s.submitted_oltp += 1;
+                },
+                &[Access::Write("oltp-q")],
+            );
         }
         (state, vec![olap, oltp])
     };

@@ -8,7 +8,8 @@
 //! could then observe.
 
 use ccp_obs::{Histogram, HistogramSnapshot};
-use ccp_verify::{explore, Actor, Mode};
+use ccp_verify::{explore, Access, Actor, Mode};
+use std::time::Instant;
 
 const MODE: Mode = Mode::Exhaustive {
     max_schedules: 200_000,
@@ -45,16 +46,22 @@ fn concurrent_record_and_scrape_stays_consistent() {
             let mut a = Actor::new(format!("recorder-{r}"));
             for _ in 0..PER_RECORDER {
                 let h = handle.clone();
-                a = a.then(move |s: &mut HistModel| {
-                    h.observe(VALUE);
-                    s.recorded += 1;
-                });
+                a = a.then_accessing(
+                    move |s: &mut HistModel| {
+                        h.observe(VALUE);
+                        s.recorded += 1;
+                    },
+                    &[Access::Write("hist")],
+                );
             }
             actors.push(a);
         }
         let mut scraper = Actor::new("scraper");
         for _ in 0..2 {
-            scraper = scraper.then(|s: &mut HistModel| s.scrapes.push(s.hist.snapshot()));
+            scraper = scraper.then_accessing(
+                |s: &mut HistModel| s.scrapes.push(s.hist.snapshot()),
+                &[Access::Read("hist")],
+            );
         }
         actors.push(scraper);
         (state, actors)
@@ -94,8 +101,15 @@ fn concurrent_record_and_scrape_stays_consistent() {
         }
         Ok(())
     };
+    let start = Instant::now();
     let report =
         explore(MODE, build, check_step, check_final).expect("shared-bucket recording is atomic");
+    ccp_verify::emit_stats(
+        "histogram/record_scrape",
+        "exhaustive",
+        &report,
+        start.elapsed(),
+    );
     assert!(report.exhausted, "3+3+2 steps must be fully explorable");
 }
 
@@ -119,13 +133,16 @@ fn torn_two_step_observe_is_caught() {
             torn_seen: false,
         };
         let recorder = Actor::new("recorder")
-            .then(|s: &mut Torn| s.count += 1)
-            .then(|s: &mut Torn| s.sum += VALUE);
-        let scraper = Actor::new("scraper").then(|s: &mut Torn| {
-            if (s.sum - s.count as f64 * VALUE).abs() > 1e-9 {
-                s.torn_seen = true;
-            }
-        });
+            .then_accessing(|s: &mut Torn| s.count += 1, &[Access::Write("hist")])
+            .then_accessing(|s: &mut Torn| s.sum += VALUE, &[Access::Write("hist")]);
+        let scraper = Actor::new("scraper").then_accessing(
+            |s: &mut Torn| {
+                if (s.sum - s.count as f64 * VALUE).abs() > 1e-9 {
+                    s.torn_seen = true;
+                }
+            },
+            &[Access::Read("hist")],
+        );
         (state, vec![recorder, scraper])
     };
     let violation = explore(

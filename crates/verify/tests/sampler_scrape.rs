@@ -65,6 +65,9 @@ fn sampler_stop_is_idempotent_and_never_loses_the_final_publish() {
         // The sampler loop samples once before its first stop check, so
         // a waiter for >= 1 sample terminates under every interleaving,
         // even "stop immediately".
+        // UNANNOTATED: steps drive a real background thread; their
+        // effects are not captured by a declarable read/write set, so
+        // every step must stay mutually dependent (exhaustive mode).
         let waiter = Actor::new("waiter").then(|s: &mut SamplerModel| {
             while s.samples.load(Ordering::SeqCst) == 0 {
                 std::thread::sleep(Duration::from_micros(200));
@@ -76,8 +79,10 @@ fn sampler_stop_is_idempotent_and_never_loses_the_final_publish() {
                 sampler.stop();
             }
         };
+        // UNANNOTATED: stop/drop join a real thread — not modelable.
         let stopper = Actor::new("stopper").then(stop_step).then(stop_step);
         // Dropping is the third way down (Drop also stops).
+        // UNANNOTATED: see above — real thread join.
         let dropper = Actor::new("dropper").then(|s: &mut SamplerModel| {
             s.sampler.take();
         });
@@ -156,7 +161,11 @@ fn scrape_server_shutdown_loses_no_publish_and_tolerates_double_stop() {
         let publish = |s: &mut ScrapeModel| {
             s.hits.inc();
         };
+        // UNANNOTATED: these steps race a live TCP server thread; their
+        // interactions are not a declarable read/write set, so the
+        // harness stays exhaustive with default conflicts-with-all.
         let publisher = Actor::new("publisher").then(publish).then(publish);
+        // UNANNOTATED: see above — live server thread.
         let scraper = Actor::new("scraper").then(|s: &mut ScrapeModel| {
             // Succeeds before shutdown, fails cleanly after — both fine;
             // a *torn* success is the bug this hunts.
@@ -169,6 +178,7 @@ fn scrape_server_shutdown_loses_no_publish_and_tolerates_double_stop() {
                 server.shutdown();
             }
         };
+        // UNANNOTATED: see above — live server thread.
         let stopper = Actor::new("stopper").then(stop_step).then(stop_step);
         (state, vec![publisher, scraper, stopper])
     };

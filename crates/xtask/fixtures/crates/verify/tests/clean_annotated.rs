@@ -1,0 +1,12 @@
+//! Clean `verify-annotated` fixture: every step either declares its
+//! access set or justifies the conflicts-with-everything default. The
+//! self-test asserts this file produces no findings.
+
+fn build() -> (u64, Vec<Actor<u64>>) {
+    let writer = Actor::new("writer")
+        .then_accessing(|s: &mut u64| *s += 1, &[Access::Write("counter")]);
+    // UNANNOTATED: this step joins a real background thread; its effects
+    // are not a declarable read/write set.
+    let joiner = Actor::new("joiner").then(|_s: &mut u64| {});
+    (0, vec![writer, joiner])
+}

@@ -1,0 +1,8 @@
+//! Seeded `verify-annotated` violation: a bare `then(…)` carrying no
+//! justification tag. The self-test asserts the rule fires on this
+//! file.
+
+fn build() -> (u64, Vec<Actor<u64>>) {
+    let writer = Actor::new("writer").then(|s: &mut u64| *s += 1);
+    (0, vec![writer])
+}

@@ -26,6 +26,13 @@
 //!   `// ASYNC-SIGNAL-SAFE:` comment, and its body is free of tokens
 //!   that allocate, lock or panic (`format!`, `Box::new`, `.lock(`,
 //!   `.unwrap()`, …) — none of which are async-signal-safe.
+//! * `verify-annotated` — model-check harnesses in
+//!   `crates/verify/tests/` declare each step's access set with
+//!   `then_accessing(…)`; a bare `then(…)` silently pins the step to
+//!   "conflicts with everything", so it needs an `// UNANNOTATED:`
+//!   comment justifying why no access set is declarable (the only lint
+//!   scope inside a `tests/` tree — harness files are exempt from the
+//!   hygiene rules above but not from this one).
 
 use crate::scan::{scan, FileScan};
 use std::fmt;
@@ -251,10 +258,41 @@ fn signal_safe_findings(path: &str, scan_result: &FileScan) -> Vec<Finding> {
     findings
 }
 
+/// The `verify-annotated` rule: a bare `.then(` in a verify harness
+/// means the step's dependency footprint was never declared — DPOR then
+/// serializes it against every other step. Either annotate the access
+/// set with `then_accessing(…)` or justify the default with an
+/// `// UNANNOTATED:` comment (steps driving real threads, for example,
+/// have no declarable read/write set).
+fn verify_annotated_findings(path: &str, scan_result: &FileScan) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for line in 0..scan_result.lines() {
+        if scan_result.code[line].contains(".then(")
+            && !annotated(scan_result, line, "UNANNOTATED:")
+        {
+            findings.push(Finding {
+                rule: "verify-annotated",
+                file: path.to_string(),
+                line: line + 1,
+                message: "bare `then(…)` in a model-check harness — declare the step's access \
+                          set with `then_accessing(…)` so DPOR can exploit independence, or \
+                          justify conflicts-with-everything with an `// UNANNOTATED:` comment"
+                    .into(),
+            });
+        }
+    }
+    findings
+}
+
 /// Runs every rule over one scanned file. `path` decides rule scope.
 pub fn lint_file(path: &str, scan_result: &FileScan) -> Vec<Finding> {
     let mut findings = Vec::new();
     let norm = path.replace('\\', "/");
+    // Harness files are whole-file test code: the concurrency-hygiene
+    // rules below don't apply there, the annotation discipline does.
+    if norm.contains("crates/verify/tests") {
+        return verify_annotated_findings(path, scan_result);
+    }
     // The reuse cache executes inside the server's request path, so it
     // inherits the same no-panic discipline.
     let in_server_src = norm.contains("crates/server/src") || norm.contains("crates/reuse/src");
@@ -381,7 +419,17 @@ pub fn collect_rs_files(roots: &[PathBuf]) -> std::io::Result<Vec<PathBuf>> {
         if p.is_dir() {
             let name = p.file_name().and_then(|n| n.to_str()).unwrap_or("");
             if SKIP_DIRS.contains(&name) && !roots.contains(&p) {
-                continue;
+                // `crates/verify/tests` is lint scope (the
+                // `verify-annotated` rule); every other tests/ tree —
+                // and everything else in SKIP_DIRS — stays exempt.
+                let under_verify = p
+                    .parent()
+                    .and_then(|d| d.file_name())
+                    .and_then(|n| n.to_str())
+                    == Some("verify");
+                if !(name == "tests" && under_verify) {
+                    continue;
+                }
             }
             for entry in std::fs::read_dir(&p)? {
                 stack.push(entry?.path());
@@ -598,6 +646,41 @@ mod tests {
     }
 
     #[test]
+    fn bare_then_is_flagged_in_verify_tests_only() {
+        let src = "let w = Actor::new(\"w\").then(|s: &mut u64| *s += 1);\n";
+        let f = lint_src("crates/verify/tests/span_ring.rs", src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "verify-annotated");
+        // Outside the harness tree the rule is silent (and `.then(` on
+        // futures/options elsewhere is none of our business).
+        assert!(lint_src("crates/server/src/a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn tagged_or_annotated_then_passes_and_hygiene_rules_stay_out() {
+        let src = "// UNANNOTATED: drives a real background thread.\n\
+                   let w = Actor::new(\"w\").then(step);\n\
+                   let v = Actor::new(\"v\").then_accessing(step, &[Access::Write(\"x\")]);\n\
+                   x.load(Ordering::Relaxed); y.unwrap();\n";
+        // The Relaxed load and unwrap would trip the hygiene rules in
+        // src scope; in a harness file only the annotation rule runs.
+        let f = lint_src("crates/verify/tests/span_ring.rs", src);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn verify_tests_are_walked_despite_the_tests_skip() {
+        let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("fixtures");
+        let files = collect_rs_files(&[root]).expect("fixtures readable");
+        assert!(
+            files
+                .iter()
+                .any(|p| p.to_string_lossy().contains("verify/tests")),
+            "walker must descend into crates/verify/tests: {files:?}"
+        );
+    }
+
+    #[test]
     fn fixtures_seeded_violations_all_fire() {
         let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("fixtures");
         let findings = lint_paths(&[root]).expect("fixtures readable");
@@ -609,6 +692,7 @@ mod tests {
             "engine-no-sleep",
             "contiguous-mask",
             "signal-safe",
+            "verify-annotated",
         ] {
             assert!(
                 rules.contains(&rule),
@@ -621,6 +705,9 @@ mod tests {
     fn fixtures_clean_file_is_clean() {
         let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("fixtures");
         let findings = lint_paths(&[root.join("clean.rs")]).expect("fixture readable");
+        assert!(findings.is_empty(), "{findings:?}");
+        let harness = root.join("crates/verify/tests/clean_annotated.rs");
+        let findings = lint_paths(&[harness]).expect("fixture readable");
         assert!(findings.is_empty(), "{findings:?}");
     }
 }

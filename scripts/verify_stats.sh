@@ -1,0 +1,118 @@
+#!/usr/bin/env bash
+# Model-check stats gate for ccp-verify.
+#
+# Runs the verify harness suite with CCP_VERIFY_JSON pointed at a
+# collection file, renders the per-harness exploration stats (schedules
+# run, Mazurkiewicz traces, interleaving-space size, reduction ratio)
+# into the job summary, and fails if any DPOR harness stopped pulling
+# its weight: on a space larger than MIN_SPACE interleavings the
+# reduction ratio must stay >= MIN_RATIO, otherwise the access
+# annotations (or the reduction itself) have rotted.
+#
+# Usage:
+#   scripts/verify_stats.sh
+#
+# Tunables (environment):
+#   CCP_VERIFY_MIN_RATIO  minimum reduction ratio for DPOR harnesses
+#                         on large spaces (default 2)
+#   CCP_VERIFY_MIN_SPACE  spaces at or below this many interleavings
+#                         are exempt from the ratio gate (default 1000)
+#   CCP_VERIFY_DEEP       forwarded to the harnesses (10x budgets)
+
+set -euo pipefail
+
+MIN_RATIO="${CCP_VERIFY_MIN_RATIO:-2}"
+MIN_SPACE="${CCP_VERIFY_MIN_SPACE:-1000}"
+
+REPO_ROOT="$(git rev-parse --show-toplevel)"
+cd "$REPO_ROOT"
+
+WORK_DIR="$(mktemp -d)"
+# A caller-provided CCP_VERIFY_JSON names where the raw stats lines
+# land (the nightly job uploads them as an artifact); emit_stats
+# appends, so start from a clean slate either way.
+STATS="${CCP_VERIFY_JSON:-$WORK_DIR/verify.jsonl}"
+: >"$STATS"
+cleanup() { rm -rf "$WORK_DIR"; }
+trap cleanup EXIT
+
+SUMMARY="${GITHUB_STEP_SUMMARY:-/dev/null}"
+
+echo "== verify: model-check harnesses (stats -> $STATS) =="
+CCP_VERIFY_JSON="$STATS" cargo test -q -p ccp-verify
+
+if [[ ! -s "$STATS" ]]; then
+    # An empty stats file must never read as "nothing to gate": it means
+    # the harnesses stopped emitting, so the ratio gate went blind.
+    echo "verify stats: no CCP_VERIFY_JSON lines emitted — are the" >&2
+    echo "harnesses still calling ccp_verify::emit_stats?" >&2
+    echo "### Verify stats: FAILED — no CCP_VERIFY_JSON lines emitted" >>"$SUMMARY"
+    exit 1
+fi
+
+STATUS=0
+python3 - "$STATS" "$MIN_RATIO" "$MIN_SPACE" "$WORK_DIR/summary.md" <<'PY' || STATUS=$?
+import json
+import sys
+
+stats_path, min_ratio, min_space = sys.argv[1], float(sys.argv[2]), int(sys.argv[3])
+summary_path = sys.argv[4]
+
+rows = []
+failed = False
+with open(stats_path) as f:
+    for line in f:
+        line = line.strip()
+        if not line:
+            continue
+        # Lines are `CCP_VERIFY_JSON {...}` when echoed, bare JSON when
+        # appended to the file; accept both.
+        if line.startswith("CCP_VERIFY_JSON "):
+            line = line[len("CCP_VERIFY_JSON "):]
+        rec = json.loads(line)
+        gated = rec["mode"] == "dpor" and rec["interleavings"] > min_space
+        verdict = "ok"
+        if not rec["exhausted"]:
+            verdict = "FAIL (space not exhausted)"
+            failed = True
+        elif gated and rec["reduction_ratio"] < min_ratio:
+            verdict = f"FAIL (ratio < {min_ratio:g}x)"
+            failed = True
+        elif not gated:
+            verdict = "ok (small space)" if rec["mode"] == "dpor" else "ok (ungated)"
+        rows.append(
+            (
+                rec["harness"],
+                rec["mode"],
+                f'{rec["schedules"]}',
+                f'{rec["traces_explored"]}',
+                f'{rec["interleavings"]}',
+                f'{rec["reduction_ratio"]:.1f}x',
+                f'{rec["wall_ms"]:.1f}',
+                verdict,
+            )
+        )
+        print(
+            f'{verdict:20s} {rec["harness"]:30s} {rec["mode"]:10s} '
+            f'schedules={rec["schedules"]:<8} traces={rec["traces_explored"]:<8} '
+            f'space={rec["interleavings"]:<12} ratio={rec["reduction_ratio"]:.1f}x'
+        )
+
+with open(summary_path, "w") as f:
+    f.write("### Verify stats (model-check harnesses)\n\n")
+    f.write(
+        f"Gate: DPOR harnesses on spaces > {min_space} interleavings "
+        f"must report a reduction ratio >= {min_ratio:g}x.\n\n"
+    )
+    f.write("| harness | mode | schedules | traces | interleavings | ratio | wall (ms) | verdict |\n")
+    f.write("|---|---|---:|---:|---:|---:|---:|---|\n")
+    for row in rows:
+        f.write("| " + " | ".join(row) + " |\n")
+
+sys.exit(1 if failed else 0)
+PY
+cat "$WORK_DIR/summary.md" >>"$SUMMARY"
+if [[ $STATUS -ne 0 ]]; then
+    exit "$STATUS"
+fi
+echo "== verify stats gate passed =="
