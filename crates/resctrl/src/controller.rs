@@ -223,11 +223,21 @@ impl CacheController {
         }
     }
 
-    /// Deletes a group; its tasks fall back to the root class.
+    /// Deletes a group; its tasks fall back to the root class. Nested
+    /// monitoring groups are torn down first — real resctrl refuses to
+    /// rmdir a group whose `mon_groups/` is non-empty, so removing them
+    /// in one call is what makes group teardown a single operation for
+    /// callers like the reconciler's orphan sweep.
     ///
     /// # Errors
     /// Propagates filesystem errors.
     pub fn remove_group(&mut self, group: GroupHandle) -> Result<(), ResctrlError> {
+        let mon_root = group.dir.join("mon_groups");
+        if self.fs.exists(&mon_root) {
+            for name in self.fs.list_dirs(&mon_root)? {
+                self.fs.remove_dir(&mon_root.join(name))?;
+            }
+        }
         self.fs.remove_dir(&group.dir)?;
         self.mask_cache.retain(|(g, _), _| g != &group.name);
         self.task_cache.retain(|_, g| g != &group.name);
@@ -733,6 +743,27 @@ mod tests {
         ctl.remove_mon_group(nested).unwrap();
         assert!(ctl.mon_groups(Some(&g)).unwrap().is_empty());
         ctl.remove_mon_group(at_root).unwrap();
+    }
+
+    #[test]
+    fn remove_group_tears_down_nested_mon_groups_first() {
+        // Regression: under strict-rmdir semantics (real resctrl refuses
+        // to remove a group whose mon_groups/ is non-empty) a one-shot
+        // remove_group used to fail with ENOTEMPTY and leak the group.
+        let (fs, mut ctl) = ctl();
+        let g = ctl.create_group("olap").unwrap();
+        ctl.create_mon_group(Some(&g), "q1").unwrap();
+        ctl.create_mon_group(Some(&g), "q2").unwrap();
+        // The raw rmdir the old implementation issued is refused.
+        use crate::fs::ResctrlFs;
+        let err = fs
+            .remove_dir(Path::new("/sys/fs/resctrl/olap"))
+            .unwrap_err();
+        assert!(err.to_string().contains("Directory not empty"), "{err}");
+        // remove_group removes the monitoring children, then the group.
+        ctl.remove_group(g).unwrap();
+        assert!(ctl.groups().unwrap().is_empty());
+        assert!(!fs.exists(Path::new("/sys/fs/resctrl/olap")));
     }
 
     #[test]

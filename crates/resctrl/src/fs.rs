@@ -421,14 +421,28 @@ impl ResctrlFs for FakeFs {
 
     fn remove_dir(&self, path: &Path) -> Result<(), ResctrlError> {
         let mut st = self.state.lock();
-        let Some(pos) = st.dirs.iter().position(|d| d == path) else {
+        if !st.dirs.iter().any(|d| d == path) {
             return Err(ResctrlError::Io {
                 path: path.display().to_string(),
                 op: "rmdir",
                 message: "No such file or directory".into(),
             });
-        };
-        st.dirs.remove(pos);
+        }
+        // Strict rmdir, as on real resctrl: a control group whose
+        // `mon_groups/` still holds monitoring groups is non-empty and
+        // the kernel refuses to remove it; callers must tear the
+        // monitoring groups down first.
+        let nested = path.join("mon_groups");
+        if st.dirs.iter().any(|d| d.parent() == Some(nested.as_path())) {
+            return Err(ResctrlError::Io {
+                path: path.display().to_string(),
+                op: "rmdir",
+                message: "Directory not empty".into(),
+            });
+        }
+        // The group's own scaffolding (mon_data, the empty mon_groups)
+        // goes with it, exactly like the kernel's rmdir.
+        st.dirs.retain(|d| !d.starts_with(path));
         st.files.retain(|p, _| !p.starts_with(path));
         Ok(())
     }
@@ -589,6 +603,24 @@ mod tests {
             .unwrap(),
             "42\n"
         );
+    }
+
+    #[test]
+    fn rmdir_refuses_group_with_live_mon_groups() {
+        let fs = FakeFs::broadwell();
+        let g = Path::new("/sys/fs/resctrl/g1");
+        fs.create_dir(g).unwrap();
+        fs.create_dir(&g.join("mon_groups/m1")).unwrap();
+        let err = fs.remove_dir(g).unwrap_err();
+        assert!(err.to_string().contains("Directory not empty"), "{err}");
+        // Tearing the monitoring group down first unblocks the rmdir,
+        // and the group's scaffolding directories go with it.
+        fs.remove_dir(&g.join("mon_groups/m1")).unwrap();
+        fs.remove_dir(g).unwrap();
+        assert!(!fs.exists(g));
+        assert!(!fs.exists(&g.join("mon_groups")));
+        assert!(!fs.exists(&g.join("mon_data/mon_L3_00")));
+        assert_eq!(fs.group_count(), 0);
     }
 
     #[test]

@@ -47,8 +47,10 @@ pub mod faults;
 pub mod fs;
 pub mod metrics;
 pub mod monitor;
+pub mod reconcile;
 pub mod schemata;
 pub mod supervisor;
+pub mod tenant;
 
 pub use controller::{CacheController, CatInfo, GroupHandle, MonGroupHandle, MonitoringData};
 pub use detect::{detect, CatSupport};
@@ -58,8 +60,10 @@ pub use monitor::{
     ClassSample, OccupancyProbe, OccupancySampler, ReadingsHub, ResctrlMonitor, SimClass,
     SimulatedMonitor,
 };
+pub use reconcile::{DesiredGroup, GroupState, ReconcileOutcome, ReconcileStats, Reconciler};
 pub use schemata::Schemata;
 pub use supervisor::{ResctrlHealth, RetryPolicy, SupervisedController};
+pub use tenant::{parse_group_name, TenantId, DEFAULT_TENANT};
 
 /// Conventional mount point of the resctrl filesystem.
 pub const DEFAULT_MOUNT: &str = "/sys/fs/resctrl";

@@ -347,6 +347,14 @@ impl SupervisedController {
         self.inner.existing_group(name)
     }
 
+    /// [`CacheController::groups`] (read-only, not retried).
+    ///
+    /// # Errors
+    /// Same surface as the wrapped call.
+    pub fn groups(&self) -> Result<Vec<String>, ResctrlError> {
+        self.inner.groups()
+    }
+
     /// [`CacheController::remove_group`] with retry/breaker accounting.
     ///
     /// # Errors

@@ -519,11 +519,24 @@ impl HttpClient {
         path: &str,
         body: Option<&str>,
     ) -> io::Result<ClientResponse> {
+        self.request_with_headers(method, path, &[], body)
+    }
+
+    /// Like [`request`](Self::request), with extra request headers (e.g.
+    /// `X-CCP-Tenant`). Header names and values must be single-line;
+    /// `Host` and `Content-Length` are always set by the client.
+    pub fn request_with_headers(
+        &mut self,
+        method: &str,
+        path: &str,
+        headers: &[(&str, &str)],
+        body: Option<&str>,
+    ) -> io::Result<ClientResponse> {
         let idempotent = matches!(method, "GET" | "HEAD");
         let mut attempt = 1u32;
         loop {
             let reused = self.stream.is_some();
-            match self.try_request(method, path, body) {
+            match self.try_request(method, path, headers, body) {
                 Ok(resp) => return Ok(resp),
                 Err((e, point)) => {
                     let retry_is_safe = match point {
@@ -558,6 +571,7 @@ impl HttpClient {
         &mut self,
         method: &str,
         path: &str,
+        headers: &[(&str, &str)],
         body: Option<&str>,
     ) -> Result<ClientResponse, (io::Error, FailurePoint)> {
         if self.stream.is_none() {
@@ -570,10 +584,14 @@ impl HttpClient {
             ));
         };
         let body = body.unwrap_or("");
+        let extra = headers
+            .iter()
+            .map(|(name, value)| format!("{name}: {value}\r\n"))
+            .collect::<String>();
         // One buffer, one write: the request must not straddle TCP
         // segments the peer's delayed ACK would stall on.
         let raw = format!(
-            "{method} {path} HTTP/1.1\r\nHost: {}\r\nContent-Length: {}\r\n\r\n{body}",
+            "{method} {path} HTTP/1.1\r\nHost: {}\r\nContent-Length: {}\r\n{extra}\r\n{body}",
             self.addr,
             body.len()
         );
@@ -666,11 +684,26 @@ pub fn fetch(
     path: &str,
     body: Option<&str>,
 ) -> io::Result<ClientResponse> {
+    fetch_with_headers(addr, method, path, &[], body)
+}
+
+/// Like [`fetch`], with extra request headers (e.g. `X-CCP-Tenant`).
+pub fn fetch_with_headers(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    headers: &[(&str, &str)],
+    body: Option<&str>,
+) -> io::Result<ClientResponse> {
     let mut reader = HttpClient::open(addr)?;
     let body = body.unwrap_or("");
+    let extra = headers
+        .iter()
+        .map(|(name, value)| format!("{name}: {value}\r\n"))
+        .collect::<String>();
     write!(
         reader.get_mut(),
-        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{body}",
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\nContent-Length: {}\r\n{extra}\r\n{body}",
         body.len()
     )?;
     let (resp, _) = read_client_response(&mut reader)?;

@@ -42,8 +42,12 @@ pub mod metrics;
 pub mod query;
 pub mod server;
 
-pub use admission::{AdmissionError, AdmissionQueue, ClassQueueLimits, RunPermit};
-pub use http::{fetch, ClientResponse, HttpClient, HttpError, Request, Response};
+pub use admission::{
+    AdmissionError, AdmissionQueue, ClassQueueLimits, FairShare, RunPermit, TenantLimits,
+};
+pub use http::{
+    fetch, fetch_with_headers, ClientResponse, HttpClient, HttpError, Request, Response,
+};
 pub use json::Json;
 pub use metrics::ServerMetrics;
 pub use query::{

@@ -8,7 +8,7 @@
 
 use ccp_control::ControlCounters;
 use ccp_obs::{unit, Counter, Family, Gauge, Histogram, Registry};
-use ccp_resctrl::ResctrlHealth;
+use ccp_resctrl::{ReconcileStats, ResctrlHealth};
 
 /// Instruments of the HTTP service layer. Cloning shares state.
 #[derive(Clone)]
@@ -21,6 +21,16 @@ pub struct ServerMetrics {
     admission_rejections: Counter,
     admission_class_rejections: Family<Counter>,
     admission_timeouts: Counter,
+    tenant_requests: Family<Counter>,
+    tenant_rejections: Family<Counter>,
+    reconcile_sweeps: Counter,
+    reconcile_reconciled: Counter,
+    reconcile_retried: Counter,
+    reconcile_orphans_removed: Counter,
+    reconcile_failures: Counter,
+    reconcile_failed_groups: Gauge,
+    reconcile_fallback_groups: Gauge,
+    reconcile_exhausted: Gauge,
     queue_depth: Gauge,
     running_queries: Gauge,
     resctrl_degraded: Gauge,
@@ -54,6 +64,18 @@ pub struct ResctrlHealthPublished {
 #[derive(Debug, Default, Clone, Copy)]
 pub struct ControlPublished {
     counters: ControlCounters,
+}
+
+/// Last [`ReconcileStats`] counter values already published to the
+/// registry; [`ServerMetrics::sync_reconcile`] adds only deltas so the
+/// Prometheus counters stay monotonic across reconcile passes.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ReconcilePublished {
+    sweeps: u64,
+    reconciled: u64,
+    retried: u64,
+    orphans_removed: u64,
+    failed_total: u64,
 }
 
 impl ServerMetrics {
@@ -102,6 +124,63 @@ impl ServerMetrics {
                 .counter_family(
                     "ccp_admission_timeouts_total",
                     "Queries dequeued with 503 after waiting past the admission deadline",
+                )
+                .get_or_create(&[]),
+            tenant_requests: registry.counter_family(
+                "ccp_server_tenant_requests_total",
+                "Queries admitted per tenant and CUID class",
+            ),
+            tenant_rejections: registry.counter_family(
+                "ccp_server_tenant_rejections_total",
+                "Queries rejected with 429 because their tenant hit its in-flight quota",
+            ),
+            reconcile_sweeps: registry
+                .counter_family(
+                    "ccp_reconcile_sweeps_total",
+                    "Orphan sweeps executed by the group reconciler (startup and per pass)",
+                )
+                .get_or_create(&[]),
+            reconcile_reconciled: registry
+                .counter_family(
+                    "ccp_reconcile_reconciled_total",
+                    "Tenant groups created and programmed by the reconciler",
+                )
+                .get_or_create(&[]),
+            reconcile_retried: registry
+                .counter_family(
+                    "ccp_reconcile_retried_total",
+                    "Group creations re-attempted after a failed or fallback pass",
+                )
+                .get_or_create(&[]),
+            reconcile_orphans_removed: registry
+                .counter_family(
+                    "ccp_reconcile_orphans_removed_total",
+                    "Stale ccp- groups deleted by reconciler sweeps",
+                )
+                .get_or_create(&[]),
+            reconcile_failures: registry
+                .counter_family(
+                    "ccp_reconcile_failures_total",
+                    "Reconcile operations (create, program, sweep) that failed",
+                )
+                .get_or_create(&[]),
+            reconcile_failed_groups: registry
+                .gauge_family(
+                    "ccp_reconcile_failed_groups",
+                    "Desired tenant groups currently in the Failed state",
+                )
+                .get_or_create(&[]),
+            reconcile_fallback_groups: registry
+                .gauge_family(
+                    "ccp_reconcile_fallback_groups",
+                    "Desired tenant groups currently degraded to the shared class mask \
+                     (CLOSID exhaustion fallback)",
+                )
+                .get_or_create(&[]),
+            reconcile_exhausted: registry
+                .gauge_family(
+                    "ccp_reconcile_exhausted",
+                    "1 while the last reconcile pass hit CLOSID exhaustion, else 0",
                 )
                 .get_or_create(&[]),
             queue_depth: registry
@@ -232,6 +311,98 @@ impl ServerMetrics {
         self.admission_class_rejections
             .get_or_create(&[("class", class)])
             .get()
+    }
+
+    /// Records one admitted query for `tenant` in `class`.
+    pub fn record_tenant_request(&self, tenant: &str, class: &str) {
+        self.tenant_requests
+            .get_or_create(&[("tenant", tenant), ("class", class)])
+            .inc();
+    }
+
+    /// Records a per-tenant quota rejection (also a 429). The global
+    /// rejection counter is bumped too, so existing dashboards keep
+    /// seeing every 429 in one series.
+    pub fn record_tenant_rejection(&self, tenant: &str) {
+        self.admission_rejections.inc();
+        self.tenant_rejections
+            .get_or_create(&[("tenant", tenant)])
+            .inc();
+    }
+
+    /// Per-tenant quota rejections so far for `tenant`.
+    pub fn tenant_rejections(&self, tenant: &str) -> u64 {
+        self.tenant_rejections
+            .get_or_create(&[("tenant", tenant)])
+            .get()
+    }
+
+    /// Admitted queries so far for `tenant` in `class`.
+    pub fn tenant_requests(&self, tenant: &str, class: &str) -> u64 {
+        self.tenant_requests
+            .get_or_create(&[("tenant", tenant), ("class", class)])
+            .get()
+    }
+
+    /// Publishes the reconciler's counters and gauges, adding only the
+    /// counter deltas since `published` (which is updated).
+    pub fn sync_reconcile(&self, stats: &ReconcileStats, published: &mut ReconcilePublished) {
+        let sweeps = stats.sweeps();
+        let reconciled = stats.reconciled();
+        let retried = stats.retried();
+        let orphans_removed = stats.orphans_removed();
+        let failed_total = stats.failed_total();
+        self.reconcile_sweeps
+            .add(sweeps.saturating_sub(published.sweeps));
+        self.reconcile_reconciled
+            .add(reconciled.saturating_sub(published.reconciled));
+        self.reconcile_retried
+            .add(retried.saturating_sub(published.retried));
+        self.reconcile_orphans_removed
+            .add(orphans_removed.saturating_sub(published.orphans_removed));
+        self.reconcile_failures
+            .add(failed_total.saturating_sub(published.failed_total));
+        self.reconcile_failed_groups.set(stats.failed() as f64);
+        self.reconcile_fallback_groups.set(stats.fallback() as f64);
+        self.reconcile_exhausted
+            .set(if stats.is_exhausted() { 1.0 } else { 0.0 });
+        *published = ReconcilePublished {
+            sweeps,
+            reconciled,
+            retried,
+            orphans_removed,
+            failed_total,
+        };
+    }
+
+    /// Reconciler group creations so far.
+    pub fn reconcile_reconciled(&self) -> u64 {
+        self.reconcile_reconciled.get()
+    }
+
+    /// Reconciler re-attempts so far.
+    pub fn reconcile_retried(&self) -> u64 {
+        self.reconcile_retried.get()
+    }
+
+    /// Orphaned groups removed so far.
+    pub fn reconcile_orphans_removed(&self) -> u64 {
+        self.reconcile_orphans_removed.get()
+    }
+
+    /// Failed reconcile operations so far.
+    pub fn reconcile_failures(&self) -> u64 {
+        self.reconcile_failures.get()
+    }
+
+    /// Desired groups currently in the Failed state.
+    pub fn reconcile_failed_groups(&self) -> f64 {
+        self.reconcile_failed_groups.get()
+    }
+
+    /// Desired groups currently degraded to the shared class mask.
+    pub fn reconcile_fallback_groups(&self) -> f64 {
+        self.reconcile_fallback_groups.get()
     }
 
     /// Publishes the admission queue's current occupancy.
@@ -414,6 +585,48 @@ mod tests {
         let text = registry.render_prometheus();
         assert!(text.contains("ccp_control_repartitions_total 3"));
         assert!(text.contains("ccp_control_mask_ways{class=\"sensitive\"} 4.0"));
+    }
+
+    #[test]
+    fn tenant_families_render_and_count() {
+        let registry = Registry::new();
+        let m = ServerMetrics::new(&registry);
+        m.record_tenant_request("acme", "polluting");
+        m.record_tenant_request("acme", "polluting");
+        m.record_tenant_rejection("acme");
+        assert_eq!(m.tenant_requests("acme", "polluting"), 2);
+        assert_eq!(m.tenant_rejections("acme"), 1);
+        // The quota 429 also lands in the global rejection series.
+        assert_eq!(m.admission_rejections(), 1);
+        let text = registry.render_prometheus();
+        assert!(text
+            .contains("ccp_server_tenant_requests_total{class=\"polluting\",tenant=\"acme\"} 2"));
+        assert!(text.contains("ccp_server_tenant_rejections_total{tenant=\"acme\"} 1"));
+    }
+
+    #[test]
+    fn reconcile_counters_delta_sync() {
+        let registry = Registry::new();
+        let m = ServerMetrics::new(&registry);
+        let stats = ReconcileStats::default();
+        let mut published = ReconcilePublished::default();
+        stats.note_sweep();
+        stats.note_reconciled();
+        stats.note_reconciled();
+        stats.note_retried();
+        stats.set_failed(1);
+        stats.set_fallback(3);
+        stats.set_exhausted(true);
+        m.sync_reconcile(&stats, &mut published);
+        // Re-syncing an unchanged snapshot adds nothing.
+        m.sync_reconcile(&stats, &mut published);
+        assert_eq!(m.reconcile_reconciled(), 2);
+        assert_eq!(m.reconcile_retried(), 1);
+        assert_eq!(m.reconcile_failed_groups(), 1.0);
+        assert_eq!(m.reconcile_fallback_groups(), 3.0);
+        let text = registry.render_prometheus();
+        assert!(text.contains("ccp_reconcile_reconciled_total 2"));
+        assert!(text.contains("ccp_reconcile_exhausted 1.0"));
     }
 
     #[test]

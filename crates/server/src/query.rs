@@ -293,6 +293,10 @@ pub struct QueryEngine {
     best_rows_per_sec: Mutex<HashMap<String, f64>>,
     /// Artifact reuse cache; `None` disables reuse entirely (`--no-reuse`).
     reuse: Option<ReuseCache>,
+    /// The fake resctrl tree backing the engine, kept so other components
+    /// (the group reconciler) can open their own controller over the
+    /// *same* tree; `None` outside `--fake-resctrl`.
+    fake_fs: Option<ccp_resctrl::fs::FakeFs>,
 }
 
 /// Default reuse-cache budget when the server does not override it.
@@ -330,13 +334,31 @@ impl QueryEngine {
         oltp_workers: usize,
         dataset_rows: usize,
     ) -> Self {
-        let fs = ccp_resctrl::fs::FakeFs::broadwell();
-        let allocator: Arc<dyn CacheAllocator> =
-            match ccp_resctrl::CacheController::open_with(Box::new(fs), "/sys/fs/resctrl") {
-                Ok(ctl) => Arc::new(ResctrlAllocator::new(ctl, vec![0])),
-                Err(_) => Arc::new(NoopAllocator),
-            };
-        Self::with_allocator(olap_workers, oltp_workers, dataset_rows, allocator, false)
+        Self::with_fake_resctrl_closids(olap_workers, oltp_workers, dataset_rows, 16)
+    }
+
+    /// [`with_fake_resctrl`](Self::with_fake_resctrl) with the fake
+    /// tree's CLOSID count capped at `num_closids` (Broadwell has 16;
+    /// the exhaustion chaos harness runs with 4 so tenant groups hit
+    /// `ENOSPC` deterministically).
+    pub fn with_fake_resctrl_closids(
+        olap_workers: usize,
+        oltp_workers: usize,
+        dataset_rows: usize,
+        num_closids: u32,
+    ) -> Self {
+        let fs = ccp_resctrl::fs::FakeFs::new("/sys/fs/resctrl", 0xfffff, 2, num_closids, &[0]);
+        let allocator: Arc<dyn CacheAllocator> = match ccp_resctrl::CacheController::open_with(
+            Box::new(fs.clone()),
+            "/sys/fs/resctrl",
+        ) {
+            Ok(ctl) => Arc::new(ResctrlAllocator::new(ctl, vec![0])),
+            Err(_) => Arc::new(NoopAllocator),
+        };
+        let mut engine =
+            Self::with_allocator(olap_workers, oltp_workers, dataset_rows, allocator, false);
+        engine.fake_fs = Some(fs);
+        engine
     }
 
     /// Builds the engine with an explicit allocator (tests use recording
@@ -365,7 +387,30 @@ impl QueryEngine {
             reuse: Some(ReuseCache::new(ccp_reuse::ReuseConfig::with_budget(
                 DEFAULT_REUSE_BUDGET_BYTES,
             ))),
+            fake_fs: None,
         }
+    }
+
+    /// A supervised controller over the *same* resctrl tree the engine's
+    /// allocator programs, sharing its health handle — this is what the
+    /// group reconciler runs on, so a reconcile failure streak trips the
+    /// same breaker the engine's binds do. `None` for backends without a
+    /// tree (noop, recording).
+    pub fn reconcile_controller(&self) -> Option<ccp_resctrl::SupervisedController> {
+        let health = self.resctrl_health()?;
+        let ctl = match &self.fake_fs {
+            Some(fs) => {
+                ccp_resctrl::CacheController::open_with(Box::new(fs.clone()), "/sys/fs/resctrl")
+                    .ok()?
+            }
+            None if self.cat_live => ccp_resctrl::CacheController::open().ok()?,
+            None => return None,
+        };
+        Some(ccp_resctrl::SupervisedController::new(
+            ctl,
+            ccp_resctrl::RetryPolicy::default(),
+            health,
+        ))
     }
 
     /// Replaces (or disables, with `None`) the reuse cache. The server

@@ -23,10 +23,10 @@
 //! connection before returning — no `TcpListener` leaks into the next
 //! test's port.
 
-use crate::admission::{AdmissionError, AdmissionQueue, ClassQueueLimits};
+use crate::admission::{AdmissionError, AdmissionQueue, ClassQueueLimits, TenantLimits};
 use crate::http::{read_request, HttpError, Request, Response};
 use crate::json::Json;
-use crate::metrics::{ControlPublished, ServerMetrics};
+use crate::metrics::{ControlPublished, ReconcilePublished, ServerMetrics};
 use crate::query::{parse_query, Breakdown, QueryEngine};
 use ccp_control::{
     ClassId, ClassReading, ControlConfig, Controller, Decision, MaskPlan, ScriptedTrace, TickInput,
@@ -37,8 +37,8 @@ use ccp_engine::{
 use ccp_flight::{FlightHandle, FlightRecorder, RecorderConfig};
 use ccp_obs::Registry;
 use ccp_resctrl::{
-    CacheController, OccupancyProbe, OccupancySampler, ReadingsHub, ResctrlMonitor, SimClass,
-    SimulatedMonitor,
+    CacheController, DesiredGroup, GroupState, OccupancyProbe, OccupancySampler, ReadingsHub,
+    ReconcileStats, Reconciler, ResctrlMonitor, SimClass, SimulatedMonitor, TenantId,
 };
 use ccp_trace::TraceCat;
 use std::io::BufReader;
@@ -113,6 +113,19 @@ pub struct ServerConfig {
     pub flight: bool,
     /// Flight-recorder sampling interval (`--flight-interval-ms`).
     pub flight_interval: Duration,
+    /// Per-tenant in-flight admission quotas (`--tenant-quota NAME=N`);
+    /// a tenant at its quota gets `429` per request.
+    pub tenant_quotas: Vec<(String, usize)>,
+    /// Per-tenant grant weights for the weighted-fair admission order
+    /// (`--tenant-weight NAME=W`); unlisted tenants weigh 1.
+    pub tenant_weights: Vec<(String, u32)>,
+    /// With `fake_resctrl`, caps the fake filesystem's CLOSIDs
+    /// (`--fake-closids N`) so CLOSID-exhaustion paths are reachable in
+    /// chaos runs; `None` keeps the Broadwell default of 16.
+    pub fake_closids: Option<u32>,
+    /// How often the group reconciler runs a pass
+    /// (`--reconcile-interval-ms`).
+    pub reconcile_interval: Duration,
 }
 
 impl Default for ServerConfig {
@@ -142,6 +155,10 @@ impl Default for ServerConfig {
             no_reuse: false,
             flight: true,
             flight_interval: Duration::from_millis(250),
+            tenant_quotas: Vec::new(),
+            tenant_weights: Vec::new(),
+            fake_closids: None,
+            reconcile_interval: Duration::from_millis(500),
         }
     }
 }
@@ -204,6 +221,25 @@ struct ControlState {
     last_decision: Mutex<&'static str>,
 }
 
+/// Live view of the group reconciler, published each pass by the
+/// reconcile loop for `/stats`.
+struct ReconcileView {
+    stats: Arc<ReconcileStats>,
+    /// Per-group state snapshot after the latest pass
+    /// (`ccp-<tenant>-<class>` → state label).
+    states: Mutex<Vec<(String, &'static str)>>,
+}
+
+/// The `/stats` label for a reconciler group state.
+fn group_state_label(state: GroupState) -> &'static str {
+    match state {
+        GroupState::Pending => "pending",
+        GroupState::Satisfied => "satisfied",
+        GroupState::Fallback => "fallback",
+        GroupState::Failed => "failed",
+    }
+}
+
 struct Shared {
     config: ServerConfig,
     registry: Registry,
@@ -221,6 +257,9 @@ struct Shared {
     /// Flight-recorder handle for `/timeline`, `/dashboard` and event
     /// emission; `None` with `--no-flight`.
     flight: Option<FlightHandle>,
+    /// Reconciler view for `/stats`; `None` when the resctrl backend has
+    /// no supervised controller (noop allocator).
+    reconcile: Option<Arc<ReconcileView>>,
 }
 
 /// Emits a flight-recorder event when the recorder is running.
@@ -260,6 +299,7 @@ pub struct Server {
     accept: Option<std::thread::JoinHandle<()>>,
     supervise: Option<SupervisorHandle>,
     control: Option<SupervisorHandle>,
+    reconcile: Option<SupervisorHandle>,
     recorder: Option<FlightRecorder>,
 }
 
@@ -274,7 +314,14 @@ impl Server {
         }
         let registry = Registry::new();
         register_build_info(&registry);
-        let mut engine = if config.fake_resctrl {
+        let mut engine = if let Some(closids) = config.fake_closids {
+            QueryEngine::with_fake_resctrl_closids(
+                config.olap_workers,
+                config.oltp_workers,
+                config.dataset_rows,
+                closids,
+            )
+        } else if config.fake_resctrl {
             QueryEngine::with_fake_resctrl(
                 config.olap_workers,
                 config.oltp_workers,
@@ -300,6 +347,13 @@ impl Server {
         let sched_metrics = SchedulerMetrics::new();
         sched_metrics.register_into(&registry);
         let scheduler = CacheAwareScheduler::new(engine.policy(), config.scheduler_slots);
+        let mut tenant_limits = TenantLimits::new();
+        for (tenant, quota) in &config.tenant_quotas {
+            tenant_limits = tenant_limits.with_quota(tenant, *quota);
+        }
+        for (tenant, weight) in &config.tenant_weights {
+            tenant_limits = tenant_limits.with_weight(tenant, *weight);
+        }
         let admission = Arc::new(
             AdmissionQueue::new(
                 scheduler,
@@ -307,7 +361,8 @@ impl Server {
                 sched_metrics,
                 metrics.clone(),
             )
-            .with_class_limits(config.class_queue_limits),
+            .with_class_limits(config.class_queue_limits)
+            .with_tenant_limits(tenant_limits),
         );
 
         // Adaptive control needs the sampler's readings delivered as a
@@ -350,6 +405,29 @@ impl Server {
             None
         };
 
+        // The group reconciler: owns every `ccp-<tenant>-<class>` group on
+        // the resctrl tree the engine allocates from. The startup sweep
+        // runs synchronously — before the engine's allocator lazily mints
+        // its own mask groups — so a crashed predecessor's leftovers are
+        // gone by the time the first query binds.
+        let reconciler = match engine.reconcile_controller() {
+            Some(ctl) => {
+                let mut reconciler = Reconciler::new(ctl, vec![0]);
+                reconciler.set_desired(desired_tenant_groups(&config, &engine)?);
+                if let Err(err) = reconciler.startup_sweep() {
+                    eprintln!("ccp-serve: startup sweep failed (continuing): {err}");
+                }
+                Some(reconciler)
+            }
+            None => None,
+        };
+        let reconcile_view = reconciler.as_ref().map(|r| {
+            Arc::new(ReconcileView {
+                stats: r.stats(),
+                states: Mutex::new(Vec::new()),
+            })
+        });
+
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
         let shared = Arc::new(Shared {
@@ -364,7 +442,27 @@ impl Server {
             sampler: Mutex::new(sampler),
             control: control_state,
             flight: recorder.as_ref().map(FlightRecorder::handle),
+            reconcile: reconcile_view,
         });
+        let reconcile = match (reconciler, shared.reconcile.as_ref()) {
+            (Some(mut reconciler), Some(view)) => {
+                let stop = Arc::new((Mutex::new(false), Condvar::new()));
+                let loop_shared = Arc::clone(&shared);
+                let loop_view = Arc::clone(view);
+                let loop_stop = Arc::clone(&stop);
+                let thread = std::thread::Builder::new()
+                    .name("ccp-reconcile".to_string())
+                    .spawn(move || {
+                        ccp_flight::register_current_thread();
+                        reconcile_loop(&loop_shared, &mut reconciler, &loop_view, &loop_stop)
+                    })?;
+                Some(SupervisorHandle {
+                    stop,
+                    thread: Some(thread),
+                })
+            }
+            _ => None,
+        };
         let supervise = match shared.engine.resctrl_health() {
             Some(health) => {
                 let stop = Arc::new((Mutex::new(false), Condvar::new()));
@@ -415,6 +513,7 @@ impl Server {
             accept: Some(accept),
             supervise,
             control,
+            reconcile,
             recorder,
         })
     }
@@ -478,6 +577,12 @@ impl Server {
         let grace = self.shared.config.read_timeout + Duration::from_secs(2);
         self.shared.admission.drain(grace);
         self.shared.conns.wait_zero(grace);
+        // The reconciler goes last: its shutdown sweep must run after the
+        // drain, when no query can mint or bind a group any more, so it
+        // can leave the resctrl tree with zero `ccp-` groups.
+        if let Some(mut reconcile) = self.reconcile.take() {
+            reconcile.stop();
+        }
     }
 }
 
@@ -626,6 +731,136 @@ fn supervision_loop(
     // Final sync so counters recorded after the last tick (e.g. during
     // shutdown's drain) still reach the registry.
     shared.metrics.sync_resctrl_health(health, &mut published);
+}
+
+/// The reconciler's desired set: one `ccp-<tenant>-<class>` group per
+/// (configured tenant ∪ default) × CUID class, programmed with the
+/// paper's static class masks. Invalid tenant names in the config are a
+/// startup error, not a silent skip.
+fn desired_tenant_groups(
+    config: &ServerConfig,
+    engine: &QueryEngine,
+) -> std::io::Result<Vec<DesiredGroup>> {
+    let policy = engine.policy();
+    let class_masks = [
+        ("polluting", policy.mask_for(CacheUsageClass::Polluting)),
+        ("sensitive", policy.mask_for(CacheUsageClass::Sensitive)),
+        (
+            "mixed",
+            policy.mask_for(CacheUsageClass::Mixed {
+                hot_bytes: policy.llc.size_bytes,
+            }),
+        ),
+    ];
+    let mut names: Vec<&str> = vec![ccp_resctrl::DEFAULT_TENANT];
+    for name in config
+        .tenant_quotas
+        .iter()
+        .map(|(t, _)| t.as_str())
+        .chain(config.tenant_weights.iter().map(|(t, _)| t.as_str()))
+    {
+        if !names.contains(&name) {
+            names.push(name);
+        }
+    }
+    let mut desired = Vec::with_capacity(names.len() * class_masks.len());
+    for name in names {
+        let tenant = TenantId::parse(name).map_err(|why| {
+            std::io::Error::new(std::io::ErrorKind::InvalidInput, format!("--tenant: {why}"))
+        })?;
+        for (class, mask) in &class_masks {
+            desired.push(DesiredGroup {
+                name: tenant.group_name(class),
+                mask: *mask,
+            });
+        }
+    }
+    Ok(desired)
+}
+
+/// The group-reconciler loop (one thread, started whenever the engine's
+/// resctrl backend is supervised).
+///
+/// Every `reconcile_interval` it runs one [`Reconciler::reconcile`]
+/// pass — orphan sweep, desired-vs-actual diff, capacity-aware creation
+/// with backoff — publishes the pass's counters into the registry
+/// (delta-synced) and the per-group states into the `/stats` view, and
+/// drops flight-recorder events on the interesting transitions:
+/// `reconciled` when groups were created, `tenant_degraded` when CLOSID
+/// exhaustion pushed tenants onto the shared class masks. After the stop
+/// flag it runs the shutdown sweep; the final log line is what the smoke
+/// harness greps to prove zero `ccp-` groups leaked.
+fn reconcile_loop(
+    shared: &Shared,
+    reconciler: &mut Reconciler,
+    view: &ReconcileView,
+    stop: &(Mutex<bool>, Condvar),
+) {
+    let mut published = ReconcilePublished::default();
+    let mut was_exhausted = false;
+    loop {
+        let outcome = reconciler.reconcile();
+        let stats = reconciler.stats();
+        shared.metrics.sync_reconcile(&stats, &mut published);
+        {
+            let mut states = view.states.lock().unwrap_or_else(PoisonError::into_inner);
+            *states = reconciler
+                .group_states()
+                .into_iter()
+                .map(|(name, state)| (name, group_state_label(state)))
+                .collect();
+            states.sort();
+        }
+        if outcome.created > 0 {
+            emit_event(
+                shared,
+                "reconciled",
+                format!(
+                    "created {} tenant group(s); {} fallback, {} failed",
+                    outcome.created, outcome.fallback, outcome.failed
+                ),
+            );
+        }
+        let exhausted = stats.is_exhausted();
+        if exhausted != was_exhausted {
+            was_exhausted = exhausted;
+            if exhausted {
+                emit_event(
+                    shared,
+                    "tenant_degraded",
+                    format!(
+                        "CLOSIDs exhausted; {} tenant group(s) on shared class masks",
+                        outcome.fallback
+                    ),
+                );
+            } else {
+                emit_event(
+                    shared,
+                    "reconciled",
+                    "CLOSID capacity recovered; dedicated tenant groups restored".into(),
+                );
+            }
+        }
+        let (lock, cv) = stop;
+        let stopped = lock.lock().unwrap_or_else(PoisonError::into_inner);
+        if *stopped {
+            break;
+        }
+        let (stopped, _) = cv
+            .wait_timeout(stopped, shared.config.reconcile_interval)
+            .unwrap_or_else(PoisonError::into_inner);
+        if *stopped {
+            break;
+        }
+    }
+    let (removed, remaining) = reconciler.shutdown_sweep();
+    shared
+        .metrics
+        .sync_reconcile(&reconciler.stats(), &mut published);
+    eprintln!(
+        "ccp-serve: reconcile shutdown sweep: removed {removed} group(s), \
+         {remaining} ccp- group(s) remain"
+    );
 }
 
 /// The static paper plan the controller clamps to: the polluter mask,
@@ -1169,7 +1404,25 @@ fn handle_data_bump(shared: &Shared) -> Response {
 /// (`429` queue full / `503` draining) so callers and load balancers see
 /// backpressure; failures on later lines become error objects inside the
 /// 200 NDJSON stream, since the status line has already been decided.
+///
+/// The `X-CCP-Tenant` header names the tenant the request is admitted
+/// as; absent means the default tenant, a malformed name is a `400`.
 fn handle_query(shared: &Shared, req: &Request) -> Response {
+    let tenant = match req.header("x-ccp-tenant") {
+        None => ccp_resctrl::TenantId::default_tenant(),
+        Some(raw) => match ccp_resctrl::TenantId::parse(raw) {
+            Ok(t) => t,
+            Err(why) => {
+                return Response::json(
+                    400,
+                    &Json::obj(vec![(
+                        "error",
+                        Json::str(format!("bad X-CCP-Tenant: {why}")),
+                    )]),
+                )
+            }
+        },
+    };
     let Ok(body) = std::str::from_utf8(&req.body) else {
         return Response::json(
             400,
@@ -1192,7 +1445,7 @@ fn handle_query(shared: &Shared, req: &Request) -> Response {
     }
     let mut out = Vec::with_capacity(lines.len());
     for (i, line) in lines.iter().enumerate() {
-        match run_query_line(shared, line) {
+        match run_query_line(shared, line, &tenant) {
             Ok(outcome) => out.push(outcome),
             Err(QueryLineError::Parse(why)) => {
                 let err = Json::obj(vec![("error", Json::str(&why))]);
@@ -1203,7 +1456,7 @@ fn handle_query(shared: &Shared, req: &Request) -> Response {
             }
             Err(QueryLineError::Admission(err)) => {
                 let status = match err {
-                    AdmissionError::QueueFull => 429,
+                    AdmissionError::QueueFull | AdmissionError::QuotaExceeded => 429,
                     AdmissionError::ShuttingDown | AdmissionError::TimedOut => 503,
                 };
                 let msg = Json::obj(vec![("error", Json::str(err.to_string()))]);
@@ -1238,7 +1491,11 @@ fn retry_after_secs(shared: &Shared) -> u64 {
         .map_or(1, |d| d.as_secs().max(1))
 }
 
-fn run_query_line(shared: &Shared, line: &str) -> Result<String, QueryLineError> {
+fn run_query_line(
+    shared: &Shared,
+    line: &str,
+    tenant: &ccp_resctrl::TenantId,
+) -> Result<String, QueryLineError> {
     let value = Json::parse(line).map_err(|e| QueryLineError::Parse(format!("bad JSON: {e}")))?;
     let spec =
         parse_query(&value, shared.config.enable_sleep_workload).map_err(QueryLineError::Parse)?;
@@ -1248,8 +1505,11 @@ fn run_query_line(shared: &Shared, line: &str) -> Result<String, QueryLineError>
     let (cuid, predicted_hit) = shared.engine.classify_for_admission(&spec);
     let permit = shared
         .admission
-        .acquire_with_deadline(cuid, shared.config.queue_deadline)
+        .acquire_tenant(cuid, tenant.as_str(), shared.config.queue_deadline)
         .map_err(QueryLineError::Admission)?;
+    shared
+        .metrics
+        .record_tenant_request(tenant.as_str(), ccp_engine::class_label(cuid));
     // The admission ticket doubles as the trace query id: every span this
     // query emits downstream (scheduler, bind, operators) carries it.
     let ticket = permit.ticket();
@@ -1345,8 +1605,115 @@ fn stats_json(shared: &Shared) -> Json {
         ),
         ("resctrl", resctrl_json(shared)),
         ("control", control_json(shared)),
+        ("tenants", tenants_json(shared)),
+        ("reconciler", reconcile_json(shared)),
         ("reuse", reuse_json(shared)),
         ("trace", trace_json()),
+    ])
+}
+
+/// Per-tenant view for `/stats`: configured quota and weight, current
+/// waiting/running occupancy, cumulative grants and quota rejections,
+/// and — when the reconciler runs — the state of each of the tenant's
+/// `ccp-<tenant>-<class>` groups.
+fn tenants_json(shared: &Shared) -> Json {
+    let limits = shared.admission.tenant_limits().clone();
+    let waiting = shared.admission.waiting_by_tenant();
+    let running = shared.admission.running_by_tenant();
+    let grants = shared.admission.grants_by_tenant();
+    let mut names: Vec<String> = vec![ccp_resctrl::DEFAULT_TENANT.to_string()];
+    for name in limits
+        .tenants()
+        .into_iter()
+        .map(str::to_string)
+        .chain(grants.iter().map(|(t, _)| t.clone()))
+        .chain(waiting.iter().map(|(t, _)| t.clone()))
+        .chain(running.iter().map(|(t, _)| t.clone()))
+    {
+        if !names.contains(&name) {
+            names.push(name);
+        }
+    }
+    let group_states = shared.reconcile.as_ref().map(|view| {
+        view.states
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
+    });
+    let count = |list: &[(String, usize)], name: &str| {
+        list.iter().find(|(t, _)| t == name).map_or(0, |&(_, n)| n)
+    };
+    let fields = names
+        .into_iter()
+        .map(|name| {
+            let mut obj = vec![
+                (
+                    "quota",
+                    limits
+                        .quota_for(&name)
+                        .map_or(Json::Null, |q| Json::num(q as f64)),
+                ),
+                ("weight", Json::num(f64::from(limits.weight_for(&name)))),
+                ("waiting", Json::num(count(&waiting, &name) as f64)),
+                ("running", Json::num(count(&running, &name) as f64)),
+                (
+                    "grants",
+                    Json::num(
+                        grants
+                            .iter()
+                            .find(|(t, _)| *t == name)
+                            .map_or(0.0, |&(_, g)| g as f64),
+                    ),
+                ),
+                (
+                    "rejections",
+                    Json::num(shared.metrics.tenant_rejections(&name) as f64),
+                ),
+            ];
+            if let Some(states) = &group_states {
+                let groups: Vec<(&str, Json)> = states
+                    .iter()
+                    .filter_map(|(group, state)| {
+                        let (tenant, class) = ccp_resctrl::parse_group_name(group)?;
+                        (tenant.as_str() == name).then_some((class, Json::str(*state)))
+                    })
+                    .collect();
+                obj.push(("groups", Json::obj(groups)));
+            }
+            (name, Json::obj(obj))
+        })
+        .collect::<Vec<_>>();
+    Json::obj(
+        fields
+            .iter()
+            .map(|(name, json)| (name.as_str(), json.clone()))
+            .collect(),
+    )
+}
+
+/// Group-reconciler view for `/stats`: cumulative pass counters, the
+/// convergence gauges (`failed` must return to 0 after faults heal;
+/// `fallback` counts tenants degraded to the shared class masks) and
+/// whether the last pass saw CLOSID exhaustion.
+fn reconcile_json(shared: &Shared) -> Json {
+    let Some(view) = shared.reconcile.as_ref() else {
+        return Json::obj(vec![("enabled", Json::Bool(false))]);
+    };
+    let s = &view.stats;
+    Json::obj(vec![
+        ("enabled", Json::Bool(true)),
+        (
+            "interval_ms",
+            Json::num(shared.config.reconcile_interval.as_millis() as f64),
+        ),
+        ("sweeps", Json::num(s.sweeps() as f64)),
+        ("reconciled", Json::num(s.reconciled() as f64)),
+        ("retried", Json::num(s.retried() as f64)),
+        ("orphans_removed", Json::num(s.orphans_removed() as f64)),
+        ("failures", Json::num(s.failed_total() as f64)),
+        ("failed", Json::num(s.failed() as f64)),
+        ("fallback", Json::num(s.fallback() as f64)),
+        ("exhausted", Json::Bool(s.is_exhausted())),
     ])
 }
 
@@ -1595,6 +1962,7 @@ impl ScrapeServer {
             sampler: Mutex::new(None),
             control: None,
             flight: None,
+            reconcile: None,
         });
         let accept_shared = Arc::clone(&shared);
         let accept = std::thread::Builder::new()
@@ -1607,6 +1975,7 @@ impl ScrapeServer {
                 accept: Some(accept),
                 supervise: None,
                 control: None,
+                reconcile: None,
                 recorder: None,
             },
         })

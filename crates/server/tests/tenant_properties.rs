@@ -1,0 +1,226 @@
+//! Property tests for the tenant admission layer: quotas are arrival
+//! gates that in-flight work can never exceed, and the weighted-fair
+//! grant order both satisfies its local invariant (the picked tenant
+//! minimizes virtual finish time `(grants+1)/weight`) and converges to
+//! proportional shares (±1 grant) when every tenant stays backlogged.
+
+use ccp_cachesim::HierarchyConfig;
+use ccp_engine::{CacheAwareScheduler, CacheUsageClass, PartitionPolicy, SchedulerMetrics};
+use ccp_obs::Registry;
+use ccp_server::{
+    AdmissionError, AdmissionQueue, FairShare, RunPermit, ServerMetrics, TenantLimits,
+};
+use proptest::prelude::*;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Fixed tenant universe — names are irrelevant to the properties, the
+/// indices into this table are what the strategies generate.
+const TENANTS: [&str; 3] = ["apex", "blue", "coral"];
+
+fn queue_with(limits: TenantLimits) -> Arc<AdmissionQueue> {
+    let cfg = HierarchyConfig::broadwell_e5_2699_v4();
+    let policy = PartitionPolicy::paper_default(cfg.llc, cfg.l2.size_bytes);
+    // Slots and capacity far above any generated stream so tenant
+    // quotas are the only binding constraint.
+    let scheduler = CacheAwareScheduler::new(policy, 128);
+    let registry = Registry::new();
+    Arc::new(
+        AdmissionQueue::new(
+            scheduler,
+            128,
+            SchedulerMetrics::new(),
+            ServerMetrics::new(&registry),
+        )
+        .with_tenant_limits(limits),
+    )
+}
+
+/// One step of an arrival stream: a tenant arrives wanting a permit, or
+/// one of its in-flight permits completes.
+#[derive(Clone, Copy, Debug)]
+enum Op {
+    Arrive(usize),
+    Depart(usize),
+}
+
+fn op_strategy() -> BoxedStrategy<Op> {
+    (0usize..TENANTS.len(), 0u32..2)
+        .prop_map(|(t, arrive)| {
+            if arrive == 1 {
+                Op::Arrive(t)
+            } else {
+                Op::Depart(t)
+            }
+        })
+        .boxed()
+}
+
+/// Per-tenant quota strategy: `0..=4` is a real quota, `5` means the
+/// tenant runs unlimited (the vendored proptest has no `option::of`).
+fn quota_of(raw: usize) -> Option<usize> {
+    (raw < 5).then_some(raw)
+}
+
+proptest! {
+    /// Grants never exceed quota: for every prefix of an arbitrary
+    /// arrival/departure stream, each tenant's in-flight permit count
+    /// stays at or under its quota, and an arrival is rejected with
+    /// `QuotaExceeded` exactly when the tenant is at quota.
+    #[test]
+    fn quota_bounds_in_flight_under_arbitrary_streams(
+        raw_quotas in proptest::collection::vec(0usize..6, 3..4),
+        ops in proptest::collection::vec(op_strategy(), 1..60),
+    ) {
+        let quotas: Vec<Option<usize>> = raw_quotas.iter().map(|&q| quota_of(q)).collect();
+        let mut limits = TenantLimits::new();
+        for (i, q) in quotas.iter().enumerate() {
+            if let Some(q) = q {
+                limits = limits.with_quota(TENANTS[i], *q);
+            }
+        }
+        let queue = queue_with(limits);
+        let mut held: Vec<Vec<RunPermit>> = vec![Vec::new(), Vec::new(), Vec::new()];
+
+        for op in ops {
+            match op {
+                Op::Arrive(t) => {
+                    let at_quota = quotas[t].is_some_and(|q| held[t].len() >= q);
+                    // Polluting is always co-runnable, so with slots
+                    // free the only thing that can say no is the quota.
+                    let got = queue.acquire_tenant(
+                        CacheUsageClass::Polluting,
+                        TENANTS[t],
+                        Some(Duration::ZERO),
+                    );
+                    match got {
+                        Ok(permit) => {
+                            prop_assert!(
+                                !at_quota,
+                                "{} admitted at quota {:?} with {} in flight",
+                                TENANTS[t], quotas[t], held[t].len()
+                            );
+                            prop_assert_eq!(permit.tenant(), TENANTS[t]);
+                            held[t].push(permit);
+                        }
+                        Err(AdmissionError::QuotaExceeded) => {
+                            prop_assert!(
+                                at_quota,
+                                "{} rejected below quota {:?} with {} in flight",
+                                TENANTS[t], quotas[t], held[t].len()
+                            );
+                        }
+                        Err(e) => prop_assert!(false, "unexpected admission error: {e}"),
+                    }
+                }
+                Op::Depart(t) => {
+                    held[t].pop();
+                }
+            }
+            // The queue's own ledger agrees with the model and never
+            // shows a tenant above quota.
+            for (i, permits) in held.iter().enumerate() {
+                let running = queue
+                    .running_by_tenant()
+                    .into_iter()
+                    .find(|(t, _)| t == TENANTS[i])
+                    .map_or(0, |(_, n)| n);
+                prop_assert_eq!(running, permits.len());
+                if let Some(q) = quotas[i] {
+                    prop_assert!(running <= q, "{} over quota {}", TENANTS[i], q);
+                }
+            }
+        }
+    }
+
+    /// Local fairness invariant under arbitrary candidate sets: the
+    /// winner is always drawn from the offered candidates, and no other
+    /// candidate has a strictly smaller virtual finish time
+    /// `(grants+1)/weight` (compared exactly via cross-multiplication).
+    #[test]
+    fn pick_minimizes_virtual_finish_time(
+        weights in proptest::collection::vec(1u32..=5, 3..4),
+        rounds in proptest::collection::vec(
+            proptest::collection::vec(0usize..TENANTS.len(), 1..4), 1..80),
+    ) {
+        let mut fair = FairShare::new();
+        for (round, present) in rounds.into_iter().enumerate() {
+            let candidates: Vec<(u64, &str)> = present
+                .iter()
+                .map(|&t| ((round * TENANTS.len() + t) as u64, TENANTS[t]))
+                .collect();
+            let winner = fair.pick(&candidates, |t| {
+                weights[TENANTS.iter().position(|&n| n == t).unwrap()]
+            });
+            let ticket = winner.expect("nonempty candidate set always yields a winner");
+            let (_, name) = *candidates
+                .iter()
+                .find(|(tk, _)| *tk == ticket)
+                .expect("winner must be one of the candidates");
+            let wi = TENANTS.iter().position(|&n| n == name).unwrap();
+            let wg = u128::from(fair.grants(name) + 1);
+            let ww = u128::from(weights[wi]);
+            for &(_, other) in &candidates {
+                let oi = TENANTS.iter().position(|&n| n == other).unwrap();
+                let og = u128::from(fair.grants(other) + 1);
+                let ow = u128::from(weights[oi]);
+                prop_assert!(
+                    og * ww >= wg * ow,
+                    "{} (g+1={}, w={}) beat winner {} (g+1={}, w={})",
+                    other, og, ow, name, wg, ww
+                );
+            }
+            fair.record_grant(name);
+        }
+    }
+
+    /// Proportional convergence when everyone is backlogged: grants
+    /// proceed in sorted virtual-finish order, so after any whole
+    /// number of periods (`G = m * W`, `W = Σw`) the split is *exact*
+    /// (`m * w` each), and mid-period each tenant's count stays inside
+    /// `[m*w, (m+1)*w]` — i.e. never deviates from the ideal
+    /// `G * w / W` by more than its own weight.
+    #[test]
+    fn backlogged_weights_converge_to_proportional_shares(
+        weights in proptest::collection::vec(1u32..=5, 3..4),
+        total in 1u64..=120,
+    ) {
+        let mut fair = FairShare::new();
+        let period: u64 = weights.iter().map(|&w| u64::from(w)).sum();
+        for g in 0..total {
+            let candidates: Vec<(u64, &str)> = TENANTS
+                .iter()
+                .enumerate()
+                .map(|(i, &t)| (g * TENANTS.len() as u64 + i as u64, t))
+                .collect();
+            let ticket = fair
+                .pick(&candidates, |t| {
+                    weights[TENANTS.iter().position(|&n| n == t).unwrap()]
+                })
+                .expect("backlogged candidates always yield a winner");
+            let (_, name) = *candidates.iter().find(|(tk, _)| *tk == ticket).unwrap();
+            fair.record_grant(name);
+
+            let granted = g + 1;
+            for (i, &t) in TENANTS.iter().enumerate() {
+                let got = fair.grants(t);
+                let w = u64::from(weights[i]);
+                let ideal_num = granted * w; // ideal = ideal_num / period
+                // |got - ideal| <= w  ⇔  |got * period - ideal_num| <= w * period
+                let dev = (got * period) as i128 - ideal_num as i128;
+                prop_assert!(
+                    dev.unsigned_abs() <= u128::from(w * period),
+                    "after {} grants {} holds {}, ideal {}/{}",
+                    granted, t, got, ideal_num, period
+                );
+                if granted % period == 0 {
+                    prop_assert_eq!(
+                        got,
+                        granted / period * u64::from(weights[i]),
+                        "whole periods split exactly"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -51,8 +51,8 @@ impl QueueModel {
             }
             Err(AdmissionError::TimedOut) => self.timed_out += 1,
             Err(AdmissionError::QueueFull) => self.queue_full += 1,
-            Err(AdmissionError::ShuttingDown) => {
-                unreachable!("queue is never shut down in this harness")
+            Err(AdmissionError::ShuttingDown | AdmissionError::QuotaExceeded) => {
+                unreachable!("queue is never shut down or quota'd in this harness")
             }
         }
     }

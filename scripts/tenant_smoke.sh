@@ -1,0 +1,171 @@
+#!/usr/bin/env bash
+# Tenant lifecycle smoke gate: quotas bite per tenant, the group
+# reconciler survives CLOSID exhaustion, and shutdown leaves zero
+# `ccp-` groups behind.
+#
+# Starts `ccp serve` with the fake resctrl tree capped at 4 CLOSIDs —
+# three tenants x three classes of desired groups can never all fit —
+# plus a bounded ENOSPC fault window on tenant group creation, then:
+#
+#   * a zero-quota tenant is 429'd at arrival while a quota'd tenant
+#     serves 200 through the very same queue (quotas are per tenant,
+#     not a shared valve);
+#   * `ccp bench-serve --tenant-mix alpha:50,beta:30,gamma:20` drives a
+#     skewed three-tenant mix with a 1% error gate — >=99% of queries
+#     succeed on shared class masks while dedicated groups are
+#     impossible;
+#   * the reconciler's retry counter advances through the fault window
+#     and the failed-groups gauge converges to 0 (exhaustion degrades
+#     to fallback, it is never booked as failure);
+#   * SIGINT shutdown runs the final sweep and the server's own exit
+#     log proves 0 `ccp-` groups remain;
+#   * zero worker panics end to end.
+#
+# Usage:
+#   scripts/tenant_smoke.sh [PORT]          # default: 19393
+#
+# Tunables (environment):
+#   CCP_TENANT_QPS       offered load (default 40)
+#   CCP_TENANT_SECS      bench duration in seconds (default 6)
+#   CCP_TENANT_PROFILE   cargo profile to build/run (default release)
+#   CCP_SMOKE_ARTIFACTS  directory to receive server log + final
+#                        /metrics when the script fails (for CI uploads)
+
+set -euo pipefail
+
+PORT="${1:-19393}"
+ADDR="127.0.0.1:${PORT}"
+QPS="${CCP_TENANT_QPS:-40}"
+SECS="${CCP_TENANT_SECS:-6}"
+PROFILE="${CCP_TENANT_PROFILE:-release}"
+# 20 ENOSPC hits on tenant group creation: the capacity-aware retry
+# (one attempt every few 25ms passes under backoff) burns through the
+# window in about two seconds, then lands on genuine 4-CLOSID scarcity.
+FAULTS="tenant.create_group=err:enospc@1+20"
+
+cd "$(dirname "$0")/.."
+. scripts/lib.sh
+
+ccp_build "$PROFILE"
+ccp_init
+
+ccp_launch_server serve "$ADDR" \
+  --fake-closids 4 --reconcile-interval-ms 25 \
+  --tenant-quota alpha=8 --tenant-weight alpha=5 \
+  --tenant-quota beta=8 --tenant-weight beta=3 \
+  --tenant-quota gamma=8 --tenant-weight gamma=2 \
+  --tenant-quota tiny=0 \
+  --faults "$FAULTS"
+SERVER_PID="${CCP_SERVER_PIDS[${#CCP_SERVER_PIDS[@]}-1]}"
+SERVER_LOG="${CCP_SERVER_LOGS[${#CCP_SERVER_LOGS[@]}-1]}"
+
+# Numeric comparison helpers: counters render as integers but gauges
+# render as '0.0' / '1.0', so string equality is not enough.
+num_eq() { awk -v a="${1:-}" -v b="$2" 'BEGIN { exit (a+0 == b+0) ? 0 : 1 }'; }
+num_gt0() { [[ -n "${1:-}" ]] && awk -v a="$1" 'BEGIN { exit (a+0 > 0) ? 0 : 1 }'; }
+
+# POST /query as a tenant; echoes the HTTP status code.
+post_as_tenant() {
+  local tenant="$1" body="$2"
+  if command -v curl >/dev/null 2>&1; then
+    curl -s -o /dev/null -w '%{http_code}' -X POST \
+      -H "X-CCP-Tenant: ${tenant}" --data "$body" "http://${ADDR}/query"
+  else
+    # wget exits non-zero on 4xx; read the status off --server-response.
+    wget -q -O /dev/null --server-response \
+      --header="X-CCP-Tenant: ${tenant}" --post-data="$body" \
+      "http://${ADDR}/query" 2>&1 \
+      | awk '/^  HTTP\// { code=$2 } END { print code }'
+  fi
+}
+
+ccp_scrape "$ADDR" /stats "$WORK/stats.json"
+grep -qF '"tenants"' "$WORK/stats.json" || {
+  echo "/stats is missing the tenants section:" >&2
+  cat "$WORK/stats.json" >&2
+  exit 1
+}
+grep -qF '"reconciler":{"enabled":true' "$WORK/stats.json" || {
+  echo "/stats says the reconciler is not running:" >&2
+  cat "$WORK/stats.json" >&2
+  exit 1
+}
+
+echo "== per-tenant quotas: tiny (quota 0) is rejected, alpha serves"
+STATUS_TINY="$(post_as_tenant tiny '{"workload":"q1"}')"
+STATUS_ALPHA="$(post_as_tenant alpha '{"workload":"q1"}')"
+if [[ "$STATUS_TINY" != 429 ]]; then
+  echo "tenant tiny (quota 0) got HTTP ${STATUS_TINY}, expected 429" >&2
+  exit 1
+fi
+if [[ "$STATUS_ALPHA" != 200 ]]; then
+  echo "tenant alpha (quota 8) got HTTP ${STATUS_ALPHA}, expected 200" >&2
+  exit 1
+fi
+echo "   tiny -> 429, alpha -> 200"
+
+echo "== bench-serve --tenant-mix alpha:50,beta:30,gamma:20 under '${FAULTS}': ${QPS} qps for ${SECS}s"
+"$CCP" bench-serve --addr "$ADDR" --qps "$QPS" --duration "$SECS" \
+  --concurrency 2 --max-error-pct 1 \
+  --tenant-mix alpha:50,beta:30,gamma:20 # propagates the >=99% gate
+
+# The reconciler must burn through the fault window (retries advance)
+# and settle with zero failed groups: under permanent CLOSID scarcity
+# every unsatisfiable group is fallback (shared class mask), which is
+# degradation, not failure.
+SETTLED=0
+for _ in $(seq 1 100); do
+  ccp_scrape "$ADDR" /metrics "$WORK/metrics.txt"
+  RETRIED=$(ccp_metric "$WORK/metrics.txt" ccp_reconcile_retried_total)
+  FAILED=$(ccp_metric "$WORK/metrics.txt" ccp_reconcile_failed_groups)
+  if num_gt0 "$RETRIED" && num_eq "$FAILED" 0; then
+    SETTLED=1
+    break
+  fi
+  sleep 0.1
+done
+if [[ "$SETTLED" != 1 ]]; then
+  echo "reconciler never settled (retried=${RETRIED:-?} failed=${FAILED:-?}):" >&2
+  grep '^ccp_reconcile' "$WORK/metrics.txt" >&2 || true
+  exit 1
+fi
+echo "   reconcile retried=${RETRIED}, failed_groups=0 after heal"
+
+EXHAUSTED=$(ccp_metric "$WORK/metrics.txt" ccp_reconcile_exhausted)
+FALLBACK=$(ccp_metric "$WORK/metrics.txt" ccp_reconcile_fallback_groups)
+if ! num_eq "$EXHAUSTED" 1 || ! num_gt0 "$FALLBACK"; then
+  echo "expected CLOSID exhaustion with class-sharing fallback, got exhausted=${EXHAUSTED:-?} fallback=${FALLBACK:-?}" >&2
+  grep '^ccp_reconcile' "$WORK/metrics.txt" >&2 || true
+  exit 1
+fi
+echo "   exhausted=1 with fallback_groups=${FALLBACK} on shared class masks"
+
+# Every tenant's traffic is labelled in the scrape. The mix's oltp
+# share (and reuse-predicted scan hits) are admitted as sensitive, so
+# that family exists for every tenant regardless of reuse behaviour.
+for tenant in alpha beta gamma; do
+  SEEN=$(ccp_metric "$WORK/metrics.txt" \
+    "ccp_server_tenant_requests_total{class=\"sensitive\",tenant=\"${tenant}\"}")
+  if ! num_gt0 "$SEEN"; then
+    echo "no labelled requests for tenant ${tenant} in /metrics" >&2
+    exit 1
+  fi
+done
+echo "   per-tenant request families present for alpha/beta/gamma"
+
+ccp_assert_no_panics "$WORK/metrics.txt"
+echo "   jobs_panicked = 0"
+
+# Graceful shutdown must run the final sweep: the server's own exit log
+# is the witness that zero ccp- groups outlive the process.
+echo "== SIGINT shutdown: zero ccp- groups may remain"
+kill -INT "$SERVER_PID"
+wait "$SERVER_PID" 2>/dev/null || true
+if ! grep -qE 'reconcile shutdown sweep: removed [0-9]+ group\(s\), 0 ccp- group\(s\) remain' "$SERVER_LOG"; then
+  echo "shutdown sweep did not report zero remaining ccp- groups:" >&2
+  grep 'reconcile' "$SERVER_LOG" >&2 || cat "$SERVER_LOG" >&2
+  exit 1
+fi
+echo "   shutdown sweep left 0 ccp- group(s)"
+
+echo "tenant smoke OK"

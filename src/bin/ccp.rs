@@ -96,7 +96,11 @@ fn print_help() {
          --reuse-budget-mb N  reuse-cache byte budget in MiB (default 64)\n  \
          --no-reuse         disable the artifact reuse cache (every query reports reuse=bypass)\n  \
          --no-flight        disable the flight recorder (/timeline and /dashboard return 404)\n  \
-         --flight-interval-ms N  flight recorder snapshot period (default 250)\n\n\
+         --flight-interval-ms N  flight recorder snapshot period (default 250)\n  \
+         --tenant-quota NAME=N    cap NAME's in-flight queries at N, 429 above (repeatable)\n  \
+         --tenant-weight NAME=W   weighted-fair admission share for NAME (default 1, repeatable)\n  \
+         --fake-closids N   fake resctrl with only N CLOSIDs (implies --fake-resctrl; exhaustion chaos)\n  \
+         --reconcile-interval-ms N  tenant group reconciler pass period (default 500)\n\n\
          BENCH-SERVE FLAGS:\n\
          --addr HOST:PORT   server to drive     (default 127.0.0.1:9090)\n  \
          --qps N            target request rate (default 50)\n  \
@@ -106,7 +110,9 @@ fn print_help() {
          --max-error-pct N  exit non-zero above this error rate (default 5)\n  \
          --ab-addr HOST:PORT  second server for an A/B run (phase A on --addr, phase B here)\n  \
          --json-out FILE    write the phase summaries as JSON (includes the server's build info)\n  \
-         --timeline-out FILE  save the server's /timeline after the run (flight-recorder black box)\n\n\
+         --timeline-out FILE  save the server's /timeline after the run (flight-recorder black box)\n  \
+         --tenant-mix SPEC  spread requests over tenants by weight via X-CCP-Tenant,\n                     \
+         e.g. 'alpha:50,beta:30,gamma:20' (per-tenant sent/ok/429 reported)\n\n\
          The full experiment suite lives in `cargo bench -p ccp-bench`."
     );
 }
@@ -286,6 +292,24 @@ fn parse_serve_config(args: &[String]) -> Result<(ServerConfig, Option<String>),
                 let ms = parse_count(&value_of("--flight-interval-ms")?)? as u64;
                 config.flight_interval = Duration::from_millis(ms);
             }
+            "--tenant-quota" => {
+                let (name, n) = parse_tenant_kv(&value_of("--tenant-quota")?, "--tenant-quota")?;
+                // Quota 0 is legal: it rejects every arrival for that tenant.
+                let quota = parse_limit(&n)?;
+                config.tenant_quotas.push((name, quota));
+            }
+            "--tenant-weight" => {
+                let (name, w) = parse_tenant_kv(&value_of("--tenant-weight")?, "--tenant-weight")?;
+                let weight = parse_count(&w)? as u32;
+                config.tenant_weights.push((name, weight));
+            }
+            "--fake-closids" => {
+                config.fake_closids = Some(parse_count(&value_of("--fake-closids")?)? as u32);
+            }
+            "--reconcile-interval-ms" => {
+                let ms = parse_count(&value_of("--reconcile-interval-ms")?)? as u64;
+                config.reconcile_interval = Duration::from_millis(ms);
+            }
             other => {
                 return Err(format!(
                     "unknown serve flag {other:?} (see `ccp help` for the flag list)"
@@ -294,6 +318,20 @@ fn parse_serve_config(args: &[String]) -> Result<(ServerConfig, Option<String>),
         }
     }
     Ok((config, faults))
+}
+
+/// Splits a `NAME=VALUE` tenant flag argument; tenant id validation is
+/// left to the server (it returns a startup error naming the bad id).
+fn parse_tenant_kv(s: &str, flag: &str) -> Result<(String, String), String> {
+    let (name, value) = s
+        .split_once('=')
+        .ok_or_else(|| format!("{flag} expects NAME=VALUE, got {s:?}"))?;
+    if name.is_empty() {
+        return Err(format!(
+            "{flag} expects a tenant name before '=', got {s:?}"
+        ));
+    }
+    Ok((name.to_string(), value.to_string()))
 }
 
 /// Parses a per-class queue cap; unlike [`parse_count`], `0` is legal
@@ -379,6 +417,10 @@ struct BenchConfig {
     /// Save the driven server's `/timeline` here after the run (the
     /// phase-B server in an A/B run — the one whose story matters).
     timeline_out: Option<String>,
+    /// Weighted tenant assignment: each request carries `X-CCP-Tenant`
+    /// drawn from this distribution by its schedule slot. Empty = no
+    /// header (the server books everything under the default tenant).
+    tenant_mix: Vec<(String, u64)>,
 }
 
 fn parse_bench_config(args: &[String]) -> Result<BenchConfig, String> {
@@ -392,6 +434,7 @@ fn parse_bench_config(args: &[String]) -> Result<BenchConfig, String> {
         ab_addr: None,
         json_out: None,
         timeline_out: None,
+        tenant_mix: Vec::new(),
     };
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -422,6 +465,18 @@ fn parse_bench_config(args: &[String]) -> Result<BenchConfig, String> {
             "--ab-addr" => config.ab_addr = Some(value_of("--ab-addr")?),
             "--json-out" => config.json_out = Some(value_of("--json-out")?),
             "--timeline-out" => config.timeline_out = Some(value_of("--timeline-out")?),
+            "--tenant-mix" => {
+                for part in value_of("--tenant-mix")?.split(',') {
+                    let (name, weight) = part.split_once(':').ok_or_else(|| {
+                        format!("--tenant-mix expects NAME:WEIGHT entries, got {part:?}")
+                    })?;
+                    if name.is_empty() {
+                        return Err(format!("--tenant-mix entry {part:?} has no tenant name"));
+                    }
+                    let weight = parse_count(weight)? as u64;
+                    config.tenant_mix.push((name.to_string(), weight));
+                }
+            }
             other => {
                 return Err(format!(
                     "unknown bench-serve flag {other:?} (see `ccp help`)"
@@ -474,10 +529,39 @@ impl ReuseMark {
     }
 }
 
+/// Per-tenant request tally for a `--tenant-mix` run.
+#[derive(Debug, Default, Clone, Copy)]
+struct TenantTally {
+    sent: u64,
+    ok: u64,
+    /// Quota rejections (HTTP 429) — the signal the mix exists to read.
+    rejected: u64,
+}
+
 #[derive(Debug, Default)]
 struct BenchOutcome {
     samples: Vec<BenchSample>,
     errors: u64,
+    /// Keyed by tenant name; only populated under `--tenant-mix`.
+    tenants: std::collections::BTreeMap<String, TenantTally>,
+}
+
+/// Deterministic weighted assignment: slot `n` goes to the tenant whose
+/// cumulative-weight bucket contains `n % Σweights`, so the offered mix
+/// matches the requested ratios exactly over every whole period.
+fn tenant_for_slot(mix: &[(String, u64)], slot: u64) -> Option<&str> {
+    let total: u64 = mix.iter().map(|(_, w)| *w).sum();
+    if total == 0 {
+        return None;
+    }
+    let mut r = slot % total;
+    for (name, w) in mix {
+        if r < *w {
+            return Some(name);
+        }
+        r -= *w;
+    }
+    None
 }
 
 fn percentile(sorted: &[u64], p: f64) -> u64 {
@@ -556,6 +640,9 @@ struct PhaseSummary {
     /// p50/p95/p99 of server-reported execution time.
     exec: [u64; 3],
     reuse: ReusePhase,
+    /// Per-tenant tallies, in tenant-name order (empty without
+    /// `--tenant-mix`).
+    tenants: Vec<(String, TenantTally)>,
 }
 
 impl PhaseSummary {
@@ -567,7 +654,7 @@ impl PhaseSummary {
                 ("p99_us", Json::num(v[2] as f64)),
             ])
         };
-        Json::obj(vec![
+        let mut fields = vec![
             ("addr", Json::str(&self.addr)),
             ("sent", Json::num(self.sent as f64)),
             ("errors", Json::num(self.errors as f64)),
@@ -576,7 +663,26 @@ impl PhaseSummary {
             ("queue", trio(&self.queue)),
             ("exec", trio(&self.exec)),
             ("reuse", self.reuse.to_json()),
-        ])
+        ];
+        let tenants = Json::obj(
+            self.tenants
+                .iter()
+                .map(|(name, t)| {
+                    (
+                        name.as_str(),
+                        Json::obj(vec![
+                            ("sent", Json::num(t.sent as f64)),
+                            ("ok", Json::num(t.ok as f64)),
+                            ("rejected_429", Json::num(t.rejected as f64)),
+                        ]),
+                    )
+                })
+                .collect(),
+        );
+        if !self.tenants.is_empty() {
+            fields.push(("tenants", tenants));
+        }
+        Json::obj(fields)
     }
 }
 
@@ -604,6 +710,7 @@ fn run_phase(label: &str, addr_str: &str, config: &BenchConfig) -> Result<PhaseS
     let mut workers = Vec::new();
     for _ in 0..config.concurrency {
         let bodies: Vec<&'static str> = bodies.clone();
+        let mix = config.tenant_mix.clone();
         let next_slot = Arc::clone(&next_slot);
         let outcome = Arc::clone(&outcome);
         workers.push(std::thread::spawn(move || {
@@ -627,8 +734,22 @@ fn run_phase(label: &str, addr_str: &str, config: &BenchConfig) -> Result<PhaseS
                     std::thread::sleep(wait);
                 }
                 let body = bodies[slot as usize % bodies.len()];
+                let tenant = tenant_for_slot(&mix, slot);
                 let sent = Instant::now();
-                match client.request("POST", "/query", Some(body)) {
+                let resp = match tenant {
+                    Some(t) => client.request_with_headers(
+                        "POST",
+                        "/query",
+                        &[("X-CCP-Tenant", t)],
+                        Some(body),
+                    ),
+                    None => client.request("POST", "/query", Some(body)),
+                };
+                let mut out = outcome.lock().unwrap();
+                if let Some(t) = tenant {
+                    out.tenants.entry(t.to_string()).or_default().sent += 1;
+                }
+                match resp {
                     Ok(resp) if resp.status == 200 => {
                         let total_us = sent.elapsed().as_micros() as u64;
                         let (queue_us, exec_us, reuse) = Json::parse(resp.body.trim())
@@ -640,14 +761,23 @@ fn run_phase(label: &str, addr_str: &str, config: &BenchConfig) -> Result<PhaseS
                                 )
                             })
                             .unwrap_or((0, 0, ReuseMark::Other));
-                        outcome.lock().unwrap().samples.push(BenchSample {
+                        out.samples.push(BenchSample {
                             total_us,
                             queue_us,
                             exec_us,
                             reuse,
                         });
+                        if let Some(t) = tenant {
+                            out.tenants.entry(t.to_string()).or_default().ok += 1;
+                        }
                     }
-                    _ => outcome.lock().unwrap().errors += 1,
+                    Ok(resp) if resp.status == 429 => {
+                        out.errors += 1;
+                        if let Some(t) = tenant {
+                            out.tenants.entry(t.to_string()).or_default().rejected += 1;
+                        }
+                    }
+                    _ => out.errors += 1,
                 }
             }
         }));
@@ -731,6 +861,13 @@ fn run_phase(label: &str, addr_str: &str, config: &BenchConfig) -> Result<PhaseS
         ),
         None => println!("   reuse  no server reuse counters (disabled or unscrapable)"),
     }
+    let tenants: Vec<(String, TenantTally)> = outcome.tenants.into_iter().collect();
+    for (name, t) in &tenants {
+        println!(
+            "  tenant  {name}: sent {}, ok {}, 429 {}",
+            t.sent, t.ok, t.rejected
+        );
+    }
     Ok(PhaseSummary {
         addr: addr_str.to_string(),
         sent,
@@ -741,6 +878,7 @@ fn run_phase(label: &str, addr_str: &str, config: &BenchConfig) -> Result<PhaseS
         queue: percentiles[1],
         exec: percentiles[2],
         reuse,
+        tenants,
     })
 }
 
